@@ -1,0 +1,243 @@
+// Command velociti-circuit is a toolbox for explicit gate-level circuits:
+// inspect, convert between OpenQASM and JSON, optimize, route, and
+// functionally simulate.
+//
+//	velociti-circuit stats    -in qft.qasm
+//	velociti-circuit convert  -in circuit.qasm -out circuit.json
+//	velociti-circuit optimize -in circuit.qasm -out smaller.qasm
+//	velociti-circuit route    -in circuit.qasm -chain-length 16
+//	velociti-circuit simulate -in bell.qasm -top 8
+//
+// Inputs ending in .json load the framework's circuit JSON; anything else
+// parses as OpenQASM 2.0 (with include resolution relative to the file).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"velociti/internal/circuit"
+	"velociti/internal/config"
+	"velociti/internal/perf"
+	"velociti/internal/placement"
+	"velociti/internal/qasm"
+	"velociti/internal/route"
+	"velociti/internal/statevec"
+	"velociti/internal/ti"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "velociti-circuit:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: velociti-circuit <stats|convert|optimize|route|simulate> [flags]")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "stats":
+		return cmdStats(rest, out)
+	case "convert":
+		return cmdConvert(rest, out)
+	case "optimize":
+		return cmdOptimize(rest, out)
+	case "route":
+		return cmdRoute(rest, out)
+	case "simulate":
+		return cmdSimulate(rest, out)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want stats, convert, optimize, route, or simulate)", cmd)
+	}
+}
+
+// load reads a circuit from a path, dispatching on extension.
+func load(path string) (*circuit.Circuit, error) {
+	if path == "" {
+		return nil, fmt.Errorf("-in is required")
+	}
+	if strings.HasSuffix(path, ".json") {
+		return config.LoadCircuit(path)
+	}
+	res, err := qasm.ParseFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return res.Circuit, nil
+}
+
+// save writes a circuit to a path, dispatching on extension.
+func save(path string, c *circuit.Circuit) error {
+	if strings.HasSuffix(path, ".json") {
+		return config.SaveCircuit(path, c)
+	}
+	return qasm.WriteFile(path, c)
+}
+
+func cmdStats(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	in := fs.String("in", "", "input circuit (.qasm or .json)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := load(*in)
+	if err != nil {
+		return err
+	}
+	spec := c.Spec()
+	fmt.Fprintf(out, "name:         %s\n", c.Name)
+	fmt.Fprintf(out, "qubits:       %d\n", spec.Qubits)
+	fmt.Fprintf(out, "gates:        %d (%d one-qubit, %d two-qubit)\n",
+		c.NumGates(), spec.OneQubitGates, spec.TwoQubitGates)
+	fmt.Fprintf(out, "depth:        %d\n", c.Depth())
+	fmt.Fprintf(out, "2q/qubit:     %.2f\n", c.TwoQubitRatio())
+	kinds := map[string]int{}
+	for _, g := range c.Gates() {
+		kinds[g.Kind.Name()]++
+	}
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(out, "gate mix:    ")
+	for _, k := range names {
+		fmt.Fprintf(out, " %s×%d", k, kinds[k])
+	}
+	fmt.Fprintln(out)
+	return nil
+}
+
+func cmdConvert(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("convert", flag.ContinueOnError)
+	in := fs.String("in", "", "input circuit (.qasm or .json)")
+	outPath := fs.String("out", "", "output path (.qasm or .json)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *outPath == "" {
+		return fmt.Errorf("-out is required")
+	}
+	c, err := load(*in)
+	if err != nil {
+		return err
+	}
+	if err := save(*outPath, c); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s (%d gates)\n", *outPath, c.NumGates())
+	return nil
+}
+
+func cmdOptimize(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("optimize", flag.ContinueOnError)
+	in := fs.String("in", "", "input circuit (.qasm or .json)")
+	outPath := fs.String("out", "", "optional output path for the optimized circuit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := load(*in)
+	if err != nil {
+		return err
+	}
+	opt, st := c.Optimize()
+	fmt.Fprintf(out, "%d gates → %d gates (cancelled %d, fused %d, identities %d)\n",
+		c.NumGates(), opt.NumGates(), st.Cancelled, st.Fused, st.Identities)
+	if *outPath != "" {
+		if err := save(*outPath, opt); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *outPath)
+	}
+	return nil
+}
+
+func cmdRoute(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("route", flag.ContinueOnError)
+	in := fs.String("in", "", "input circuit (.qasm or .json)")
+	chainLen := fs.Int("chain-length", 16, "ions per chain")
+	alpha := fs.Float64("alpha", 2, "weak-link penalty")
+	outPath := fs.String("out", "", "optional output path for the routed circuit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := load(*in)
+	if err != nil {
+		return err
+	}
+	lat := perf.DefaultLatencies()
+	lat.WeakPenalty = *alpha
+	d, err := ti.DeviceFor(c.NumQubits(), *chainLen, ti.Ring)
+	if err != nil {
+		return err
+	}
+	layout, err := placement.Sequential{}.Place(d, c.NumQubits(), nil)
+	if err != nil {
+		return err
+	}
+	orig, routed, res, err := route.Evaluate(c, layout, lat)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "machine: %s\n", d)
+	fmt.Fprintf(out, "original: %.1f µs parallel, routed: %.1f µs (%d migrations, %d swaps)\n",
+		orig, routed, res.Migrations, res.SwapsInserted)
+	if *outPath != "" {
+		if err := save(*outPath, res.Routed); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *outPath)
+	}
+	return nil
+}
+
+func cmdSimulate(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	in := fs.String("in", "", "input circuit (.qasm or .json)")
+	top := fs.Int("top", 8, "number of highest-probability outcomes to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := load(*in)
+	if err != nil {
+		return err
+	}
+	if c.NumQubits() > statevec.MaxQubits {
+		return fmt.Errorf("circuit has %d qubits; the simulator supports up to %d", c.NumQubits(), statevec.MaxQubits)
+	}
+	s, err := statevec.Run(c)
+	if err != nil {
+		return err
+	}
+	type outcome struct {
+		basis uint64
+		p     float64
+	}
+	var outcomes []outcome
+	for i := uint64(0); i < 1<<uint(c.NumQubits()); i++ {
+		if p := s.Probability(i); p > 1e-12 {
+			outcomes = append(outcomes, outcome{i, p})
+		}
+	}
+	sort.Slice(outcomes, func(i, j int) bool {
+		if outcomes[i].p != outcomes[j].p {
+			return outcomes[i].p > outcomes[j].p
+		}
+		return outcomes[i].basis < outcomes[j].basis
+	})
+	if *top < len(outcomes) {
+		outcomes = outcomes[:*top]
+	}
+	fmt.Fprintf(out, "%d qubits, %d gates; top outcomes (qubit 0 rightmost):\n", c.NumQubits(), c.NumGates())
+	for _, o := range outcomes {
+		fmt.Fprintf(out, "  |%0*b>  %.6f\n", c.NumQubits(), o.basis, o.p)
+	}
+	return nil
+}

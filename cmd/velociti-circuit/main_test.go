@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeQASM(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "c.qasm")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runTool(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return buf.String()
+}
+
+const bell = "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n"
+
+func TestStats(t *testing.T) {
+	path := writeQASM(t, bell)
+	out := runTool(t, "stats", "-in", path)
+	for _, want := range []string{"qubits:       2", "depth:        2", "cx×1", "h×1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConvertRoundTrip(t *testing.T) {
+	qasmPath := writeQASM(t, bell)
+	jsonPath := filepath.Join(t.TempDir(), "c.json")
+	runTool(t, "convert", "-in", qasmPath, "-out", jsonPath)
+	backPath := filepath.Join(t.TempDir(), "back.qasm")
+	out := runTool(t, "convert", "-in", jsonPath, "-out", backPath)
+	if !strings.Contains(out, "2 gates") {
+		t.Fatalf("convert output:\n%s", out)
+	}
+	data, err := os.ReadFile(backPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "cx q[0],q[1];") {
+		t.Fatalf("round-tripped qasm wrong:\n%s", data)
+	}
+}
+
+func TestOptimize(t *testing.T) {
+	path := writeQASM(t, "OPENQASM 2.0;\nqreg q[1];\nh q[0];\nh q[0];\nx q[0];\n")
+	outPath := filepath.Join(t.TempDir(), "opt.qasm")
+	out := runTool(t, "optimize", "-in", path, "-out", outPath)
+	if !strings.Contains(out, "3 gates → 1 gates") {
+		t.Fatalf("optimize output:\n%s", out)
+	}
+	data, _ := os.ReadFile(outPath)
+	if !strings.Contains(string(data), "x q[0];") {
+		t.Fatalf("optimized circuit wrong:\n%s", data)
+	}
+}
+
+func TestRoute(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("OPENQASM 2.0;\nqreg q[8];\n")
+	for i := 0; i < 10; i++ {
+		b.WriteString("cx q[0],q[4];\n")
+	}
+	path := writeQASM(t, b.String())
+	out := runTool(t, "route", "-in", path, "-chain-length", "4")
+	if !strings.Contains(out, "1 migrations") {
+		t.Fatalf("route output:\n%s", out)
+	}
+}
+
+func TestSimulate(t *testing.T) {
+	path := writeQASM(t, bell)
+	out := runTool(t, "simulate", "-in", path, "-top", "4")
+	if !strings.Contains(out, "|00>") || !strings.Contains(out, "|11>") || !strings.Contains(out, "0.5000") {
+		t.Fatalf("simulate output:\n%s", out)
+	}
+}
+
+func TestToolErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"frobnicate"},
+		{"stats"},
+		{"stats", "-in", "/nonexistent.qasm"},
+		{"convert", "-in", "/nonexistent.qasm", "-out", "/tmp/x.qasm"},
+		{"convert", "-in", "/nonexistent.qasm"},
+		{"simulate", "-in", "/nonexistent.qasm"},
+	}
+	for i, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}
+
+func TestSimulateTooWide(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("OPENQASM 2.0;\nqreg q[30];\nh q[0];\n")
+	path := writeQASM(t, b.String())
+	var buf bytes.Buffer
+	if err := run([]string{"simulate", "-in", path}, &buf); err == nil {
+		t.Fatalf("30-qubit simulation should be refused")
+	}
+}

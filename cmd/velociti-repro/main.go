@@ -1,0 +1,255 @@
+// Command velociti-repro regenerates every table and figure of the
+// VelociTI paper's evaluation: Tables II–III, the tool-runtime study
+// (Figure 5), Case Study 1 (Figure 6), the chain-length sweep (Figure 7),
+// the quantum-volume and 2:1-ratio scaling studies (Figures 8–9), and the
+// extension-policy ablations.
+//
+//	velociti-repro                 # everything, paper settings (35 runs)
+//	velociti-repro -only fig6,fig7 # a subset
+//	velociti-repro -runs 10        # faster, noisier
+//	velociti-repro -csv out/       # also write one CSV per experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"velociti/internal/apps"
+	"velociti/internal/core"
+	"velociti/internal/expt"
+	"velociti/internal/perf"
+)
+
+// experiment names in execution order.
+var order = []string{"table1", "table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "ext-fidelity", "ext-capacity", "ablations"}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "velociti-repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("velociti-repro", flag.ContinueOnError)
+	var (
+		runs    = fs.Int("runs", core.DefaultRuns, "randomized trials per data point")
+		seed    = fs.Int64("seed", 1, "master random seed")
+		only    = fs.String("only", "", "comma-separated subset of: "+strings.Join(order, ","))
+		csvDir  = fs.String("csv", "", "directory to write per-experiment CSV files into")
+		workers = fs.Int("workers", 1, "concurrent trials per data point")
+		svgDir  = fs.String("svg", "", "directory to write per-figure SVG charts into")
+		mdPath  = fs.String("md", "", "write a Markdown reproduction report to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	selected := map[string]bool{}
+	if *only == "" {
+		for _, name := range order {
+			selected[name] = true
+		}
+	} else {
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			found := false
+			for _, known := range order {
+				if name == known {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("unknown experiment %q (want one of %s)", name, strings.Join(order, ", "))
+			}
+			selected[name] = true
+		}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	if *svgDir != "" {
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			return err
+		}
+	}
+	opt := expt.Options{Runs: *runs, Seed: *seed, Workers: *workers}
+	var md strings.Builder
+	if *mdPath != "" {
+		fmt.Fprintf(&md, "# VelociTI reproduction report\n\n%d randomized trials per data point, master seed %d.\n", *runs, *seed)
+	}
+	emit := func(body string) {
+		fmt.Fprintln(out, body)
+		if *mdPath != "" {
+			fmt.Fprintf(&md, "\n```\n%s```\n", body)
+		}
+	}
+	writeSVG := func(name string, render func() (string, error)) error {
+		if *svgDir == "" {
+			return nil
+		}
+		body, err := render()
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(*svgDir, name+".svg")
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "(svg written to %s)\n", path)
+		return nil
+	}
+	writeCSV := func(name, data string) error {
+		if *csvDir == "" {
+			return nil
+		}
+		path := filepath.Join(*csvDir, name+".csv")
+		if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "(csv written to %s)\n", path)
+		return nil
+	}
+
+	if selected["table1"] {
+		t1, err := expt.TableI(opt, apps.PaperSpecs()[3], 16) // QFT, the paper's worked example
+		if err != nil {
+			return err
+		}
+		emit(t1)
+	}
+	if selected["table2"] {
+		emit(expt.TableII())
+	}
+	if selected["table3"] {
+		emit(expt.TableIII(perf.DefaultLatencies()))
+	}
+	if selected["fig5"] {
+		res, err := expt.Fig5(opt)
+		if err != nil {
+			return err
+		}
+		emit(res.Table())
+		if err := writeCSV("fig5", res.CSV()); err != nil {
+			return err
+		}
+		if err := writeSVG("fig5", res.SVG); err != nil {
+			return err
+		}
+	}
+	if selected["fig6"] {
+		res, err := expt.Fig6(opt)
+		if err != nil {
+			return err
+		}
+		emit(res.Table())
+		if err := writeCSV("fig6", res.CSV()); err != nil {
+			return err
+		}
+		if err := writeSVG("fig6", res.SVG); err != nil {
+			return err
+		}
+	}
+	if selected["fig7"] {
+		res, err := expt.Fig7(opt)
+		if err != nil {
+			return err
+		}
+		emit(res.Table())
+		if err := writeCSV("fig7", res.CSV()); err != nil {
+			return err
+		}
+		if err := writeSVG("fig7", res.SVG); err != nil {
+			return err
+		}
+	}
+	if selected["fig8"] {
+		res, err := expt.Fig8(opt)
+		if err != nil {
+			return err
+		}
+		emit(res.Table())
+		if err := writeCSV("fig8", res.CSV()); err != nil {
+			return err
+		}
+		if err := writeSVG("fig8a", res.SVGChain); err != nil {
+			return err
+		}
+		if err := writeSVG("fig8b", res.SVGAlpha); err != nil {
+			return err
+		}
+	}
+	if selected["fig9"] {
+		res, err := expt.Fig9(opt)
+		if err != nil {
+			return err
+		}
+		emit(res.Table())
+		if err := writeCSV("fig9", res.CSV()); err != nil {
+			return err
+		}
+		if err := writeSVG("fig9a", res.SVGChain); err != nil {
+			return err
+		}
+		if err := writeSVG("fig9b", res.SVGAlpha); err != nil {
+			return err
+		}
+	}
+	if selected["ext-fidelity"] {
+		res, err := expt.ExtFidelity(opt)
+		if err != nil {
+			return err
+		}
+		emit(res.Table())
+		if err := writeCSV("ext-fidelity", res.CSV()); err != nil {
+			return err
+		}
+	}
+	if selected["ext-capacity"] {
+		res, err := expt.ExtControlCapacity(opt)
+		if err != nil {
+			return err
+		}
+		emit(res.Table())
+		if err := writeCSV("ext-capacity", res.CSV()); err != nil {
+			return err
+		}
+	}
+	if selected["ablations"] {
+		comm, err := expt.AblationComm(opt)
+		if err != nil {
+			return err
+		}
+		emit(comm.Table())
+		if err := writeCSV("ablation-comm", comm.CSV()); err != nil {
+			return err
+		}
+		for name, f := range map[string]func(expt.Options) (*expt.AblationResult, error){
+			"ablation-schedulers": expt.AblationSchedulers,
+			"ablation-placement":  expt.AblationPlacement,
+			"ablation-topology":   expt.AblationTopology,
+		} {
+			res, err := f(opt)
+			if err != nil {
+				return err
+			}
+			emit(res.Table())
+			if err := writeCSV(name, res.CSV()); err != nil {
+				return err
+			}
+		}
+	}
+	if *mdPath != "" {
+		if err := os.WriteFile(*mdPath, []byte(md.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote markdown report to %s\n", *mdPath)
+	}
+	return nil
+}

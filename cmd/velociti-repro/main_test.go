@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReproSubset(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-runs", "3", "-only", "table2,table3,fig6"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table II", "Table III", "Figure 6", "geomean"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "Figure 7") {
+		t.Errorf("unselected experiment ran")
+	}
+}
+
+func TestReproCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-runs", "2", "-only", "fig7", "-csv", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig7.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 7 { // header + 6 apps
+		t.Fatalf("fig7.csv rows = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "app,parallel_us_L8") {
+		t.Fatalf("header = %q", lines[0])
+	}
+}
+
+func TestReproAblations(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-runs", "2", "-only", "ablations"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"scheduling policy", "placement policy", "topology"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation output missing %q", want)
+		}
+	}
+}
+
+func TestReproUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-only", "fig42"}, &buf); err == nil {
+		t.Fatalf("unknown experiment should error")
+	}
+}
+
+func TestReproScalingStudies(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-runs", "2", "-only", "fig8,fig9"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "quantum volume") || !strings.Contains(out, "2:1 ratio") {
+		t.Errorf("scaling studies missing:\n%s", out)
+	}
+}
+
+func TestReproSVGOutput(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-runs", "2", "-only", "fig6,fig8", "-svg", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig6.svg", "fig8a.svg", "fig8b.svg"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.HasPrefix(string(data), "<svg") {
+			t.Fatalf("%s is not SVG", name)
+		}
+	}
+}
+
+func TestReproMarkdownReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.md")
+	var buf bytes.Buffer
+	if err := run([]string{"-runs", "2", "-only", "table2,fig6", "-md", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := string(data)
+	for _, want := range []string{"# VelociTI reproduction report", "Table II", "Figure 6", "```"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("markdown report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Command velociti-sweep runs design-space sweeps over the VelociTI model
+// parameters and emits one CSV row per configuration — the batch-script
+// workflow the paper's §V-A describes for "easy design space exploration
+// and scalability experiments".
+//
+// The workload is either a Table II application (-app), a quantum-volume
+// sweep (-qv), a fixed-ratio sweep (-ratio), or explicit counts
+// (-qubits/-two-qubit-gates). Swept knobs take comma-separated values:
+//
+//	velociti-sweep -app QAOA -chain-lengths 8,16,24,32
+//	velociti-sweep -qv -qubit-range 8:128:20 -alphas 2.0,1.6,1.2,1.0
+//	velociti-sweep -ratio 2 -qubit-range 8:128:20 -chain-lengths 32,48,64
+//	velociti-sweep -qubits 64 -two-qubit-gates 560 -placers random,load-balanced
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"velociti/internal/apps"
+	"velociti/internal/circuit"
+	"velociti/internal/core"
+	"velociti/internal/perf"
+	"velociti/internal/schedule"
+	"velociti/internal/ti"
+	"velociti/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "velociti-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("velociti-sweep", flag.ContinueOnError)
+	var (
+		app        = fs.String("app", "", "Table II application workload")
+		qv         = fs.Bool("qv", false, "quantum-volume workload (N qubits, N/2 2-qubit gates)")
+		ratio      = fs.Float64("ratio", 0, "fixed-ratio workload (N qubits, ratio*N 2-qubit gates)")
+		qubits     = fs.Int("qubits", 0, "explicit workload qubits")
+		oneQ       = fs.Int("one-qubit-gates", 0, "explicit workload 1-qubit gates")
+		twoQ       = fs.Int("two-qubit-gates", 0, "explicit workload 2-qubit gates")
+		qubitRange = fs.String("qubit-range", "", "qubit sweep as from:to:step (with -qv or -ratio)")
+		chainLens  = fs.String("chain-lengths", "16", "comma-separated chain lengths")
+		alphas     = fs.String("alphas", "2.0", "comma-separated weak-link penalties")
+		placers    = fs.String("placers", "random", "comma-separated gate placers")
+		topology   = fs.String("topology", "ring", "weak-link topology: ring or line")
+		runs       = fs.Int("runs", core.DefaultRuns, "randomized trials per configuration")
+		seed       = fs.Int64("seed", 1, "master random seed")
+		workers    = fs.Int("workers", 1, "trials to run concurrently per configuration")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	specs, err := buildSpecs(*app, *qv, *ratio, *qubits, *oneQ, *twoQ, *qubitRange)
+	if err != nil {
+		return err
+	}
+	lengths, err := parseInts(*chainLens)
+	if err != nil {
+		return fmt.Errorf("-chain-lengths: %w", err)
+	}
+	alphaVals, err := parseFloats(*alphas)
+	if err != nil {
+		return fmt.Errorf("-alphas: %w", err)
+	}
+	placerNames := splitList(*placers)
+	topo, err := ti.ParseTopology(*topology)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(out, "workload,qubits,two_qubit_gates,chain_length,chains,weak_links,alpha,placer,serial_us,parallel_us,parallel_min_us,parallel_max_us,speedup,weak_gates")
+	for _, spec := range specs {
+		for _, L := range lengths {
+			for _, alpha := range alphaVals {
+				for _, placerName := range placerNames {
+					lat := perf.DefaultLatencies()
+					lat.WeakPenalty = alpha
+					placer, err := schedule.ByName(placerName, lat)
+					if err != nil {
+						return err
+					}
+					cfg := core.Config{
+						Spec:        spec,
+						ChainLength: L,
+						Topology:    topo,
+						Latencies:   lat,
+						Placer:      placer,
+						Runs:        *runs,
+						Seed:        *seed,
+						Workers:     *workers,
+					}
+					rep, err := core.Run(cfg)
+					if err != nil {
+						return fmt.Errorf("%s L=%d α=%g %s: %w", spec.Name, L, alpha, placerName, err)
+					}
+					fmt.Fprintf(out, "%s,%d,%d,%d,%d,%d,%g,%s,%.3f,%.3f,%.3f,%.3f,%.3f,%.1f\n",
+						spec.Name, spec.Qubits, spec.TwoQubitGates,
+						L, rep.Device.NumChains, rep.Device.MaxWeakLinks, alpha, placerName,
+						rep.Serial.Mean, rep.Parallel.Mean, rep.Parallel.Min, rep.Parallel.Max,
+						rep.MeanSpeedup(), rep.WeakGates.Mean)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func buildSpecs(app string, qv bool, ratio float64, qubits, oneQ, twoQ int, qubitRange string) ([]circuit.Spec, error) {
+	switch {
+	case app != "":
+		a, err := apps.ByName(app)
+		if err != nil {
+			return nil, err
+		}
+		return []circuit.Spec{a.Spec}, nil
+	case qv || ratio > 0:
+		from, to, step := 8, 128, 20
+		if qubitRange != "" {
+			parts := strings.Split(qubitRange, ":")
+			if len(parts) != 3 {
+				return nil, fmt.Errorf("-qubit-range wants from:to:step, got %q", qubitRange)
+			}
+			vals := make([]int, 3)
+			for i, p := range parts {
+				v, err := strconv.Atoi(p)
+				if err != nil {
+					return nil, fmt.Errorf("-qubit-range: %w", err)
+				}
+				vals[i] = v
+			}
+			from, to, step = vals[0], vals[1], vals[2]
+			if step <= 0 {
+				return nil, fmt.Errorf("-qubit-range step must be positive")
+			}
+		}
+		if qv {
+			return workload.QVSweep(from, to, step), nil
+		}
+		return workload.RatioSweep(from, to, step, ratio), nil
+	case qubits > 0:
+		spec := circuit.Spec{Name: "sweep", Qubits: qubits, OneQubitGates: oneQ, TwoQubitGates: twoQ}
+		return []circuit.Spec{spec}, spec.Validate()
+	default:
+		return nil, fmt.Errorf("no workload: pass -app, -qv, -ratio, or -qubits (see -h)")
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range splitList(s) {
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

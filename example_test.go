@@ -1,0 +1,104 @@
+package velociti_test
+
+import (
+	"fmt"
+	"log"
+
+	"velociti"
+)
+
+// Example reproduces the paper's headline Case Study 1 data point: the
+// 64-qubit QFT on 16-ion chains, whose serial time is exactly 403.6 ms.
+func Example() {
+	spec, _, err := velociti.AppByName("QFT")
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := velociti.Run(velociti.Config{
+		Spec:        spec,
+		ChainLength: 16,
+		Runs:        5,
+		Seed:        1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chains: %d, weak links: %d\n", report.Device.NumChains, report.Device.MaxWeakLinks)
+	fmt.Printf("serial: %.1f ms\n", report.Serial.Mean/1000)
+	// Output:
+	// chains: 4, weak links: 4
+	// serial: 403.6 ms
+}
+
+// ExampleParseQASM imports an OpenQASM 2.0 program into the circuit IR.
+func ExampleParseQASM() {
+	c, err := velociti.ParseQASM("bell", `
+		OPENQASM 2.0;
+		include "qelib1.inc";
+		qreg q[2];
+		h q[0];
+		cx q[0],q[1];
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d qubits, %d gates, depth %d\n", c.NumQubits(), c.NumGates(), c.Depth())
+	// Output:
+	// 2 qubits, 2 gates, depth 2
+}
+
+// ExampleSimulate functionally validates a circuit on the built-in
+// state-vector simulator.
+func ExampleSimulate() {
+	state, err := velociti.Simulate(velociti.GHZ(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P(|000>) = %.2f, P(|111>) = %.2f\n", state.Probability(0), state.Probability(7))
+	// Output:
+	// P(|000>) = 0.50, P(|111>) = 0.50
+}
+
+// ExampleEvaluate scores an explicitly placed circuit under both
+// performance models.
+func ExampleEvaluate() {
+	device, err := velociti.NewDevice(4, 2, velociti.Line)
+	if err != nil {
+		log.Fatal(err)
+	}
+	layout, err := velociti.SequentialPlacement.Place(device, 8, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := velociti.NewCircuit("demo", 8)
+	c.CX(0, 1) // intra-chain: γ
+	c.CX(3, 4) // cross-chain: α·γ
+	res, err := velociti.Evaluate(c, layout, velociti.DefaultLatencies())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parallel %.0f µs, weak gates %d\n", res.ParallelMicros, res.WeakGates)
+	// Output:
+	// parallel 200 µs, weak gates 1
+}
+
+// ExampleParetoFrontier explores the design space of a workload and keeps
+// only the non-dominated time/fidelity configurations.
+func ExampleParetoFrontier() {
+	points, err := velociti.ExploreDesignSpace(
+		velociti.Spec{Name: "w", Qubits: 32, TwoQubitGates: 64},
+		velociti.DesignSpaceOptions{
+			ChainLengths: []int{8, 32},
+			Alphas:       []float64{2.0},
+			Placers:      []string{"random"},
+			Runs:         4,
+			Seed:         1,
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	frontier := velociti.ParetoFrontier(points)
+	fmt.Printf("%d of %d points are Pareto-optimal\n", len(frontier), len(points))
+	// Output:
+	// 1 of 2 points are Pareto-optimal
+}

@@ -1,0 +1,53 @@
+// Quickstart: estimate the performance of a quantum application on a
+// QCCD-based trapped-ion machine — the paper's Case Study 1 in miniature.
+//
+// It runs the 64-qubit Supremacy workload (Table II) on 16-ion chains with
+// the paper's Table III latencies, averaging 35 randomized
+// place-and-route trials, and prints the serial baseline, the parallel
+// estimate, and the speedup.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"velociti"
+)
+
+func main() {
+	// Boundary conditions: 64 qubits, 560 2-qubit gates (Table II's
+	// Supremacy row). The chain length of 16 ions is typical of NISQ-era
+	// QCCD systems; the number of chains is derived area-optimally.
+	cfg := velociti.Config{
+		Spec:        velociti.Spec{Name: "Supremacy", Qubits: 64, TwoQubitGates: 560},
+		ChainLength: 16,
+		Latencies:   velociti.DefaultLatencies(), // δ=1µs, γ=100µs, α=2
+		Runs:        velociti.DefaultRuns,        // 35 trials, as in the paper
+		Seed:        1,
+	}
+	report, err := velociti.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s\n", report.Spec)
+	fmt.Printf("machine:  %d chains x %d ions, %d weak links (%s)\n",
+		report.Device.NumChains, report.Device.ChainLength,
+		report.Device.MaxWeakLinks, report.Device.Topology)
+	fmt.Printf("serial:   %6.2f ms (Eq. 1-2 baseline)\n", report.Serial.Mean/1000)
+	fmt.Printf("parallel: %6.2f ms (min %.2f, max %.2f across %d trials)\n",
+		report.Parallel.Mean/1000, report.Parallel.Min/1000,
+		report.Parallel.Max/1000, len(report.Trials))
+	fmt.Printf("speedup:  %.1fx from intra-chain parallelism\n", report.MeanSpeedup())
+	fmt.Printf("weak-link gates per trial: %.0f of %d 2-qubit gates\n",
+		report.WeakGates.Mean, report.Spec.TwoQubitGates)
+
+	// Zoom into a single trial for the critical path.
+	_, _, res, err := velociti.RunOnce(cfg, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one trial's critical path runs through %d gates\n", len(res.CriticalPath))
+}

@@ -1,0 +1,78 @@
+// Scheduler comparison: how much of the random-scheduling performance loss
+// can smarter gate placement recover?
+//
+// The paper observes (§VI-B) that random scheduling can leave more than
+// 50% performance on the table for sparse circuits, motivating "robust
+// scheduling optimizations". This example pits the paper's random placer
+// against the extension policies on quantum volume — the sparsest, most
+// scheduler-sensitive workload — and on the dense QAOA application.
+//
+//	go run ./examples/scheduler_comparison
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"velociti"
+)
+
+func main() {
+	lat := velociti.DefaultLatencies()
+	placers := []velociti.Placer{
+		velociti.RandomPlacer(),
+		velociti.WeakAvoidingPlacer(),
+		velociti.LoadBalancedPlacer(lat),
+		velociti.EdgeConstrainedPlacer(),
+	}
+
+	qv := velociti.Spec{Name: "qv128", Qubits: 128, OneQubitGates: 128, TwoQubitGates: 64}
+	qaoa := velociti.Apps()[1]
+
+	for _, spec := range []velociti.Spec{qv, qaoa} {
+		fmt.Printf("=== %s (%d qubits, %d 2-qubit gates), 32-ion chains ===\n",
+			spec.Name, spec.Qubits, spec.TwoQubitGates)
+		fmt.Printf("%-18s %12s %12s %12s %10s\n", "placer", "mean [ms]", "max [ms]", "spread", "weak gates")
+		var randomMean float64
+		for _, p := range placers {
+			report, err := velociti.Run(velociti.Config{
+				Spec:        spec,
+				ChainLength: 32,
+				Latencies:   lat,
+				Placer:      p,
+				Runs:        velociti.DefaultRuns,
+				Seed:        3,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if p.Name() == "random" {
+				randomMean = report.Parallel.Mean
+			}
+			fmt.Printf("%-18s %12.2f %12.2f %11.0f%% %10.0f\n",
+				p.Name(),
+				report.Parallel.Mean/1000,
+				report.Parallel.Max/1000,
+				report.Parallel.RelativeSpread()*100,
+				report.WeakGates.Mean)
+		}
+		// Summarize the recoverable gap.
+		best := parallelOf(spec, velociti.LoadBalancedPlacer(lat))
+		fmt.Printf("load-balanced recovers %.0f%% versus random scheduling\n\n",
+			(randomMean/best-1)*100)
+	}
+}
+
+func parallelOf(spec velociti.Spec, p velociti.Placer) float64 {
+	rep, err := velociti.Run(velociti.Config{
+		Spec:        spec,
+		ChainLength: 32,
+		Placer:      p,
+		Runs:        velociti.DefaultRuns,
+		Seed:        3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rep.Parallel.Mean
+}

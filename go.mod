@@ -1,0 +1,3 @@
+module velociti
+
+go 1.22

@@ -1,0 +1,120 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"velociti/internal/circuit"
+	"velociti/internal/stats"
+)
+
+// This file extends the Table II catalog with further canonical workloads
+// used by the examples and tests: quantum phase estimation, a
+// hardware-efficient variational ansatz, and W-state preparation. They are
+// not part of the paper's evaluation but exercise the same IR and are
+// functionally validated against the state-vector simulator.
+
+// QPE builds quantum phase estimation over countQubits counting qubits for
+// the single-qubit unitary U = diag(1, e^{2πi·phase}): Hadamards on the
+// counting register, controlled powers U^(2^k), and an inverse QFT on the
+// counting register. The eigenstate register is one qubit prepared in |1⟩
+// (U's eigenvector with eigenvalue e^{2πi·phase}). Total qubits:
+// countQubits + 1, with the eigenstate qubit last. Measuring the counting
+// register (LSB = qubit 0 holding the 2^(t-1) power) yields
+// round(phase·2^t) when the phase is exactly representable.
+func QPE(countQubits int, phase float64) *circuit.Circuit {
+	if countQubits < 1 {
+		panic(fmt.Sprintf("apps: QPE needs at least 1 counting qubit, got %d", countQubits))
+	}
+	n := countQubits + 1
+	eig := countQubits
+	c := circuit.New(fmt.Sprintf("qpe%d", countQubits), n)
+	c.X(eig) // prepare the |1⟩ eigenstate
+	for q := 0; q < countQubits; q++ {
+		c.H(q)
+	}
+	// Controlled powers: qubit q controls U^(2^q). Under this package's
+	// QFT convention (amp(v) ∝ ω^(rev(x)·v)) the inverse QFT then leaves
+	// the counting register in |rev(round(phase·2^t))⟩ — callers decode
+	// by bit-reversing the readout.
+	for q := 0; q < countQubits; q++ {
+		theta := 2 * math.Pi * phase * math.Pow(2, float64(q))
+		c.CP(theta, q, eig)
+	}
+	// Inverse QFT on the counting register: reversed QFT with negated
+	// angles.
+	appendInverseQFT(c, countQubits)
+	return c
+}
+
+// appendInverseQFT emits the adjoint of this package's QFT construction
+// restricted to qubits [0, m).
+func appendInverseQFT(c *circuit.Circuit, m int) {
+	for i := m - 1; i >= 0; i-- {
+		for j := m - 1; j > i; j-- {
+			theta := -math.Pi / math.Pow(2, float64(j-i))
+			appendCP(c, theta, j, i)
+		}
+		c.H(i)
+	}
+}
+
+// VQEAnsatz builds a hardware-efficient variational ansatz: `layers`
+// repetitions of per-qubit RY·RZ rotations followed by a linear CX
+// entangler ladder, with a final rotation layer. Angles are drawn from the
+// seeded generator, standing in for a classical optimizer's parameters.
+// Gate counts: 2·n·(layers+1) one-qubit rotations and (n−1)·layers CX.
+func VQEAnsatz(n, layers int, seed int64) *circuit.Circuit {
+	if n < 2 {
+		panic(fmt.Sprintf("apps: VQE ansatz needs at least 2 qubits, got %d", n))
+	}
+	if layers < 1 {
+		panic(fmt.Sprintf("apps: VQE ansatz needs at least 1 layer, got %d", layers))
+	}
+	r := stats.NewRand(seed)
+	c := circuit.New(fmt.Sprintf("vqe%dx%d", n, layers), n)
+	rotate := func() {
+		for q := 0; q < n; q++ {
+			c.RY(r.Float64()*2*math.Pi, q)
+			c.RZ(r.Float64()*2*math.Pi, q)
+		}
+	}
+	for l := 0; l < layers; l++ {
+		rotate()
+		for q := 0; q+1 < n; q++ {
+			c.CX(q, q+1)
+		}
+	}
+	rotate()
+	return c
+}
+
+// WState prepares the n-qubit W state (the uniform superposition of all
+// one-hot basis states) with the standard cascade: qubit 0 starts in |1⟩
+// and the excitation is coherently shared down the register via controlled
+// rotations (decomposed into RY and CX) followed by CNOTs.
+func WState(n int) *circuit.Circuit {
+	if n < 1 {
+		panic(fmt.Sprintf("apps: W state needs at least 1 qubit, got %d", n))
+	}
+	c := circuit.New(fmt.Sprintf("w%d", n), n)
+	c.X(0)
+	for k := 1; k < n; k++ {
+		// Controlled-RY(θ) from qubit k−1 onto qubit k, then CX back to
+		// shift the excitation. The cosine component keeps the
+		// excitation at position k−1 with final amplitude 1/√n, so
+		// cos(θ/2) = sqrt(1/(n−k+1)) of the remaining amplitude.
+		theta := 2 * math.Acos(math.Sqrt(1/float64(n-k+1)))
+		appendCRY(c, theta, k-1, k)
+		c.CX(k, k-1)
+	}
+	return c
+}
+
+// appendCRY emits a controlled-RY via the standard 2-CX decomposition.
+func appendCRY(c *circuit.Circuit, theta float64, ctrl, tgt int) {
+	c.RY(theta/2, tgt)
+	c.CX(ctrl, tgt)
+	c.RY(-theta/2, tgt)
+	c.CX(ctrl, tgt)
+}

@@ -1,0 +1,118 @@
+// Validation of the extended app generators against the state-vector
+// simulator; external test package to avoid an import cycle with statevec.
+package apps_test
+
+import (
+	"math"
+	"testing"
+
+	"velociti/internal/apps"
+	"velociti/internal/statevec"
+)
+
+func TestQPERecoversExactPhases(t *testing.T) {
+	const tBits = 4
+	N := 1 << tBits
+	for _, k := range []int{0, 1, 3, 7, 12, 15} {
+		phase := float64(k) / float64(N)
+		c := apps.QPE(tBits, phase)
+		s, err := statevec.Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The counting register (qubits 0..tBits-1) must read a definite
+		// value with probability ≈ 1; find it and decode.
+		countMask := uint64(N - 1)
+		bestVal, bestP := uint64(0), 0.0
+		for v := uint64(0); v < uint64(N); v++ {
+			if p := s.MarginalProbability(countMask, v); p > bestP {
+				bestVal, bestP = v, p
+			}
+		}
+		if bestP < 0.99 {
+			t.Fatalf("phase %d/%d: peak probability %v too diffuse", k, N, bestP)
+		}
+		// Decode: the QFT convention leaves the result bit-reversed in
+		// the register (qubit 0 = most significant counting bit).
+		decoded := 0
+		for b := 0; b < tBits; b++ {
+			if bestVal&(1<<uint(b)) != 0 {
+				decoded |= 1 << uint(tBits-1-b)
+			}
+		}
+		if decoded != k {
+			t.Fatalf("phase %d/%d decoded as %d (raw %04b, p=%v)", k, N, decoded, bestVal, bestP)
+		}
+	}
+}
+
+func TestQPEGateShape(t *testing.T) {
+	c := apps.QPE(5, 0.25)
+	if c.NumQubits() != 6 {
+		t.Fatalf("width = %d", c.NumQubits())
+	}
+	if c.NumTwoQubitGates() == 0 || c.NumOneQubitGates() == 0 {
+		t.Fatalf("degenerate QPE: %v", c.Spec())
+	}
+	mustPanic(t, "no counting qubits", func() { apps.QPE(0, 0.5) })
+}
+
+func TestVQEAnsatzCounts(t *testing.T) {
+	c := apps.VQEAnsatz(8, 3, 1)
+	if got := c.NumTwoQubitGates(); got != 7*3 {
+		t.Fatalf("CX count = %d, want 21", got)
+	}
+	if got := c.NumOneQubitGates(); got != 2*8*4 {
+		t.Fatalf("rotation count = %d, want 64", got)
+	}
+	mustPanic(t, "narrow", func() { apps.VQEAnsatz(1, 1, 1) })
+	mustPanic(t, "no layers", func() { apps.VQEAnsatz(4, 0, 1) })
+}
+
+func TestVQEAnsatzDeterministicAndUnitary(t *testing.T) {
+	a := apps.VQEAnsatz(5, 2, 9)
+	b := apps.VQEAnsatz(5, 2, 9)
+	if a.String() != b.String() {
+		t.Fatalf("same seed must reproduce the ansatz")
+	}
+	s, err := statevec.Run(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Norm()-1) > 1e-9 {
+		t.Fatalf("norm = %v", s.Norm())
+	}
+}
+
+func TestWStateAmplitudes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		c := apps.WState(n)
+		s, err := statevec.Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1.0 / float64(n)
+		total := 0.0
+		for k := 0; k < n; k++ {
+			p := s.Probability(1 << uint(k))
+			if math.Abs(p-want) > 1e-9 {
+				t.Fatalf("W%d: P(e_%d) = %v, want %v", n, k, p, want)
+			}
+			total += p
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Fatalf("W%d: one-hot states carry %v of the probability", n, total)
+		}
+	}
+	mustPanic(t, "zero", func() { apps.WState(0) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

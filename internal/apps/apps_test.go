@@ -1,0 +1,283 @@
+package apps
+
+import (
+	"testing"
+
+	"velociti/internal/circuit"
+)
+
+// Table II pins (qubits, 2-qubit gates) for every workload.
+func TestPaperSpecsMatchTableII(t *testing.T) {
+	want := []struct {
+		name      string
+		qubits, p int
+	}{
+		{"Supremacy", 64, 560},
+		{"QAOA", 64, 1260},
+		{"SquareRoot", 78, 1028},
+		{"QFT", 64, 4032},
+		{"Adder", 64, 545},
+		{"BV", 64, 64},
+	}
+	specs := PaperSpecs()
+	if len(specs) != len(want) {
+		t.Fatalf("spec count = %d", len(specs))
+	}
+	for i, w := range want {
+		s := specs[i]
+		if s.Name != w.name || s.Qubits != w.qubits || s.TwoQubitGates != w.p {
+			t.Errorf("spec %d = %+v, want %s/%d qubits/%d 2q gates", i, s, w.name, w.qubits, w.p)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("spec %s invalid: %v", s.Name, err)
+		}
+		if s.OneQubitGates != 0 {
+			t.Errorf("spec %s: q = %d; the paper's serial anchors pin q = 0", s.Name, s.OneQubitGates)
+		}
+	}
+}
+
+func TestCatalogBuildersAgreeWithSpecWidth(t *testing.T) {
+	for _, a := range Catalog() {
+		c := a.Build()
+		if c.NumQubits() != a.Spec.Qubits {
+			t.Errorf("%s: generator width %d != spec %d", a.Name(), c.NumQubits(), a.Spec.Qubits)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	a, err := ByName("QFT")
+	if err != nil || a.Spec.TwoQubitGates != 4032 {
+		t.Fatalf("ByName(QFT) = %+v, %v", a.Spec, err)
+	}
+	if _, err := ByName("Shor"); err == nil {
+		t.Fatalf("unknown app should error")
+	}
+}
+
+// QFT(n) must produce exactly n(n−1) CX gates and n + 3n(n−1)/2 1q gates.
+func TestQFTGateCounts(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 64} {
+		c := QFT(n)
+		wantP := n * (n - 1)
+		if got := c.NumTwoQubitGates(); got != wantP {
+			t.Errorf("QFT(%d): 2q gates = %d, want %d", n, got, wantP)
+		}
+		wantQ := n + 3*n*(n-1)/2
+		if got := c.NumOneQubitGates(); got != wantQ {
+			t.Errorf("QFT(%d): 1q gates = %d, want %d", n, got, wantQ)
+		}
+	}
+	// Table II: the 64-qubit QFT has 4032 2-qubit gates.
+	if got := QFT(64).NumTwoQubitGates(); got != 4032 {
+		t.Fatalf("QFT(64) 2q gates = %d, want 4032", got)
+	}
+}
+
+func TestSupremacyMatchesTableII(t *testing.T) {
+	c := Supremacy(8, 8, 20, 1)
+	if c.NumQubits() != 64 {
+		t.Fatalf("width = %d", c.NumQubits())
+	}
+	if got := c.NumTwoQubitGates(); got != 560 {
+		t.Fatalf("Supremacy 2q gates = %d, want 560", got)
+	}
+	if got := c.NumOneQubitGates(); got != 1344 {
+		t.Fatalf("Supremacy 1q gates = %d, want 1344 (64 H + 20 cycles × 64)", got)
+	}
+}
+
+func TestSupremacyEdgePatternsStayOnGrid(t *testing.T) {
+	rows, cols := 3, 5
+	c := Supremacy(rows, cols, 8, 2)
+	for _, g := range c.Gates() {
+		if !g.IsTwoQubit() {
+			continue
+		}
+		a, b := g.Qubits[0], g.Qubits[1]
+		ra, ca := a/cols, a%cols
+		rb, cb := b/cols, b%cols
+		manhattan := abs(ra-rb) + abs(ca-cb)
+		if manhattan != 1 {
+			t.Fatalf("CZ %v not between grid neighbours", g)
+		}
+	}
+}
+
+func TestSupremacyDeterministicPerSeed(t *testing.T) {
+	a := Supremacy(4, 4, 6, 7)
+	b := Supremacy(4, 4, 6, 7)
+	if a.String() != b.String() {
+		t.Fatalf("same seed should reproduce the circuit")
+	}
+	c := Supremacy(4, 4, 6, 8)
+	if a.String() == c.String() {
+		t.Fatalf("different seed should change 1q gate choices")
+	}
+}
+
+func TestQAOAMatchesTableII(t *testing.T) {
+	edges := RandomGraph(64, 315, 1)
+	c := QAOA(64, edges, 2, 1)
+	if got := c.NumTwoQubitGates(); got != 1260 {
+		t.Fatalf("QAOA 2q gates = %d, want 1260 (2 rounds × 315 edges × 2 CX)", got)
+	}
+	if got := c.NumOneQubitGates(); got != 822 {
+		t.Fatalf("QAOA 1q gates = %d, want 822", got)
+	}
+}
+
+func TestRandomGraphProperties(t *testing.T) {
+	edges := RandomGraph(10, 20, 3)
+	if len(edges) != 20 {
+		t.Fatalf("edge count = %d", len(edges))
+	}
+	seen := map[[2]int]bool{}
+	for _, e := range edges {
+		if e[0] >= e[1] {
+			t.Fatalf("edge %v not canonical", e)
+		}
+		if e[0] < 0 || e[1] > 9 {
+			t.Fatalf("edge %v out of range", e)
+		}
+		if seen[e] {
+			t.Fatalf("duplicate edge %v", e)
+		}
+		seen[e] = true
+	}
+	// Complete graph boundary.
+	full := RandomGraph(5, 10, 1)
+	if len(full) != 10 {
+		t.Fatalf("complete graph edges = %d", len(full))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("too many edges should panic")
+		}
+	}()
+	RandomGraph(4, 7, 1)
+}
+
+func TestBernsteinVaziraniCounts(t *testing.T) {
+	c := BernsteinVazirani(64, nil)
+	if c.NumQubits() != 64 {
+		t.Fatalf("width = %d", c.NumQubits())
+	}
+	// All-ones secret over 63 data bits → 63 CX (Table II rounds to 64).
+	if got := c.NumTwoQubitGates(); got != 63 {
+		t.Fatalf("BV 2q gates = %d, want 63", got)
+	}
+	if got := c.NumOneQubitGates(); got != 128 {
+		t.Fatalf("BV 1q gates = %d, want 128", got)
+	}
+}
+
+func TestBernsteinVaziraniCustomSecret(t *testing.T) {
+	secret := []bool{true, false, true, false}
+	c := BernsteinVazirani(5, secret)
+	if got := c.NumTwoQubitGates(); got != 2 {
+		t.Fatalf("2q gates = %d, want one per set bit", got)
+	}
+	for _, g := range c.Gates() {
+		if g.IsTwoQubit() && g.Qubits[1] != 4 {
+			t.Fatalf("oracle CX must target the ancilla: %v", g)
+		}
+	}
+}
+
+func TestBernsteinVaziraniValidation(t *testing.T) {
+	mustPanic(t, "too small", func() { BernsteinVazirani(1, nil) })
+	mustPanic(t, "secret length", func() { BernsteinVazirani(4, []bool{true}) })
+}
+
+func TestCuccaroAdderCounts(t *testing.T) {
+	c := CuccaroAdder(31)
+	if c.NumQubits() != 64 {
+		t.Fatalf("width = %d, want 64 (2·31+2)", c.NumQubits())
+	}
+	// 16·bits + 1 CX with the 6-CX Toffoli decomposition.
+	if got := c.NumTwoQubitGates(); got != 16*31+1 {
+		t.Fatalf("Adder 2q gates = %d, want %d", got, 16*31+1)
+	}
+	if got := c.NumOneQubitGates(); got != 62*9 {
+		t.Fatalf("Adder 1q gates = %d, want %d (62 Toffolis × 9)", got, 62*9)
+	}
+}
+
+func TestCuccaroAdderValidation(t *testing.T) {
+	mustPanic(t, "zero bits", func() { CuccaroAdder(0) })
+}
+
+func TestGroverCounts(t *testing.T) {
+	c := Grover(40, 1)
+	if c.NumQubits() != 78 {
+		t.Fatalf("width = %d, want 78 (2·40−2)", c.NumQubits())
+	}
+	// Per multi-controlled Z: 76 Toffolis (6 CX each) + 1 CZ = 457; two
+	// MCZs per iteration → 914.
+	if got := c.NumTwoQubitGates(); got != 914 {
+		t.Fatalf("Grover 2q gates = %d, want 914", got)
+	}
+}
+
+func TestGroverValidation(t *testing.T) {
+	mustPanic(t, "small", func() { Grover(2, 1) })
+	mustPanic(t, "no iterations", func() { Grover(5, 0) })
+}
+
+func TestGHZ(t *testing.T) {
+	c := GHZ(8)
+	if c.NumTwoQubitGates() != 7 || c.NumOneQubitGates() != 1 {
+		t.Fatalf("GHZ counts = %d/%d", c.NumOneQubitGates(), c.NumTwoQubitGates())
+	}
+	if c.Depth() != 8 {
+		t.Fatalf("GHZ depth = %d, want 8 (fully serial ladder)", c.Depth())
+	}
+	mustPanic(t, "zero", func() { GHZ(0) })
+}
+
+func TestAllGeneratorsProduceValidCircuits(t *testing.T) {
+	gens := map[string]*circuit.Circuit{
+		"qft":       QFT(8),
+		"supremacy": Supremacy(3, 3, 4, 1),
+		"qaoa":      QAOA(6, RandomGraph(6, 5, 1), 1, 1),
+		"bv":        BernsteinVazirani(6, nil),
+		"adder":     CuccaroAdder(3),
+		"grover":    Grover(4, 2),
+		"ghz":       GHZ(5),
+	}
+	for name, c := range gens {
+		if c.NumGates() == 0 {
+			t.Errorf("%s: empty circuit", name)
+		}
+		if c.Depth() <= 0 {
+			t.Errorf("%s: nonpositive depth", name)
+		}
+		// Every gate already validated by the builder; smoke the
+		// dependency extraction too.
+		edges := c.DependencyEdges()
+		for _, e := range edges {
+			if e[0] >= e[1] {
+				t.Errorf("%s: dependency edge %v not forward", name, e)
+			}
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

@@ -1,0 +1,522 @@
+// Package circuit defines VelociTI's quantum-circuit intermediate
+// representation.
+//
+// VelociTI is a timing and performance tool, not a functional simulator
+// (§III-C of the paper): for performance purposes a gate is characterized by
+// the number of qubits it touches, not by its unitary. The IR nevertheless
+// records the concrete gate kind and parameters so that the same circuit
+// objects can be pretty-printed, serialized to OpenQASM, functionally
+// validated on small systems by internal/statevec, and abstracted to the
+// paper's (qubits, #1-qubit gates, #2-qubit gates) boundary conditions.
+//
+// Gates are identified SSA-style: each gate instance acting on a given qubit
+// set receives an incrementing instance number, so the gate label "q3q4.2"
+// names the second gate operating on qubits 3 and 4 — the labeling scheme of
+// the paper's Figure 3 (§IV-C).
+package circuit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind identifies the logical operation a gate performs.
+type Kind int
+
+// Supported gate kinds. One-qubit kinds come first, then two-qubit kinds.
+const (
+	// One-qubit gates.
+	I   Kind = iota // identity
+	H               // Hadamard
+	X               // Pauli-X
+	Y               // Pauli-Y
+	Z               // Pauli-Z
+	S               // phase sqrt(Z)
+	Sdg             // S-dagger
+	T               // pi/8
+	Tdg             // T-dagger
+	RX              // rotation about X (1 param)
+	RY              // rotation about Y (1 param)
+	RZ              // rotation about Z (1 param)
+	U1              // diagonal phase (1 param)
+	U2              // generic single-qubit (2 params)
+	U3              // generic single-qubit (3 params)
+	SX              // sqrt(X)
+
+	// Two-qubit gates.
+	CX   // controlled-X (CNOT)
+	CZ   // controlled-Z
+	SWAP // qubit exchange
+	XX   // Mølmer–Sørensen XX interaction (1 param), the native TI entangler
+	CP   // controlled phase (1 param)
+	RZZ  // ZZ interaction (1 param)
+
+	numKinds
+)
+
+var kindInfo = [numKinds]struct {
+	name   string
+	arity  int
+	params int
+}{
+	I:    {"id", 1, 0},
+	H:    {"h", 1, 0},
+	X:    {"x", 1, 0},
+	Y:    {"y", 1, 0},
+	Z:    {"z", 1, 0},
+	S:    {"s", 1, 0},
+	Sdg:  {"sdg", 1, 0},
+	T:    {"t", 1, 0},
+	Tdg:  {"tdg", 1, 0},
+	RX:   {"rx", 1, 1},
+	RY:   {"ry", 1, 1},
+	RZ:   {"rz", 1, 1},
+	U1:   {"u1", 1, 1},
+	U2:   {"u2", 1, 2},
+	U3:   {"u3", 1, 3},
+	SX:   {"sx", 1, 0},
+	CX:   {"cx", 2, 0},
+	CZ:   {"cz", 2, 0},
+	SWAP: {"swap", 2, 0},
+	XX:   {"rxx", 2, 1},
+	CP:   {"cp", 2, 1},
+	RZZ:  {"rzz", 2, 1},
+}
+
+// Name returns the OpenQASM-style lowercase mnemonic of the kind.
+func (k Kind) Name() string {
+	if k < 0 || k >= numKinds {
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+	return kindInfo[k].name
+}
+
+// Arity returns the number of qubits the kind operates on (1 or 2).
+func (k Kind) Arity() int {
+	if k < 0 || k >= numKinds {
+		return 0
+	}
+	return kindInfo[k].arity
+}
+
+// NumParams returns the number of real parameters (rotation angles) the
+// kind requires.
+func (k Kind) NumParams() int {
+	if k < 0 || k >= numKinds {
+		return 0
+	}
+	return kindInfo[k].params
+}
+
+// KindByName returns the Kind with the given mnemonic and whether it exists.
+func KindByName(name string) (Kind, bool) {
+	for k := Kind(0); k < numKinds; k++ {
+		if kindInfo[k].name == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// Kinds returns all supported gate kinds in declaration order.
+func Kinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// Gate is a single operation in a circuit.
+type Gate struct {
+	// ID is the gate's position in the circuit's gate list (0-based). It
+	// is unique within a circuit and assigned by the builder.
+	ID int
+	// Kind is the logical operation.
+	Kind Kind
+	// Qubits are the operand qubits; len(Qubits) == Kind.Arity(). For
+	// controlled gates, Qubits[0] is the control and Qubits[1] the target.
+	Qubits []int
+	// Params are rotation angles in radians; len == Kind.NumParams().
+	Params []float64
+}
+
+// IsTwoQubit reports whether the gate touches two qubits.
+func (g Gate) IsTwoQubit() bool { return g.Kind.Arity() == 2 }
+
+// Touches reports whether the gate operates on qubit q.
+func (g Gate) Touches(q int) bool {
+	for _, x := range g.Qubits {
+		if x == q {
+			return true
+		}
+	}
+	return false
+}
+
+// QubitKey returns the canonical label fragment for the gate's qubit set,
+// e.g. "q3q4" (lower qubit index first) or "q7" for a 1-qubit gate. Gate
+// direction is deliberately erased: the paper labels nodes by the qubit
+// pair, not by control/target roles.
+func (g Gate) QubitKey() string {
+	qs := append([]int(nil), g.Qubits...)
+	sort.Ints(qs)
+	var b strings.Builder
+	for _, q := range qs {
+		fmt.Fprintf(&b, "q%d", q)
+	}
+	return b.String()
+}
+
+// String renders the gate as e.g. "cx q0,q1" or "rz(0.5) q3".
+func (g Gate) String() string {
+	var b strings.Builder
+	b.WriteString(g.Kind.Name())
+	if len(g.Params) > 0 {
+		b.WriteByte('(')
+		for i, p := range g.Params {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%g", p)
+		}
+		b.WriteByte(')')
+	}
+	b.WriteByte(' ')
+	for i, q := range g.Qubits {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "q%d", q)
+	}
+	return b.String()
+}
+
+// Circuit is an ordered list of gates over a fixed qubit register.
+type Circuit struct {
+	// Name identifies the circuit in reports (e.g. "qft64").
+	Name string
+
+	numQubits int
+	gates     []Gate
+}
+
+// New returns an empty circuit over numQubits qubits. It panics if
+// numQubits is not positive.
+func New(name string, numQubits int) *Circuit {
+	if numQubits <= 0 {
+		panic(fmt.Sprintf("circuit: numQubits must be positive, got %d", numQubits))
+	}
+	return &Circuit{Name: name, numQubits: numQubits}
+}
+
+// NumQubits returns the register width.
+func (c *Circuit) NumQubits() int { return c.numQubits }
+
+// NumGates returns the total gate count.
+func (c *Circuit) NumGates() int { return len(c.gates) }
+
+// Gates returns the gate list in program order. The returned slice is the
+// circuit's backing store and must not be modified.
+func (c *Circuit) Gates() []Gate { return c.gates }
+
+// Gate returns the gate with the given id. It panics if id is out of range.
+func (c *Circuit) Gate(id int) Gate {
+	if id < 0 || id >= len(c.gates) {
+		panic(fmt.Sprintf("circuit: gate %d out of range [0,%d)", id, len(c.gates)))
+	}
+	return c.gates[id]
+}
+
+// Append adds a gate of the given kind and returns its id. It panics if the
+// operand count or parameter count does not match the kind, if a qubit index
+// is out of range, or if a 2-qubit gate names the same qubit twice.
+func (c *Circuit) Append(k Kind, qubits []int, params ...float64) int {
+	if len(qubits) != k.Arity() {
+		panic(fmt.Sprintf("circuit: gate %s wants %d qubits, got %d", k.Name(), k.Arity(), len(qubits)))
+	}
+	if len(params) != k.NumParams() {
+		panic(fmt.Sprintf("circuit: gate %s wants %d params, got %d", k.Name(), k.NumParams(), len(params)))
+	}
+	for _, q := range qubits {
+		if q < 0 || q >= c.numQubits {
+			panic(fmt.Sprintf("circuit: qubit q%d out of range [0,%d)", q, c.numQubits))
+		}
+	}
+	if len(qubits) == 2 && qubits[0] == qubits[1] {
+		panic(fmt.Sprintf("circuit: 2-qubit gate %s on identical qubits q%d", k.Name(), qubits[0]))
+	}
+	id := len(c.gates)
+	c.gates = append(c.gates, Gate{
+		ID:     id,
+		Kind:   k,
+		Qubits: append([]int(nil), qubits...),
+		Params: append([]float64(nil), params...),
+	})
+	return id
+}
+
+// Convenience builders for the common gates.
+
+func (c *Circuit) H(q int) int                    { return c.Append(H, []int{q}) }
+func (c *Circuit) X(q int) int                    { return c.Append(X, []int{q}) }
+func (c *Circuit) Y(q int) int                    { return c.Append(Y, []int{q}) }
+func (c *Circuit) Z(q int) int                    { return c.Append(Z, []int{q}) }
+func (c *Circuit) S(q int) int                    { return c.Append(S, []int{q}) }
+func (c *Circuit) T(q int) int                    { return c.Append(T, []int{q}) }
+func (c *Circuit) RX(theta float64, q int) int    { return c.Append(RX, []int{q}, theta) }
+func (c *Circuit) RY(theta float64, q int) int    { return c.Append(RY, []int{q}, theta) }
+func (c *Circuit) RZ(theta float64, q int) int    { return c.Append(RZ, []int{q}, theta) }
+func (c *Circuit) CX(ctrl, tgt int) int           { return c.Append(CX, []int{ctrl, tgt}) }
+func (c *Circuit) CZ(a, b int) int                { return c.Append(CZ, []int{a, b}) }
+func (c *Circuit) SWAP(a, b int) int              { return c.Append(SWAP, []int{a, b}) }
+func (c *Circuit) CP(theta float64, a, b int) int { return c.Append(CP, []int{a, b}, theta) }
+func (c *Circuit) XX(theta float64, a, b int) int { return c.Append(XX, []int{a, b}, theta) }
+
+// NumOneQubitGates returns the count of 1-qubit gates (the paper's q).
+func (c *Circuit) NumOneQubitGates() int {
+	n := 0
+	for _, g := range c.gates {
+		if g.Kind.Arity() == 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// NumTwoQubitGates returns the count of 2-qubit gates (the paper's p).
+func (c *Circuit) NumTwoQubitGates() int {
+	n := 0
+	for _, g := range c.gates {
+		if g.Kind.Arity() == 2 {
+			n++
+		}
+	}
+	return n
+}
+
+// Spec abstracts the circuit down to the paper's boundary conditions: the
+// register width and the 1- and 2-qubit gate counts (Table I).
+func (c *Circuit) Spec() Spec {
+	return Spec{
+		Name:          c.Name,
+		Qubits:        c.numQubits,
+		OneQubitGates: c.NumOneQubitGates(),
+		TwoQubitGates: c.NumTwoQubitGates(),
+	}
+}
+
+// Depth returns the logical circuit depth: the length of the longest chain
+// of gates linked by shared qubits, counting every gate as one time step.
+// An empty circuit has depth 0.
+func (c *Circuit) Depth() int {
+	frontier := make([]int, c.numQubits)
+	depth := 0
+	for _, g := range c.gates {
+		level := 0
+		for _, q := range g.Qubits {
+			if frontier[q] > level {
+				level = frontier[q]
+			}
+		}
+		level++
+		for _, q := range g.Qubits {
+			frontier[q] = level
+		}
+		if level > depth {
+			depth = level
+		}
+	}
+	return depth
+}
+
+// TwoQubitRatio returns the ratio of 2-qubit gates to qubits, the circuit
+// composition metric the paper's scalability analysis turns on (§VI-B).
+func (c *Circuit) TwoQubitRatio() float64 {
+	return float64(c.NumTwoQubitGates()) / float64(c.numQubits)
+}
+
+// Labels returns the SSA-style label of every gate, in program order. The
+// i-th instance (1-based) of a gate on a qubit set gets suffix ".i", with
+// the suffix omitted for the first instance, e.g. "q3q4", "q3q4.2". This is
+// the labeling scheme of the paper's Figure 3.
+func (c *Circuit) Labels() []string {
+	counts := make(map[string]int)
+	labels := make([]string, len(c.gates))
+	for i, g := range c.gates {
+		key := g.QubitKey()
+		counts[key]++
+		if counts[key] == 1 {
+			labels[i] = key
+		} else {
+			labels[i] = fmt.Sprintf("%s.%d", key, counts[key])
+		}
+	}
+	return labels
+}
+
+// DependencyEdges returns the gate-ordering edges used to build the
+// performance-model DAG: an edge (a, b) means gate b is the next gate after
+// gate a that touches one of a's qubits. Each gate has at most one
+// predecessor per operand qubit, and duplicate (a, b) pairs are emitted
+// once. Edges are ordered by (a, b).
+func (c *Circuit) DependencyEdges() [][2]int {
+	last := make([]int, c.numQubits)
+	for i := range last {
+		last[i] = -1
+	}
+	seen := make(map[[2]int]bool)
+	var edges [][2]int
+	for _, g := range c.gates {
+		for _, q := range g.Qubits {
+			if p := last[q]; p >= 0 {
+				e := [2]int{p, g.ID}
+				if !seen[e] {
+					seen[e] = true
+					edges = append(edges, e)
+				}
+			}
+		}
+		for _, q := range g.Qubits {
+			last[q] = g.ID
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	return edges
+}
+
+// InteractionGraph returns, for each unordered qubit pair that shares at
+// least one 2-qubit gate, the number of such gates. Keys are [2]int with
+// the smaller qubit first. Placement policies use this to co-locate
+// frequently interacting qubits.
+func (c *Circuit) InteractionGraph() map[[2]int]int {
+	out := make(map[[2]int]int)
+	for _, g := range c.gates {
+		if !g.IsTwoQubit() {
+			continue
+		}
+		a, b := g.Qubits[0], g.Qubits[1]
+		if a > b {
+			a, b = b, a
+		}
+		out[[2]int{a, b}]++
+	}
+	return out
+}
+
+// Clone returns a deep copy of the circuit.
+func (c *Circuit) Clone() *Circuit {
+	out := New(c.Name, c.numQubits)
+	out.gates = make([]Gate, len(c.gates))
+	for i, g := range c.gates {
+		out.gates[i] = Gate{
+			ID:     g.ID,
+			Kind:   g.Kind,
+			Qubits: append([]int(nil), g.Qubits...),
+			Params: append([]float64(nil), g.Params...),
+		}
+	}
+	return out
+}
+
+// Reordered returns a copy of the circuit whose gates appear in the order
+// given by perm (a permutation of gate ids); gate ids are reassigned to the
+// new positions. Schedulers use this to realize an operation order. It
+// panics if perm is not a permutation of [0, NumGates).
+func (c *Circuit) Reordered(perm []int) *Circuit {
+	if len(perm) != len(c.gates) {
+		panic(fmt.Sprintf("circuit: permutation length %d != gate count %d", len(perm), len(c.gates)))
+	}
+	seen := make([]bool, len(perm))
+	out := New(c.Name, c.numQubits)
+	out.gates = make([]Gate, len(perm))
+	for pos, id := range perm {
+		if id < 0 || id >= len(c.gates) || seen[id] {
+			panic(fmt.Sprintf("circuit: invalid permutation entry %d", id))
+		}
+		seen[id] = true
+		g := c.gates[id]
+		out.gates[pos] = Gate{
+			ID:     pos,
+			Kind:   g.Kind,
+			Qubits: append([]int(nil), g.Qubits...),
+			Params: append([]float64(nil), g.Params...),
+		}
+	}
+	return out
+}
+
+// DecomposeSWAPs returns a copy of the circuit with every SWAP expanded into
+// three CX gates, the standard decomposition. Other gates are untouched.
+func (c *Circuit) DecomposeSWAPs() *Circuit {
+	out := New(c.Name, c.numQubits)
+	for _, g := range c.gates {
+		if g.Kind == SWAP {
+			a, b := g.Qubits[0], g.Qubits[1]
+			out.CX(a, b)
+			out.CX(b, a)
+			out.CX(a, b)
+			continue
+		}
+		out.Append(g.Kind, g.Qubits, g.Params...)
+	}
+	return out
+}
+
+// String renders the circuit as a program listing.
+func (c *Circuit) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "circuit %s: %d qubits, %d gates\n", c.Name, c.numQubits, len(c.gates))
+	for _, g := range c.gates {
+		fmt.Fprintf(&b, "  %s\n", g.String())
+	}
+	return b.String()
+}
+
+// Spec is the paper's abstract circuit description (Table I): the boundary
+// conditions VelociTI needs to model a workload without its gate-level
+// structure.
+type Spec struct {
+	// Name identifies the workload in reports.
+	Name string `json:"name"`
+	// Qubits is the register width.
+	Qubits int `json:"qubits"`
+	// OneQubitGates is q, the number of 1-qubit gate operations.
+	OneQubitGates int `json:"one_qubit_gates"`
+	// TwoQubitGates is p, the number of 2-qubit gate operations.
+	TwoQubitGates int `json:"two_qubit_gates"`
+}
+
+// Validate reports an error if the spec is not physically meaningful.
+func (s Spec) Validate() error {
+	if s.Qubits <= 0 {
+		return fmt.Errorf("circuit spec %q: qubits must be positive, got %d", s.Name, s.Qubits)
+	}
+	if s.OneQubitGates < 0 || s.TwoQubitGates < 0 {
+		return fmt.Errorf("circuit spec %q: gate counts must be non-negative (q=%d, p=%d)",
+			s.Name, s.OneQubitGates, s.TwoQubitGates)
+	}
+	if s.TwoQubitGates > 0 && s.Qubits < 2 {
+		return fmt.Errorf("circuit spec %q: 2-qubit gates require at least 2 qubits", s.Name)
+	}
+	return nil
+}
+
+// TotalGates returns q + p.
+func (s Spec) TotalGates() int { return s.OneQubitGates + s.TwoQubitGates }
+
+// TwoQubitRatio returns p / qubits (§VI-B's circuit-composition metric).
+func (s Spec) TwoQubitRatio() float64 {
+	return float64(s.TwoQubitGates) / float64(s.Qubits)
+}
+
+// String renders the spec in Table II style.
+func (s Spec) String() string {
+	return fmt.Sprintf("%s: %d qubits, %d 1q gates, %d 2q gates", s.Name, s.Qubits, s.OneQubitGates, s.TwoQubitGates)
+}

@@ -1,0 +1,266 @@
+// Optimizer tests live in an external test package so they can use the
+// state-vector simulator (which imports circuit) for equivalence checking.
+package circuit_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"velociti/internal/circuit"
+	"velociti/internal/statevec"
+)
+
+func TestOptimizeCancelsSelfInversePairs(t *testing.T) {
+	c := circuit.New("t", 2)
+	c.H(0)
+	c.H(0)
+	c.X(1)
+	c.X(1)
+	c.CX(0, 1)
+	c.CX(0, 1)
+	opt, stats := c.Optimize()
+	if opt.NumGates() != 0 {
+		t.Fatalf("gates left = %d:\n%s", opt.NumGates(), opt)
+	}
+	if stats.Cancelled != 6 {
+		t.Fatalf("cancelled = %d, want 6", stats.Cancelled)
+	}
+}
+
+func TestOptimizeCancelsNestedRuns(t *testing.T) {
+	// H X X H collapses completely: the inner XX cancellation exposes the
+	// outer HH pair within one pass.
+	c := circuit.New("t", 1)
+	c.H(0)
+	c.X(0)
+	c.X(0)
+	c.H(0)
+	opt, _ := c.Optimize()
+	if opt.NumGates() != 0 {
+		t.Fatalf("nested cancellation failed:\n%s", opt)
+	}
+}
+
+func TestOptimizePairInverses(t *testing.T) {
+	c := circuit.New("t", 1)
+	c.S(0)
+	c.Append(circuit.Sdg, []int{0})
+	c.T(0)
+	c.Append(circuit.Tdg, []int{0})
+	opt, _ := c.Optimize()
+	if opt.NumGates() != 0 {
+		t.Fatalf("S·Sdg / T·Tdg should cancel:\n%s", opt)
+	}
+}
+
+func TestOptimizeCXDirectionMatters(t *testing.T) {
+	c := circuit.New("t", 2)
+	c.CX(0, 1)
+	c.CX(1, 0) // reversed: must NOT cancel
+	opt, _ := c.Optimize()
+	if opt.NumGates() != 2 {
+		t.Fatalf("reversed CX pair must survive, got %d gates", opt.NumGates())
+	}
+}
+
+func TestOptimizeSymmetricCancel(t *testing.T) {
+	c := circuit.New("t", 2)
+	c.CZ(0, 1)
+	c.CZ(1, 0) // CZ is symmetric: cancels
+	c.SWAP(0, 1)
+	c.SWAP(1, 0)
+	opt, _ := c.Optimize()
+	if opt.NumGates() != 0 {
+		t.Fatalf("symmetric pairs should cancel:\n%s", opt)
+	}
+}
+
+func TestOptimizeInterveningGateBlocksCancel(t *testing.T) {
+	c := circuit.New("t", 2)
+	c.X(0)
+	c.CX(0, 1) // touches qubit 0: blocks the X pair
+	c.X(0)
+	opt, _ := c.Optimize()
+	if opt.NumGates() != 3 {
+		t.Fatalf("blocked cancellation removed gates: %d left", opt.NumGates())
+	}
+}
+
+func TestOptimizeIndependentQubitDoesNotBlock(t *testing.T) {
+	c := circuit.New("t", 2)
+	c.X(0)
+	c.H(1) // disjoint qubit: does not block
+	c.X(0)
+	opt, _ := c.Optimize()
+	if opt.NumGates() != 1 || opt.Gate(0).Kind != circuit.H {
+		t.Fatalf("disjoint gate should not block cancellation:\n%s", opt)
+	}
+}
+
+func TestOptimizeFusesRotations(t *testing.T) {
+	c := circuit.New("t", 2)
+	c.RZ(0.3, 0)
+	c.RZ(0.4, 0)
+	c.RZ(0.5, 0)
+	c.CP(0.1, 0, 1)
+	c.CP(0.2, 1, 0) // symmetric: fuses across operand order
+	opt, stats := c.Optimize()
+	if opt.NumGates() != 2 {
+		t.Fatalf("gates = %d, want 2:\n%s", opt.NumGates(), opt)
+	}
+	if math.Abs(opt.Gate(0).Params[0]-1.2) > 1e-12 {
+		t.Fatalf("fused rz angle = %v", opt.Gate(0).Params[0])
+	}
+	if math.Abs(opt.Gate(1).Params[0]-0.3) > 1e-12 {
+		t.Fatalf("fused cp angle = %v", opt.Gate(1).Params[0])
+	}
+	if stats.Fused != 3 {
+		t.Fatalf("fused = %d, want 3", stats.Fused)
+	}
+}
+
+func TestOptimizeOppositeRotationsCancel(t *testing.T) {
+	c := circuit.New("t", 1)
+	c.RX(0.7, 0)
+	c.RX(-0.7, 0)
+	opt, stats := c.Optimize()
+	if opt.NumGates() != 0 {
+		t.Fatalf("opposite rotations should vanish:\n%s", opt)
+	}
+	if stats.Cancelled != 2 {
+		t.Fatalf("cancelled = %d", stats.Cancelled)
+	}
+}
+
+func TestOptimizeDropsIdentities(t *testing.T) {
+	c := circuit.New("t", 1)
+	c.Append(circuit.I, []int{0})
+	c.RZ(0, 0)
+	c.Append(circuit.U3, []int{0}, 0, 0, 0)
+	c.X(0)
+	opt, stats := c.Optimize()
+	if opt.NumGates() != 1 || opt.Gate(0).Kind != circuit.X {
+		t.Fatalf("identities survived:\n%s", opt)
+	}
+	if stats.Identities != 3 {
+		t.Fatalf("identities = %d", stats.Identities)
+	}
+	if stats.Total() != 3 {
+		t.Fatalf("total = %d", stats.Total())
+	}
+}
+
+func TestOptimizeDoesNotMutateInput(t *testing.T) {
+	c := circuit.New("t", 1)
+	c.RZ(0.3, 0)
+	c.RZ(0.4, 0)
+	_, _ = c.Optimize()
+	if c.NumGates() != 2 || c.Gate(0).Params[0] != 0.3 {
+		t.Fatalf("input mutated: %s", c)
+	}
+}
+
+func TestOptimizePreservesName(t *testing.T) {
+	c := circuit.New("keepme", 1)
+	c.H(0)
+	opt, _ := c.Optimize()
+	if opt.Name != "keepme" || opt.NumQubits() != 1 {
+		t.Fatalf("metadata lost: %q %d", opt.Name, opt.NumQubits())
+	}
+}
+
+// randomOptimizableCircuit draws gates from the kinds the optimizer
+// touches, biased toward creating cancellation opportunities.
+func randomOptimizableCircuit(r *rand.Rand, n, gates int) *circuit.Circuit {
+	c := circuit.New("fuzz", n)
+	kinds1 := []circuit.Kind{circuit.H, circuit.X, circuit.Y, circuit.Z,
+		circuit.S, circuit.Sdg, circuit.T, circuit.Tdg, circuit.I}
+	for i := 0; i < gates; i++ {
+		switch r.Intn(5) {
+		case 0:
+			c.Append(kinds1[r.Intn(len(kinds1))], []int{r.Intn(n)})
+		case 1:
+			c.RZ(math.Round(r.NormFloat64()*4)/4, r.Intn(n)) // often 0 or repeated values
+		case 2:
+			a, b := r.Intn(n), r.Intn(n)
+			for b == a {
+				b = r.Intn(n)
+			}
+			c.CX(a, b)
+		case 3:
+			a, b := r.Intn(n), r.Intn(n)
+			for b == a {
+				b = r.Intn(n)
+			}
+			c.CZ(a, b)
+		default:
+			a, b := r.Intn(n), r.Intn(n)
+			for b == a {
+				b = r.Intn(n)
+			}
+			c.CP(math.Round(r.NormFloat64()*4)/4, a, b)
+		}
+	}
+	return c
+}
+
+// Property: optimization preserves the circuit's unitary action, checked
+// by state-vector fidelity from the all-zeros input and from a scrambled
+// input.
+func TestOptimizeEquivalenceProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + r.Intn(4)
+		c := randomOptimizableCircuit(r, n, 10+r.Intn(60))
+		opt, stats := c.Optimize()
+		if opt.NumGates()+stats.Total() > c.NumGates() {
+			t.Fatalf("trial %d: optimizer added gates", trial)
+		}
+		// Compare on two input states: |0...0> and a scrambled state.
+		for _, prep := range []*circuit.Circuit{nil, randomOptimizableCircuit(r, n, 8)} {
+			runFull := func(body *circuit.Circuit) *statevec.State {
+				full := circuit.New("full", n)
+				if prep != nil {
+					for _, g := range prep.Gates() {
+						full.Append(g.Kind, g.Qubits, g.Params...)
+					}
+				}
+				for _, g := range body.Gates() {
+					full.Append(g.Kind, g.Qubits, g.Params...)
+				}
+				s, err := statevec.Run(full)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s
+			}
+			ref := runFull(c)
+			got := runFull(opt)
+			fid, err := ref.Fidelity(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(fid-1) > 1e-9 {
+				t.Fatalf("trial %d: fidelity %v after optimization\noriginal:\n%s\noptimized:\n%s",
+					trial, fid, c, opt)
+			}
+		}
+	}
+}
+
+// Optimizing QFT (no adjacent redundancy) must be a no-op.
+func TestOptimizeQFTNoop(t *testing.T) {
+	// Build via the apps package would cycle; inline a mini-QFT.
+	c := circuit.New("qft3", 3)
+	c.H(0)
+	c.CP(math.Pi/2, 1, 0)
+	c.CP(math.Pi/4, 2, 0)
+	c.H(1)
+	c.CP(math.Pi/2, 2, 1)
+	c.H(2)
+	opt, stats := c.Optimize()
+	if opt.NumGates() != c.NumGates() || stats.Total() != 0 {
+		t.Fatalf("QFT should be irreducible: %d gates, stats %+v", opt.NumGates(), stats)
+	}
+}

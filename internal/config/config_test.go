@@ -1,0 +1,183 @@
+package config
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"velociti/internal/apps"
+	"velociti/internal/circuit"
+	"velociti/internal/core"
+)
+
+func TestDefaultParamsAreValidOnceWorkloadSet(t *testing.T) {
+	p := Default()
+	p.Workload = circuit.Spec{Name: "w", Qubits: 32, OneQubitGates: 10, TwoQubitGates: 50}
+	cfg, err := p.ToCoreConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ChainLength != 16 || cfg.Runs != core.DefaultRuns {
+		t.Fatalf("core config = %+v", cfg)
+	}
+	if cfg.Latencies.TwoQubit != 100 {
+		t.Fatalf("latencies = %+v", cfg.Latencies)
+	}
+}
+
+func TestParamsRoundTrip(t *testing.T) {
+	p := Default()
+	p.Workload = circuit.Spec{Name: "rt", Qubits: 64, OneQubitGates: 5, TwoQubitGates: 100}
+	p.Placer = "load-balanced"
+	p.Placement = "round-robin"
+	p.Topology = "line"
+	p.Seed = 42
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadParams(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, p)
+	}
+}
+
+func TestParamsFileRoundTrip(t *testing.T) {
+	p := Default()
+	p.Workload = circuit.Spec{Name: "file", Qubits: 8, TwoQubitGates: 4}
+	path := filepath.Join(t.TempDir(), "params.json")
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadParams(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Workload.Name != "file" {
+		t.Fatalf("loaded = %+v", got)
+	}
+}
+
+func TestReadParamsRejectsUnknownFields(t *testing.T) {
+	_, err := ReadParams(strings.NewReader(`{"workload":{"name":"x","qubits":4},"chain_lenght":16}`))
+	if err == nil {
+		t.Fatalf("typo'd field should be rejected")
+	}
+}
+
+func TestToCoreConfigPolicyResolution(t *testing.T) {
+	base := Default()
+	base.Workload = circuit.Spec{Name: "w", Qubits: 16, TwoQubitGates: 10}
+	cases := []struct {
+		mutate  func(*Params)
+		wantErr bool
+	}{
+		{func(p *Params) { p.Placement = "sequential" }, false},
+		{func(p *Params) { p.Placement = "magic" }, true},
+		{func(p *Params) { p.Placer = "weak-avoiding" }, false},
+		{func(p *Params) { p.Placer = "optimal" }, true},
+		{func(p *Params) { p.Topology = "mesh" }, true},
+		{func(p *Params) { p.Topology = "" }, false}, // defaults to ring
+		{func(p *Params) { p.ChainLength = 0 }, true},
+	}
+	for i, c := range cases {
+		p := base
+		c.mutate(&p)
+		_, err := p.ToCoreConfig()
+		if (err != nil) != c.wantErr {
+			t.Errorf("case %d: err = %v, wantErr = %v", i, err, c.wantErr)
+		}
+	}
+}
+
+func TestToCoreConfigDefaultsLatencies(t *testing.T) {
+	p := Params{
+		Workload:    circuit.Spec{Name: "w", Qubits: 8, TwoQubitGates: 4},
+		ChainLength: 8,
+	}
+	cfg, err := p.ToCoreConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Latencies.TwoQubit != 100 || cfg.Latencies.WeakPenalty != 2 {
+		t.Fatalf("zero latencies should default to Table III: %+v", cfg.Latencies)
+	}
+}
+
+func TestCircuitRoundTrip(t *testing.T) {
+	orig := apps.QFT(6)
+	var buf bytes.Buffer
+	if err := WriteCircuit(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCircuit(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != orig.String() {
+		t.Fatalf("circuit round trip mismatch:\n%s\nvs\n%s", got, orig)
+	}
+}
+
+func TestCircuitFileRoundTrip(t *testing.T) {
+	orig := apps.GHZ(5)
+	path := filepath.Join(t.TempDir(), "ghz.json")
+	if err := SaveCircuit(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCircuit(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumGates() != orig.NumGates() || got.Name != orig.Name {
+		t.Fatalf("loaded circuit = %v", got.Spec())
+	}
+}
+
+func TestReadCircuitErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":      `{`,
+		"zero qubits":   `{"name":"x","qubits":0,"gates":[]}`,
+		"unknown kind":  `{"name":"x","qubits":2,"gates":[{"kind":"frobnicate","qubits":[0]}]}`,
+		"bad arity":     `{"name":"x","qubits":2,"gates":[{"kind":"cx","qubits":[0]}]}`,
+		"out of range":  `{"name":"x","qubits":2,"gates":[{"kind":"h","qubits":[5]}]}`,
+		"missing param": `{"name":"x","qubits":2,"gates":[{"kind":"rz","qubits":[0]}]}`,
+		"same qubits":   `{"name":"x","qubits":2,"gates":[{"kind":"cx","qubits":[1,1]}]}`,
+		"unknown field": `{"name":"x","qubits":2,"gattes":[]}`,
+	}
+	for name, body := range cases {
+		if _, err := ReadCircuit(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestLoadMissingFiles(t *testing.T) {
+	if _, err := LoadParams("/nonexistent/params.json"); err == nil {
+		t.Errorf("missing params file should error")
+	}
+	if _, err := LoadCircuit("/nonexistent/circuit.json"); err == nil {
+		t.Errorf("missing circuit file should error")
+	}
+}
+
+func TestParamsExecuteEndToEnd(t *testing.T) {
+	p := Default()
+	p.Workload = circuit.Spec{Name: "e2e", Qubits: 32, OneQubitGates: 8, TwoQubitGates: 60}
+	p.Runs = 3
+	cfg, err := p.ToCoreConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Trials) != 3 || rep.Parallel.Mean <= 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}

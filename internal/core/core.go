@@ -1,0 +1,308 @@
+// Package core wires VelociTI's stages together: setup (boundary
+// conditions), hardware implementation (place-and-route), and performance
+// modeling — the software flow of the paper's Figures 2 and 4.
+//
+// A Config describes one simulation: a workload (an abstract circuit.Spec,
+// or an explicit gate-level circuit in extension mode), a machine (chain
+// length and weak-link topology; the chain count is derived area-optimally),
+// a timing model, and the placement/scheduling policies. Run executes the
+// configured number of independent randomized trials — the paper uses 35 —
+// and aggregates serial/parallel times into summary statistics with
+// min/max spread, matching how every figure in the evaluation reports data.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"velociti/internal/circuit"
+	"velociti/internal/perf"
+	"velociti/internal/placement"
+	"velociti/internal/schedule"
+	"velociti/internal/stats"
+	"velociti/internal/ti"
+)
+
+// DefaultRuns is the number of randomized trials the paper averages over
+// for every reported bar (§V-B, §VI-A).
+const DefaultRuns = 35
+
+// Config is the boundary-condition input of one VelociTI simulation
+// (Table I plus policy choices).
+type Config struct {
+	// Spec is the abstract workload (qubits, 1q gates, 2q gates). It is
+	// ignored when Circuit is set.
+	Spec circuit.Spec
+	// Circuit, when non-nil, selects explicit mode: the gate sequence is
+	// fixed and only qubit placement is randomized per trial. Cross-chain
+	// gates are charged α·γ per weak link traversed (forgiving routing).
+	Circuit *circuit.Circuit
+	// ChainLength is the maximum ions per chain (paper range: 8–32,
+	// scaled to 64 in §VI-B).
+	ChainLength int
+	// Topology is the weak-link arrangement; the zero value (ti.Ring)
+	// matches the paper's weak-link counts.
+	Topology ti.Topology
+	// Latencies is the Table III timing model; zero value is replaced by
+	// perf.DefaultLatencies.
+	Latencies perf.Latencies
+	// Placement assigns qubits to chains; nil selects the paper's random
+	// policy.
+	Placement placement.Policy
+	// Placer synthesizes hardware-legal gate sequences from the spec;
+	// nil selects the paper's random placer. Unused in explicit mode.
+	Placer schedule.Placer
+	// Runs is the number of independent randomized trials; zero selects
+	// DefaultRuns (35).
+	Runs int
+	// Seed is the master seed; trial i uses stats.SplitSeed(Seed, i).
+	Seed int64
+	// Workers bounds the number of trials executed concurrently. Zero or
+	// one runs serially. Results are identical regardless of worker
+	// count: every trial derives its own seed and the report preserves
+	// trial order.
+	Workers int
+}
+
+// normalized returns a copy of the config with defaults filled in.
+func (c Config) normalized() Config {
+	if c.Latencies == (perf.Latencies{}) {
+		c.Latencies = perf.DefaultLatencies()
+	}
+	if c.Placement == nil {
+		c.Placement = placement.Random{}
+	}
+	if c.Placer == nil {
+		c.Placer = schedule.Random{}
+	}
+	if c.Runs <= 0 {
+		c.Runs = DefaultRuns
+	}
+	return c
+}
+
+// workloadSpec returns the effective spec: the explicit circuit's when in
+// explicit mode, the configured one otherwise.
+func (c Config) workloadSpec() circuit.Spec {
+	if c.Circuit != nil {
+		return c.Circuit.Spec()
+	}
+	return c.Spec
+}
+
+// Validate reports configuration errors without running anything.
+func (c Config) Validate() error {
+	n := c.normalized()
+	spec := n.workloadSpec()
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if n.ChainLength <= 0 {
+		return fmt.Errorf("core: chain length must be positive, got %d", n.ChainLength)
+	}
+	if err := n.Latencies.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TrialResult is the outcome of one randomized trial.
+type TrialResult struct {
+	// Seed is the trial's derived seed, for exact replay.
+	Seed int64 `json:"seed"`
+	// Perf carries the serial/parallel times and weak-link statistics.
+	Perf perf.Result `json:"perf"`
+}
+
+// Report aggregates a full multi-trial simulation.
+type Report struct {
+	// Spec is the workload's boundary conditions.
+	Spec circuit.Spec `json:"spec"`
+	// Device describes the derived machine.
+	Device DeviceInfo `json:"device"`
+	// Trials holds every per-trial result in order.
+	Trials []TrialResult `json:"trials"`
+	// Serial and Parallel summarize execution times in µs across trials.
+	Serial   stats.Summary `json:"serial_us"`
+	Parallel stats.Summary `json:"parallel_us"`
+	// SerialPerGate summarizes the per-gate-charged serial worst case.
+	SerialPerGate stats.Summary `json:"serial_per_gate_us"`
+	// WeakGates summarizes cross-chain 2-qubit gate counts across trials.
+	WeakGates stats.Summary `json:"weak_gates"`
+	// LinksUsed summarizes Table I's w (distinct weak links used).
+	LinksUsed stats.Summary `json:"links_used"`
+}
+
+// DeviceInfo is the derived machine description recorded in reports
+// (Table I's computed parameters).
+type DeviceInfo struct {
+	ChainLength  int    `json:"chain_length"`
+	NumChains    int    `json:"num_chains"`
+	Topology     string `json:"topology"`
+	MaxWeakLinks int    `json:"max_weak_links"`
+}
+
+// MeanSpeedup returns the ratio of mean serial to mean parallel time — the
+// per-application speedup the paper reports in Case Study 1.
+func (r Report) MeanSpeedup() float64 {
+	if r.Parallel.Mean == 0 {
+		return 0
+	}
+	return r.Serial.Mean / r.Parallel.Mean
+}
+
+// Run executes the configured simulation: derive the area-optimal device,
+// then for each trial place qubits, synthesize or reuse the gate sequence,
+// and evaluate both performance models.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.normalized()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	spec := cfg.workloadSpec()
+	device, err := ti.DeviceFor(spec.Qubits, cfg.ChainLength, cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	report := &Report{
+		Spec: spec,
+		Device: DeviceInfo{
+			ChainLength:  device.ChainLength(),
+			NumChains:    device.NumChains(),
+			Topology:     device.Topology().String(),
+			MaxWeakLinks: device.MaxWeakLinks(),
+		},
+		Trials: make([]TrialResult, 0, cfg.Runs),
+	}
+	trials, err := runTrials(cfg, spec, device)
+	if err != nil {
+		return nil, err
+	}
+	report.Trials = trials
+	serial := make([]float64, 0, cfg.Runs)
+	serialPG := make([]float64, 0, cfg.Runs)
+	parallel := make([]float64, 0, cfg.Runs)
+	weak := make([]float64, 0, cfg.Runs)
+	links := make([]float64, 0, cfg.Runs)
+	for _, tr := range trials {
+		serial = append(serial, tr.Perf.SerialMicros)
+		serialPG = append(serialPG, tr.Perf.SerialPerGateMicros)
+		parallel = append(parallel, tr.Perf.ParallelMicros)
+		weak = append(weak, float64(tr.Perf.WeakGates))
+		links = append(links, float64(tr.Perf.LinksUsed))
+	}
+	report.Serial = stats.Summarize(serial)
+	report.SerialPerGate = stats.Summarize(serialPG)
+	report.Parallel = stats.Summarize(parallel)
+	report.WeakGates = stats.Summarize(weak)
+	report.LinksUsed = stats.Summarize(links)
+	return report, nil
+}
+
+// runTrials executes every trial, serially or across a bounded worker
+// pool, preserving trial order in the result.
+func runTrials(cfg Config, spec circuit.Spec, device *ti.Device) ([]TrialResult, error) {
+	trials := make([]TrialResult, cfg.Runs)
+	if cfg.Workers <= 1 {
+		for i := range trials {
+			seed := stats.SplitSeed(cfg.Seed, i)
+			res, err := runTrial(cfg, spec, device, seed)
+			if err != nil {
+				return nil, fmt.Errorf("core: trial %d: %w", i, err)
+			}
+			trials[i] = TrialResult{Seed: seed, Perf: res}
+		}
+		return trials, nil
+	}
+	workers := cfg.Workers
+	if workers > cfg.Runs {
+		workers = cfg.Runs
+	}
+	indexes := make(chan int)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indexes {
+				seed := stats.SplitSeed(cfg.Seed, i)
+				res, err := runTrial(cfg, spec, device, seed)
+				if err != nil {
+					// Report the first failure; remaining indexes are
+					// still drained by the other workers.
+					select {
+					case errs <- fmt.Errorf("core: trial %d: %w", i, err):
+					default:
+					}
+					continue
+				}
+				trials[i] = TrialResult{Seed: seed, Perf: res}
+			}
+		}()
+	}
+	for i := range trials {
+		indexes <- i
+	}
+	close(indexes)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	return trials, nil
+}
+
+// runTrial performs one randomized place-and-route plus evaluation.
+func runTrial(cfg Config, spec circuit.Spec, device *ti.Device, seed int64) (perf.Result, error) {
+	r := stats.NewRand(seed)
+	layout, err := cfg.Placement.Place(device, spec.Qubits, r)
+	if err != nil {
+		return perf.Result{}, err
+	}
+	var c *circuit.Circuit
+	if cfg.Circuit != nil {
+		c = cfg.Circuit
+	} else {
+		c, err = cfg.Placer.Place(spec, layout, r)
+		if err != nil {
+			return perf.Result{}, err
+		}
+	}
+	return perf.Evaluate(c, layout, cfg.Latencies)
+}
+
+// RunOnce executes a single trial with an explicit seed, returning the
+// placed circuit and layout alongside the evaluation — the building block
+// for detailed inspection (critical paths, DOT dumps, timelines).
+func RunOnce(cfg Config, seed int64) (*circuit.Circuit, *ti.Layout, perf.Result, error) {
+	cfg = cfg.normalized()
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, perf.Result{}, err
+	}
+	spec := cfg.workloadSpec()
+	device, err := ti.DeviceFor(spec.Qubits, cfg.ChainLength, cfg.Topology)
+	if err != nil {
+		return nil, nil, perf.Result{}, err
+	}
+	r := stats.NewRand(seed)
+	layout, err := cfg.Placement.Place(device, spec.Qubits, r)
+	if err != nil {
+		return nil, nil, perf.Result{}, err
+	}
+	var c *circuit.Circuit
+	if cfg.Circuit != nil {
+		c = cfg.Circuit
+	} else {
+		c, err = cfg.Placer.Place(spec, layout, r)
+		if err != nil {
+			return nil, nil, perf.Result{}, err
+		}
+	}
+	res, err := perf.Evaluate(c, layout, cfg.Latencies)
+	if err != nil {
+		return nil, nil, perf.Result{}, err
+	}
+	return c, layout, res, nil
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"velociti/internal/circuit"
+	"velociti/internal/perf"
+)
+
+// Property tests on the end-to-end pipeline: invariants that must hold for
+// any workload, machine, and latency configuration.
+
+// boundedConfig maps arbitrary quick-generated integers onto a valid
+// configuration space.
+func boundedConfig(nRaw, pRaw, lRaw uint8, alphaRaw uint8, seed int64) Config {
+	n := 2 + int(nRaw)%96                  // 2..97 qubits
+	p := int(pRaw) % 200                   // 0..199 2q gates
+	l := 1 + int(lRaw)%32                  // 1..32 ions per chain
+	alpha := 1 + float64(alphaRaw%40)/10.0 // 1.0..4.9
+	return Config{
+		Spec:        circuit.Spec{Name: "prop", Qubits: n, OneQubitGates: int(nRaw) % 50, TwoQubitGates: p},
+		ChainLength: l,
+		Latencies:   perf.Latencies{OneQubit: 1, TwoQubit: 100, WeakPenalty: alpha},
+		Runs:        3,
+		Seed:        seed,
+	}
+}
+
+// Property: for every trial, parallel ≤ per-gate serial, Eq. 1–2 serial ≤
+// per-gate serial, weak gates ≤ p, and links used ≤ w_max.
+func TestPipelineInvariants(t *testing.T) {
+	f := func(nRaw, pRaw, lRaw, alphaRaw uint8, seed int64) bool {
+		cfg := boundedConfig(nRaw, pRaw, lRaw, alphaRaw, seed)
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Logf("config rejected: %v", err)
+			return false
+		}
+		for _, tr := range rep.Trials {
+			if tr.Perf.ParallelMicros > tr.Perf.SerialPerGateMicros+1e-9 {
+				return false
+			}
+			if tr.Perf.SerialMicros > tr.Perf.SerialPerGateMicros+1e-9 {
+				return false
+			}
+			if tr.Perf.WeakGates > cfg.Spec.TwoQubitGates {
+				return false
+			}
+			if tr.Perf.LinksUsed > rep.Device.MaxWeakLinks {
+				return false
+			}
+			if tr.Perf.ParallelMicros < 0 || tr.Perf.SerialMicros < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: raising α never speeds anything up (same seeds, same
+// placement draws — α only scales weak-gate latency).
+func TestAlphaMonotonicityProperty(t *testing.T) {
+	f := func(nRaw, pRaw, lRaw uint8, seed int64) bool {
+		lo := boundedConfig(nRaw, pRaw, lRaw, 0, seed) // α = 1.0
+		hi := lo
+		hi.Latencies.WeakPenalty = 2.5
+		repLo, err := Run(lo)
+		if err != nil {
+			return false
+		}
+		repHi, err := Run(hi)
+		if err != nil {
+			return false
+		}
+		return repLo.Parallel.Mean <= repHi.Parallel.Mean+1e-9 &&
+			repLo.Serial.Mean <= repHi.Serial.Mean+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the derived machine always satisfies Table I's area formula
+// c = ⌈n/L⌉ and the ring's w_max rule.
+func TestDerivedMachineProperty(t *testing.T) {
+	f := func(nRaw, lRaw uint8, seed int64) bool {
+		cfg := boundedConfig(nRaw, 10, lRaw, 5, seed)
+		rep, err := Run(cfg)
+		if err != nil {
+			return false
+		}
+		n, l := cfg.Spec.Qubits, cfg.ChainLength
+		wantChains := (n + l - 1) / l
+		if rep.Device.NumChains != wantChains {
+			return false
+		}
+		wantLinks := wantChains
+		if wantChains == 1 {
+			wantLinks = 0
+		}
+		return rep.Device.MaxWeakLinks == wantLinks
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a single-chain machine never reports weak gates and its serial
+// model reduces to q·δ + p·γ.
+func TestSingleChainProperty(t *testing.T) {
+	f := func(nRaw, pRaw uint8, seed int64) bool {
+		n := 2 + int(nRaw)%31 // ≤ 32 fits one 32-ion chain
+		p := int(pRaw) % 100
+		cfg := Config{
+			Spec:        circuit.Spec{Name: "one", Qubits: n, OneQubitGates: 5, TwoQubitGates: p},
+			ChainLength: 32,
+			Runs:        2,
+			Seed:        seed,
+		}
+		rep, err := Run(cfg)
+		if err != nil {
+			return false
+		}
+		if rep.WeakGates.Max != 0 || rep.LinksUsed.Max != 0 {
+			return false
+		}
+		want := float64(5)*1 + float64(p)*100
+		return rep.Serial.Min == want && rep.Serial.Max == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,510 @@
+// Package dag implements the weighted directed-graph machinery that
+// VelociTI's parallel performance model is built on (§IV-C/D of the paper).
+//
+// The original VelociTI used the Python NetworkX library; this package is a
+// from-scratch, dependency-free replacement providing exactly the operations
+// the framework needs: node/edge bookkeeping, topological ordering, cycle
+// detection, start-node ("source") tracking, and longest weighted paths over
+// a DAG — the quantity that determines a circuit's parallel execution time.
+//
+// Nodes are dense non-negative integers assigned by AddNode in insertion
+// order; an arbitrary string label may be attached for diagnostics and DOT
+// export. Edges carry a float64 weight (a latency in microseconds in the
+// performance model). Parallel edges are not supported: adding an edge that
+// already exists overwrites its weight.
+package dag
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ErrCycle is returned by algorithms that require acyclicity when the graph
+// contains a directed cycle.
+var ErrCycle = errors.New("dag: graph contains a cycle")
+
+// Edge is a directed, weighted connection between two nodes.
+type Edge struct {
+	From, To int
+	Weight   float64
+}
+
+// Graph is a mutable directed graph with weighted edges.
+// The zero value is not usable; construct with New.
+type Graph struct {
+	labels []string
+	succ   []map[int]float64 // succ[u][v] = weight of edge u->v
+	pred   []map[int]struct{}
+	edges  int
+}
+
+// New returns an empty directed graph.
+func New() *Graph {
+	return &Graph{}
+}
+
+// AddNode adds a node with the given label and returns its id. Ids are
+// assigned densely starting from 0.
+func (g *Graph) AddNode(label string) int {
+	id := len(g.labels)
+	g.labels = append(g.labels, label)
+	g.succ = append(g.succ, nil)
+	g.pred = append(g.pred, nil)
+	return id
+}
+
+// NumNodes returns the number of nodes in the graph.
+func (g *Graph) NumNodes() int { return len(g.labels) }
+
+// NumEdges returns the number of edges in the graph.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Label returns the label attached to node id. It panics if id is invalid.
+func (g *Graph) Label(id int) string {
+	g.check(id)
+	return g.labels[id]
+}
+
+// SetLabel replaces the label of node id.
+func (g *Graph) SetLabel(id int, label string) {
+	g.check(id)
+	g.labels[id] = label
+}
+
+func (g *Graph) check(id int) {
+	if id < 0 || id >= len(g.labels) {
+		panic(fmt.Sprintf("dag: node %d out of range [0,%d)", id, len(g.labels)))
+	}
+}
+
+// AddEdge inserts the directed edge from→to with the given weight. If the
+// edge already exists its weight is overwritten. Self-loops are allowed at
+// this layer (they are rejected by the acyclic algorithms). It panics if
+// either endpoint does not exist.
+func (g *Graph) AddEdge(from, to int, weight float64) {
+	g.check(from)
+	g.check(to)
+	if g.succ[from] == nil {
+		g.succ[from] = make(map[int]float64)
+	}
+	if _, exists := g.succ[from][to]; !exists {
+		g.edges++
+	}
+	g.succ[from][to] = weight
+	if g.pred[to] == nil {
+		g.pred[to] = make(map[int]struct{})
+	}
+	g.pred[to][from] = struct{}{}
+}
+
+// HasEdge reports whether the edge from→to exists.
+func (g *Graph) HasEdge(from, to int) bool {
+	g.check(from)
+	g.check(to)
+	_, ok := g.succ[from][to]
+	return ok
+}
+
+// Weight returns the weight of edge from→to and whether it exists.
+func (g *Graph) Weight(from, to int) (float64, bool) {
+	g.check(from)
+	g.check(to)
+	w, ok := g.succ[from][to]
+	return w, ok
+}
+
+// Successors returns the ids of all nodes v with an edge id→v, in ascending
+// order. The slice is freshly allocated.
+func (g *Graph) Successors(id int) []int {
+	g.check(id)
+	out := make([]int, 0, len(g.succ[id]))
+	for v := range g.succ[id] {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Predecessors returns the ids of all nodes u with an edge u→id, in
+// ascending order.
+func (g *Graph) Predecessors(id int) []int {
+	g.check(id)
+	out := make([]int, 0, len(g.pred[id]))
+	for u := range g.pred[id] {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// InDegree returns the number of incoming edges of node id.
+func (g *Graph) InDegree(id int) int {
+	g.check(id)
+	return len(g.pred[id])
+}
+
+// OutDegree returns the number of outgoing edges of node id.
+func (g *Graph) OutDegree(id int) int {
+	g.check(id)
+	return len(g.succ[id])
+}
+
+// Edges returns every edge in the graph ordered by (From, To).
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.edges)
+	for u := range g.succ {
+		for v, w := range g.succ[u] {
+			out = append(out, Edge{From: u, To: v, Weight: w})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// StartNodes returns every node with no incoming edges, in ascending order.
+// In the performance-model graph these are the paper's "start nodes" —
+// gates that act directly on input qubits (§IV-C).
+func (g *Graph) StartNodes() []int {
+	var out []int
+	for id := range g.labels {
+		if len(g.pred[id]) == 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// EndNodes returns every node with no outgoing edges, in ascending order.
+func (g *Graph) EndNodes() []int {
+	var out []int
+	for id := range g.labels {
+		if len(g.succ[id]) == 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// TopoSort returns a topological ordering of the nodes using Kahn's
+// algorithm, or ErrCycle if the graph is cyclic. Ties are broken by node id
+// so the ordering is deterministic.
+func (g *Graph) TopoSort() ([]int, error) {
+	n := len(g.labels)
+	indeg := make([]int, n)
+	for id := range g.labels {
+		indeg[id] = len(g.pred[id])
+	}
+	// Min-heap behaviour via sorted frontier: for our graph sizes a sorted
+	// slice is simpler and fast enough; use a stack of ready nodes kept
+	// sorted by repeatedly scanning is O(n^2) — instead maintain a slice
+	// used as a binary heap keyed by id.
+	h := &intHeap{}
+	for id := 0; id < n; id++ {
+		if indeg[id] == 0 {
+			h.push(id)
+		}
+	}
+	order := make([]int, 0, n)
+	for h.len() > 0 {
+		u := h.pop()
+		order = append(order, u)
+		for v := range g.succ[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				h.push(v)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// IsAcyclic reports whether the graph has no directed cycles.
+func (g *Graph) IsAcyclic() bool {
+	_, err := g.TopoSort()
+	return err == nil
+}
+
+// LongestPathResult describes the heaviest weighted path in a DAG.
+type LongestPathResult struct {
+	// Length is the total weight along the heaviest path. Zero if the
+	// graph is empty.
+	Length float64
+	// Path is the node sequence of one heaviest path, from a start node to
+	// an end node. When several paths tie, the lexicographically smallest
+	// node sequence is returned, making results deterministic.
+	Path []int
+}
+
+// LongestPath computes the maximum-weight directed path in the graph using
+// dynamic programming over a topological order. Node weights are not a
+// concept at this layer — only edge weights contribute, matching the
+// paper's encoding where a gate's latency lives on its incoming edges
+// (§IV-C). Isolated nodes yield a zero-length path consisting of that node.
+// Returns ErrCycle for cyclic graphs.
+func (g *Graph) LongestPath() (LongestPathResult, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return LongestPathResult{}, err
+	}
+	n := len(order)
+	if n == 0 {
+		return LongestPathResult{}, nil
+	}
+	dist := make([]float64, n) // best distance ending at node
+	prev := make([]int, n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	for _, u := range order {
+		for _, v := range g.Successors(u) {
+			w := g.succ[u][v]
+			cand := dist[u] + w
+			if cand > dist[v] || (cand == dist[v] && better(prev[v], u)) {
+				dist[v] = cand
+				prev[v] = u
+			}
+		}
+	}
+	best := -1
+	for id := 0; id < n; id++ {
+		if best == -1 || dist[id] > dist[best] || (dist[id] == dist[best] && id < best) {
+			best = id
+		}
+	}
+	var path []int
+	for at := best; at != -1; at = prev[at] {
+		path = append(path, at)
+	}
+	reverse(path)
+	return LongestPathResult{Length: dist[best], Path: path}, nil
+}
+
+// better reports whether candidate predecessor u should replace cur on a
+// weight tie (prefer the smaller id; -1 means unset).
+func better(cur, u int) bool { return cur == -1 || u < cur }
+
+// LongestPathFrom computes, for every node, the maximum total edge weight of
+// a path ending at that node. This is the per-gate "ready + finish" time in
+// the performance model. Returns ErrCycle for cyclic graphs.
+func (g *Graph) LongestPathFrom() ([]float64, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	dist := make([]float64, len(order))
+	for _, u := range order {
+		for v, w := range g.succ[u] {
+			if d := dist[u] + w; d > dist[v] {
+				dist[v] = d
+			}
+		}
+	}
+	return dist, nil
+}
+
+// LongestPathMemoized computes the maximum-weight path length via memoized
+// depth-first search instead of the topological DP — the alternative
+// strategy ablated in the benchmark suite (results are identical; the DP
+// avoids recursion and wins on deep graphs). Returns ErrCycle for cyclic
+// graphs.
+func (g *Graph) LongestPathMemoized() (float64, error) {
+	const (
+		unvisited = 0
+		inStack   = 1
+		done      = 2
+	)
+	n := len(g.labels)
+	state := make([]int8, n)
+	memo := make([]float64, n) // heaviest path starting at node
+	var cyclic bool
+	var dfs func(u int) float64
+	dfs = func(u int) float64 {
+		switch state[u] {
+		case done:
+			return memo[u]
+		case inStack:
+			cyclic = true
+			return 0
+		}
+		state[u] = inStack
+		best := 0.0
+		for v, w := range g.succ[u] {
+			if d := w + dfs(v); d > best {
+				best = d
+			}
+		}
+		state[u] = done
+		memo[u] = best
+		return best
+	}
+	overall := 0.0
+	for u := 0; u < n; u++ {
+		if d := dfs(u); d > overall {
+			overall = d
+		}
+		if cyclic {
+			return 0, ErrCycle
+		}
+	}
+	return overall, nil
+}
+
+// AllPathsLongestBruteForce enumerates every directed path in the graph and
+// returns the maximum total weight. It is exponential and intended only for
+// cross-checking LongestPath in tests on small graphs. Returns ErrCycle for
+// cyclic graphs.
+func (g *Graph) AllPathsLongestBruteForce() (float64, error) {
+	if !g.IsAcyclic() {
+		return 0, ErrCycle
+	}
+	best := 0.0
+	var dfs func(u int, acc float64)
+	dfs = func(u int, acc float64) {
+		if acc > best {
+			best = acc
+		}
+		for v, w := range g.succ[u] {
+			dfs(v, acc+w)
+		}
+	}
+	for id := range g.labels {
+		dfs(id, 0)
+	}
+	if len(g.labels) == 0 {
+		return 0, nil
+	}
+	return best, nil
+}
+
+// CriticalNodes returns the set of nodes that lie on at least one
+// maximum-weight path. It is used for critical-path reporting.
+func (g *Graph) CriticalNodes() (map[int]bool, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	n := len(order)
+	if n == 0 {
+		return map[int]bool{}, nil
+	}
+	fwd := make([]float64, n) // heaviest path ending at node
+	for _, u := range order {
+		for v, w := range g.succ[u] {
+			if d := fwd[u] + w; d > fwd[v] {
+				fwd[v] = d
+			}
+		}
+	}
+	bwd := make([]float64, n) // heaviest path starting at node
+	for i := n - 1; i >= 0; i-- {
+		u := order[i]
+		for v, w := range g.succ[u] {
+			if d := bwd[v] + w; d > bwd[u] {
+				bwd[u] = d
+			}
+		}
+	}
+	total := 0.0
+	for id := 0; id < n; id++ {
+		if t := fwd[id] + bwd[id]; t > total {
+			total = t
+		}
+	}
+	crit := make(map[int]bool)
+	const eps = 1e-9
+	for id := 0; id < n; id++ {
+		if math.Abs(fwd[id]+bwd[id]-total) <= eps {
+			crit[id] = true
+		}
+	}
+	return crit, nil
+}
+
+// DOT renders the graph in Graphviz DOT format. Start nodes are drawn with a
+// double circle, matching the paper's Figure 3 convention.
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	starts := make(map[int]bool)
+	for _, s := range g.StartNodes() {
+		starts[s] = true
+	}
+	for id, label := range g.labels {
+		shape := "circle"
+		if starts[id] {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q shape=%s];\n", id, label, shape)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  n%d -> n%d [label=%q];\n", e.From, e.To, trimFloat(e.Weight))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	return s
+}
+
+func reverse(xs []int) {
+	for i, j := 0, len(xs)-1; i < j; i, j = i+1, j-1 {
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// intHeap is a minimal binary min-heap of ints used by TopoSort for
+// deterministic tie-breaking without importing container/heap's interface
+// boilerplate.
+type intHeap struct{ xs []int }
+
+func (h *intHeap) len() int { return len(h.xs) }
+
+func (h *intHeap) push(x int) {
+	h.xs = append(h.xs, x)
+	i := len(h.xs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.xs[parent] <= h.xs[i] {
+			break
+		}
+		h.xs[parent], h.xs[i] = h.xs[i], h.xs[parent]
+		i = parent
+	}
+}
+
+func (h *intHeap) pop() int {
+	top := h.xs[0]
+	last := len(h.xs) - 1
+	h.xs[0] = h.xs[last]
+	h.xs = h.xs[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.xs) && h.xs[l] < h.xs[smallest] {
+			smallest = l
+		}
+		if r < len(h.xs) && h.xs[r] < h.xs[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.xs[i], h.xs[smallest] = h.xs[smallest], h.xs[i]
+		i = smallest
+	}
+	return top
+}

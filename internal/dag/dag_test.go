@@ -1,0 +1,468 @@
+package dag
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func buildDiamond() *Graph {
+	// a -> b -> d
+	// a -> c -> d   with heavier path through c
+	g := New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	d := g.AddNode("d")
+	g.AddEdge(a, b, 1)
+	g.AddEdge(a, c, 2)
+	g.AddEdge(b, d, 1)
+	g.AddEdge(c, d, 3)
+	return g
+}
+
+func TestAddNodeAssignsDenseIDs(t *testing.T) {
+	g := New()
+	for i := 0; i < 5; i++ {
+		if id := g.AddNode("n"); id != i {
+			t.Fatalf("AddNode returned %d, want %d", id, i)
+		}
+	}
+	if g.NumNodes() != 5 {
+		t.Fatalf("NumNodes = %d, want 5", g.NumNodes())
+	}
+}
+
+func TestLabels(t *testing.T) {
+	g := New()
+	id := g.AddNode("q1q2")
+	if g.Label(id) != "q1q2" {
+		t.Fatalf("Label = %q", g.Label(id))
+	}
+	g.SetLabel(id, "q1q2.2")
+	if g.Label(id) != "q1q2.2" {
+		t.Fatalf("after SetLabel, Label = %q", g.Label(id))
+	}
+}
+
+func TestLabelPanicsOnBadID(t *testing.T) {
+	g := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Label on missing node should panic")
+		}
+	}()
+	g.Label(0)
+}
+
+func TestAddEdgeOverwrites(t *testing.T) {
+	g := New()
+	a, b := g.AddNode("a"), g.AddNode("b")
+	g.AddEdge(a, b, 1)
+	g.AddEdge(a, b, 9)
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1 (overwrite)", g.NumEdges())
+	}
+	w, ok := g.Weight(a, b)
+	if !ok || w != 9 {
+		t.Fatalf("Weight = %v,%v want 9,true", w, ok)
+	}
+}
+
+func TestHasEdgeAndWeightMissing(t *testing.T) {
+	g := New()
+	a, b := g.AddNode("a"), g.AddNode("b")
+	if g.HasEdge(a, b) {
+		t.Fatalf("edge should not exist yet")
+	}
+	if _, ok := g.Weight(b, a); ok {
+		t.Fatalf("Weight of missing edge should report false")
+	}
+}
+
+func TestSuccessorsPredecessorsSorted(t *testing.T) {
+	g := New()
+	ids := make([]int, 5)
+	for i := range ids {
+		ids[i] = g.AddNode("n")
+	}
+	g.AddEdge(ids[0], ids[3], 1)
+	g.AddEdge(ids[0], ids[1], 1)
+	g.AddEdge(ids[0], ids[4], 1)
+	g.AddEdge(ids[2], ids[4], 1)
+	if got := g.Successors(ids[0]); !reflect.DeepEqual(got, []int{1, 3, 4}) {
+		t.Fatalf("Successors = %v", got)
+	}
+	if got := g.Predecessors(ids[4]); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Fatalf("Predecessors = %v", got)
+	}
+	if g.OutDegree(ids[0]) != 3 || g.InDegree(ids[4]) != 2 {
+		t.Fatalf("degrees wrong: out=%d in=%d", g.OutDegree(ids[0]), g.InDegree(ids[4]))
+	}
+}
+
+func TestEdgesOrdered(t *testing.T) {
+	g := buildDiamond()
+	edges := g.Edges()
+	want := []Edge{{0, 1, 1}, {0, 2, 2}, {1, 3, 1}, {2, 3, 3}}
+	if !reflect.DeepEqual(edges, want) {
+		t.Fatalf("Edges = %v, want %v", edges, want)
+	}
+}
+
+func TestStartAndEndNodes(t *testing.T) {
+	g := buildDiamond()
+	if got := g.StartNodes(); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("StartNodes = %v", got)
+	}
+	if got := g.EndNodes(); !reflect.DeepEqual(got, []int{3}) {
+		t.Fatalf("EndNodes = %v", got)
+	}
+	lone := New()
+	x := lone.AddNode("x")
+	if got := lone.StartNodes(); !reflect.DeepEqual(got, []int{x}) {
+		t.Fatalf("isolated node should be a start node, got %v", got)
+	}
+	if got := lone.EndNodes(); !reflect.DeepEqual(got, []int{x}) {
+		t.Fatalf("isolated node should be an end node, got %v", got)
+	}
+}
+
+func TestTopoSortDeterministic(t *testing.T) {
+	g := buildDiamond()
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(order, []int{0, 1, 2, 3}) {
+		t.Fatalf("TopoSort = %v", order)
+	}
+	pos := make(map[int]int)
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e.From] >= pos[e.To] {
+			t.Fatalf("edge %v violates topological order %v", e, order)
+		}
+	}
+}
+
+func TestTopoSortCycle(t *testing.T) {
+	g := New()
+	a, b := g.AddNode("a"), g.AddNode("b")
+	g.AddEdge(a, b, 1)
+	g.AddEdge(b, a, 1)
+	if _, err := g.TopoSort(); err != ErrCycle {
+		t.Fatalf("want ErrCycle, got %v", err)
+	}
+	if g.IsAcyclic() {
+		t.Fatalf("cyclic graph reported acyclic")
+	}
+}
+
+func TestSelfLoopIsCycle(t *testing.T) {
+	g := New()
+	a := g.AddNode("a")
+	g.AddEdge(a, a, 1)
+	if g.IsAcyclic() {
+		t.Fatalf("self-loop should be a cycle")
+	}
+}
+
+func TestLongestPathDiamond(t *testing.T) {
+	g := buildDiamond()
+	res, err := g.LongestPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Length != 5 {
+		t.Fatalf("Length = %v, want 5", res.Length)
+	}
+	if !reflect.DeepEqual(res.Path, []int{0, 2, 3}) {
+		t.Fatalf("Path = %v, want [0 2 3]", res.Path)
+	}
+}
+
+func TestLongestPathEmptyAndIsolated(t *testing.T) {
+	g := New()
+	res, err := g.LongestPath()
+	if err != nil || res.Length != 0 || len(res.Path) != 0 {
+		t.Fatalf("empty graph: %v %v", res, err)
+	}
+	g.AddNode("only")
+	res, err = g.LongestPath()
+	if err != nil || res.Length != 0 {
+		t.Fatalf("isolated: %v %v", res, err)
+	}
+	if !reflect.DeepEqual(res.Path, []int{0}) {
+		t.Fatalf("isolated path = %v", res.Path)
+	}
+}
+
+func TestLongestPathCycleError(t *testing.T) {
+	g := New()
+	a, b := g.AddNode("a"), g.AddNode("b")
+	g.AddEdge(a, b, 1)
+	g.AddEdge(b, a, 1)
+	if _, err := g.LongestPath(); err != ErrCycle {
+		t.Fatalf("want ErrCycle, got %v", err)
+	}
+	if _, err := g.LongestPathFrom(); err != ErrCycle {
+		t.Fatalf("want ErrCycle from LongestPathFrom, got %v", err)
+	}
+	if _, err := g.CriticalNodes(); err != ErrCycle {
+		t.Fatalf("want ErrCycle from CriticalNodes, got %v", err)
+	}
+	if _, err := g.AllPathsLongestBruteForce(); err != ErrCycle {
+		t.Fatalf("want ErrCycle from brute force, got %v", err)
+	}
+}
+
+func TestLongestPathParallelChains(t *testing.T) {
+	// Two disconnected chains; the heavier one must win.
+	g := New()
+	a0, a1, a2 := g.AddNode("a0"), g.AddNode("a1"), g.AddNode("a2")
+	b0, b1 := g.AddNode("b0"), g.AddNode("b1")
+	g.AddEdge(a0, a1, 10)
+	g.AddEdge(a1, a2, 10)
+	g.AddEdge(b0, b1, 100)
+	res, err := g.LongestPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Length != 100 {
+		t.Fatalf("Length = %v, want 100", res.Length)
+	}
+	if !reflect.DeepEqual(res.Path, []int{b0, b1}) {
+		t.Fatalf("Path = %v", res.Path)
+	}
+	_ = a2
+}
+
+func TestLongestPathFromPerNode(t *testing.T) {
+	g := buildDiamond()
+	dist, err := g.LongestPathFrom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 1, 2, 5}
+	if !reflect.DeepEqual(dist, want) {
+		t.Fatalf("LongestPathFrom = %v, want %v", dist, want)
+	}
+}
+
+func TestCriticalNodesDiamond(t *testing.T) {
+	g := buildDiamond()
+	crit, err := g.CriticalNodes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{0, 2, 3} {
+		if !crit[id] {
+			t.Errorf("node %d should be critical", id)
+		}
+	}
+	if crit[1] {
+		t.Errorf("node 1 (light branch) should not be critical")
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := buildDiamond()
+	dot := g.DOT("fig3")
+	for _, want := range []string{"digraph \"fig3\"", "doublecircle", "n0 -> n1", "n2 -> n3"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	// Exactly one start node in the diamond → exactly one doublecircle.
+	if n := strings.Count(dot, "doublecircle"); n != 1 {
+		t.Errorf("expected 1 doublecircle, got %d", n)
+	}
+}
+
+// randomDAG builds a DAG by only adding forward edges under a random node
+// permutation, guaranteeing acyclicity.
+func randomDAG(r *rand.Rand, n, extraEdges int) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddNode("n")
+	}
+	perm := r.Perm(n)
+	for k := 0; k < extraEdges; k++ {
+		i, j := r.Intn(n), r.Intn(n)
+		if i == j {
+			continue
+		}
+		if perm[i] > perm[j] {
+			i, j = j, i
+		}
+		g.AddEdge(i, j, float64(r.Intn(10)+1))
+	}
+	return g
+}
+
+// Property: DP longest path equals exhaustive enumeration on small DAGs.
+func TestLongestPathMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(12345))
+	for trial := 0; trial < 200; trial++ {
+		g := randomDAG(r, 2+r.Intn(8), r.Intn(14))
+		dp, err := g.LongestPath()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		bf, err := g.AllPathsLongestBruteForce()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if dp.Length != bf {
+			t.Fatalf("trial %d: DP=%v brute=%v\n%s", trial, dp.Length, bf, g.DOT("t"))
+		}
+	}
+}
+
+// Property: the reported path's edge weights sum to the reported length and
+// every hop is a real edge.
+func TestLongestPathIsConsistent(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		g := randomDAG(r, 2+r.Intn(15), r.Intn(30))
+		res, err := g.LongestPath()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for i := 0; i+1 < len(res.Path); i++ {
+			w, ok := g.Weight(res.Path[i], res.Path[i+1])
+			if !ok {
+				t.Fatalf("trial %d: path hop %d->%d not an edge", trial, res.Path[i], res.Path[i+1])
+			}
+			sum += w
+		}
+		if sum != res.Length {
+			t.Fatalf("trial %d: path sums to %v, reported %v", trial, sum, res.Length)
+		}
+		if len(res.Path) > 0 && g.InDegree(res.Path[0]) != 0 {
+			t.Fatalf("trial %d: longest path must begin at a start node", trial)
+		}
+	}
+}
+
+// Property: random DAGs always topo-sort and the order respects all edges.
+func TestTopoSortProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, 1+r.Intn(20), r.Intn(40))
+		order, err := g.TopoSort()
+		if err != nil {
+			return false
+		}
+		pos := make(map[int]int)
+		for i, id := range order {
+			pos[id] = i
+		}
+		for _, e := range g.Edges() {
+			if pos[e.From] >= pos[e.To] {
+				return false
+			}
+		}
+		return len(order) == g.NumNodes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntHeapOrdering(t *testing.T) {
+	h := &intHeap{}
+	in := []int{5, 3, 8, 1, 9, 2, 7, 0, 6, 4}
+	for _, v := range in {
+		h.push(v)
+	}
+	for want := 0; want < 10; want++ {
+		if got := h.pop(); got != want {
+			t.Fatalf("heap pop = %d, want %d", got, want)
+		}
+	}
+}
+
+func BenchmarkLongestPathLayered(b *testing.B) {
+	// A layered DAG approximating a deep circuit: 100 layers x 50 nodes.
+	g := New()
+	const layers, width = 100, 50
+	ids := make([][]int, layers)
+	for l := 0; l < layers; l++ {
+		ids[l] = make([]int, width)
+		for w := 0; w < width; w++ {
+			ids[l][w] = g.AddNode("n")
+		}
+	}
+	r := rand.New(rand.NewSource(1))
+	for l := 0; l+1 < layers; l++ {
+		for w := 0; w < width; w++ {
+			g.AddEdge(ids[l][w], ids[l+1][r.Intn(width)], float64(r.Intn(100)))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.LongestPath(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Property: memoized DFS agrees with the topological DP on random DAGs.
+func TestLongestPathMemoizedMatchesDP(t *testing.T) {
+	r := rand.New(rand.NewSource(314))
+	for trial := 0; trial < 200; trial++ {
+		g := randomDAG(r, 2+r.Intn(20), r.Intn(40))
+		dp, err := g.LongestPath()
+		if err != nil {
+			t.Fatal(err)
+		}
+		memo, err := g.LongestPathMemoized()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dp.Length != memo {
+			t.Fatalf("trial %d: DP %v != memoized %v", trial, dp.Length, memo)
+		}
+	}
+}
+
+func TestLongestPathMemoizedCycle(t *testing.T) {
+	g := New()
+	a, b := g.AddNode("a"), g.AddNode("b")
+	g.AddEdge(a, b, 1)
+	g.AddEdge(b, a, 1)
+	if _, err := g.LongestPathMemoized(); err != ErrCycle {
+		t.Fatalf("want ErrCycle, got %v", err)
+	}
+}
+
+func BenchmarkLongestPathMemoizedLayered(b *testing.B) {
+	g := New()
+	const layers, width = 100, 50
+	ids := make([][]int, layers)
+	for l := 0; l < layers; l++ {
+		ids[l] = make([]int, width)
+		for w := 0; w < width; w++ {
+			ids[l][w] = g.AddNode("n")
+		}
+	}
+	r := rand.New(rand.NewSource(1))
+	for l := 0; l+1 < layers; l++ {
+		for w := 0; w < width; w++ {
+			g.AddEdge(ids[l][w], ids[l+1][r.Intn(width)], float64(r.Intn(100)))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.LongestPathMemoized(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

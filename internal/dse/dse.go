@@ -1,0 +1,175 @@
+// Package dse automates VelociTI's design-space exploration (the paper's
+// Case Study 2 workflow, §VI-B): it evaluates a workload across a grid of
+// machine configurations — chain length, weak-link penalty, and scheduling
+// policy — and reports the Pareto frontier over the two axes a TI architect
+// trades: execution time (parallel model) and estimated success
+// probability (fidelity extension).
+//
+// The paper performs these sweeps by hand across figures; Explore runs the
+// grid and Pareto filters it, so "which configurations are worth building"
+// becomes one call.
+package dse
+
+import (
+	"fmt"
+	"sort"
+
+	"velociti/internal/circuit"
+	"velociti/internal/fidelity"
+	"velociti/internal/perf"
+	"velociti/internal/placement"
+	"velociti/internal/schedule"
+	"velociti/internal/stats"
+	"velociti/internal/ti"
+)
+
+// Point is one evaluated configuration.
+type Point struct {
+	// Knobs.
+	ChainLength int     `json:"chain_length"`
+	Alpha       float64 `json:"alpha"`
+	Placer      string  `json:"placer"`
+	// Outcomes (means over the configured runs).
+	ParallelMicros float64 `json:"parallel_us"`
+	LogFidelity    float64 `json:"log_fidelity"`
+	WeakGates      float64 `json:"weak_gates"`
+}
+
+// Dominates reports whether p is at least as good as q on both axes and
+// strictly better on one (lower time, higher log-fidelity).
+func (p Point) Dominates(q Point) bool {
+	if p.ParallelMicros > q.ParallelMicros || p.LogFidelity < q.LogFidelity {
+		return false
+	}
+	return p.ParallelMicros < q.ParallelMicros || p.LogFidelity > q.LogFidelity
+}
+
+// Options configures the exploration grid.
+type Options struct {
+	// ChainLengths to sweep; nil selects the paper's 8/16/24/32.
+	ChainLengths []int
+	// Alphas to sweep; nil selects {2.0, 1.5, 1.0}.
+	Alphas []float64
+	// Placers to sweep by name; nil selects {"random", "load-balanced"}.
+	Placers []string
+	// Runs per configuration; zero selects 10 (exploration favours grid
+	// breadth over per-point precision).
+	Runs int
+	// Seed is the master seed.
+	Seed int64
+	// Fidelity is the error model; zero value selects the defaults.
+	Fidelity fidelity.Model
+	// Latencies is the base timing model (α is overridden per point).
+	Latencies perf.Latencies
+}
+
+func (o Options) normalized() Options {
+	if len(o.ChainLengths) == 0 {
+		o.ChainLengths = []int{8, 16, 24, 32}
+	}
+	if len(o.Alphas) == 0 {
+		o.Alphas = []float64{2.0, 1.5, 1.0}
+	}
+	if len(o.Placers) == 0 {
+		o.Placers = []string{"random", "load-balanced"}
+	}
+	if o.Runs <= 0 {
+		o.Runs = 10
+	}
+	if o.Fidelity == (fidelity.Model{}) {
+		o.Fidelity = fidelity.Default()
+	}
+	if o.Latencies == (perf.Latencies{}) {
+		o.Latencies = perf.DefaultLatencies()
+	}
+	return o
+}
+
+// Explore evaluates the full grid for the workload and returns every
+// point, ordered by (ChainLength, Alpha, Placer).
+func Explore(spec circuit.Spec, opt Options) ([]Point, error) {
+	opt = opt.normalized()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	var points []Point
+	for _, L := range opt.ChainLengths {
+		device, err := ti.DeviceFor(spec.Qubits, L, ti.Ring)
+		if err != nil {
+			return nil, err
+		}
+		for _, alpha := range opt.Alphas {
+			lat := opt.Latencies
+			lat.WeakPenalty = alpha
+			for _, placerName := range opt.Placers {
+				placer, err := schedule.ByName(placerName, lat)
+				if err != nil {
+					return nil, err
+				}
+				var parSum, logSum, weakSum float64
+				for i := 0; i < opt.Runs; i++ {
+					r := stats.NewRand(stats.SplitSeed(opt.Seed, i))
+					layout, err := placement.Random{}.Place(device, spec.Qubits, r)
+					if err != nil {
+						return nil, err
+					}
+					c, err := placer.Place(spec, layout, r)
+					if err != nil {
+						return nil, err
+					}
+					est, err := opt.Fidelity.Estimate(c, layout, lat)
+					if err != nil {
+						return nil, err
+					}
+					parSum += est.MakespanMicros
+					logSum += est.LogTotal
+					weakSum += float64(perf.WeakGates(c, layout))
+				}
+				n := float64(opt.Runs)
+				points = append(points, Point{
+					ChainLength:    L,
+					Alpha:          alpha,
+					Placer:         placerName,
+					ParallelMicros: parSum / n,
+					LogFidelity:    logSum / n,
+					WeakGates:      weakSum / n,
+				})
+			}
+		}
+	}
+	return points, nil
+}
+
+// Pareto filters points to the non-dominated frontier, sorted by parallel
+// time ascending. Input order is not modified.
+func Pareto(points []Point) []Point {
+	var frontier []Point
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			if q.Dominates(p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			frontier = append(frontier, p)
+		}
+	}
+	sort.Slice(frontier, func(i, j int) bool {
+		if frontier[i].ParallelMicros != frontier[j].ParallelMicros {
+			return frontier[i].ParallelMicros < frontier[j].ParallelMicros
+		}
+		return frontier[i].LogFidelity > frontier[j].LogFidelity
+	})
+	return frontier
+}
+
+// String renders the point compactly for reports.
+func (p Point) String() string {
+	return fmt.Sprintf("L=%d α=%.1f %s: %.2f ms, ln(fid) %.1f",
+		p.ChainLength, p.Alpha, p.Placer, p.ParallelMicros/1000, p.LogFidelity)
+}

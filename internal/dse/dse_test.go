@@ -1,0 +1,134 @@
+package dse
+
+import (
+	"strings"
+	"testing"
+
+	"velociti/internal/circuit"
+)
+
+func spec() circuit.Spec {
+	return circuit.Spec{Name: "dse", Qubits: 64, TwoQubitGates: 300}
+}
+
+func explore(t *testing.T, opt Options) []Point {
+	t.Helper()
+	pts, err := Explore(spec(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pts
+}
+
+func TestExploreGridSize(t *testing.T) {
+	pts := explore(t, Options{Runs: 3, Seed: 1})
+	// Defaults: 4 chain lengths × 3 alphas × 2 placers.
+	if len(pts) != 24 {
+		t.Fatalf("points = %d, want 24", len(pts))
+	}
+	for _, p := range pts {
+		if p.ParallelMicros <= 0 || p.LogFidelity >= 0 {
+			t.Fatalf("implausible point %+v", p)
+		}
+	}
+}
+
+func TestExploreDeterministic(t *testing.T) {
+	a := explore(t, Options{Runs: 3, Seed: 7})
+	b := explore(t, Options{Runs: 3, Seed: 7})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("point %d differs across runs", i)
+		}
+	}
+}
+
+func TestExploreKnobDirections(t *testing.T) {
+	pts := explore(t, Options{
+		ChainLengths: []int{8, 32},
+		Alphas:       []float64{2.0, 1.0},
+		Placers:      []string{"random"},
+		Runs:         8,
+		Seed:         3,
+	})
+	byKey := map[[2]interface{}]Point{}
+	for _, p := range pts {
+		byKey[[2]interface{}{p.ChainLength, p.Alpha}] = p
+	}
+	// Longer chains: faster and higher fidelity at fixed α.
+	if !(byKey[[2]interface{}{32, 2.0}].ParallelMicros < byKey[[2]interface{}{8, 2.0}].ParallelMicros) {
+		t.Errorf("L=32 should beat L=8 on time")
+	}
+	if !(byKey[[2]interface{}{32, 2.0}].LogFidelity > byKey[[2]interface{}{8, 2.0}].LogFidelity) {
+		t.Errorf("L=32 should beat L=8 on fidelity")
+	}
+	// Lower α: faster at fixed L (fidelity unchanged by α in the model).
+	if !(byKey[[2]interface{}{32, 1.0}].ParallelMicros < byKey[[2]interface{}{32, 2.0}].ParallelMicros) {
+		t.Errorf("α=1 should beat α=2 on time")
+	}
+}
+
+func TestParetoIsNonDominated(t *testing.T) {
+	pts := explore(t, Options{Runs: 4, Seed: 2})
+	frontier := Pareto(pts)
+	if len(frontier) == 0 || len(frontier) > len(pts) {
+		t.Fatalf("frontier size = %d of %d", len(frontier), len(pts))
+	}
+	for i, p := range frontier {
+		for _, q := range pts {
+			if q.Dominates(p) {
+				t.Fatalf("frontier point %d dominated: %v by %v", i, p, q)
+			}
+		}
+	}
+	// Sorted by time ascending.
+	for i := 1; i < len(frontier); i++ {
+		if frontier[i].ParallelMicros < frontier[i-1].ParallelMicros {
+			t.Fatalf("frontier unsorted at %d", i)
+		}
+	}
+	// Some point with the minimum parallel time is always on the frontier
+	// (ties are broken by fidelity, so the specific tied point may be
+	// dominated).
+	minTime := pts[0].ParallelMicros
+	for _, p := range pts {
+		if p.ParallelMicros < minTime {
+			minTime = p.ParallelMicros
+		}
+	}
+	if frontier[0].ParallelMicros != minTime {
+		t.Fatalf("frontier head %v does not achieve the minimum time %v", frontier[0], minTime)
+	}
+}
+
+func TestDominates(t *testing.T) {
+	a := Point{ParallelMicros: 100, LogFidelity: -5}
+	b := Point{ParallelMicros: 200, LogFidelity: -10}
+	c := Point{ParallelMicros: 50, LogFidelity: -20}
+	if !a.Dominates(b) {
+		t.Errorf("a should dominate b")
+	}
+	if a.Dominates(c) || c.Dominates(a) {
+		t.Errorf("a and c are incomparable")
+	}
+	if a.Dominates(a) {
+		t.Errorf("a point never dominates itself (no strict improvement)")
+	}
+}
+
+func TestExploreValidation(t *testing.T) {
+	if _, err := Explore(circuit.Spec{Qubits: 0}, Options{}); err == nil {
+		t.Errorf("invalid spec should fail")
+	}
+	if _, err := Explore(spec(), Options{Placers: []string{"bogus"}}); err == nil {
+		t.Errorf("unknown placer should fail")
+	}
+}
+
+func TestPointString(t *testing.T) {
+	p := Point{ChainLength: 16, Alpha: 2, Placer: "random", ParallelMicros: 1234, LogFidelity: -3.2}
+	s := p.String()
+	if !strings.Contains(s, "L=16") || !strings.Contains(s, "random") {
+		t.Fatalf("string = %q", s)
+	}
+}

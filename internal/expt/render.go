@@ -1,0 +1,98 @@
+// Package expt reproduces every table and figure of the VelociTI paper's
+// evaluation (§V-B and §VI): the application table (Table II), the latency
+// configuration (Table III), the tool-runtime scaling study (Figure 5),
+// Case Study 1's serial-versus-parallel comparison (Figure 6), the
+// chain-length sweep (Figure 7), the quantum-volume scaling study
+// (Figure 8), and the 2:1-ratio scaling study (Figure 9), plus the ablation
+// experiments DESIGN.md calls out for the extension policies.
+//
+// Every driver takes Options (replication count, seed, latencies) and
+// returns a typed result that renders as an aligned ASCII table and as
+// CSV, so cmd/velociti-repro can regenerate the paper's data series
+// verbatim and EXPERIMENTS.md can quote them.
+package expt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// renderTable lays out rows under headers with aligned columns.
+func renderTable(title string, headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// renderCSV emits headers plus rows as comma-separated values. Cells
+// containing commas or quotes are quoted.
+func renderCSV(headers []string, rows [][]string) string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(cell, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// ms renders microseconds as milliseconds with 2 decimals, the unit of the
+// paper's figures.
+func ms(us float64) string {
+	return fmt.Sprintf("%.2f", us/1000)
+}
+
+// pct renders a fraction as a percentage with 1 decimal.
+func pct(f float64) string {
+	return fmt.Sprintf("%.1f%%", f*100)
+}
+
+func itoa(i int) string { return fmt.Sprintf("%d", i) }
+
+func ftoa(f float64) string { return fmt.Sprintf("%g", f) }

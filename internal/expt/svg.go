@@ -1,0 +1,110 @@
+package expt
+
+import (
+	"fmt"
+
+	"velociti/internal/stats"
+	"velociti/internal/viz"
+)
+
+// SVG figure builders: each paper figure renders as a grouped bar chart
+// with the paper's min/max whiskers. Times are converted to milliseconds.
+
+func value(s stats.Summary) viz.Value {
+	return viz.Value{Mean: s.Mean / 1000, Min: s.Min / 1000, Max: s.Max / 1000}
+}
+
+// SVG renders Case Study 1 (Figure 6) with a log axis, since QFT dwarfs BV
+// by 60×.
+func (r *Fig6Result) SVG() (string, error) {
+	chart := &viz.Chart{
+		Title:        "Figure 6: estimated performance per application (16-ion chains)",
+		YLabel:       "execution time [ms], log scale",
+		SeriesLabels: []string{"serial", "parallel"},
+		LogScale:     true,
+	}
+	for _, row := range r.Rows {
+		chart.Groups = append(chart.Groups, viz.Group{
+			Label:  row.App,
+			Values: []viz.Value{value(row.Serial), value(row.Parallel)},
+		})
+	}
+	return chart.SVG()
+}
+
+// SVG renders the chain-length sweep (Figure 7).
+func (r *Fig7Result) SVG() (string, error) {
+	chart := &viz.Chart{
+		Title:    "Figure 7: parallel time vs chain length",
+		YLabel:   "execution time [ms], log scale",
+		LogScale: true,
+	}
+	for _, L := range r.ChainLengths {
+		chart.SeriesLabels = append(chart.SeriesLabels, fmt.Sprintf("L=%d", L))
+	}
+	for _, row := range r.Rows {
+		g := viz.Group{Label: row.App}
+		for _, s := range row.Parallel {
+			g.Values = append(g.Values, value(s))
+		}
+		chart.Groups = append(chart.Groups, g)
+	}
+	return chart.SVG()
+}
+
+// SVGChain renders panel (a) of a scaling study: parallel time vs chain
+// length across the qubit sweep.
+func (r *ScalingResult) SVGChain() (string, error) {
+	chart := &viz.Chart{
+		Title:  r.Name + " (a): chain-length scaling",
+		YLabel: "execution time [ms]",
+	}
+	for _, L := range ScalingChainLengths {
+		chart.SeriesLabels = append(chart.SeriesLabels, fmt.Sprintf("L=%d", L))
+	}
+	for i, n := range r.Qubits {
+		g := viz.Group{Label: fmt.Sprintf("%dq", n)}
+		for _, s := range r.ByChain[i] {
+			g.Values = append(g.Values, value(s))
+		}
+		chart.Groups = append(chart.Groups, g)
+	}
+	return chart.SVG()
+}
+
+// SVGAlpha renders panel (b): parallel time vs weak-link penalty.
+func (r *ScalingResult) SVGAlpha() (string, error) {
+	chart := &viz.Chart{
+		Title:  r.Name + " (b): weak-link penalty scaling",
+		YLabel: "execution time [ms]",
+	}
+	for _, a := range ScalingAlphas {
+		chart.SeriesLabels = append(chart.SeriesLabels, fmt.Sprintf("α=%.1f", a))
+	}
+	for i, n := range r.Qubits {
+		g := viz.Group{Label: fmt.Sprintf("%dq", n)}
+		for _, s := range r.ByAlpha[i] {
+			g.Values = append(g.Values, value(s))
+		}
+		chart.Groups = append(chart.Groups, g)
+	}
+	return chart.SVG()
+}
+
+// SVG renders the tool-runtime study (Figure 5) on a log axis.
+func (r *Fig5Result) SVG() (string, error) {
+	chart := &viz.Chart{
+		Title:        "Figure 5: simulation wall time vs circuit size",
+		YLabel:       "seconds per simulation, log scale",
+		SeriesLabels: []string{"mean sim time"},
+		LogScale:     true,
+	}
+	for _, row := range r.Rows {
+		v := row.MeanSeconds
+		chart.Groups = append(chart.Groups, viz.Group{
+			Label:  fmt.Sprintf("%dq/%dg", row.Spec.Qubits, row.Spec.TwoQubitGates),
+			Values: []viz.Value{{Mean: v, Min: v, Max: v}},
+		})
+	}
+	return chart.SVG()
+}

@@ -1,0 +1,154 @@
+package perf
+
+import (
+	"fmt"
+	"sort"
+
+	"velociti/internal/circuit"
+	"velociti/internal/ti"
+)
+
+// The paper's parallel model assumes a chain can drive arbitrarily many
+// gates at once; real trapped-ion systems are limited by their control
+// hardware — the paper itself notes that published systems address ions
+// through a 32-channel AOM (§II-B), and driving several simultaneous gates
+// multiplexes those channels. ParallelTimeConstrained extends the parallel
+// model with a per-chain concurrency budget: at most `capacity` gates may
+// execute on a chain at any instant (a weak-link gate occupies a slot on
+// both of its chains). capacity ≤ 0 means unlimited, recovering
+// ParallelTime exactly.
+//
+// Scheduling is deterministic greedy list scheduling: gates become ready
+// when their qubit predecessors finish and start in gate-id order whenever
+// every chain they touch has a free slot.
+func ParallelTimeConstrained(c *circuit.Circuit, l *ti.Layout, lat Latencies, capacity int) (float64, error) {
+	if err := lat.Validate(); err != nil {
+		return 0, err
+	}
+	if c.NumQubits() > l.NumQubits() {
+		return 0, fmt.Errorf("perf: circuit has %d qubits but layout places only %d", c.NumQubits(), l.NumQubits())
+	}
+	if capacity <= 0 {
+		return ParallelTime(c, l, lat), nil
+	}
+	n := c.NumGates()
+	if n == 0 {
+		return 0, nil
+	}
+
+	// Dependency bookkeeping: preds[i] counts unfinished predecessors;
+	// succs[i] lists dependents.
+	preds := make([]int, n)
+	succs := make([][]int, n)
+	last := make([]int, c.NumQubits())
+	for i := range last {
+		last[i] = -1
+	}
+	for _, g := range c.Gates() {
+		seen := map[int]bool{}
+		for _, q := range g.Qubits {
+			if p := last[q]; p >= 0 && !seen[p] {
+				seen[p] = true
+				preds[g.ID]++
+				succs[p] = append(succs[p], g.ID)
+			}
+		}
+		for _, q := range g.Qubits {
+			last[q] = g.ID
+		}
+	}
+
+	chainsOf := func(g circuit.Gate) []int {
+		a := l.ChainOf(g.Qubits[0])
+		if len(g.Qubits) == 1 {
+			return []int{a}
+		}
+		b := l.ChainOf(g.Qubits[1])
+		if a == b {
+			return []int{a}
+		}
+		return []int{a, b}
+	}
+
+	inUse := make([]int, l.Device().NumChains())
+	type running struct {
+		finish float64
+		id     int
+	}
+	var active []running // kept sorted by (finish, id)
+	ready := make([]int, 0, n)
+	for id := 0; id < n; id++ {
+		if preds[id] == 0 {
+			ready = append(ready, id)
+		}
+	}
+	started := make([]bool, n)
+	now := 0.0
+	makespan := 0.0
+	remaining := n
+
+	startEligible := func() {
+		// Attempt to start ready gates in id order.
+		sort.Ints(ready)
+		next := ready[:0]
+		for _, id := range ready {
+			g := c.Gate(id)
+			chs := chainsOf(g)
+			fits := true
+			for _, ch := range chs {
+				if inUse[ch] >= capacity {
+					fits = false
+					break
+				}
+			}
+			if !fits {
+				next = append(next, id)
+				continue
+			}
+			for _, ch := range chs {
+				inUse[ch]++
+			}
+			started[id] = true
+			fin := now + lat.GateLatency(g, l)
+			active = append(active, running{finish: fin, id: id})
+			if fin > makespan {
+				makespan = fin
+			}
+		}
+		ready = next
+		sort.Slice(active, func(i, j int) bool {
+			if active[i].finish != active[j].finish {
+				return active[i].finish < active[j].finish
+			}
+			return active[i].id < active[j].id
+		})
+	}
+
+	startEligible()
+	for remaining > 0 {
+		if len(active) == 0 {
+			// No gate can run: with capacity ≥ 1 this cannot happen for a
+			// well-formed circuit, but guard against infinite loops.
+			return 0, fmt.Errorf("perf: constrained scheduler deadlocked with %d gates left", remaining)
+		}
+		// Advance to the earliest finish; retire every gate ending then.
+		now = active[0].finish
+		for len(active) > 0 && active[0].finish == now {
+			done := active[0]
+			active = active[1:]
+			remaining--
+			g := c.Gate(done.id)
+			for _, ch := range chainsOf(g) {
+				inUse[ch]--
+			}
+			for _, s := range succs[done.id] {
+				preds[s]--
+				if preds[s] == 0 && !started[s] {
+					ready = append(ready, s)
+				}
+			}
+		}
+		startEligible()
+	}
+	return makespan, nil
+}

@@ -1,0 +1,183 @@
+package perf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"velociti/internal/circuit"
+	"velociti/internal/ti"
+)
+
+func TestConstrainedUnlimitedEqualsParallel(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	lat := DefaultLatencies()
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + r.Intn(16)
+		d, _ := ti.NewDevice(4, (n+3)/4, ti.Ring)
+		chains := make([][]int, d.NumChains())
+		for q := 0; q < n; q++ {
+			chains[q/4] = append(chains[q/4], q)
+		}
+		l, _ := ti.NewLayout(d, chains)
+		c := circuit.New("rand", n)
+		for k := 0; k < r.Intn(40); k++ {
+			a, b := r.Intn(n), r.Intn(n)
+			for b == a {
+				b = r.Intn(n)
+			}
+			c.CX(a, b)
+		}
+		for _, capacity := range []int{0, -1, 1000} {
+			got, err := ParallelTimeConstrained(c, l, lat, capacity)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := ParallelTime(c, l, lat); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d cap=%d: %v != unconstrained %v", trial, capacity, got, want)
+			}
+		}
+	}
+}
+
+func TestConstrainedSingleSlotSerializesChain(t *testing.T) {
+	// Four independent intra-chain gates on one chain: unconstrained they
+	// all run at once (100 µs); with capacity 1 they serialize (400 µs).
+	d, _ := ti.NewDevice(8, 1, ti.Ring)
+	l, _ := ti.NewLayout(d, [][]int{{0, 1, 2, 3, 4, 5, 6, 7}})
+	c := circuit.New("par4", 8)
+	c.CX(0, 1)
+	c.CX(2, 3)
+	c.CX(4, 5)
+	c.CX(6, 7)
+	lat := DefaultLatencies()
+	free, err := ParallelTimeConstrained(c, l, lat, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free != 100 {
+		t.Fatalf("unconstrained = %v, want 100", free)
+	}
+	one, err := ParallelTimeConstrained(c, l, lat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one != 400 {
+		t.Fatalf("capacity 1 = %v, want 400", one)
+	}
+	two, err := ParallelTimeConstrained(c, l, lat, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two != 200 {
+		t.Fatalf("capacity 2 = %v, want 200", two)
+	}
+}
+
+func TestConstrainedWeakGateOccupiesBothChains(t *testing.T) {
+	// Chains A{0,1,2,3} and B{4,5,6,7}, capacity 1. A weak gate (1,4)
+	// blocks both chains, so the intra-chain gates (2,3) and (5,6) must
+	// wait behind it.
+	d, _ := ti.NewDevice(4, 2, ti.Line)
+	l, _ := ti.NewLayout(d, [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}})
+	c := circuit.New("wk", 8)
+	c.CX(1, 4) // weak: αγ = 200, holds both chains
+	c.CX(2, 3) // chain A
+	c.CX(5, 6) // chain B
+	lat := DefaultLatencies()
+	got, err := ParallelTimeConstrained(c, l, lat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weak gate 0–200, then both locals 200–300 in parallel (one per chain).
+	if got != 300 {
+		t.Fatalf("capacity 1 with weak gate = %v, want 300", got)
+	}
+	// Unconstrained: everything at t=0, makespan 200.
+	free, _ := ParallelTimeConstrained(c, l, lat, 0)
+	if free != 200 {
+		t.Fatalf("unconstrained = %v, want 200", free)
+	}
+}
+
+func TestConstrainedRespectsDependencies(t *testing.T) {
+	// A dependency chain must serialize regardless of capacity.
+	d, _ := ti.NewDevice(4, 1, ti.Ring)
+	l, _ := ti.NewLayout(d, [][]int{{0, 1, 2, 3}})
+	c := circuit.New("dep", 4)
+	c.CX(0, 1)
+	c.CX(1, 2)
+	c.CX(2, 3)
+	lat := DefaultLatencies()
+	for _, capacity := range []int{1, 2, 4, 0} {
+		got, err := ParallelTimeConstrained(c, l, lat, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 300 {
+			t.Fatalf("cap=%d: dependency chain = %v, want 300", capacity, got)
+		}
+	}
+}
+
+func TestConstrainedCapacityMonotoneOnStructuredCases(t *testing.T) {
+	// On a wide layer of independent gates, more capacity never hurts.
+	d, _ := ti.NewDevice(32, 2, ti.Ring)
+	l, _ := ti.NewLayout(d, [][]int{
+		{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15},
+		{16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31},
+	})
+	c := circuit.New("layers", 32)
+	for layer := 0; layer < 3; layer++ {
+		for i := 0; i < 16; i += 2 {
+			c.CX(i, i+1)
+			c.CX(16+i, 16+i+1)
+		}
+	}
+	lat := DefaultLatencies()
+	prev := math.Inf(1)
+	for _, capacity := range []int{1, 2, 4, 8, 0} {
+		got, err := ParallelTimeConstrained(c, l, lat, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got > prev+1e-9 {
+			t.Fatalf("capacity %d slower than smaller capacity: %v > %v", capacity, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestConstrainedValidation(t *testing.T) {
+	d, _ := ti.NewDevice(4, 1, ti.Ring)
+	l, _ := ti.NewLayout(d, [][]int{{0, 1}})
+	c := circuit.New("v", 2)
+	if _, err := ParallelTimeConstrained(c, l, Latencies{}, 1); err == nil {
+		t.Fatalf("bad latencies should fail")
+	}
+	wide := circuit.New("w", 50)
+	if _, err := ParallelTimeConstrained(wide, l, DefaultLatencies(), 1); err == nil {
+		t.Fatalf("width mismatch should fail")
+	}
+	// Empty circuit.
+	if got, err := ParallelTimeConstrained(c, l, DefaultLatencies(), 1); err != nil || got != 0 {
+		t.Fatalf("empty = %v, %v", got, err)
+	}
+}
+
+func TestConstrainedOneQubitGatesShareSlots(t *testing.T) {
+	// Eight 1-qubit gates on one chain with capacity 2: four waves of 1 µs.
+	d, _ := ti.NewDevice(8, 1, ti.Ring)
+	l, _ := ti.NewLayout(d, [][]int{{0, 1, 2, 3, 4, 5, 6, 7}})
+	c := circuit.New("ones", 8)
+	for q := 0; q < 8; q++ {
+		c.X(q)
+	}
+	got, err := ParallelTimeConstrained(c, l, DefaultLatencies(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 {
+		t.Fatalf("8 one-qubit gates at capacity 2 = %v µs, want 4", got)
+	}
+}

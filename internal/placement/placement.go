@@ -1,0 +1,243 @@
+// Package placement implements the qubit place-and-route stage of VelociTI
+// (§III-B stage 2, §V-A "hardware implementation module").
+//
+// A placement policy assigns a workload's qubits to a device's ion chains,
+// producing a ti.Layout (the paper's "netlist"). The paper's policy is
+// pseudo-random placement onto the area-optimal number of chains; this
+// package additionally provides a deterministic round-robin policy (useful
+// in tests) and an interaction-aware greedy policy (an extension, ablated in
+// the benchmarks) that co-locates frequently interacting qubits to reduce
+// weak-link traffic.
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"velociti/internal/ti"
+)
+
+// Policy assigns numQubits qubits onto the chains of a device. Policies
+// must be deterministic given the same *rand.Rand state.
+type Policy interface {
+	// Name identifies the policy in reports and benchmarks.
+	Name() string
+	// Place builds a layout. It fails if the workload does not fit the
+	// device.
+	Place(d *ti.Device, numQubits int, r *rand.Rand) (*ti.Layout, error)
+}
+
+// capacities returns the per-chain qubit counts for a balanced distribution
+// of n qubits over the device's chains: chain sizes differ by at most one,
+// and no chain exceeds the device chain length.
+func capacities(d *ti.Device, n int) ([]int, error) {
+	if !d.Fits(n) {
+		return nil, fmt.Errorf("placement: %d qubits exceed device capacity %d", n, d.TotalCapacity())
+	}
+	c := d.NumChains()
+	base, extra := n/c, n%c
+	counts := make([]int, c)
+	for i := range counts {
+		counts[i] = base
+		if i < extra {
+			counts[i]++
+		}
+		if counts[i] > d.ChainLength() {
+			return nil, fmt.Errorf("placement: balanced chain size %d exceeds chain length %d", counts[i], d.ChainLength())
+		}
+	}
+	return counts, nil
+}
+
+// Random is the paper's placement policy: qubits are shuffled uniformly at
+// random and dealt into chains in balanced fashion (§III-B: "we randomly
+// place qubits and distribute them across the chains").
+type Random struct{}
+
+// Name implements Policy.
+func (Random) Name() string { return "random" }
+
+// Place implements Policy.
+func (Random) Place(d *ti.Device, numQubits int, r *rand.Rand) (*ti.Layout, error) {
+	counts, err := capacities(d, numQubits)
+	if err != nil {
+		return nil, err
+	}
+	perm := r.Perm(numQubits)
+	chains := make([][]int, d.NumChains())
+	at := 0
+	for c, k := range counts {
+		chains[c] = append([]int(nil), perm[at:at+k]...)
+		at += k
+	}
+	return ti.NewLayout(d, chains)
+}
+
+// RoundRobin places qubit q on chain q mod c, preserving index order within
+// each chain. It is deterministic and primarily useful for tests and as a
+// predictable baseline.
+type RoundRobin struct{}
+
+// Name implements Policy.
+func (RoundRobin) Name() string { return "round-robin" }
+
+// Place implements Policy.
+func (RoundRobin) Place(d *ti.Device, numQubits int, _ *rand.Rand) (*ti.Layout, error) {
+	if !d.Fits(numQubits) {
+		return nil, fmt.Errorf("placement: %d qubits exceed device capacity %d", numQubits, d.TotalCapacity())
+	}
+	chains := make([][]int, d.NumChains())
+	for q := 0; q < numQubits; q++ {
+		c := q % d.NumChains()
+		if len(chains[c]) >= d.ChainLength() {
+			return nil, fmt.Errorf("placement: round-robin overflows chain %d", c)
+		}
+		chains[c] = append(chains[c], q)
+	}
+	return ti.NewLayout(d, chains)
+}
+
+// Sequential fills chain 0 with qubits 0..L-1, chain 1 with the next L, and
+// so on. Deterministic; used to pin corner cases in tests.
+type Sequential struct{}
+
+// Name implements Policy.
+func (Sequential) Name() string { return "sequential" }
+
+// Place implements Policy.
+func (Sequential) Place(d *ti.Device, numQubits int, _ *rand.Rand) (*ti.Layout, error) {
+	if !d.Fits(numQubits) {
+		return nil, fmt.Errorf("placement: %d qubits exceed device capacity %d", numQubits, d.TotalCapacity())
+	}
+	chains := make([][]int, d.NumChains())
+	for q := 0; q < numQubits; q++ {
+		c := q / d.ChainLength()
+		chains[c] = append(chains[c], q)
+	}
+	return ti.NewLayout(d, chains)
+}
+
+// InteractionAware is an extension policy that inspects the workload's
+// qubit-interaction graph (how many 2-qubit gates each unordered qubit pair
+// shares) and greedily clusters heavily interacting qubits onto the same
+// chain, reducing weak-link gates for explicit circuits. Pairs are
+// processed in decreasing interaction weight; each pair is merged into a
+// chain when capacity allows. Remaining qubits are placed balanced.
+type InteractionAware struct {
+	// Interactions maps canonical qubit pairs (smaller index first) to the
+	// number of 2-qubit gates they share, as produced by
+	// circuit.InteractionGraph.
+	Interactions map[[2]int]int
+}
+
+// Name implements Policy.
+func (InteractionAware) Name() string { return "interaction-aware" }
+
+// Place implements Policy.
+func (p InteractionAware) Place(d *ti.Device, numQubits int, r *rand.Rand) (*ti.Layout, error) {
+	counts, err := capacities(d, numQubits)
+	if err != nil {
+		return nil, err
+	}
+	type pair struct {
+		a, b, weight int
+	}
+	pairs := make([]pair, 0, len(p.Interactions))
+	for k, w := range p.Interactions {
+		if k[0] < 0 || k[1] < 0 || k[0] >= numQubits || k[1] >= numQubits {
+			return nil, fmt.Errorf("placement: interaction pair %v out of range [0,%d)", k, numQubits)
+		}
+		pairs = append(pairs, pair{a: k[0], b: k[1], weight: w})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].weight != pairs[j].weight {
+			return pairs[i].weight > pairs[j].weight
+		}
+		if pairs[i].a != pairs[j].a {
+			return pairs[i].a < pairs[j].a
+		}
+		return pairs[i].b < pairs[j].b
+	})
+
+	chainOf := make([]int, numQubits)
+	for i := range chainOf {
+		chainOf[i] = -1
+	}
+	used := make([]int, d.NumChains())
+	room := func(c int) int { return counts[c] - used[c] }
+	assign := func(q, c int) {
+		chainOf[q] = c
+		used[c]++
+	}
+	// Greedy merge: for each heavy pair, try to put both qubits on one
+	// chain (joining an existing side's chain when possible).
+	for _, pr := range pairs {
+		ca, cb := chainOf[pr.a], chainOf[pr.b]
+		switch {
+		case ca == -1 && cb == -1:
+			// Open the emptiest chain with room for two.
+			best := -1
+			for c := range counts {
+				if room(c) >= 2 && (best == -1 || used[c] < used[best]) {
+					best = c
+				}
+			}
+			if best >= 0 {
+				assign(pr.a, best)
+				assign(pr.b, best)
+			}
+		case ca != -1 && cb == -1:
+			if room(ca) >= 1 {
+				assign(pr.b, ca)
+			}
+		case ca == -1 && cb != -1:
+			if room(cb) >= 1 {
+				assign(pr.a, cb)
+			}
+		}
+		// Both already placed: nothing to do.
+	}
+	// Place any stragglers into remaining capacity, spreading evenly.
+	for q := 0; q < numQubits; q++ {
+		if chainOf[q] != -1 {
+			continue
+		}
+		best := -1
+		for c := range counts {
+			if room(c) >= 1 && (best == -1 || room(c) > room(best)) {
+				best = c
+			}
+		}
+		if best == -1 {
+			return nil, fmt.Errorf("placement: no capacity left for qubit q%d", q)
+		}
+		assign(q, best)
+	}
+	chains := make([][]int, d.NumChains())
+	for q := 0; q < numQubits; q++ {
+		chains[chainOf[q]] = append(chains[chainOf[q]], q)
+	}
+	// Shuffle slot order within each chain so edge-qubit selection is not
+	// systematically biased toward low qubit ids.
+	if r != nil {
+		for _, qs := range chains {
+			r.Shuffle(len(qs), func(i, j int) { qs[i], qs[j] = qs[j], qs[i] })
+		}
+	}
+	return ti.NewLayout(d, chains)
+}
+
+// CrossChainGates counts, for an explicit gate list described by the
+// interaction multiset, how many 2-qubit interactions span chains under the
+// given layout. It is the figure of merit interaction-aware placement
+// minimizes; exposed for reports and tests.
+func CrossChainGates(l *ti.Layout, interactions map[[2]int]int) int {
+	total := 0
+	for pairKey, w := range interactions {
+		if !l.SameChain(pairKey[0], pairKey[1]) {
+			total += w
+		}
+	}
+	return total
+}

@@ -1,0 +1,254 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+
+	"velociti/internal/stats"
+	"velociti/internal/ti"
+)
+
+func device(t *testing.T, length, chains int) *ti.Device {
+	t.Helper()
+	d, err := ti.NewDevice(length, chains, ti.Ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// checkComplete verifies the layout places each of n qubits exactly once.
+func checkComplete(t *testing.T, l *ti.Layout, n int) {
+	t.Helper()
+	if l.NumQubits() != n {
+		t.Fatalf("layout has %d qubits, want %d", l.NumQubits(), n)
+	}
+	seen := make(map[int]bool)
+	for c := 0; c < l.Device().NumChains(); c++ {
+		for _, q := range l.Chain(c) {
+			if seen[q] {
+				t.Fatalf("qubit q%d placed twice", q)
+			}
+			seen[q] = true
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("placed %d distinct qubits, want %d", len(seen), n)
+	}
+}
+
+func TestRandomPlacementBalanced(t *testing.T) {
+	d := device(t, 16, 5)
+	r := stats.NewRand(1)
+	l, err := Random{}.Place(d, 78, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkComplete(t, l, 78)
+	// 78 over 5 chains balanced: sizes 16,16,16,15,15.
+	sizes := make([]int, 5)
+	for c := range sizes {
+		sizes[c] = len(l.Chain(c))
+	}
+	want := []int{16, 16, 16, 15, 15}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("chain sizes = %v, want %v", sizes, want)
+		}
+	}
+}
+
+func TestRandomPlacementDeterministicPerSeed(t *testing.T) {
+	d := device(t, 8, 4)
+	l1, _ := Random{}.Place(d, 30, stats.NewRand(7))
+	l2, _ := Random{}.Place(d, 30, stats.NewRand(7))
+	for q := 0; q < 30; q++ {
+		if l1.ChainOf(q) != l2.ChainOf(q) || l1.SlotOf(q) != l2.SlotOf(q) {
+			t.Fatalf("same seed must give identical placement (q%d differs)", q)
+		}
+	}
+	l3, _ := Random{}.Place(d, 30, stats.NewRand(8))
+	same := true
+	for q := 0; q < 30; q++ {
+		if l1.ChainOf(q) != l3.ChainOf(q) || l1.SlotOf(q) != l3.SlotOf(q) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("different seeds should give different placements")
+	}
+}
+
+func TestRandomPlacementRejectsOverflow(t *testing.T) {
+	d := device(t, 8, 2)
+	if _, err := (Random{}).Place(d, 17, stats.NewRand(1)); err == nil {
+		t.Fatalf("17 qubits on 2x8 device should fail")
+	}
+}
+
+func TestRoundRobin(t *testing.T) {
+	d := device(t, 4, 3)
+	l, err := RoundRobin{}.Place(d, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkComplete(t, l, 10)
+	for q := 0; q < 10; q++ {
+		if l.ChainOf(q) != q%3 {
+			t.Fatalf("q%d on chain %d, want %d", q, l.ChainOf(q), q%3)
+		}
+	}
+}
+
+func TestRoundRobinOverflow(t *testing.T) {
+	d := device(t, 2, 2)
+	if _, err := (RoundRobin{}).Place(d, 5, nil); err == nil {
+		t.Fatalf("overflow should fail")
+	}
+}
+
+func TestSequential(t *testing.T) {
+	d := device(t, 4, 3)
+	l, err := Sequential{}.Place(d, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkComplete(t, l, 10)
+	for q := 0; q < 10; q++ {
+		if l.ChainOf(q) != q/4 {
+			t.Fatalf("q%d on chain %d, want %d", q, l.ChainOf(q), q/4)
+		}
+		if l.SlotOf(q) != q%4 {
+			t.Fatalf("q%d in slot %d, want %d", q, l.SlotOf(q), q%4)
+		}
+	}
+}
+
+func TestInteractionAwareClustersHotPairs(t *testing.T) {
+	d := device(t, 4, 2)
+	// Qubits 0-3 interact heavily among themselves, 4-7 among themselves.
+	ig := map[[2]int]int{
+		{0, 1}: 10, {1, 2}: 10, {2, 3}: 10, {0, 3}: 10,
+		{4, 5}: 10, {5, 6}: 10, {6, 7}: 10, {4, 7}: 10,
+		{3, 4}: 1, // single weak cross pair
+	}
+	l, err := InteractionAware{Interactions: ig}.Place(d, 8, stats.NewRand(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkComplete(t, l, 8)
+	if got := CrossChainGates(l, ig); got != 1 {
+		t.Fatalf("interaction-aware placement leaves %d cross-chain gates, want 1\n%s", got, l)
+	}
+}
+
+func TestInteractionAwareBeatsRandomOnClusteredWorkload(t *testing.T) {
+	d := device(t, 8, 4)
+	ig := map[[2]int]int{}
+	// Four 8-qubit cliques of pairwise interactions.
+	for block := 0; block < 4; block++ {
+		base := block * 8
+		for i := 0; i < 8; i++ {
+			for j := i + 1; j < 8; j++ {
+				ig[[2]int{base + i, base + j}] = 5
+			}
+		}
+	}
+	aware, err := InteractionAware{Interactions: ig}.Place(d, 32, stats.NewRand(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	awareCross := CrossChainGates(aware, ig)
+
+	var randomCross int
+	for s := int64(0); s < 5; s++ {
+		l, err := Random{}.Place(d, 32, stats.NewRand(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		randomCross += CrossChainGates(l, ig)
+	}
+	randomCross /= 5
+	if awareCross >= randomCross {
+		t.Fatalf("interaction-aware cross=%d should beat random cross=%d", awareCross, randomCross)
+	}
+	if awareCross != 0 {
+		t.Fatalf("perfectly separable workload should have 0 cross-chain gates, got %d", awareCross)
+	}
+}
+
+func TestInteractionAwareValidatesPairs(t *testing.T) {
+	d := device(t, 4, 2)
+	_, err := InteractionAware{Interactions: map[[2]int]int{{0, 99}: 1}}.Place(d, 8, stats.NewRand(1))
+	if err == nil {
+		t.Fatalf("out-of-range interaction pair should fail")
+	}
+}
+
+func TestInteractionAwareHandlesEmptyGraph(t *testing.T) {
+	d := device(t, 4, 2)
+	l, err := InteractionAware{}.Place(d, 8, stats.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkComplete(t, l, 8)
+}
+
+func TestInteractionAwareNilRand(t *testing.T) {
+	d := device(t, 4, 2)
+	l, err := InteractionAware{Interactions: map[[2]int]int{{0, 1}: 3}}.Place(d, 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkComplete(t, l, 6)
+	if !l.SameChain(0, 1) {
+		t.Fatalf("hot pair should share a chain")
+	}
+}
+
+func TestCapacitiesErrors(t *testing.T) {
+	d := device(t, 4, 2)
+	if _, err := capacities(d, 9); err == nil {
+		t.Fatalf("overflow should error")
+	}
+	counts, err := capacities(d, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0]+counts[1] != 7 || counts[0]-counts[1] > 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestAllPoliciesPlaceAllQubits(t *testing.T) {
+	policies := []Policy{Random{}, RoundRobin{}, Sequential{}, InteractionAware{}}
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		length := 2 + r.Intn(8)
+		chains := 1 + r.Intn(5)
+		d := device(t, length, chains)
+		n := 1 + r.Intn(d.TotalCapacity())
+		for _, p := range policies {
+			l, err := p.Place(d, n, stats.NewRand(int64(trial)))
+			if err != nil {
+				t.Fatalf("%s: n=%d on %s: %v", p.Name(), n, d, err)
+			}
+			checkComplete(t, l, n)
+			for c := 0; c < chains; c++ {
+				if len(l.Chain(c)) > length {
+					t.Fatalf("%s overfilled chain %d", p.Name(), c)
+				}
+			}
+		}
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (Random{}).Name() != "random" ||
+		(RoundRobin{}).Name() != "round-robin" ||
+		(Sequential{}).Name() != "sequential" ||
+		(InteractionAware{}).Name() != "interaction-aware" {
+		t.Fatalf("policy names drifted")
+	}
+}

@@ -1,0 +1,150 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+
+	"velociti/internal/stats"
+)
+
+// clusteredGraph builds k blocks of `size` qubits with dense intra-block
+// interactions and sparse cross-block ones.
+func clusteredGraph(k, size, intraW, crossW int) map[[2]int]int {
+	ig := map[[2]int]int{}
+	for b := 0; b < k; b++ {
+		base := b * size
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				ig[[2]int{base + i, base + j}] = intraW
+			}
+		}
+		if b+1 < k && crossW > 0 {
+			ig[[2]int{base + size - 1, base + size}] = crossW
+		}
+	}
+	return ig
+}
+
+func TestRefineReachesZeroCutOnSeparableWorkload(t *testing.T) {
+	d := device(t, 8, 4)
+	ig := clusteredGraph(4, 8, 5, 0)
+	start, err := Random{}.Place(d, 32, stats.NewRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	startCross := CrossChainGates(start, ig)
+	refined, cost, err := Refine(start, ig, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 0 {
+		t.Fatalf("separable workload should refine to cut 0, got %d (from %d)", cost, startCross)
+	}
+	if got := CrossChainGates(refined, ig); got != cost {
+		t.Fatalf("reported cost %d != recomputed %d", cost, got)
+	}
+	checkComplete(t, refined, 32)
+}
+
+func TestRefineNeverIncreasesCost(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		chains := 2 + r.Intn(4)
+		size := 2 + r.Intn(6)
+		d := device(t, size, chains)
+		n := chains * size
+		// Random interaction graph.
+		ig := map[[2]int]int{}
+		for k := 0; k < n*2; k++ {
+			a, b := r.Intn(n), r.Intn(n)
+			if a == b {
+				continue
+			}
+			if a > b {
+				a, b = b, a
+			}
+			ig[[2]int{a, b}] += 1 + r.Intn(4)
+		}
+		start, err := Random{}.Place(d, n, stats.NewRand(int64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := CrossChainGates(start, ig)
+		refined, cost, err := Refine(start, ig, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost > before {
+			t.Fatalf("trial %d: refine increased cost %d → %d", trial, before, cost)
+		}
+		if got := CrossChainGates(refined, ig); got != cost {
+			t.Fatalf("trial %d: cost bookkeeping drifted: %d vs %d", trial, cost, got)
+		}
+		// Chain occupancies preserved.
+		for c := 0; c < chains; c++ {
+			if len(refined.Chain(c)) != len(start.Chain(c)) {
+				t.Fatalf("trial %d: chain %d size changed", trial, c)
+			}
+		}
+		checkComplete(t, refined, n)
+	}
+}
+
+func TestRefineBeatsGreedyOnAwkwardStart(t *testing.T) {
+	// Round-robin scatters the blocks maximally; refinement must recover
+	// the block structure that greedy InteractionAware finds natively.
+	d := device(t, 8, 4)
+	ig := clusteredGraph(4, 8, 5, 1)
+	scattered, err := RoundRobin{}.Place(d, 32, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := CrossChainGates(scattered, ig)
+	_, cost, err := Refine(scattered, ig, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal cut leaves only the 3 inter-block bridges (weight 1 each).
+	if cost > 3 {
+		t.Fatalf("refined cut = %d (from %d), want ≤ 3", cost, before)
+	}
+}
+
+func TestRefineValidation(t *testing.T) {
+	if _, _, err := Refine(nil, nil, 1); err == nil {
+		t.Fatalf("nil layout should fail")
+	}
+	d := device(t, 4, 2)
+	l, _ := Sequential{}.Place(d, 8, nil)
+	if _, _, err := Refine(l, map[[2]int]int{{0, 99}: 1}, 1); err == nil {
+		t.Fatalf("out-of-range pair should fail")
+	}
+	// Empty interactions: refine is a no-op with zero cost.
+	refined, cost, err := Refine(l, nil, 1)
+	if err != nil || cost != 0 {
+		t.Fatalf("empty refine: %v %d", err, cost)
+	}
+	checkComplete(t, refined, 8)
+}
+
+func TestRefinedPolicy(t *testing.T) {
+	d := device(t, 8, 4)
+	ig := clusteredGraph(4, 8, 5, 0)
+	pol := Refined{Interactions: ig}
+	l, err := pol.Place(d, 32, stats.NewRand(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CrossChainGates(l, ig); got != 0 {
+		t.Fatalf("refined policy cut = %d, want 0", got)
+	}
+	if pol.Name() != "refined" {
+		t.Fatalf("name = %q", pol.Name())
+	}
+	checkComplete(t, l, 32)
+	// Base policy errors propagate.
+	bad := Refined{Base: RoundRobin{}, Interactions: ig}
+	if _, err := bad.Place(device(t, 2, 2), 5, nil); err == nil {
+		t.Fatalf("base overflow should propagate")
+	}
+}

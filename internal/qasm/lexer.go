@@ -1,0 +1,231 @@
+// Package qasm implements an OpenQASM 2.0 front end and serializer for
+// VelociTI.
+//
+// The Go ecosystem has no quantum-circuit interchange tooling, so this
+// package provides the subset of OpenQASM 2.0 needed to import real
+// workloads into the framework's circuit IR and export generated circuits
+// for use with other toolchains:
+//
+//   - OPENQASM 2.0 header and include directives (qelib1.inc's standard
+//     gates are built in; other includes are rejected),
+//   - qreg/creg declarations (multiple quantum registers are flattened
+//     into one index space in declaration order),
+//   - the U and CX primitives and the qelib1 standard gate set,
+//   - user gate definitions with parameter and qubit substitution,
+//     expanded at application time,
+//   - parameter expressions over numbers and pi with + - * / ^ and unary
+//     minus,
+//   - whole-register broadcast (h q; cx a,b;),
+//   - measure and barrier statements (parsed and counted, but not part of
+//     the timing IR), and reset.
+//
+// Classically controlled operations (if (c==n) ...) are rejected: VelociTI
+// is a timing model without classical control flow (§III-C).
+package qasm
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // one of ; , ( ) { } [ ] + - * / ^ == ->
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokSymbol:
+		return "symbol"
+	default:
+		return "token"
+	}
+}
+
+// token is one lexical unit with its source line for diagnostics.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer splits OpenQASM source into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1}
+}
+
+// errorf builds a positioned lexical error.
+func (l *lexer) errorf(format string, args ...any) error {
+	return fmt.Errorf("qasm: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	b := l.src[l.pos]
+	l.pos++
+	if b == '\n' {
+		l.line++
+	}
+	return b
+}
+
+// skipSpaceAndComments consumes whitespace and // line comments.
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		b := l.peekByte()
+		switch {
+		case b == ' ' || b == '\t' || b == '\r' || b == '\n':
+			l.advance()
+		case b == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line}, nil
+	}
+	start := l.pos
+	line := l.line
+	b := l.peekByte()
+	switch {
+	case isIdentStart(b):
+		for l.pos < len(l.src) && isIdentPart(l.peekByte()) {
+			l.advance()
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: line}, nil
+	case unicode.IsDigit(rune(b)) || b == '.':
+		seenDot := false
+		for l.pos < len(l.src) {
+			c := l.peekByte()
+			if unicode.IsDigit(rune(c)) {
+				l.advance()
+				continue
+			}
+			if c == '.' && !seenDot {
+				seenDot = true
+				l.advance()
+				continue
+			}
+			if (c == 'e' || c == 'E') && l.pos > start {
+				// Exponent: e[+-]?digits
+				save := l.pos
+				l.advance()
+				if l.peekByte() == '+' || l.peekByte() == '-' {
+					l.advance()
+				}
+				if !unicode.IsDigit(rune(l.peekByte())) {
+					l.pos = save
+					break
+				}
+				for l.pos < len(l.src) && unicode.IsDigit(rune(l.peekByte())) {
+					l.advance()
+				}
+			}
+			break
+		}
+		text := l.src[start:l.pos]
+		if text == "." {
+			return token{}, l.errorf("stray '.'")
+		}
+		return token{kind: tokNumber, text: text, line: line}, nil
+	case b == '"':
+		l.advance()
+		for l.pos < len(l.src) && l.peekByte() != '"' {
+			if l.peekByte() == '\n' {
+				return token{}, l.errorf("unterminated string")
+			}
+			l.advance()
+		}
+		if l.pos >= len(l.src) {
+			return token{}, l.errorf("unterminated string")
+		}
+		text := l.src[start+1 : l.pos]
+		l.advance() // closing quote
+		return token{kind: tokString, text: text, line: line}, nil
+	case b == '-':
+		l.advance()
+		if l.peekByte() == '>' {
+			l.advance()
+			return token{kind: tokSymbol, text: "->", line: line}, nil
+		}
+		return token{kind: tokSymbol, text: "-", line: line}, nil
+	case b == '=':
+		l.advance()
+		if l.peekByte() == '=' {
+			l.advance()
+			return token{kind: tokSymbol, text: "==", line: line}, nil
+		}
+		return token{}, l.errorf("unexpected '='")
+	case strings.ContainsRune(";,(){}[]+*/^", rune(b)):
+		l.advance()
+		return token{kind: tokSymbol, text: string(b), line: line}, nil
+	default:
+		return token{}, l.errorf("unexpected character %q", string(b))
+	}
+}
+
+// tokenize lexes the whole input.
+func tokenize(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}
+
+func isIdentStart(b byte) bool {
+	return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}
+
+func isIdentPart(b byte) bool {
+	return isIdentStart(b) || (b >= '0' && b <= '9')
+}

@@ -1,0 +1,24 @@
+// 3-qubit Grover iteration marking |111>, one amplification round.
+// Uses ccz built from a user definition over qelib1 gates.
+OPENQASM 2.0;
+include "qelib1.inc";
+
+gate ccz a,b,c { h c; ccx a,b,c; h c; }
+
+qreg q[3];
+creg c[3];
+
+// uniform superposition
+h q;
+
+// oracle: phase-flip |111>
+ccz q[0],q[1],q[2];
+
+// diffuser
+h q;
+x q;
+ccz q[0],q[1],q[2];
+x q;
+h q;
+
+measure q -> c;

@@ -1,0 +1,6 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+include "mylib.inc";
+
+qreg q[3];
+triple q[0],q[1],q[2];

@@ -1,0 +1,17 @@
+// Two-layer hardware-efficient ansatz over 4 qubits with parameter
+// expressions and barriers between layers.
+OPENQASM 2.0;
+include "qelib1.inc";
+
+gate layer(t1,t2) a,b { ry(t1) a; ry(t2) b; cx a,b; rz(t1*t2/2) b; cx a,b; }
+
+qreg q[4];
+creg m[4];
+
+layer(pi/3,pi/5) q[0],q[1];
+layer(pi/7,-pi/4) q[2],q[3];
+barrier q;
+layer(0.25,1.5e-1) q[1],q[2];
+layer(2^2/10,sqrt(2)) q[3],q[0];
+barrier q;
+measure q -> m;

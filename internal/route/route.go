@@ -1,0 +1,147 @@
+// Package route implements a localizing router for explicit circuits — a
+// transpiler pass that decides, per cross-chain 2-qubit gate, whether to
+// execute it remotely over the weak link (α·γ) or to first migrate one
+// operand into the other operand's chain by swapping it with a resident
+// qubit (three cross-chain CX, then local gates at γ).
+//
+// Migration pays off when the pair keeps interacting: k consecutive
+// remote gates cost k·α·γ, while migrating costs 3·α·γ once plus k·γ
+// locally, so the break-even is k ≥ 3α/(α−1) (6 gates at the paper's
+// α = 2). The router scans ahead in program order and migrates exactly
+// when the lookahead clears that threshold, so it never loses to the
+// migrate-nothing baseline under its own cost model.
+//
+// The pass rewrites the circuit over physical qubits: the logical→physical
+// assignment evolves as SWAPs are inserted, and the final permutation is
+// returned so functional equivalence is checkable (the test suite verifies
+// it with the state-vector simulator).
+package route
+
+import (
+	"fmt"
+	"math"
+
+	"velociti/internal/circuit"
+	"velociti/internal/perf"
+	"velociti/internal/ti"
+)
+
+// Result carries the routed circuit and its bookkeeping.
+type Result struct {
+	// Routed is the rewritten circuit over physical qubits, including
+	// inserted SWAP gates.
+	Routed *circuit.Circuit
+	// FinalPosition maps each logical qubit to its physical position
+	// after the routed circuit runs (initially logical q sits at
+	// physical q).
+	FinalPosition []int
+	// Migrations counts qubit relocations performed.
+	Migrations int
+	// SwapsInserted counts inserted SWAP gates (one per migration).
+	SwapsInserted int
+}
+
+// breakEven returns the minimum number of consecutive remote interactions
+// that justifies a migration under the latency model: 3α/(α−1), or +Inf
+// when α = 1 (remote gates are free of penalty, migration never pays).
+func breakEven(lat perf.Latencies) float64 {
+	if lat.WeakPenalty <= 1 {
+		return math.Inf(1)
+	}
+	return 3 * lat.WeakPenalty / (lat.WeakPenalty - 1)
+}
+
+// Localize routes circuit c against layout l under the latency model lat.
+// The input circuit and layout are not modified; gate operands in the
+// returned circuit refer to physical qubits of the same layout.
+func Localize(c *circuit.Circuit, l *ti.Layout, lat perf.Latencies) (*Result, error) {
+	if err := lat.Validate(); err != nil {
+		return nil, err
+	}
+	if c.NumQubits() > l.NumQubits() {
+		return nil, fmt.Errorf("route: circuit has %d qubits but layout places only %d", c.NumQubits(), l.NumQubits())
+	}
+	n := l.NumQubits()
+	// position[logical] = physical slot; occupant[physical] = logical.
+	position := make([]int, n)
+	occupant := make([]int, n)
+	for i := 0; i < n; i++ {
+		position[i] = i
+		occupant[i] = i
+	}
+	threshold := breakEven(lat)
+	gates := c.Gates()
+	out := circuit.New(c.Name+"-routed", n)
+	res := &Result{}
+
+	// lookaheadRun counts how many of the upcoming gates on logical pair
+	// (a, b) occur before either qubit participates with a third party —
+	// the streak a migration would localize.
+	lookaheadRun := func(from int, a, b int) int {
+		run := 0
+		for i := from; i < len(gates); i++ {
+			g := gates[i]
+			ta, tb := g.Touches(a), g.Touches(b)
+			if !ta && !tb {
+				continue
+			}
+			if g.IsTwoQubit() && ta && tb {
+				run++
+				continue
+			}
+			if g.IsTwoQubit() {
+				// One of the pair interacts elsewhere: streak over.
+				break
+			}
+			// 1-qubit gates on a or b do not break the streak.
+		}
+		return run
+	}
+
+	for idx, g := range gates {
+		if !g.IsTwoQubit() {
+			out.Append(g.Kind, []int{position[g.Qubits[0]]}, g.Params...)
+			continue
+		}
+		la, lb := g.Qubits[0], g.Qubits[1]
+		pa, pb := position[la], position[lb]
+		if !l.SameChain(pa, pb) && float64(lookaheadRun(idx, la, lb)) >= threshold {
+			// Migrate logical la into lb's chain by swapping it with a
+			// resident of that chain. Victim choice: the physical slot in
+			// lb's chain whose occupant interacts least with that chain's
+			// residents — approximated by picking the occupant with the
+			// fewest remaining gates (cheap heuristic: first slot whose
+			// occupant is not lb).
+			victim := -1
+			for _, slot := range l.Chain(l.ChainOf(pb)) {
+				if slot != pb {
+					victim = slot
+					break
+				}
+			}
+			if victim >= 0 {
+				out.SWAP(pa, victim)
+				lv := occupant[victim]
+				position[la], position[lv] = victim, pa
+				occupant[victim], occupant[pa] = la, lv
+				pa = position[la]
+				res.Migrations++
+				res.SwapsInserted++
+			}
+		}
+		out.Append(g.Kind, []int{pa, pb}, g.Params...)
+	}
+	res.Routed = out
+	res.FinalPosition = position[:c.NumQubits()]
+	return res, nil
+}
+
+// Evaluate compares the routed circuit against executing the original
+// remotely, both under the parallel model on the same layout.
+func Evaluate(c *circuit.Circuit, l *ti.Layout, lat perf.Latencies) (original, routed float64, res *Result, err error) {
+	res, err = Localize(c, l, lat)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return perf.ParallelTime(c, l, lat), perf.ParallelTime(res.Routed, l, lat), res, nil
+}

@@ -1,0 +1,276 @@
+// Package schedule implements VelociTI's gate placement and operation
+// ordering (§III-B stage 2: the "op. list" of the hardware-implementation
+// module).
+//
+// VelociTI abstracts a workload to its boundary conditions — the number of
+// qubits and the counts of 1- and 2-qubit gates (Table I). A Placer turns
+// those counts plus a qubit layout into a concrete gate sequence whose
+// cross-chain ("weak-link") gates the performance models charge at α·γ.
+//
+// The paper's baseline is purely random scheduling: each 2-qubit gate
+// draws a qubit pair uniformly at random, and pairs landing on different
+// chains become weak-link operations (the physical communication happens
+// over the link joining the chains). This calibration reproduces the
+// paper's reported sensitivities — e.g. the 20% speedup from chain length
+// 8→32 (Figure 7) follows directly from the cross-chain probability
+// 1 − (L−1)/(n−1) falling as chains lengthen, and Figure 9(a)'s 48-qubit
+// threshold falls exactly where a workload stops fitting in one 32-ion
+// chain. The paper observes that random scheduling can cost more than 50%
+// performance on low-density circuits, motivating smarter schedulers
+// (§VI-B); the LoadBalanced and WeakAvoiding placers are such extensions,
+// and EdgeConstrained explores a strict regime where cross-chain gates may
+// only touch the edge qubits of a weak link. All are ablated in the
+// benchmark suite.
+//
+// Synthesized gates use circuit.X for 1-qubit operations and circuit.CX for
+// 2-qubit operations; the performance models only inspect arity and
+// placement, never the gate kind (§III-C).
+package schedule
+
+import (
+	"fmt"
+	"math/rand"
+
+	"velociti/internal/circuit"
+	"velociti/internal/perf"
+	"velociti/internal/ti"
+)
+
+// Placer synthesizes a gate sequence realizing a circuit spec on a layout.
+type Placer interface {
+	// Name identifies the placer in reports and benchmarks.
+	Name() string
+	// Place builds the gate sequence. The returned circuit has exactly
+	// spec.OneQubitGates 1-qubit gates and spec.TwoQubitGates 2-qubit
+	// gates over spec.Qubits qubits.
+	Place(spec circuit.Spec, l *ti.Layout, r *rand.Rand) (*circuit.Circuit, error)
+}
+
+// validate performs the shared sanity checks for placers.
+func validate(spec circuit.Spec, l *ti.Layout) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if spec.Qubits > l.NumQubits() {
+		return fmt.Errorf("schedule: spec needs %d qubits, layout places %d", spec.Qubits, l.NumQubits())
+	}
+	return nil
+}
+
+// opOrder returns a shuffled sequence of gate arities (1 or 2) realizing
+// the spec's gate counts.
+func opOrder(spec circuit.Spec, r *rand.Rand) []int {
+	ops := make([]int, 0, spec.TotalGates())
+	for i := 0; i < spec.OneQubitGates; i++ {
+		ops = append(ops, 1)
+	}
+	for i := 0; i < spec.TwoQubitGates; i++ {
+		ops = append(ops, 2)
+	}
+	r.Shuffle(len(ops), func(i, j int) { ops[i], ops[j] = ops[j], ops[i] })
+	return ops
+}
+
+// uniformPair draws a uniformly random unordered pair of distinct qubits
+// from [0, n).
+func uniformPair(r *rand.Rand, n int) (int, int) {
+	a := r.Intn(n)
+	b := r.Intn(n - 1)
+	if b >= a {
+		b++
+	}
+	return a, b
+}
+
+// Random is the paper's placement policy: each 2-qubit gate acts on a
+// uniformly random qubit pair (cross-chain pairs become weak-link
+// operations), each 1-qubit gate on a uniformly random qubit, and the
+// operations are interleaved in random order.
+type Random struct{}
+
+// Name implements Placer.
+func (Random) Name() string { return "random" }
+
+// Place implements Placer.
+func (Random) Place(spec circuit.Spec, l *ti.Layout, r *rand.Rand) (*circuit.Circuit, error) {
+	if err := validate(spec, l); err != nil {
+		return nil, err
+	}
+	c := circuit.New(spec.Name, spec.Qubits)
+	for _, arity := range opOrder(spec, r) {
+		if arity == 1 {
+			c.X(r.Intn(spec.Qubits))
+			continue
+		}
+		a, b := uniformPair(r, spec.Qubits)
+		c.CX(a, b)
+	}
+	return c, nil
+}
+
+// WeakAvoiding places 2-qubit gates only on intra-chain pairs, eliminating
+// weak-link traffic entirely (w = 0). It is an extension that bounds how
+// much of the runtime is attributable to the weak link; it fails when no
+// chain holds two of the spec's qubits.
+type WeakAvoiding struct{}
+
+// Name implements Placer.
+func (WeakAvoiding) Name() string { return "weak-avoiding" }
+
+// Place implements Placer.
+func (WeakAvoiding) Place(spec circuit.Spec, l *ti.Layout, r *rand.Rand) (*circuit.Circuit, error) {
+	if err := validate(spec, l); err != nil {
+		return nil, err
+	}
+	var local [][2]int
+	if spec.TwoQubitGates > 0 {
+		for _, p := range l.LegalPairs() {
+			if p[0] < spec.Qubits && p[1] < spec.Qubits && l.SameChain(p[0], p[1]) {
+				local = append(local, p)
+			}
+		}
+		if len(local) == 0 {
+			return nil, fmt.Errorf("schedule: weak-avoiding placer has no intra-chain pairs among %d qubits", spec.Qubits)
+		}
+	}
+	c := circuit.New(spec.Name, spec.Qubits)
+	for _, arity := range opOrder(spec, r) {
+		if arity == 1 {
+			c.X(r.Intn(spec.Qubits))
+			continue
+		}
+		p := local[r.Intn(len(local))]
+		c.CX(p[0], p[1])
+	}
+	return c, nil
+}
+
+// EdgeConstrained restricts cross-chain gates to the edge qubits of weak
+// links ("only the qubits on the edge of a weak link can be used for such
+// communications", §III-B): every 2-qubit gate draws uniformly from the
+// union of intra-chain pairs and weak-link edge pairs. Because edge pairs
+// are a vanishing fraction of that set, weak-link usage is far rarer than
+// under Random — this placer exists to quantify that strict regime as an
+// ablation.
+type EdgeConstrained struct{}
+
+// Name implements Placer.
+func (EdgeConstrained) Name() string { return "edge-constrained" }
+
+// Place implements Placer.
+func (EdgeConstrained) Place(spec circuit.Spec, l *ti.Layout, r *rand.Rand) (*circuit.Circuit, error) {
+	if err := validate(spec, l); err != nil {
+		return nil, err
+	}
+	var pairs [][2]int
+	if spec.TwoQubitGates > 0 {
+		for _, p := range l.LegalPairs() {
+			if p[0] < spec.Qubits && p[1] < spec.Qubits {
+				pairs = append(pairs, p)
+			}
+		}
+		if len(pairs) == 0 {
+			return nil, fmt.Errorf("schedule: no legal 2-qubit pairs among the first %d qubits", spec.Qubits)
+		}
+	}
+	c := circuit.New(spec.Name, spec.Qubits)
+	for _, arity := range opOrder(spec, r) {
+		if arity == 1 {
+			c.X(r.Intn(spec.Qubits))
+			continue
+		}
+		p := pairs[r.Intn(len(pairs))]
+		c.CX(p[0], p[1])
+	}
+	return c, nil
+}
+
+// LoadBalanced is a greedy list-scheduling placer (extension): it tracks
+// each qubit's busy-until time under the given latency model and, for every
+// 2-qubit gate, samples Candidates random pairs and commits the one whose
+// gate would finish earliest. This balances work across qubits and steers
+// traffic away from weak links when they are the bottleneck, approximating
+// the "robust scheduling optimizations" the paper calls for (§VI-B).
+type LoadBalanced struct {
+	// Latencies is the timing model used to estimate finish times.
+	Latencies perf.Latencies
+	// Candidates is the number of random pairs sampled per gate. Zero
+	// selects the default of 8. Higher values schedule better and run
+	// slower.
+	Candidates int
+}
+
+// Name implements Placer.
+func (LoadBalanced) Name() string { return "load-balanced" }
+
+// Place implements Placer.
+func (pl LoadBalanced) Place(spec circuit.Spec, l *ti.Layout, r *rand.Rand) (*circuit.Circuit, error) {
+	if err := validate(spec, l); err != nil {
+		return nil, err
+	}
+	if err := pl.Latencies.Validate(); err != nil {
+		return nil, err
+	}
+	k := pl.Candidates
+	if k <= 0 {
+		k = 8
+	}
+	busy := make([]float64, spec.Qubits)
+	c := circuit.New(spec.Name, spec.Qubits)
+	latencyOf := func(a, b int) float64 {
+		if l.SameChain(a, b) {
+			return pl.Latencies.TwoQubit
+		}
+		return pl.Latencies.WeakPenalty * pl.Latencies.TwoQubit
+	}
+	for _, arity := range opOrder(spec, r) {
+		if arity == 1 {
+			// Choose the least-busy of a few sampled qubits.
+			best := r.Intn(spec.Qubits)
+			for i := 1; i < k; i++ {
+				q := r.Intn(spec.Qubits)
+				if busy[q] < busy[best] {
+					best = q
+				}
+			}
+			busy[best] += pl.Latencies.OneQubit
+			c.X(best)
+			continue
+		}
+		var bestA, bestB int
+		bestFinish := 0.0
+		for i := 0; i < k; i++ {
+			a, b := uniformPair(r, spec.Qubits)
+			start := busy[a]
+			if busy[b] > start {
+				start = busy[b]
+			}
+			finish := start + latencyOf(a, b)
+			if i == 0 || finish < bestFinish {
+				bestFinish = finish
+				bestA, bestB = a, b
+			}
+		}
+		busy[bestA] = bestFinish
+		busy[bestB] = bestFinish
+		c.CX(bestA, bestB)
+	}
+	return c, nil
+}
+
+// All returns the full placer suite: the paper baseline first, then the
+// extensions, using the given latency model where needed.
+func All(lat perf.Latencies) []Placer {
+	return []Placer{Random{}, WeakAvoiding{}, LoadBalanced{Latencies: lat}, EdgeConstrained{}}
+}
+
+// ByName returns the placer with the given name, defaulting LoadBalanced's
+// latency model to lat.
+func ByName(name string, lat perf.Latencies) (Placer, error) {
+	for _, p := range All(lat) {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("schedule: unknown placer %q (want random, weak-avoiding, load-balanced, or edge-constrained)", name)
+}

@@ -1,0 +1,335 @@
+// Package statevec is a small dense state-vector simulator for functionally
+// validating circuits on few qubits.
+//
+// The VelociTI paper explicitly scopes the framework to performance and
+// timing, deferring "functional simulation for small systems" to future
+// work (§III-C). This package implements that extension: it executes the
+// circuit IR exactly (complex amplitudes, all supported gate kinds) so the
+// test suite can prove the application generators in internal/apps compute
+// what they claim — Bernstein–Vazirani recovers its secret, the Cuccaro
+// adder adds, QFT implements the discrete Fourier transform, Grover
+// amplifies the marked state.
+//
+// Qubit 0 is the least significant bit of a basis-state index. The
+// simulator is O(2^n) in memory and per-gate time and refuses circuits
+// wider than MaxQubits.
+package statevec
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"velociti/internal/circuit"
+)
+
+// MaxQubits bounds simulator width; 24 qubits is 16M amplitudes (256 MiB),
+// the practical ceiling for a test-support tool.
+const MaxQubits = 24
+
+// State is a normalized pure quantum state over n qubits.
+type State struct {
+	n   int
+	amp []complex128
+}
+
+// New returns the all-zeros computational basis state |0…0⟩ over n qubits.
+func New(n int) (*State, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("statevec: need at least 1 qubit, got %d", n)
+	}
+	if n > MaxQubits {
+		return nil, fmt.Errorf("statevec: %d qubits exceeds simulator limit of %d", n, MaxQubits)
+	}
+	s := &State{n: n, amp: make([]complex128, 1<<uint(n))}
+	s.amp[0] = 1
+	return s, nil
+}
+
+// NumQubits returns the register width.
+func (s *State) NumQubits() int { return s.n }
+
+// Amplitude returns the amplitude of the given basis state.
+func (s *State) Amplitude(basis uint64) complex128 {
+	return s.amp[basis]
+}
+
+// Probability returns |amplitude|² of the given basis state.
+func (s *State) Probability(basis uint64) float64 {
+	a := s.amp[basis]
+	return real(a)*real(a) + imag(a)*imag(a)
+}
+
+// Norm returns the state's 2-norm (1.0 up to rounding for valid states).
+func (s *State) Norm() float64 {
+	var sum float64
+	for _, a := range s.amp {
+		sum += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return math.Sqrt(sum)
+}
+
+// Fidelity returns |⟨s|o⟩|², the squared overlap with another state of the
+// same width.
+func (s *State) Fidelity(o *State) (float64, error) {
+	if s.n != o.n {
+		return 0, fmt.Errorf("statevec: width mismatch %d vs %d", s.n, o.n)
+	}
+	var dot complex128
+	for i := range s.amp {
+		dot += cmplx.Conj(s.amp[i]) * o.amp[i]
+	}
+	return real(dot)*real(dot) + imag(dot)*imag(dot), nil
+}
+
+// MarginalProbability returns the probability that measuring the qubits
+// selected by mask yields the bits of value (value is read under the same
+// mask; other bits are traced out).
+func (s *State) MarginalProbability(mask, value uint64) float64 {
+	var p float64
+	for i, a := range s.amp {
+		if uint64(i)&mask == value&mask {
+			p += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	return p
+}
+
+// Sample draws one measurement outcome of all qubits from the state's
+// distribution without collapsing the state.
+func (s *State) Sample(r *rand.Rand) uint64 {
+	x := r.Float64()
+	var acc float64
+	for i, a := range s.amp {
+		acc += real(a)*real(a) + imag(a)*imag(a)
+		if x < acc {
+			return uint64(i)
+		}
+	}
+	return uint64(len(s.amp) - 1)
+}
+
+// Apply executes one gate on the state.
+func (s *State) Apply(g circuit.Gate) error {
+	for _, q := range g.Qubits {
+		if q < 0 || q >= s.n {
+			return fmt.Errorf("statevec: gate %s touches qubit q%d outside register of %d", g, q, s.n)
+		}
+	}
+	if g.Kind.Arity() == 1 {
+		m, err := oneQubitMatrix(g)
+		if err != nil {
+			return err
+		}
+		s.apply1(g.Qubits[0], m)
+		return nil
+	}
+	m, err := twoQubitMatrix(g)
+	if err != nil {
+		return err
+	}
+	s.apply2(g.Qubits[0], g.Qubits[1], m)
+	return nil
+}
+
+// Run executes an entire circuit from |0…0⟩ and returns the final state.
+func Run(c *circuit.Circuit) (*State, error) {
+	s, err := New(c.NumQubits())
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range c.Gates() {
+		if err := s.Apply(g); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// apply1 applies the 2×2 matrix m to qubit k.
+func (s *State) apply1(k int, m [2][2]complex128) {
+	mask := 1 << uint(k)
+	for i := range s.amp {
+		if i&mask != 0 {
+			continue
+		}
+		a0, a1 := s.amp[i], s.amp[i|mask]
+		s.amp[i] = m[0][0]*a0 + m[0][1]*a1
+		s.amp[i|mask] = m[1][0]*a0 + m[1][1]*a1
+	}
+}
+
+// apply2 applies the 4×4 matrix m to qubits (hi, lo), where the row index
+// of m is hiBit·2 + loBit.
+func (s *State) apply2(hi, lo int, m [4][4]complex128) {
+	hm, lm := 1<<uint(hi), 1<<uint(lo)
+	for i := range s.amp {
+		if i&hm != 0 || i&lm != 0 {
+			continue
+		}
+		idx := [4]int{i, i | lm, i | hm, i | hm | lm}
+		var in [4]complex128
+		for r := 0; r < 4; r++ {
+			in[r] = s.amp[idx[r]]
+		}
+		for r := 0; r < 4; r++ {
+			var acc complex128
+			for c := 0; c < 4; c++ {
+				acc += m[r][c] * in[c]
+			}
+			s.amp[idx[r]] = acc
+		}
+	}
+}
+
+var invSqrt2 = complex(1/math.Sqrt2, 0)
+
+// oneQubitMatrix returns the unitary of a 1-qubit gate.
+func oneQubitMatrix(g circuit.Gate) ([2][2]complex128, error) {
+	p := func(i int) float64 { return g.Params[i] }
+	switch g.Kind {
+	case circuit.I:
+		return [2][2]complex128{{1, 0}, {0, 1}}, nil
+	case circuit.H:
+		return [2][2]complex128{{invSqrt2, invSqrt2}, {invSqrt2, -invSqrt2}}, nil
+	case circuit.X:
+		return [2][2]complex128{{0, 1}, {1, 0}}, nil
+	case circuit.Y:
+		return [2][2]complex128{{0, -1i}, {1i, 0}}, nil
+	case circuit.Z:
+		return [2][2]complex128{{1, 0}, {0, -1}}, nil
+	case circuit.S:
+		return [2][2]complex128{{1, 0}, {0, 1i}}, nil
+	case circuit.Sdg:
+		return [2][2]complex128{{1, 0}, {0, -1i}}, nil
+	case circuit.T:
+		return [2][2]complex128{{1, 0}, {0, phase(math.Pi / 4)}}, nil
+	case circuit.Tdg:
+		return [2][2]complex128{{1, 0}, {0, phase(-math.Pi / 4)}}, nil
+	case circuit.SX:
+		return [2][2]complex128{
+			{complex(0.5, 0.5), complex(0.5, -0.5)},
+			{complex(0.5, -0.5), complex(0.5, 0.5)},
+		}, nil
+	case circuit.RX:
+		c, s := cosSinHalf(p(0))
+		return [2][2]complex128{{c, -1i * s}, {-1i * s, c}}, nil
+	case circuit.RY:
+		c, s := cosSinHalf(p(0))
+		return [2][2]complex128{{c, -s}, {s, c}}, nil
+	case circuit.RZ:
+		return [2][2]complex128{{phase(-p(0) / 2), 0}, {0, phase(p(0) / 2)}}, nil
+	case circuit.U1:
+		return [2][2]complex128{{1, 0}, {0, phase(p(0))}}, nil
+	case circuit.U2:
+		phi, lam := p(0), p(1)
+		return [2][2]complex128{
+			{invSqrt2, -invSqrt2 * phase(lam)},
+			{invSqrt2 * phase(phi), invSqrt2 * phase(phi+lam)},
+		}, nil
+	case circuit.U3:
+		theta, phi, lam := p(0), p(1), p(2)
+		c, s := cosSinHalf(theta)
+		return [2][2]complex128{
+			{c, -s * phase(lam)},
+			{s * phase(phi), c * phase(phi+lam)},
+		}, nil
+	default:
+		return [2][2]complex128{}, fmt.Errorf("statevec: no unitary for 1-qubit kind %s", g.Kind.Name())
+	}
+}
+
+// twoQubitMatrix returns the unitary of a 2-qubit gate in the basis
+// |q0 q1⟩ where q0 = Qubits[0] is the high bit (control first).
+func twoQubitMatrix(g circuit.Gate) ([4][4]complex128, error) {
+	switch g.Kind {
+	case circuit.CX:
+		return [4][4]complex128{
+			{1, 0, 0, 0},
+			{0, 1, 0, 0},
+			{0, 0, 0, 1},
+			{0, 0, 1, 0},
+		}, nil
+	case circuit.CZ:
+		return diag4(1, 1, 1, -1), nil
+	case circuit.SWAP:
+		return [4][4]complex128{
+			{1, 0, 0, 0},
+			{0, 0, 1, 0},
+			{0, 1, 0, 0},
+			{0, 0, 0, 1},
+		}, nil
+	case circuit.CP:
+		return diag4(1, 1, 1, phase(g.Params[0])), nil
+	case circuit.RZZ:
+		t := g.Params[0]
+		return diag4(phase(-t/2), phase(t/2), phase(t/2), phase(-t/2)), nil
+	case circuit.XX:
+		c, s := cosSinHalf(g.Params[0])
+		is := -1i * s
+		return [4][4]complex128{
+			{c, 0, 0, is},
+			{0, c, is, 0},
+			{0, is, c, 0},
+			{is, 0, 0, c},
+		}, nil
+	default:
+		return [4][4]complex128{}, fmt.Errorf("statevec: no unitary for 2-qubit kind %s", g.Kind.Name())
+	}
+}
+
+func diag4(a, b, c, d complex128) [4][4]complex128 {
+	var m [4][4]complex128
+	m[0][0], m[1][1], m[2][2], m[3][3] = a, b, c, d
+	return m
+}
+
+func phase(theta float64) complex128 {
+	return cmplx.Exp(complex(0, theta))
+}
+
+func cosSinHalf(theta float64) (complex128, complex128) {
+	return complex(math.Cos(theta/2), 0), complex(math.Sin(theta/2), 0)
+}
+
+// InverseCircuit returns the circuit implementing the inverse unitary of c:
+// gates reversed with each gate replaced by its adjoint. It is used to test
+// that generators are unitary (C† C = identity). Gates whose adjoint is not
+// expressible in the IR return an error (none of the supported kinds do).
+func InverseCircuit(c *circuit.Circuit) (*circuit.Circuit, error) {
+	inv := circuit.New(c.Name+"-inverse", c.NumQubits())
+	gates := c.Gates()
+	for i := len(gates) - 1; i >= 0; i-- {
+		g := gates[i]
+		switch g.Kind {
+		case circuit.I, circuit.H, circuit.X, circuit.Y, circuit.Z, circuit.CX, circuit.CZ, circuit.SWAP:
+			inv.Append(g.Kind, g.Qubits)
+		case circuit.S:
+			inv.Append(circuit.Sdg, g.Qubits)
+		case circuit.Sdg:
+			inv.Append(circuit.S, g.Qubits)
+		case circuit.T:
+			inv.Append(circuit.Tdg, g.Qubits)
+		case circuit.Tdg:
+			inv.Append(circuit.T, g.Qubits)
+		case circuit.RX, circuit.RY, circuit.RZ, circuit.U1, circuit.CP, circuit.RZZ, circuit.XX:
+			inv.Append(g.Kind, g.Qubits, -g.Params[0])
+		case circuit.U3:
+			theta, phi, lam := g.Params[0], g.Params[1], g.Params[2]
+			inv.Append(circuit.U3, g.Qubits, -theta, -lam, -phi)
+		case circuit.U2:
+			phi, lam := g.Params[0], g.Params[1]
+			inv.Append(circuit.U3, g.Qubits, -math.Pi/2, -lam, -phi)
+		case circuit.SX:
+			// SX = Sdg·H·Sdg up to global phase, so SX† = S·H·S up to
+			// global phase (irrelevant to fidelity-based checks).
+			inv.Append(circuit.S, g.Qubits)
+			inv.Append(circuit.H, g.Qubits)
+			inv.Append(circuit.S, g.Qubits)
+		default:
+			return nil, fmt.Errorf("statevec: no adjoint for kind %s", g.Kind.Name())
+		}
+	}
+	return inv, nil
+}

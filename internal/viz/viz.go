@@ -1,0 +1,241 @@
+// Package viz renders VelociTI experiment results as standalone SVG
+// figures, so the paper's bar charts (Figures 6–9) regenerate as actual
+// images rather than tables. The renderer is dependency-free: it emits
+// hand-written SVG with a fixed, readable layout — grouped bars with
+// min/max error whiskers (the paper's presentation) on a labeled axis.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Value is one bar: a mean with optional min/max whiskers.
+type Value struct {
+	Mean, Min, Max float64
+}
+
+// Group is a cluster of bars sharing an x-axis label (e.g. one
+// application, with one bar per chain length).
+type Group struct {
+	Label  string
+	Values []Value
+}
+
+// Chart is a grouped bar chart specification.
+type Chart struct {
+	Title  string
+	YLabel string
+	// SeriesLabels names the bars within each group (legend entries);
+	// its length must match every group's Values length.
+	SeriesLabels []string
+	Groups       []Group
+	// LogScale selects a log10 y-axis, useful when one workload (QFT)
+	// dwarfs the rest, as in the paper's Figure 6.
+	LogScale bool
+}
+
+// Geometry constants (pixels).
+const (
+	chartWidth   = 860
+	chartHeight  = 420
+	marginLeft   = 70
+	marginRight  = 20
+	marginTop    = 50
+	marginBottom = 60
+	barGap       = 4
+	groupGap     = 26
+)
+
+// palette cycles across series.
+var palette = []string{"#4878cf", "#ee854a", "#6acc65", "#d65f5f", "#956cb4", "#8c613c"}
+
+// Validate reports structural problems with the chart.
+func (c *Chart) Validate() error {
+	if len(c.Groups) == 0 {
+		return fmt.Errorf("viz: chart %q has no groups", c.Title)
+	}
+	for _, g := range c.Groups {
+		if len(g.Values) != len(c.SeriesLabels) {
+			return fmt.Errorf("viz: chart %q group %q has %d values, want %d series",
+				c.Title, g.Label, len(g.Values), len(c.SeriesLabels))
+		}
+		for _, v := range g.Values {
+			if v.Mean < 0 || v.Min > v.Mean || v.Max < v.Mean {
+				return fmt.Errorf("viz: chart %q group %q has inconsistent value %+v", c.Title, g.Label, v)
+			}
+			if c.LogScale && v.Mean <= 0 {
+				return fmt.Errorf("viz: chart %q group %q: log scale requires positive means", c.Title, g.Label)
+			}
+		}
+	}
+	return nil
+}
+
+// yMax returns the largest whisker end across the chart.
+func (c *Chart) yMax() float64 {
+	top := 0.0
+	for _, g := range c.Groups {
+		for _, v := range g.Values {
+			if v.Max > top {
+				top = v.Max
+			}
+			if v.Mean > top {
+				top = v.Mean
+			}
+		}
+	}
+	if top == 0 {
+		top = 1
+	}
+	return top
+}
+
+func (c *Chart) yMinPositive() float64 {
+	low := math.Inf(1)
+	for _, g := range c.Groups {
+		for _, v := range g.Values {
+			m := v.Mean
+			if v.Min > 0 && v.Min < m {
+				m = v.Min
+			}
+			if m > 0 && m < low {
+				low = m
+			}
+		}
+	}
+	if math.IsInf(low, 1) {
+		return 0.1
+	}
+	return low
+}
+
+// SVG renders the chart.
+func (c *Chart) SVG() (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	plotW := float64(chartWidth - marginLeft - marginRight)
+	plotH := float64(chartHeight - marginTop - marginBottom)
+	top := c.yMax() * 1.08
+
+	var toY func(v float64) float64
+	var ticks []float64
+	if c.LogScale {
+		lo := math.Pow(10, math.Floor(math.Log10(c.yMinPositive())))
+		hi := math.Pow(10, math.Ceil(math.Log10(top)))
+		logLo, logHi := math.Log10(lo), math.Log10(hi)
+		toY = func(v float64) float64 {
+			if v <= 0 {
+				return float64(marginTop) + plotH
+			}
+			frac := (math.Log10(v) - logLo) / (logHi - logLo)
+			return float64(marginTop) + plotH*(1-frac)
+		}
+		for e := logLo; e <= logHi+1e-9; e++ {
+			ticks = append(ticks, math.Pow(10, e))
+		}
+	} else {
+		step := niceStep(top / 5)
+		toY = func(v float64) float64 {
+			return float64(marginTop) + plotH*(1-v/top)
+		}
+		for v := 0.0; v <= top+1e-9; v += step {
+			ticks = append(ticks, v)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		chartWidth, chartHeight, chartWidth, chartHeight)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="16" font-weight="bold">%s</text>`+"\n",
+		marginLeft, escape(c.Title))
+	// Y label, rotated.
+	fmt.Fprintf(&b, `<text x="16" y="%v" font-family="sans-serif" font-size="12" transform="rotate(-90 16 %v)" text-anchor="middle">%s</text>`+"\n",
+		float64(marginTop)+plotH/2, float64(marginTop)+plotH/2, escape(c.YLabel))
+	// Gridlines + tick labels.
+	for _, tv := range ticks {
+		y := toY(tv)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#dddddd"/>`+"\n",
+			marginLeft, y, chartWidth-marginRight, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginLeft-6, y+4, formatTick(tv))
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%.1f" stroke="black"/>`+"\n",
+		marginLeft, marginTop, marginLeft, float64(marginTop)+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`+"\n",
+		marginLeft, float64(marginTop)+plotH, chartWidth-marginRight, float64(marginTop)+plotH)
+
+	nGroups := len(c.Groups)
+	nSeries := len(c.SeriesLabels)
+	groupW := (plotW - float64((nGroups+1)*groupGap)) / float64(nGroups)
+	barW := (groupW - float64((nSeries-1)*barGap)) / float64(nSeries)
+	baseline := toY(0)
+	if c.LogScale {
+		baseline = float64(marginTop) + plotH
+	}
+	for gi, g := range c.Groups {
+		gx := float64(marginLeft) + float64((gi+1)*groupGap) + float64(gi)*groupW
+		for si, v := range g.Values {
+			x := gx + float64(si)*(barW+barGap)
+			y := toY(v.Mean)
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				x, y, barW, baseline-y, palette[si%len(palette)])
+			// Whiskers when min/max carry information.
+			if v.Max > v.Mean || (v.Min > 0 && v.Min < v.Mean) {
+				cx := x + barW/2
+				yMin, yMaxPix := toY(v.Min), toY(v.Max)
+				fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n", cx, yMaxPix, cx, yMin)
+				fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n", cx-3, yMaxPix, cx+3, yMaxPix)
+				fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n", cx-3, yMin, cx+3, yMin)
+			}
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			gx+groupW/2, float64(marginTop)+plotH+18, escape(g.Label))
+	}
+	// Legend.
+	lx := float64(marginLeft)
+	ly := float64(chartHeight - 14)
+	for si, label := range c.SeriesLabels {
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="12" height="12" fill="%s"/>`+"\n",
+			lx, ly-10, palette[si%len(palette)])
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			lx+16, ly, escape(label))
+		lx += 20 + 8*float64(len(label)) + 16
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// niceStep rounds a raw step up to 1/2/5 × 10^k.
+func niceStep(raw float64) float64 {
+	if raw <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	switch {
+	case raw/mag <= 1:
+		return mag
+	case raw/mag <= 2:
+		return 2 * mag
+	case raw/mag <= 5:
+		return 5 * mag
+	default:
+		return 10 * mag
+	}
+}
+
+func formatTick(v float64) string {
+	if v != 0 && (math.Abs(v) >= 1e4 || math.Abs(v) < 1e-2) {
+		return fmt.Sprintf("%.0e", v)
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.2f", v), "0"), ".")
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,118 @@
+package viz
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func sample() *Chart {
+	return &Chart{
+		Title:        "Figure 6: serial vs parallel",
+		YLabel:       "execution time [ms]",
+		SeriesLabels: []string{"serial", "parallel"},
+		Groups: []Group{
+			{Label: "Supremacy", Values: []Value{{Mean: 56.4, Min: 56.4, Max: 56.4}, {Mean: 10.4, Min: 9.2, Max: 12.1}}},
+			{Label: "QFT", Values: []Value{{Mean: 403.6, Min: 403.6, Max: 403.6}, {Mean: 74.1, Min: 71.5, Max: 78.1}}},
+			{Label: "BV", Values: []Value{{Mean: 6.8, Min: 6.8, Max: 6.8}, {Mean: 1.4, Min: 1.0, Max: 1.8}}},
+		},
+	}
+}
+
+func TestSVGWellFormedXML(t *testing.T) {
+	for _, logScale := range []bool{false, true} {
+		c := sample()
+		c.LogScale = logScale
+		out, err := c.SVG()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec := xml.NewDecoder(strings.NewReader(out))
+		for {
+			_, err := dec.Token()
+			if err != nil {
+				if err.Error() == "EOF" {
+					break
+				}
+				t.Fatalf("logScale=%v: invalid XML: %v", logScale, err)
+			}
+		}
+		for _, want := range []string{"<svg", "Figure 6", "Supremacy", "serial", "rect"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("logScale=%v: output missing %q", logScale, want)
+			}
+		}
+	}
+}
+
+func TestSVGBarCounts(t *testing.T) {
+	c := sample()
+	out, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 background + 6 bars + 2 legend swatches = 9 rects.
+	if n := strings.Count(out, "<rect"); n != 9 {
+		t.Fatalf("rect count = %d, want 9", n)
+	}
+	// Whiskers appear for the parallel bars (3 × 3 lines), none for the
+	// degenerate serial bars.
+	if n := strings.Count(out, "stroke=\"black\""); n < 9+2 { // whiskers + axes
+		t.Fatalf("whisker/axis line count = %d", n)
+	}
+}
+
+func TestValidateRejectsBadCharts(t *testing.T) {
+	cases := []*Chart{
+		{Title: "empty", SeriesLabels: []string{"a"}},
+		{Title: "ragged", SeriesLabels: []string{"a", "b"},
+			Groups: []Group{{Label: "g", Values: []Value{{Mean: 1, Min: 1, Max: 1}}}}},
+		{Title: "bad whiskers", SeriesLabels: []string{"a"},
+			Groups: []Group{{Label: "g", Values: []Value{{Mean: 1, Min: 2, Max: 3}}}}},
+		{Title: "log-nonpositive", LogScale: true, SeriesLabels: []string{"a"},
+			Groups: []Group{{Label: "g", Values: []Value{{Mean: 0, Min: 0, Max: 0}}}}},
+	}
+	for _, c := range cases {
+		if _, err := c.SVG(); err == nil {
+			t.Errorf("chart %q should be rejected", c.Title)
+		}
+	}
+}
+
+func TestEscape(t *testing.T) {
+	c := sample()
+	c.Title = `a<b & "c"`
+	out, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, `a<b`) {
+		t.Fatalf("unescaped markup in output")
+	}
+	if !strings.Contains(out, "a&lt;b &amp; &quot;c&quot;") {
+		t.Fatalf("escape mangled the title")
+	}
+}
+
+func TestNiceStep(t *testing.T) {
+	cases := map[float64]float64{
+		0.7: 1, 1.3: 2, 3.1: 5, 7.2: 10, 23: 50, 81: 100, 0: 1,
+	}
+	for in, want := range cases {
+		if got := niceStep(in); got != want {
+			t.Errorf("niceStep(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	if formatTick(0.5) != "0.5" || formatTick(100) != "100" {
+		t.Errorf("plain ticks mangled: %q %q", formatTick(0.5), formatTick(100))
+	}
+	if !strings.Contains(formatTick(1e5), "e+05") {
+		t.Errorf("large tick = %q", formatTick(1e5))
+	}
+	if formatTick(0) != "0" {
+		t.Errorf("zero tick = %q", formatTick(0))
+	}
+}

@@ -1,0 +1,128 @@
+// Package workload generates the synthetic workloads of the paper's
+// evaluation: random circuits for the tool-scaling study (Figure 5),
+// Quantum Volume circuits (Figure 8), and fixed-ratio random circuits
+// (Figure 9).
+//
+// Workloads are expressed as circuit.Spec boundary conditions — exactly the
+// abstraction VelociTI consumes (Table I). Because the paper does not
+// report 1-qubit gate counts for synthetic workloads, each spec carries one
+// 1-qubit gate per qubit; at δ = 1 µs against γ = 100 µs this perturbs
+// runtimes by well under 1%. RandomCircuit additionally produces explicit
+// gate-level random circuits for the QASM and functional-simulation test
+// paths.
+package workload
+
+import (
+	"fmt"
+
+	"velociti/internal/circuit"
+	"velociti/internal/stats"
+)
+
+// Random returns the spec of a random circuit with the given qubit and
+// 2-qubit gate counts, as swept in the paper's Figure 5 tool-runtime study.
+func Random(qubits, twoQubitGates int) circuit.Spec {
+	return circuit.Spec{
+		Name:          fmt.Sprintf("random-%dq-%dg", qubits, twoQubitGates),
+		Qubits:        qubits,
+		OneQubitGates: qubits,
+		TwoQubitGates: twoQubitGates,
+	}
+}
+
+// QuantumVolume returns the paper's quantum-volume workload: "a square
+// quantum circuit with N qubits and N/2 2-qubit gates" (§VI-B). N must be
+// even and at least 2.
+func QuantumVolume(n int) circuit.Spec {
+	if n < 2 || n%2 != 0 {
+		panic(fmt.Sprintf("workload: quantum volume needs an even qubit count ≥ 2, got %d", n))
+	}
+	return circuit.Spec{
+		Name:          fmt.Sprintf("qv%d", n),
+		Qubits:        n,
+		OneQubitGates: n,
+		TwoQubitGates: n / 2,
+	}
+}
+
+// RatioCircuit returns an N-qubit random workload with ratio·N 2-qubit
+// gates. The paper's Figure 9 uses ratio 2 ("N qubits to 2·N 2-qubit
+// gates") to contrast with quantum volume's ratio of 1/2.
+func RatioCircuit(n int, ratio float64) circuit.Spec {
+	if n < 1 || ratio < 0 {
+		panic(fmt.Sprintf("workload: invalid ratio circuit n=%d ratio=%g", n, ratio))
+	}
+	return circuit.Spec{
+		Name:          fmt.Sprintf("ratio%g-%dq", ratio, n),
+		Qubits:        n,
+		OneQubitGates: n,
+		TwoQubitGates: int(ratio * float64(n)),
+	}
+}
+
+// QVSweep returns quantum-volume specs for N = from, from+step, ..., ≤ to.
+// The paper sweeps N from 8 to 128 in steps of 20 qubits (8, 28, 48, ...).
+func QVSweep(from, to, step int) []circuit.Spec {
+	if step <= 0 {
+		panic(fmt.Sprintf("workload: sweep step must be positive, got %d", step))
+	}
+	var out []circuit.Spec
+	for n := from; n <= to; n += step {
+		out = append(out, QuantumVolume(n))
+	}
+	return out
+}
+
+// RatioSweep returns fixed-ratio specs over the same qubit range as
+// QVSweep.
+func RatioSweep(from, to, step int, ratio float64) []circuit.Spec {
+	if step <= 0 {
+		panic(fmt.Sprintf("workload: sweep step must be positive, got %d", step))
+	}
+	var out []circuit.Spec
+	for n := from; n <= to; n += step {
+		out = append(out, RatioCircuit(n, ratio))
+	}
+	return out
+}
+
+// Fig5Grid returns the (qubits, 2-qubit gates) grid of the paper's Figure 5
+// software-runtime study: qubits from 25 to 100 in steps of 25 with 4
+// 2-qubit gates per qubit (25/100 up to 100/400).
+func Fig5Grid() []circuit.Spec {
+	var out []circuit.Spec
+	for n := 25; n <= 100; n += 25 {
+		out = append(out, Random(n, 4*n))
+	}
+	return out
+}
+
+// RandomCircuit generates an explicit gate-level random circuit: `gates`
+// operations over n qubits, each a 1-qubit gate with probability
+// oneQubitFraction (an H, X, or T chosen uniformly) and otherwise a CX on a
+// uniformly drawn distinct qubit pair. It exercises the QASM and
+// state-vector paths; the performance experiments use abstract specs.
+func RandomCircuit(n, gates int, oneQubitFraction float64, seed int64) *circuit.Circuit {
+	if n < 2 {
+		panic(fmt.Sprintf("workload: random circuit needs at least 2 qubits, got %d", n))
+	}
+	if oneQubitFraction < 0 || oneQubitFraction > 1 {
+		panic(fmt.Sprintf("workload: 1-qubit fraction %g out of [0,1]", oneQubitFraction))
+	}
+	r := stats.NewRand(seed)
+	c := circuit.New(fmt.Sprintf("random%dq%dg", n, gates), n)
+	oneQ := []circuit.Kind{circuit.H, circuit.X, circuit.T}
+	for i := 0; i < gates; i++ {
+		if r.Float64() < oneQubitFraction {
+			c.Append(oneQ[r.Intn(len(oneQ))], []int{r.Intn(n)})
+			continue
+		}
+		a := r.Intn(n)
+		b := r.Intn(n)
+		for b == a {
+			b = r.Intn(n)
+		}
+		c.CX(a, b)
+	}
+	return c
+}

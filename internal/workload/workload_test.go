@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestRandomSpec(t *testing.T) {
+	s := Random(25, 100)
+	if s.Qubits != 25 || s.TwoQubitGates != 100 || s.OneQubitGates != 25 {
+		t.Fatalf("spec = %+v", s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantumVolume(t *testing.T) {
+	s := QuantumVolume(128)
+	if s.Qubits != 128 || s.TwoQubitGates != 64 {
+		t.Fatalf("QV spec = %+v, want N qubits, N/2 2q gates", s)
+	}
+	mustPanic(t, "odd", func() { QuantumVolume(7) })
+	mustPanic(t, "tiny", func() { QuantumVolume(0) })
+}
+
+func TestRatioCircuit(t *testing.T) {
+	s := RatioCircuit(64, 2)
+	if s.TwoQubitGates != 128 {
+		t.Fatalf("2:1 ratio spec = %+v", s)
+	}
+	if s.TwoQubitRatio() != 2 {
+		t.Fatalf("ratio = %v", s.TwoQubitRatio())
+	}
+	half := RatioCircuit(64, 0.5)
+	if half.TwoQubitGates != 32 {
+		t.Fatalf("0.5 ratio = %+v", half)
+	}
+	mustPanic(t, "negative", func() { RatioCircuit(4, -1) })
+}
+
+func TestQVSweepRange(t *testing.T) {
+	// The paper sweeps quantum volume from 8 to 128 qubits.
+	specs := QVSweep(8, 128, 20)
+	if len(specs) != 7 {
+		t.Fatalf("sweep size = %d, want 7 (8,28,...,128)", len(specs))
+	}
+	if specs[0].Qubits != 8 || specs[6].Qubits != 128 {
+		t.Fatalf("sweep endpoints = %d..%d", specs[0].Qubits, specs[6].Qubits)
+	}
+	for _, s := range specs {
+		if s.TwoQubitGates != s.Qubits/2 {
+			t.Errorf("spec %s: p = %d, want N/2", s.Name, s.TwoQubitGates)
+		}
+	}
+	mustPanic(t, "bad step", func() { QVSweep(8, 128, 0) })
+}
+
+func TestRatioSweep(t *testing.T) {
+	specs := RatioSweep(8, 128, 20, 2)
+	if len(specs) != 7 {
+		t.Fatalf("sweep size = %d", len(specs))
+	}
+	for _, s := range specs {
+		if s.TwoQubitGates != 2*s.Qubits {
+			t.Errorf("spec %s: p = %d, want 2N", s.Name, s.TwoQubitGates)
+		}
+	}
+	mustPanic(t, "bad step", func() { RatioSweep(8, 128, -1, 2) })
+}
+
+func TestFig5Grid(t *testing.T) {
+	grid := Fig5Grid()
+	if len(grid) != 4 {
+		t.Fatalf("grid size = %d, want 4", len(grid))
+	}
+	// Endpoints named in the paper: 25q/100g and 100q/400g.
+	if grid[0].Qubits != 25 || grid[0].TwoQubitGates != 100 {
+		t.Fatalf("grid[0] = %+v", grid[0])
+	}
+	if grid[3].Qubits != 100 || grid[3].TwoQubitGates != 400 {
+		t.Fatalf("grid[3] = %+v", grid[3])
+	}
+}
+
+func TestRandomCircuitComposition(t *testing.T) {
+	c := RandomCircuit(10, 200, 0.3, 5)
+	if c.NumGates() != 200 {
+		t.Fatalf("gates = %d", c.NumGates())
+	}
+	oneQ := c.NumOneQubitGates()
+	// With fraction 0.3 over 200 gates, expect roughly 60; allow wide
+	// tolerance but catch systematic inversion.
+	if oneQ < 30 || oneQ > 100 {
+		t.Fatalf("1q gates = %d, outside plausible range for fraction 0.3", oneQ)
+	}
+	for _, g := range c.Gates() {
+		if g.IsTwoQubit() && g.Qubits[0] == g.Qubits[1] {
+			t.Fatalf("degenerate 2q gate %v", g)
+		}
+	}
+}
+
+func TestRandomCircuitExtremes(t *testing.T) {
+	all1 := RandomCircuit(4, 50, 1.0, 1)
+	if all1.NumTwoQubitGates() != 0 {
+		t.Fatalf("fraction 1.0 should produce no 2q gates")
+	}
+	all2 := RandomCircuit(4, 50, 0.0, 1)
+	if all2.NumOneQubitGates() != 0 {
+		t.Fatalf("fraction 0.0 should produce no 1q gates")
+	}
+}
+
+func TestRandomCircuitDeterminism(t *testing.T) {
+	a := RandomCircuit(6, 40, 0.5, 9)
+	b := RandomCircuit(6, 40, 0.5, 9)
+	if a.String() != b.String() {
+		t.Fatalf("same seed should reproduce the circuit")
+	}
+}
+
+func TestRandomCircuitValidation(t *testing.T) {
+	mustPanic(t, "narrow", func() { RandomCircuit(1, 5, 0.5, 1) })
+	mustPanic(t, "fraction", func() { RandomCircuit(4, 5, 1.5, 1) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

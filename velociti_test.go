@@ -1,0 +1,241 @@
+package velociti
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFacadeQuickStart(t *testing.T) {
+	cfg := Config{
+		Spec:        Spec{Name: "demo", Qubits: 64, TwoQubitGates: 560},
+		ChainLength: 16,
+		Runs:        5,
+		Seed:        1,
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MeanSpeedup() <= 1 {
+		t.Fatalf("speedup = %v", rep.MeanSpeedup())
+	}
+	if rep.Device.NumChains != 4 {
+		t.Fatalf("device = %+v", rep.Device)
+	}
+}
+
+func TestFacadeRunOnce(t *testing.T) {
+	cfg := Config{
+		Spec:        Spec{Name: "once", Qubits: 32, TwoQubitGates: 100},
+		ChainLength: 8,
+	}
+	c, l, res, err := RunOnce(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumTwoQubitGates() != 100 || l.NumQubits() != 32 || res.ParallelMicros <= 0 {
+		t.Fatalf("RunOnce pieces: %v %v %v", c.Spec(), l.NumQubits(), res)
+	}
+}
+
+func TestFacadeExplicitCircuit(t *testing.T) {
+	c := QFT(16)
+	rep, err := Run(Config{Circuit: c, ChainLength: 8, Runs: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Spec.TwoQubitGates != 240 {
+		t.Fatalf("spec = %+v", rep.Spec)
+	}
+}
+
+func TestFacadeAppsCatalog(t *testing.T) {
+	specs := Apps()
+	if len(specs) != 6 {
+		t.Fatalf("apps = %d", len(specs))
+	}
+	spec, build, err := AppByName("BV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.TwoQubitGates != 64 {
+		t.Fatalf("BV spec = %+v", spec)
+	}
+	if c := build(); c.NumQubits() != 64 {
+		t.Fatalf("BV generator width = %d", c.NumQubits())
+	}
+}
+
+func TestFacadeDeviceAndEvaluate(t *testing.T) {
+	d, err := DeviceFor(16, 8, Ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := SequentialPlacement.Place(d, 16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(GHZ(16), layout, DefaultLatencies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WeakGates == 0 {
+		t.Fatalf("GHZ ladder across 2 chains should cross the boundary: %+v", res)
+	}
+}
+
+func TestFacadeQASMRoundTrip(t *testing.T) {
+	text := SerializeQASM(GHZ(4))
+	c, err := ParseQASM("ghz", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGates() != 4 {
+		t.Fatalf("gates = %d", c.NumGates())
+	}
+	if !strings.Contains(text, "OPENQASM 2.0") {
+		t.Fatalf("serialization malformed:\n%s", text)
+	}
+}
+
+func TestFacadeCircuitJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCircuitJSON(&buf, CuccaroAdder(2)); err != nil {
+		t.Fatal(err)
+	}
+	c, err := ReadCircuitJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits() != 6 {
+		t.Fatalf("adder width = %d", c.NumQubits())
+	}
+}
+
+func TestFacadePlacers(t *testing.T) {
+	for _, name := range []string{"random", "weak-avoiding", "load-balanced", "edge-constrained"} {
+		p, err := PlacerByName(name, DefaultLatencies())
+		if err != nil || p.Name() != name {
+			t.Errorf("PlacerByName(%q): %v %v", name, p, err)
+		}
+	}
+	if RandomPlacer().Name() != "random" || WeakAvoidingPlacer().Name() != "weak-avoiding" ||
+		EdgeConstrainedPlacer().Name() != "edge-constrained" ||
+		LoadBalancedPlacer(DefaultLatencies()).Name() != "load-balanced" {
+		t.Fatalf("placer constructors drifted")
+	}
+}
+
+func TestFacadeParams(t *testing.T) {
+	p := DefaultParams()
+	p.Workload = Spec{Name: "w", Qubits: 8, TwoQubitGates: 4}
+	p.Runs = 2
+	cfg, err := p.ToCoreConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	if Supremacy(8, 8, 20, 1).NumTwoQubitGates() != 560 {
+		t.Fatalf("Supremacy count drifted")
+	}
+	if QAOA(6, [][2]int{{0, 1}, {2, 3}}, 2, 1).NumTwoQubitGates() != 8 {
+		t.Fatalf("QAOA count drifted")
+	}
+	if BernsteinVazirani(8, nil).NumQubits() != 8 {
+		t.Fatalf("BV width drifted")
+	}
+	if Grover(4, 1).NumQubits() != 6 {
+		t.Fatalf("Grover width drifted")
+	}
+	if NewRand(3).Int63() != NewRand(3).Int63() {
+		t.Fatalf("NewRand not deterministic")
+	}
+	c := NewCircuit("x", 2)
+	c.CX(0, 1)
+	if c.NumGates() != 1 {
+		t.Fatalf("NewCircuit broken")
+	}
+}
+
+func TestFacadeFidelity(t *testing.T) {
+	d, _ := DeviceFor(8, 4, Ring)
+	l, _ := SequentialPlacement.Place(d, 8, nil)
+	est, err := EstimateFidelity(GHZ(8), l, DefaultLatencies(), DefaultFidelityModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Total <= 0 || est.Total >= 1 {
+		t.Fatalf("fidelity = %v", est.Total)
+	}
+	if est.WeakGateErrorShare <= 0 {
+		t.Fatalf("GHZ across chains should have weak-link error share: %+v", est)
+	}
+}
+
+func TestFacadeShuttle(t *testing.T) {
+	d, _ := DeviceFor(8, 4, Ring)
+	l, _ := SequentialPlacement.Place(d, 8, nil)
+	res, err := CompareShuttle(GHZ(8), l, DefaultLatencies(), DefaultShuttleParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CrossGates == 0 || res.ShuttleMicros <= res.WeakLinkMicros {
+		t.Fatalf("expected shuttling slower at α=2: %+v", res)
+	}
+	if !res.WeakLinkWins() {
+		t.Fatalf("weak link should win at default costs")
+	}
+}
+
+func TestFacadeTimeline(t *testing.T) {
+	d, _ := DeviceFor(8, 4, Ring)
+	l, _ := SequentialPlacement.Place(d, 8, nil)
+	tl, err := BuildTimeline(GHZ(8), l, DefaultLatencies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Makespan <= 0 || tl.Concurrency() != 1 {
+		t.Fatalf("GHZ timeline = %+v", tl)
+	}
+	if !strings.Contains(tl.Gantt(40), "chain") {
+		t.Fatalf("gantt malformed")
+	}
+}
+
+func TestFacadeExtraApps(t *testing.T) {
+	if QPE(4, 0.25).NumQubits() != 5 {
+		t.Fatalf("QPE width")
+	}
+	if VQEAnsatz(6, 2, 1).NumTwoQubitGates() != 10 {
+		t.Fatalf("VQE counts")
+	}
+	if WState(5).NumQubits() != 5 {
+		t.Fatalf("W width")
+	}
+	opt, stats := GHZ(4).Optimize()
+	if opt.NumGates() != 4 || stats.Total() != 0 {
+		t.Fatalf("GHZ should be irreducible")
+	}
+}
+
+func TestFacadeRouter(t *testing.T) {
+	d, _ := DeviceFor(8, 4, Ring)
+	l, _ := SequentialPlacement.Place(d, 8, nil)
+	c := NewCircuit("hot", 8)
+	for i := 0; i < 10; i++ {
+		c.CX(0, 4)
+	}
+	res, err := LocalizeCircuit(c, l, DefaultLatencies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations != 1 {
+		t.Fatalf("migrations = %d", res.Migrations)
+	}
+}
