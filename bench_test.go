@@ -10,6 +10,7 @@
 package velociti
 
 import (
+	"runtime"
 	"testing"
 
 	"velociti/internal/apps"
@@ -166,7 +167,9 @@ func BenchmarkAblationTopology(b *testing.B) {
 // ---- Component micro-benchmarks ----
 
 // BenchmarkParallelModelQFT measures one parallel-model evaluation of the
-// largest Table II workload (QFT: 4032 2-qubit gates).
+// largest Table II workload (QFT: 4032 2-qubit gates) on the kernelized
+// hot path: the flat-array evaluator is built once (as core.Run does per
+// circuit) and each op re-evaluates it against the layout.
 func BenchmarkParallelModelQFT(b *testing.B) {
 	spec := apps.PaperSpecs()[3]
 	d, err := ti.DeviceFor(spec.Qubits, 16, ti.Ring)
@@ -183,6 +186,27 @@ func BenchmarkParallelModelQFT(b *testing.B) {
 		b.Fatal(err)
 	}
 	lat := perf.DefaultLatencies()
+	ev := perf.NewEvaluator(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ev.ParallelTime(layout, lat) <= 0 {
+			b.Fatal("bad time")
+		}
+	}
+}
+
+// BenchmarkLegacyParallelModelQFT pins the pre-kernelization map-graph
+// path (perf.ParallelTime) so the evaluator's advantage stays measurable.
+func BenchmarkLegacyParallelModelQFT(b *testing.B) {
+	spec := apps.PaperSpecs()[3]
+	d, _ := ti.DeviceFor(spec.Qubits, 16, ti.Ring)
+	r := stats.NewRand(1)
+	layout, _ := RandomPlacement.Place(d, spec.Qubits, r)
+	c, err := schedule.Random{}.Place(spec, layout, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lat := perf.DefaultLatencies()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if perf.ParallelTime(c, layout, lat) <= 0 {
@@ -192,8 +216,31 @@ func BenchmarkParallelModelQFT(b *testing.B) {
 }
 
 // BenchmarkGateGraphConstruction measures the paper's directed-graph
-// representation build (§IV-C) for the QFT workload.
+// representation build (§IV-C) plus longest path for the QFT workload —
+// one full from-scratch construction per op, now through the CSR
+// evaluator kernel instead of the map-based dag.Graph.
 func BenchmarkGateGraphConstruction(b *testing.B) {
+	spec := apps.PaperSpecs()[3]
+	d, _ := ti.DeviceFor(spec.Qubits, 16, ti.Ring)
+	r := stats.NewRand(1)
+	layout, _ := RandomPlacement.Place(d, spec.Qubits, r)
+	c, err := schedule.Random{}.Place(spec, layout, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lat := perf.DefaultLatencies()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := perf.NewEvaluator(c)
+		if ev.LongestPath(layout, lat) <= 0 {
+			b.Fatal("bad length")
+		}
+	}
+}
+
+// BenchmarkLegacyGateGraphConstruction pins the original map-based graph
+// build (perf.BuildGateGraph + Kahn longest path) for comparison.
+func BenchmarkLegacyGateGraphConstruction(b *testing.B) {
 	spec := apps.PaperSpecs()[3]
 	d, _ := ti.DeviceFor(spec.Qubits, 16, ti.Ring)
 	r := stats.NewRand(1)
@@ -355,11 +402,13 @@ func BenchmarkExtFidelity(b *testing.B) {
 	}
 }
 
-// BenchmarkDesignSpaceExploration runs the Pareto design-space explorer.
+// BenchmarkDesignSpaceExploration runs the Pareto design-space explorer
+// with the grid spread across the worker pool.
 func BenchmarkDesignSpaceExploration(b *testing.B) {
 	spec := Spec{Name: "dse", Qubits: 64, TwoQubitGates: 300}
+	workers := runtime.GOMAXPROCS(0)
 	for i := 0; i < b.N; i++ {
-		points, err := ExploreDesignSpace(spec, DesignSpaceOptions{Runs: 5, Seed: int64(i)})
+		points, err := ExploreDesignSpace(spec, DesignSpaceOptions{Runs: 5, Seed: int64(i), Workers: workers})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,187 @@
+// Command benchdiff compares `go test -bench` output against a committed
+// ns/op baseline and flags regressions — the check CI's benchmark-smoke
+// job runs so hot-path slowdowns surface in the pull request, not after.
+//
+//	go test -run '^$' -bench . -benchtime 200x . | benchdiff
+//	go test -run '^$' -bench . . | benchdiff -fail            # exit 1 on regression
+//	go test -run '^$' -bench . -count 3 . | benchdiff -update BENCH_BASELINE.json
+//
+// Repeated counts of the same benchmark are averaged. Benchmark names are
+// matched with the -N GOMAXPROCS suffix stripped, so baselines recorded on
+// different core counts compare cleanly.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// baseline is the committed reference file format.
+type baseline struct {
+	Note       string             `json:"note,omitempty"`
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+// benchLine matches one result row of `go test -bench` output, e.g.
+// "BenchmarkGateGraphConstruction-8   	 200	  199960 ns/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	var (
+		basePath  = fs.String("baseline", "BENCH_BASELINE.json", "baseline JSON file")
+		threshold = fs.Float64("threshold", 0.30, "relative ns/op increase that counts as a regression")
+		fail      = fs.Bool("fail", false, "exit non-zero when a regression is found")
+		update    = fs.String("update", "", "write measured ns/op back to this baseline file instead of comparing")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	got, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(got) == 0 {
+		return fmt.Errorf("no benchmark results in input")
+	}
+	if *update != "" {
+		return writeBaseline(*update, got)
+	}
+	base, err := readBaseline(*basePath)
+	if err != nil {
+		return err
+	}
+	regressions := report(out, base, got, *threshold)
+	if regressions > 0 && *fail {
+		return fmt.Errorf("%d benchmark regression(s) beyond %.0f%%", regressions, *threshold*100)
+	}
+	return nil
+}
+
+// parseBench extracts ns/op per benchmark, averaging repeated counts and
+// stripping the -N GOMAXPROCS suffix from names.
+func parseBench(in io.Reader) (map[string]float64, error) {
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+		}
+		sums[m[1]] += ns
+		counts[m[1]]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for name := range sums {
+		sums[name] /= float64(counts[name])
+	}
+	return sums, nil
+}
+
+func readBaseline(path string) (*baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(b.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks recorded", path)
+	}
+	return &b, nil
+}
+
+// writeBaseline records the measured averages, preserving the note (and
+// the tracked benchmark set, when the file already exists).
+func writeBaseline(path string, got map[string]float64) error {
+	b := baseline{Benchmarks: got}
+	if old, err := readBaseline(path); err == nil {
+		b.Note = old.Note
+		b.Benchmarks = map[string]float64{}
+		for name := range old.Benchmarks {
+			if ns, ok := got[name]; ok {
+				b.Benchmarks[name] = ns
+			}
+		}
+		if len(b.Benchmarks) == 0 {
+			return fmt.Errorf("input contains none of the benchmarks tracked by %s", path)
+		}
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// report prints one line per tracked benchmark and returns how many
+// regressed beyond the threshold.
+func report(out io.Writer, base *baseline, got map[string]float64, threshold float64) int {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	regressions := 0
+	for _, name := range names {
+		ref := base.Benchmarks[name]
+		cur, ok := got[name]
+		switch {
+		case !ok:
+			fmt.Fprintf(out, "WARN %s: tracked in baseline but missing from input\n", name)
+		case ref <= 0:
+			fmt.Fprintf(out, "WARN %s: non-positive baseline %g ns/op\n", name, ref)
+		case cur > ref*(1+threshold):
+			regressions++
+			fmt.Fprintf(out, "REGRESSION %s: %.0f ns/op vs baseline %.0f (%.2fx slower, threshold %.0f%%)\n",
+				name, cur, ref, cur/ref, threshold*100)
+		case cur < ref:
+			fmt.Fprintf(out, "ok %s: %.0f ns/op vs baseline %.0f (%.2fx faster)\n", name, cur, ref, ref/cur)
+		default:
+			fmt.Fprintf(out, "ok %s: %.0f ns/op vs baseline %.0f (+%.1f%%)\n", name, cur, ref, (cur/ref-1)*100)
+		}
+	}
+	var extras []string
+	for name := range got {
+		if _, ok := base.Benchmarks[name]; !ok {
+			extras = append(extras, name)
+		}
+	}
+	sort.Strings(extras)
+	for _, name := range extras {
+		fmt.Fprintf(out, "note %s: %.0f ns/op (not tracked in baseline)\n", name, got[name])
+	}
+	return regressions
+}

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: velociti
+BenchmarkParallelModelQFT-8      	     200	     50000 ns/op
+BenchmarkParallelModelQFT-8      	     200	     60000 ns/op
+BenchmarkGateGraphConstruction-8 	     200	    200000 ns/op
+BenchmarkNewThing               	     100	      1234 ns/op
+PASS
+ok  	velociti	1.234s
+`
+
+func writeTempBaseline(t *testing.T, b baseline) string {
+	t.Helper()
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseBenchAveragesAndStripsSuffix(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkParallelModelQFT"] != 55000 {
+		t.Fatalf("average = %v, want 55000", got["BenchmarkParallelModelQFT"])
+	}
+	if got["BenchmarkGateGraphConstruction"] != 200000 {
+		t.Fatalf("single = %v", got["BenchmarkGateGraphConstruction"])
+	}
+	if got["BenchmarkNewThing"] != 1234 {
+		t.Fatalf("suffixless = %v", got["BenchmarkNewThing"])
+	}
+}
+
+func TestRunReportsSpeedupsAndNotes(t *testing.T) {
+	path := writeTempBaseline(t, baseline{Benchmarks: map[string]float64{
+		"BenchmarkParallelModelQFT":      178580,
+		"BenchmarkGateGraphConstruction": 8304790,
+		"BenchmarkMissing":               100,
+	}})
+	var out strings.Builder
+	err := run([]string{"-baseline", path}, strings.NewReader(sampleBench), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"ok BenchmarkParallelModelQFT: 55000 ns/op vs baseline 178580 (3.25x faster)",
+		"ok BenchmarkGateGraphConstruction",
+		"WARN BenchmarkMissing: tracked in baseline but missing from input",
+		"note BenchmarkNewThing: 1234 ns/op (not tracked in baseline)",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunFlagsRegression(t *testing.T) {
+	path := writeTempBaseline(t, baseline{Benchmarks: map[string]float64{
+		"BenchmarkParallelModelQFT": 10000, // sample's 55000 is 5.5x slower
+	}})
+	var out strings.Builder
+	if err := run([]string{"-baseline", path}, strings.NewReader(sampleBench), &out); err != nil {
+		t.Fatalf("without -fail a regression must not error: %v", err)
+	}
+	if !strings.Contains(out.String(), "REGRESSION BenchmarkParallelModelQFT") {
+		t.Fatalf("no regression line:\n%s", out.String())
+	}
+	err := run([]string{"-baseline", path, "-fail"}, strings.NewReader(sampleBench), &out)
+	if err == nil || !strings.Contains(err.Error(), "1 benchmark regression") {
+		t.Fatalf("-fail err = %v", err)
+	}
+}
+
+func TestRunWithinThresholdPasses(t *testing.T) {
+	path := writeTempBaseline(t, baseline{Benchmarks: map[string]float64{
+		"BenchmarkParallelModelQFT": 50000, // 55000 is +10%, under 30%
+	}})
+	var out strings.Builder
+	if err := run([]string{"-baseline", path, "-fail"}, strings.NewReader(sampleBench), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "(+10.0%)") {
+		t.Fatalf("missing within-threshold line:\n%s", out.String())
+	}
+}
+
+func TestUpdatePreservesTrackedSetAndNote(t *testing.T) {
+	path := writeTempBaseline(t, baseline{
+		Note: "reference numbers",
+		Benchmarks: map[string]float64{
+			"BenchmarkParallelModelQFT":      178580,
+			"BenchmarkGateGraphConstruction": 8304790,
+		},
+	})
+	var out strings.Builder
+	if err := run([]string{"-update", path}, strings.NewReader(sampleBench), &out); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Note != "reference numbers" {
+		t.Fatalf("note = %q", got.Note)
+	}
+	if len(got.Benchmarks) != 2 || got.Benchmarks["BenchmarkParallelModelQFT"] != 55000 {
+		t.Fatalf("benchmarks = %+v", got.Benchmarks)
+	}
+	if _, ok := got.Benchmarks["BenchmarkNewThing"]; ok {
+		t.Fatal("untracked benchmark leaked into baseline")
+	}
+}
+
+func TestUpdateCreatesFreshBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fresh.json")
+	var out strings.Builder
+	if err := run([]string{"-update", path}, strings.NewReader(sampleBench), &out); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Benchmarks) != 3 {
+		t.Fatalf("benchmarks = %+v", got.Benchmarks)
+	}
+}
+
+func TestRunEmptyInput(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader("no benchmarks here\n"), &out); err == nil {
+		t.Fatal("want error on empty input")
+	}
+}
+
+func TestCommittedBaselineMatchesRepoFile(t *testing.T) {
+	// The committed repo baseline must parse and track the three CI smoke
+	// benchmarks.
+	b, err := readBaseline("../../BENCH_BASELINE.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"BenchmarkParallelModelQFT",
+		"BenchmarkGateGraphConstruction",
+		"BenchmarkDesignSpaceExploration",
+	} {
+		if b.Benchmarks[name] <= 0 {
+			t.Errorf("baseline missing %s", name)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"velociti/internal/apps"
 	"velociti/internal/core"
@@ -28,10 +29,12 @@ import (
 var order = []string{"table1", "table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "ext-fidelity", "ext-capacity", "ablations"}
 
 func main() {
+	start := time.Now()
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "velociti-repro:", err)
 		os.Exit(1)
 	}
+	fmt.Fprintf(os.Stderr, "velociti-repro: done in %s\n", time.Since(start).Round(time.Millisecond))
 }
 
 func run(args []string, out io.Writer) error {
@@ -116,6 +119,13 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "(csv written to %s)\n", path)
 		return nil
 	}
+	// clock reports per-experiment wall-clock time on stderr so sweep cost
+	// is visible without polluting the captured stdout tables.
+	lap := time.Now()
+	clock := func(name string) {
+		fmt.Fprintf(os.Stderr, "velociti-repro: %s in %s\n", name, time.Since(lap).Round(time.Millisecond))
+		lap = time.Now()
+	}
 
 	if selected["table1"] {
 		t1, err := expt.TableI(opt, apps.PaperSpecs()[3], 16) // QFT, the paper's worked example
@@ -123,12 +133,15 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		emit(t1)
+		clock("table1")
 	}
 	if selected["table2"] {
 		emit(expt.TableII())
+		clock("table2")
 	}
 	if selected["table3"] {
 		emit(expt.TableIII(perf.DefaultLatencies()))
+		clock("table3")
 	}
 	if selected["fig5"] {
 		res, err := expt.Fig5(opt)
@@ -142,6 +155,7 @@ func run(args []string, out io.Writer) error {
 		if err := writeSVG("fig5", res.SVG); err != nil {
 			return err
 		}
+		clock("fig5")
 	}
 	if selected["fig6"] {
 		res, err := expt.Fig6(opt)
@@ -155,6 +169,7 @@ func run(args []string, out io.Writer) error {
 		if err := writeSVG("fig6", res.SVG); err != nil {
 			return err
 		}
+		clock("fig6")
 	}
 	if selected["fig7"] {
 		res, err := expt.Fig7(opt)
@@ -168,6 +183,7 @@ func run(args []string, out io.Writer) error {
 		if err := writeSVG("fig7", res.SVG); err != nil {
 			return err
 		}
+		clock("fig7")
 	}
 	if selected["fig8"] {
 		res, err := expt.Fig8(opt)
@@ -184,6 +200,7 @@ func run(args []string, out io.Writer) error {
 		if err := writeSVG("fig8b", res.SVGAlpha); err != nil {
 			return err
 		}
+		clock("fig8")
 	}
 	if selected["fig9"] {
 		res, err := expt.Fig9(opt)
@@ -200,6 +217,7 @@ func run(args []string, out io.Writer) error {
 		if err := writeSVG("fig9b", res.SVGAlpha); err != nil {
 			return err
 		}
+		clock("fig9")
 	}
 	if selected["ext-fidelity"] {
 		res, err := expt.ExtFidelity(opt)
@@ -210,6 +228,7 @@ func run(args []string, out io.Writer) error {
 		if err := writeCSV("ext-fidelity", res.CSV()); err != nil {
 			return err
 		}
+		clock("ext-fidelity")
 	}
 	if selected["ext-capacity"] {
 		res, err := expt.ExtControlCapacity(opt)
@@ -220,6 +239,7 @@ func run(args []string, out io.Writer) error {
 		if err := writeCSV("ext-capacity", res.CSV()); err != nil {
 			return err
 		}
+		clock("ext-capacity")
 	}
 	if selected["ablations"] {
 		comm, err := expt.AblationComm(opt)
@@ -244,6 +264,7 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 		}
+		clock("ablations")
 	}
 	if *mdPath != "" {
 		if err := os.WriteFile(*mdPath, []byte(md.String()), 0o644); err != nil {

@@ -20,6 +20,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"velociti/internal/apps"
 	"velociti/internal/circuit"
@@ -31,10 +32,12 @@ import (
 )
 
 func main() {
+	start := time.Now()
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "velociti-sweep:", err)
 		os.Exit(1)
 	}
+	fmt.Fprintf(os.Stderr, "velociti-sweep: done in %s\n", time.Since(start).Round(time.Millisecond))
 }
 
 func run(args []string, out io.Writer) error {

@@ -12,12 +12,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"velociti/internal/circuit"
 	"velociti/internal/perf"
 	"velociti/internal/placement"
+	"velociti/internal/pool"
 	"velociti/internal/schedule"
 	"velociti/internal/stats"
 	"velociti/internal/ti"
@@ -57,10 +58,11 @@ type Config struct {
 	Runs int
 	// Seed is the master seed; trial i uses stats.SplitSeed(Seed, i).
 	Seed int64
-	// Workers bounds the number of trials executed concurrently. Zero or
-	// one runs serially. Results are identical regardless of worker
-	// count: every trial derives its own seed and the report preserves
-	// trial order.
+	// Workers bounds the number of trials executed concurrently (further
+	// capped at GOMAXPROCS by the shared pool runner). Zero or one runs
+	// serially. Results are bit-identical regardless of worker count:
+	// every trial derives its own seed and the report preserves trial
+	// order.
 	Workers int
 }
 
@@ -155,6 +157,13 @@ func (r Report) MeanSpeedup() float64 {
 // then for each trial place qubits, synthesize or reuse the gate sequence,
 // and evaluate both performance models.
 func Run(cfg Config) (*Report, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the trial
+// pool stops dispatching and ctx's error is returned. Results are
+// bit-identical to Run at every worker count.
+func RunContext(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.normalized()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -174,7 +183,7 @@ func Run(cfg Config) (*Report, error) {
 		},
 		Trials: make([]TrialResult, 0, cfg.Runs),
 	}
-	trials, err := runTrials(cfg, spec, device)
+	trials, err := runTrials(ctx, cfg, spec, device)
 	if err != nil {
 		return nil, err
 	}
@@ -199,78 +208,51 @@ func Run(cfg Config) (*Report, error) {
 	return report, nil
 }
 
-// runTrials executes every trial, serially or across a bounded worker
-// pool, preserving trial order in the result.
-func runTrials(cfg Config, spec circuit.Spec, device *ti.Device) ([]TrialResult, error) {
+// runTrials executes every trial through the shared worker-pool runner,
+// preserving trial order in the result. Trial i derives its own seed from
+// the master seed, so results are bit-identical at every worker count. In
+// explicit mode one flat-array evaluator is built for the fixed circuit
+// and shared (it is immutable and concurrency-safe) across all trials.
+func runTrials(ctx context.Context, cfg Config, spec circuit.Spec, device *ti.Device) ([]TrialResult, error) {
 	trials := make([]TrialResult, cfg.Runs)
-	if cfg.Workers <= 1 {
-		for i := range trials {
-			seed := stats.SplitSeed(cfg.Seed, i)
-			res, err := runTrial(cfg, spec, device, seed)
-			if err != nil {
-				return nil, fmt.Errorf("core: trial %d: %w", i, err)
-			}
-			trials[i] = TrialResult{Seed: seed, Perf: res}
+	var shared *perf.Evaluator
+	if cfg.Circuit != nil {
+		shared = perf.NewEvaluator(cfg.Circuit)
+	}
+	err := pool.Run(ctx, cfg.Workers, cfg.Runs, func(i int) error {
+		seed := stats.SplitSeed(cfg.Seed, i)
+		res, err := runTrial(cfg, spec, device, shared, seed)
+		if err != nil {
+			return fmt.Errorf("core: trial %d: %w", i, err)
 		}
-		return trials, nil
-	}
-	workers := cfg.Workers
-	if workers > cfg.Runs {
-		workers = cfg.Runs
-	}
-	indexes := make(chan int)
-	errs := make(chan error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range indexes {
-				seed := stats.SplitSeed(cfg.Seed, i)
-				res, err := runTrial(cfg, spec, device, seed)
-				if err != nil {
-					// Report the first failure; remaining indexes are
-					// still drained by the other workers.
-					select {
-					case errs <- fmt.Errorf("core: trial %d: %w", i, err):
-					default:
-					}
-					continue
-				}
-				trials[i] = TrialResult{Seed: seed, Perf: res}
-			}
-		}()
-	}
-	for i := range trials {
-		indexes <- i
-	}
-	close(indexes)
-	wg.Wait()
-	select {
-	case err := <-errs:
+		trials[i] = TrialResult{Seed: seed, Perf: res}
+		return nil
+	})
+	if err != nil {
 		return nil, err
-	default:
 	}
 	return trials, nil
 }
 
 // runTrial performs one randomized place-and-route plus evaluation.
-func runTrial(cfg Config, spec circuit.Spec, device *ti.Device, seed int64) (perf.Result, error) {
+// shared, when non-nil, is the explicit-mode evaluator reused across
+// trials; spec mode synthesizes a fresh circuit and evaluates it through a
+// throwaway evaluator (still cheaper than the legacy multi-pass path).
+func runTrial(cfg Config, spec circuit.Spec, device *ti.Device, shared *perf.Evaluator, seed int64) (perf.Result, error) {
 	r := stats.NewRand(seed)
 	layout, err := cfg.Placement.Place(device, spec.Qubits, r)
 	if err != nil {
 		return perf.Result{}, err
 	}
-	var c *circuit.Circuit
-	if cfg.Circuit != nil {
-		c = cfg.Circuit
-	} else {
-		c, err = cfg.Placer.Place(spec, layout, r)
+	ev := shared
+	if ev == nil {
+		c, err := cfg.Placer.Place(spec, layout, r)
 		if err != nil {
 			return perf.Result{}, err
 		}
+		ev = perf.NewEvaluator(c)
 	}
-	return perf.Evaluate(c, layout, cfg.Latencies)
+	return ev.Evaluate(layout, cfg.Latencies)
 }
 
 // RunOnce executes a single trial with an explicit seed, returning the

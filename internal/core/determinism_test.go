@@ -1,0 +1,69 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"velociti/internal/apps"
+	"velociti/internal/circuit"
+)
+
+// TestReportBitIdenticalAcrossWorkerCounts is the determinism regression
+// guard for the worker-pool trial runner: for a fixed master seed, the
+// whole Report — every trial, every summary, the critical-path labels —
+// must be reflect.DeepEqual between serial (Workers: 1) and concurrent
+// (Workers: 8) execution, in both spec and explicit-circuit modes.
+func TestReportBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	qaoa := apps.QAOA(24, nil, 2, 3)
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"spec-mode", Config{
+			Spec:        circuit.Spec{Name: "det", Qubits: 48, OneQubitGates: 30, TwoQubitGates: 150},
+			ChainLength: 16,
+			Runs:        16,
+			Seed:        99,
+		}},
+		{"explicit-mode", Config{
+			Circuit:     qaoa,
+			ChainLength: 8,
+			Runs:        16,
+			Seed:        99,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			serial := tc.cfg
+			serial.Workers = 1
+			serialRep, err := Run(serial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			concurrent := tc.cfg
+			concurrent.Workers = 8
+			concurrentRep, err := Run(concurrent)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(serialRep, concurrentRep) {
+				t.Fatalf("reports differ between Workers=1 and Workers=8:\nserial:     %+v\nconcurrent: %+v", serialRep, concurrentRep)
+			}
+		})
+	}
+}
+
+// TestRunContextCancellation checks the pool path surfaces a dead context
+// instead of running trials.
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := baseConfig()
+	cfg.Runs = 50
+	cfg.Workers = 4
+	if _, err := RunContext(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,160 @@
+package dag
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// randomForwardDAG builds a random forward-edged DAG and an equivalent Graph.
+func randomForwardDAG(r *rand.Rand, n int, p float64) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddNode("")
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < p {
+				g.AddEdge(u, v, float64(r.Intn(200))+r.Float64())
+			}
+		}
+	}
+	return g
+}
+
+func TestCSRMatchesGraph(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		g := randomForwardDAG(r, 1+r.Intn(40), r.Float64()*0.4)
+		c := g.CSR()
+		if c.NumNodes() != g.NumNodes() {
+			t.Fatalf("nodes %d != %d", c.NumNodes(), g.NumNodes())
+		}
+		if c.NumEdges() != g.NumEdges() {
+			t.Fatalf("edges %d != %d", c.NumEdges(), g.NumEdges())
+		}
+		if !c.Forward {
+			t.Fatalf("forward-edged graph not marked Forward")
+		}
+		i := 0
+		for _, e := range g.Edges() {
+			// Edges() orders by (From, To); CSR groups by source with
+			// ascending targets, so the flattened order must agree.
+			if int(c.Targets[i]) != e.To || c.Weights[i] != e.Weight {
+				t.Fatalf("edge %d: got (%d, %g), want (%d, %g)", i, c.Targets[i], c.Weights[i], e.To, e.Weight)
+			}
+			i++
+		}
+	}
+}
+
+func TestCSRLongestPathMatchesGraph(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	var scratch Scratch
+	for trial := 0; trial < 100; trial++ {
+		g := randomForwardDAG(r, r.Intn(60), r.Float64()*0.3)
+		want, err := g.LongestPath()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := g.CSR()
+		got, err := c.LongestPath(&scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want.Length {
+			t.Fatalf("trial %d: CSR longest path %g, Graph %g", trial, got, want.Length)
+		}
+		// The generic (Kahn) branch must agree with the forward fast path.
+		c.Forward = false
+		slow, err := c.LongestPath(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if slow != want.Length {
+			t.Fatalf("trial %d: Kahn branch %g, want %g", trial, slow, want.Length)
+		}
+	}
+}
+
+func TestCSRLongestPathInto(t *testing.T) {
+	g := New()
+	for i := 0; i < 4; i++ {
+		g.AddNode("")
+	}
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(1, 2, 4)
+	g.AddEdge(0, 3, 10)
+	c := g.CSR()
+	var s Scratch
+	best, dist, err := c.LongestPathInto(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 10 {
+		t.Fatalf("best = %g", best)
+	}
+	want := []float64{0, 3, 7, 10}
+	for i, d := range dist {
+		if d != want[i] {
+			t.Fatalf("dist[%d] = %g, want %g", i, d, want[i])
+		}
+	}
+	fromGraph, err := g.LongestPathFrom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fromGraph {
+		if fromGraph[i] != dist[i] {
+			t.Fatalf("dist[%d] = %g, LongestPathFrom %g", i, dist[i], fromGraph[i])
+		}
+	}
+}
+
+func TestCSRCycleDetected(t *testing.T) {
+	g := New()
+	a, b, c := g.AddNode("a"), g.AddNode("b"), g.AddNode("c")
+	g.AddEdge(a, b, 1)
+	g.AddEdge(b, c, 1)
+	g.AddEdge(c, a, 1)
+	snap := g.CSR()
+	if snap.Forward {
+		t.Fatalf("cyclic graph marked Forward")
+	}
+	if _, err := snap.LongestPath(nil); !errors.Is(err, ErrCycle) {
+		t.Fatalf("err = %v, want ErrCycle", err)
+	}
+}
+
+func TestCSREmptyAndIsolated(t *testing.T) {
+	empty := New().CSR()
+	if got, err := empty.LongestPath(nil); err != nil || got != 0 {
+		t.Fatalf("empty: %g, %v", got, err)
+	}
+	g := New()
+	g.AddNode("only")
+	c := g.CSR()
+	if got, err := c.LongestPath(nil); err != nil || got != 0 {
+		t.Fatalf("isolated: %g, %v", got, err)
+	}
+}
+
+func TestScratchReuseAcrossSizes(t *testing.T) {
+	var s Scratch
+	r := rand.New(rand.NewSource(3))
+	for _, n := range []int{50, 5, 120, 1} {
+		g := randomForwardDAG(r, n, 0.2)
+		want, err := g.LongestPath()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := g.CSR()
+		got, err := c.LongestPath(&s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want.Length {
+			t.Fatalf("n=%d: %g != %g", n, got, want.Length)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package dse
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestExploreBitIdenticalAcrossWorkerCounts guards the worker-pool grid
+// runner: for a fixed seed, every point must be identical between serial
+// and concurrent exploration, in the grid's canonical order.
+func TestExploreBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	base := Options{Runs: 4, Seed: 7}
+	serialOpt := base
+	serialOpt.Workers = 1
+	serial := explore(t, serialOpt)
+	for _, workers := range []int{2, 8} {
+		opt := base
+		opt.Workers = workers
+		pts := explore(t, opt)
+		if len(pts) != len(serial) {
+			t.Fatalf("workers=%d: %d points, want %d", workers, len(pts), len(serial))
+		}
+		for i := range pts {
+			if pts[i] != serial[i] {
+				t.Fatalf("workers=%d: point %d differs:\nserial:     %+v\nconcurrent: %+v",
+					workers, i, serial[i], pts[i])
+			}
+		}
+	}
+}
+
+// TestExploreContextCancellation checks a dead context stops the grid.
+func TestExploreContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt := Options{Runs: 4, Seed: 7, Workers: 4}
+	if _, err := ExploreContext(ctx, spec(), opt); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

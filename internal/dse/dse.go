@@ -11,6 +11,7 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -18,6 +19,7 @@ import (
 	"velociti/internal/fidelity"
 	"velociti/internal/perf"
 	"velociti/internal/placement"
+	"velociti/internal/pool"
 	"velociti/internal/schedule"
 	"velociti/internal/stats"
 	"velociti/internal/ti"
@@ -61,6 +63,12 @@ type Options struct {
 	Fidelity fidelity.Model
 	// Latencies is the base timing model (α is overridden per point).
 	Latencies perf.Latencies
+	// Workers bounds how many grid points are evaluated concurrently
+	// (further capped at GOMAXPROCS by the shared pool runner). Zero or
+	// one evaluates the grid serially. Every point derives its trial
+	// seeds independently, so results are bit-identical at any worker
+	// count.
+	Workers int
 }
 
 func (o Options) normalized() Options {
@@ -85,59 +93,110 @@ func (o Options) normalized() Options {
 	return o
 }
 
-// Explore evaluates the full grid for the workload and returns every
-// point, ordered by (ChainLength, Alpha, Placer).
-func Explore(spec circuit.Spec, opt Options) ([]Point, error) {
-	opt = opt.normalized()
-	if err := spec.Validate(); err != nil {
-		return nil, err
-	}
-	var points []Point
-	for _, L := range opt.ChainLengths {
+// gridCell is one fully resolved configuration of the exploration grid.
+type gridCell struct {
+	chainLength int
+	alpha       float64
+	placerName  string
+	device      *ti.Device
+	lat         perf.Latencies
+	placer      schedule.Placer
+}
+
+// grid resolves the full (ChainLength × Alpha × Placer) product up front,
+// surfacing device and placer-name errors before any trial runs.
+func (o Options) grid(spec circuit.Spec) ([]gridCell, error) {
+	cells := make([]gridCell, 0, len(o.ChainLengths)*len(o.Alphas)*len(o.Placers))
+	for _, L := range o.ChainLengths {
 		device, err := ti.DeviceFor(spec.Qubits, L, ti.Ring)
 		if err != nil {
 			return nil, err
 		}
-		for _, alpha := range opt.Alphas {
-			lat := opt.Latencies
+		for _, alpha := range o.Alphas {
+			lat := o.Latencies
 			lat.WeakPenalty = alpha
-			for _, placerName := range opt.Placers {
+			for _, placerName := range o.Placers {
 				placer, err := schedule.ByName(placerName, lat)
 				if err != nil {
 					return nil, err
 				}
-				var parSum, logSum, weakSum float64
-				for i := 0; i < opt.Runs; i++ {
-					r := stats.NewRand(stats.SplitSeed(opt.Seed, i))
-					layout, err := placement.Random{}.Place(device, spec.Qubits, r)
-					if err != nil {
-						return nil, err
-					}
-					c, err := placer.Place(spec, layout, r)
-					if err != nil {
-						return nil, err
-					}
-					est, err := opt.Fidelity.Estimate(c, layout, lat)
-					if err != nil {
-						return nil, err
-					}
-					parSum += est.MakespanMicros
-					logSum += est.LogTotal
-					weakSum += float64(perf.WeakGates(c, layout))
-				}
-				n := float64(opt.Runs)
-				points = append(points, Point{
-					ChainLength:    L,
-					Alpha:          alpha,
-					Placer:         placerName,
-					ParallelMicros: parSum / n,
-					LogFidelity:    logSum / n,
-					WeakGates:      weakSum / n,
+				cells = append(cells, gridCell{
+					chainLength: L,
+					alpha:       alpha,
+					placerName:  placerName,
+					device:      device,
+					lat:         lat,
+					placer:      placer,
 				})
 			}
 		}
 	}
+	return cells, nil
+}
+
+// Explore evaluates the full grid for the workload and returns every
+// point, ordered by (ChainLength, Alpha, Placer). Grid points run across
+// the worker pool when opt.Workers allows; each point derives its own
+// trial seeds, so the returned points are identical at any worker count.
+func Explore(spec circuit.Spec, opt Options) ([]Point, error) {
+	return ExploreContext(context.Background(), spec, opt)
+}
+
+// ExploreContext is Explore with cancellation.
+func ExploreContext(ctx context.Context, spec circuit.Spec, opt Options) ([]Point, error) {
+	opt = opt.normalized()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	cells, err := opt.grid(spec)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]Point, len(cells))
+	err = pool.Run(ctx, opt.Workers, len(cells), func(i int) error {
+		p, err := explorePoint(spec, opt, cells[i])
+		if err != nil {
+			return err
+		}
+		points[i] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	return points, nil
+}
+
+// explorePoint averages one grid cell over opt.Runs randomized trials.
+func explorePoint(spec circuit.Spec, opt Options, cell gridCell) (Point, error) {
+	var parSum, logSum, weakSum float64
+	for i := 0; i < opt.Runs; i++ {
+		r := stats.NewRand(stats.SplitSeed(opt.Seed, i))
+		layout, err := placement.Random{}.Place(cell.device, spec.Qubits, r)
+		if err != nil {
+			return Point{}, err
+		}
+		c, err := cell.placer.Place(spec, layout, r)
+		if err != nil {
+			return Point{}, err
+		}
+		est, err := opt.Fidelity.Estimate(c, layout, cell.lat)
+		if err != nil {
+			return Point{}, err
+		}
+		parSum += est.MakespanMicros
+		logSum += est.LogTotal
+		weakSum += float64(perf.WeakGates(c, layout))
+	}
+	n := float64(opt.Runs)
+	return Point{
+		ChainLength:    cell.chainLength,
+		Alpha:          cell.alpha,
+		Placer:         cell.placerName,
+		ParallelMicros: parSum / n,
+		LogFidelity:    logSum / n,
+		WeakGates:      weakSum / n,
+	}, nil
 }
 
 // Pareto filters points to the non-dominated frontier, sorted by parallel

@@ -1,0 +1,57 @@
+package expt
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestDriversBitIdenticalAcrossWorkerCounts guards the point-level worker
+// pool in the multi-point experiment drivers: for a fixed seed, the full
+// result structure must be reflect.DeepEqual between serial and concurrent
+// execution.
+func TestDriversBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	opt := Options{Runs: 4, Seed: 42}
+	serialOpt, poolOpt := opt, opt
+	serialOpt.Workers = 1
+	poolOpt.Workers = 8
+
+	t.Run("fig6", func(t *testing.T) {
+		a, err := Fig6(serialOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Fig6(poolOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("Fig6 differs between Workers=1 and Workers=8")
+		}
+	})
+	t.Run("fig7", func(t *testing.T) {
+		a, err := Fig7(serialOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Fig7(poolOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("Fig7 differs between Workers=1 and Workers=8")
+		}
+	})
+	t.Run("fig8", func(t *testing.T) {
+		a, err := Fig8(serialOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Fig8(poolOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("Fig8 differs between Workers=1 and Workers=8")
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"velociti/internal/circuit"
 	"velociti/internal/core"
 	"velociti/internal/perf"
+	"velociti/internal/pool"
 	"velociti/internal/stats"
 	"velociti/internal/ti"
 	"velociti/internal/workload"
@@ -22,8 +24,12 @@ type Options struct {
 	Seed int64
 	// Latencies is the timing model; the zero value selects Table III.
 	Latencies perf.Latencies
-	// Workers bounds concurrent trials per data point (results are
-	// identical at any worker count); zero runs serially.
+	// Workers bounds the experiment drivers' concurrency (results are
+	// bit-identical at any worker count); zero runs serially. Drivers
+	// with many independent data points (Fig6, Fig7, the Fig8/9 scaling
+	// studies) spread the points themselves across the shared worker
+	// pool; single-point drivers pass the budget down to core.Run's
+	// trial pool instead.
 	Workers int
 }
 
@@ -197,25 +203,38 @@ type Fig6Result struct {
 }
 
 // Fig6 runs the six Table II applications through both models on 16-ion
-// chains.
+// chains. Applications are independent data points and run across the
+// worker pool.
 func Fig6(opt Options) (*Fig6Result, error) {
 	opt = opt.normalized()
 	res := &Fig6Result{}
-	var serials, parallels, speedups []float64
-	for _, spec := range apps.PaperSpecs() {
-		rep, err := core.Run(opt.baseConfig(spec, 16))
+	specs := apps.PaperSpecs()
+	res.Rows = make([]Fig6Row, len(specs))
+	err := pool.Run(context.Background(), opt.Workers, len(specs), func(i int) error {
+		spec := specs[i]
+		// The pool budget is spent across applications here; per-point
+		// trials run serially to avoid nesting worker pools.
+		cfg := opt.baseConfig(spec, 16)
+		cfg.Workers = 1
+		rep, err := core.Run(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("expt: fig6 %s: %w", spec.Name, err)
+			return fmt.Errorf("expt: fig6 %s: %w", spec.Name, err)
 		}
-		row := Fig6Row{
+		res.Rows[i] = Fig6Row{
 			App:      spec.Name,
 			Serial:   rep.Serial,
 			Parallel: rep.Parallel,
 			Speedup:  rep.MeanSpeedup(),
 		}
-		res.Rows = append(res.Rows, row)
-		serials = append(serials, rep.Serial.Mean)
-		parallels = append(parallels, rep.Parallel.Mean)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var serials, parallels, speedups []float64
+	for _, row := range res.Rows {
+		serials = append(serials, row.Serial.Mean)
+		parallels = append(parallels, row.Parallel.Mean)
 		speedups = append(speedups, row.Speedup)
 	}
 	res.ArithMeanSerialMs = stats.Summarize(serials).Mean / 1000
@@ -284,20 +303,32 @@ type Fig7Result struct {
 }
 
 // Fig7 sweeps chain length over the application suite, parallel model only
-// (the paper disregards the serial model here as consistently worse).
+// (the paper disregards the serial model here as consistently worse). The
+// (application × chain length) product forms independent data points that
+// run across the worker pool.
 func Fig7(opt Options) (*Fig7Result, error) {
 	opt = opt.normalized()
 	res := &Fig7Result{ChainLengths: Fig7ChainLengths}
-	var improvements []float64
-	for _, spec := range apps.PaperSpecs() {
-		row := Fig7Row{App: spec.Name}
-		for _, L := range res.ChainLengths {
-			rep, err := core.Run(opt.baseConfig(spec, L))
-			if err != nil {
-				return nil, fmt.Errorf("expt: fig7 %s L=%d: %w", spec.Name, L, err)
-			}
-			row.Parallel = append(row.Parallel, rep.Parallel)
+	specs := apps.PaperSpecs()
+	nL := len(res.ChainLengths)
+	cells := make([]stats.Summary, len(specs)*nL)
+	err := pool.Run(context.Background(), opt.Workers, len(cells), func(i int) error {
+		spec, L := specs[i/nL], res.ChainLengths[i%nL]
+		cfg := opt.baseConfig(spec, L)
+		cfg.Workers = 1
+		rep, err := core.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("expt: fig7 %s L=%d: %w", spec.Name, L, err)
 		}
+		cells[i] = rep.Parallel
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var improvements []float64
+	for si, spec := range specs {
+		row := Fig7Row{App: spec.Name, Parallel: cells[si*nL : (si+1)*nL]}
 		first := row.Parallel[0].Mean
 		last := row.Parallel[len(row.Parallel)-1].Mean
 		if last > 0 {
@@ -383,33 +414,52 @@ type ScalingResult struct {
 	MaxRelSpread float64
 }
 
-// runScaling executes the scaling study for the given spec generator.
+// runScaling executes the scaling study for the given spec generator. The
+// full (spec × knob) product — every chain-length and every α cell — runs
+// across the worker pool; aggregation happens afterwards in deterministic
+// order, so results are identical at any worker count.
 func runScaling(name string, opt Options, specs []circuit.Spec) (*ScalingResult, error) {
 	opt = opt.normalized()
 	res := &ScalingResult{Name: name}
-	for _, spec := range specs {
+	nChain, nAlpha := len(ScalingChainLengths), len(ScalingAlphas)
+	perSpec := nChain + nAlpha
+	cells := make([]stats.Summary, len(specs)*perSpec)
+	err := pool.Run(context.Background(), opt.Workers, len(cells), func(i int) error {
+		spec, k := specs[i/perSpec], i%perSpec
+		var cfg core.Config
+		var tag string
+		if k < nChain {
+			L := ScalingChainLengths[k]
+			cfg = opt.baseConfig(spec, L)
+			tag = fmt.Sprintf("chain L=%d", L)
+		} else {
+			alpha := ScalingAlphas[k-nChain]
+			cfg = opt.baseConfig(spec, 32)
+			cfg.Latencies.WeakPenalty = alpha
+			tag = fmt.Sprintf("alpha=%g", alpha)
+		}
+		cfg.Workers = 1
+		rep, err := core.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("expt: %s %s %s: %w", name, tag, spec.Name, err)
+		}
+		cells[i] = rep.Parallel
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, spec := range specs {
 		res.Qubits = append(res.Qubits, spec.Qubits)
-		var chainRow, alphaRow []stats.Summary
-		for _, L := range ScalingChainLengths {
-			cfg := opt.baseConfig(spec, L)
-			rep, err := core.Run(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("expt: %s chain L=%d %s: %w", name, L, spec.Name, err)
-			}
-			chainRow = append(chainRow, rep.Parallel)
-			if sp := rep.Parallel.RelativeSpread(); sp > res.MaxRelSpread {
+		chainRow := cells[si*perSpec : si*perSpec+nChain]
+		alphaRow := cells[si*perSpec+nChain : (si+1)*perSpec]
+		for _, s := range chainRow {
+			if sp := s.RelativeSpread(); sp > res.MaxRelSpread {
 				res.MaxRelSpread = sp
 			}
 		}
-		for _, alpha := range ScalingAlphas {
-			cfg := opt.baseConfig(spec, 32)
-			cfg.Latencies.WeakPenalty = alpha
-			rep, err := core.Run(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("expt: %s alpha=%g %s: %w", name, alpha, spec.Name, err)
-			}
-			alphaRow = append(alphaRow, rep.Parallel)
-			if sp := rep.Parallel.RelativeSpread(); sp > res.MaxRelSpread {
+		for _, s := range alphaRow {
+			if sp := s.RelativeSpread(); sp > res.MaxRelSpread {
 				res.MaxRelSpread = sp
 			}
 		}

@@ -1,0 +1,258 @@
+package perf_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"velociti/internal/circuit"
+	"velociti/internal/perf"
+	"velociti/internal/placement"
+	"velociti/internal/schedule"
+	"velociti/internal/stats"
+	"velociti/internal/ti"
+	"velociti/internal/workload"
+)
+
+// evaluatorAlphas is the weak-link penalty sweep the equivalence property
+// is checked under.
+var evaluatorAlphas = []float64{1.0, 1.5, 2.0}
+
+// checkEquivalence pins the Evaluator against every legacy entry point for
+// one placed circuit.
+func checkEquivalence(t *testing.T, tag string, c *circuit.Circuit, l *ti.Layout, lat perf.Latencies) {
+	t.Helper()
+	e := perf.NewEvaluator(c)
+
+	if got, want := e.ParallelTime(l, lat), perf.ParallelTime(c, l, lat); got != want {
+		t.Fatalf("%s: Evaluator.ParallelTime = %v, ParallelTime = %v", tag, got, want)
+	}
+
+	g := perf.BuildGateGraph(c, l, lat)
+	if got, want := e.NumEdges(), g.NumEdges(); got != want {
+		t.Fatalf("%s: Evaluator has %d edges, BuildGateGraph %d", tag, got, want)
+	}
+	lp, err := g.LongestPath()
+	if err != nil {
+		t.Fatalf("%s: %v", tag, err)
+	}
+	if got := e.LongestPath(l, lat); got != lp.Length {
+		t.Fatalf("%s: Evaluator.LongestPath = %v, dag.LongestPath = %v", tag, got, lp.Length)
+	}
+
+	want, err := perf.Evaluate(c, l, lat)
+	if err != nil {
+		t.Fatalf("%s: %v", tag, err)
+	}
+	got, err := e.Evaluate(l, lat)
+	if err != nil {
+		t.Fatalf("%s: %v", tag, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: Evaluator.Evaluate =\n%+v\nEvaluate =\n%+v", tag, got, want)
+	}
+}
+
+// TestEvaluatorMatchesLegacyOnRandomCircuits drives the equivalence
+// property over explicit random circuits from internal/workload with
+// random placement, across the α sweep.
+func TestEvaluatorMatchesLegacyOnRandomCircuits(t *testing.T) {
+	r := stats.NewRand(42)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + r.Intn(40)
+		gates := r.Intn(300)
+		frac := r.Float64()
+		c := workload.RandomCircuit(n, gates, frac, int64(trial))
+		d, err := ti.DeviceFor(n, 4+r.Intn(13), ti.Ring)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := placement.Random{}.Place(d, n, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alpha := range evaluatorAlphas {
+			lat := perf.DefaultLatencies()
+			lat.WeakPenalty = alpha
+			checkEquivalence(t, c.Name, c, l, lat)
+		}
+	}
+}
+
+// TestEvaluatorMatchesLegacyAcrossPlacers drives the property through
+// every gate placer over spec workloads, across the α sweep.
+func TestEvaluatorMatchesLegacyAcrossPlacers(t *testing.T) {
+	specs := []circuit.Spec{
+		workload.Random(16, 60),
+		workload.QuantumVolume(24),
+		workload.RatioCircuit(32, 2),
+	}
+	for _, alpha := range evaluatorAlphas {
+		lat := perf.DefaultLatencies()
+		lat.WeakPenalty = alpha
+		for _, placer := range schedule.All(lat) {
+			for si, spec := range specs {
+				r := stats.NewRand(int64(100 + si))
+				d, err := ti.DeviceFor(spec.Qubits, 8, ti.Ring)
+				if err != nil {
+					t.Fatal(err)
+				}
+				l, err := placement.Random{}.Place(d, spec.Qubits, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c, err := placer.Place(spec, l, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tag := spec.Name + "/" + placer.Name()
+				checkEquivalence(t, tag, c, l, lat)
+			}
+		}
+	}
+}
+
+// TestEvaluatorReuseAcrossLayouts checks the intended usage pattern: one
+// evaluator, many randomized placements, results identical to fresh legacy
+// evaluations every time.
+func TestEvaluatorReuseAcrossLayouts(t *testing.T) {
+	c := workload.RandomCircuit(24, 200, 0.3, 7)
+	d, err := ti.DeviceFor(24, 6, ti.Ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := perf.NewEvaluator(c)
+	lat := perf.DefaultLatencies()
+	r := stats.NewRand(9)
+	for trial := 0; trial < 25; trial++ {
+		l, err := placement.Random{}.Place(d, 24, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := perf.Evaluate(c, l, lat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Evaluate(l, lat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: results diverged", trial)
+		}
+	}
+}
+
+// TestEvaluatorConcurrentUse exercises one shared evaluator from many
+// goroutines — the worker-pool runner's access pattern — under the race
+// detector.
+func TestEvaluatorConcurrentUse(t *testing.T) {
+	c := workload.RandomCircuit(16, 120, 0.2, 3)
+	d, err := ti.DeviceFor(16, 4, ti.Ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := perf.NewEvaluator(c)
+	lat := perf.DefaultLatencies()
+	layouts := make([]*ti.Layout, 8)
+	want := make([]perf.Result, len(layouts))
+	r := stats.NewRand(5)
+	for i := range layouts {
+		l, err := placement.Random{}.Place(d, 16, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		layouts[i] = l
+		want[i], err = perf.Evaluate(c, l, lat)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(layouts))
+	for i := range layouts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				got, err := e.Evaluate(layouts[i], lat)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if !reflect.DeepEqual(got, want[i]) {
+					errs[i] = errMismatch
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", i, err)
+		}
+	}
+}
+
+var errMismatch = errFixed("evaluator result diverged under concurrency")
+
+type errFixed string
+
+func (e errFixed) Error() string { return string(e) }
+
+// TestEvaluatorEmptyAndTinyCircuits covers the degenerate sizes the DP
+// special-cases.
+func TestEvaluatorEmptyAndTinyCircuits(t *testing.T) {
+	d, err := ti.DeviceFor(4, 4, ti.Ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := placement.Sequential{}.Place(d, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := perf.DefaultLatencies()
+
+	empty := circuit.New("empty", 4)
+	checkEquivalence(t, "empty", empty, l, lat)
+
+	single := circuit.New("single", 4)
+	single.H(0)
+	checkEquivalence(t, "single", single, l, lat)
+
+	pair := circuit.New("pair", 4)
+	pair.CX(0, 3)
+	pair.CX(0, 3)
+	checkEquivalence(t, "pair", pair, l, lat)
+}
+
+// TestEvaluatorValidation mirrors Evaluate's error contract.
+func TestEvaluatorValidation(t *testing.T) {
+	c := workload.RandomCircuit(8, 20, 0.5, 1)
+	d, err := ti.DeviceFor(4, 4, ti.Ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := placement.Sequential{}.Place(d, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := perf.NewEvaluator(c)
+	if _, err := e.Evaluate(l, perf.DefaultLatencies()); err == nil {
+		t.Fatal("expected error for circuit wider than layout")
+	}
+	bad := perf.DefaultLatencies()
+	bad.WeakPenalty = 0.5
+	d8, err := ti.DeviceFor(8, 4, ti.Ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l8, err := placement.Sequential{}.Place(d8, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Evaluate(l8, bad); err == nil {
+		t.Fatal("expected latency validation error")
+	}
+}

@@ -1,0 +1,102 @@
+// Package pool provides the bounded worker-pool runner shared by
+// VelociTI's trial loop (internal/core), experiment drivers
+// (internal/expt), and design-space explorer (internal/dse).
+//
+// All three layers have the same shape: n independent, CPU-bound jobs
+// whose results land in index-addressed slots. Run executes them across a
+// bounded set of goroutines while keeping outputs deterministic — callers
+// derive any randomness from the job index (stats.SplitSeed), so results
+// are bit-identical at every worker count, a property the test suites pin.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Run executes fn(i) for every i in [0, n), using at most workers
+// concurrent goroutines. workers is additionally bounded by n and by
+// GOMAXPROCS (the jobs are CPU-bound; more goroutines only add scheduling
+// noise); workers <= 1 runs everything inline on the calling goroutine.
+//
+// fn must write its result into an index-addressed slot rather than shared
+// state; distinct indices never race. When any fn returns an error, the
+// lowest-indexed error among all executed jobs is returned — the same
+// error the serial order would surface — and remaining jobs may be
+// skipped. When ctx is cancelled, Run stops dispatching and returns
+// ctx.Err() (unless a job error with a lower index was already recorded).
+func Run(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if p := runtime.GOMAXPROCS(0); workers > p {
+		workers = p
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		mu      sync.Mutex
+		firstI  = n
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	record := func(i int, err error) {
+		failed.Store(true)
+		mu.Lock()
+		if i < firstI {
+			firstI, firstEr = i, err
+		}
+		mu.Unlock()
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() || ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					record(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return firstEr
+	}
+	return ctx.Err()
+}
+
+// Workers resolves a worker-count knob: values above zero are returned
+// as-is, anything else selects GOMAXPROCS. It is the conventional
+// interpretation of a -workers=0 / "auto" flag.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}

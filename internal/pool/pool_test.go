@@ -1,0 +1,142 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		n := 100
+		counts := make([]int32, n)
+		err := Run(context.Background(), workers, n, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestRunReturnsLowestIndexedError(t *testing.T) {
+	fail := map[int]bool{7: true, 23: true, 61: true}
+	for _, workers := range []int{1, 4, 8} {
+		err := Run(context.Background(), workers, 100, func(i int) error {
+			if fail[i] {
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "job 7 failed" {
+			t.Fatalf("workers=%d: err = %v, want job 7's", workers, err)
+		}
+	}
+}
+
+func TestRunStopsDispatchingAfterError(t *testing.T) {
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	err := Run(context.Background(), 2, 10_000, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := ran.Load(); got >= 10_000 {
+		t.Fatalf("all %d jobs ran despite early failure", got)
+	}
+}
+
+func TestRunHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := Run(ctx, 4, 100_000, func(i int) error {
+		if ran.Add(1) == 50 {
+			cancel()
+		}
+		time.Sleep(10 * time.Microsecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got >= 100_000 {
+		t.Fatalf("cancellation did not stop dispatch (ran %d)", got)
+	}
+}
+
+func TestRunCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := Run(ctx, 1, 10, func(i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("ran %d jobs under a dead context", ran.Load())
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	err := Run(context.Background(), workers, 200, func(i int) error {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(50 * time.Microsecond)
+		inFlight.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit := int64(workers)
+	if p := int64(runtime.GOMAXPROCS(0)); p < limit {
+		limit = p
+	}
+	if peak.Load() > limit {
+		t.Fatalf("peak concurrency %d exceeds limit %d", peak.Load(), limit)
+	}
+}
+
+func TestRunZeroJobs(t *testing.T) {
+	if err := Run(context.Background(), 8, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkersKnob(t *testing.T) {
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-2); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-2) = %d, want GOMAXPROCS", got)
+	}
+}
