@@ -24,6 +24,8 @@ import (
 	"velociti/internal/stats"
 	"velociti/internal/ti"
 	"velociti/internal/workload"
+
+	"velociti/internal/circuit"
 )
 
 // benchOpts keeps per-iteration work bounded; series shapes are unaffected.
@@ -36,7 +38,10 @@ func benchOpts() expt.Options {
 func BenchmarkTableII(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, app := range apps.Catalog() {
-			c := app.Build()
+			c, err := app.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
 			if c.NumQubits() != app.Spec.Qubits {
 				b.Fatalf("%s: width %d", app.Name(), c.NumQubits())
 			}
@@ -262,7 +267,7 @@ func BenchmarkLegacyGateGraphConstruction(b *testing.B) {
 // BenchmarkQASMParseQFT64 measures the OpenQASM front end on the 64-qubit
 // QFT (10,144 gates).
 func BenchmarkQASMParseQFT64(b *testing.B) {
-	text := qasm.Serialize(apps.QFT(64))
+	text := qasm.Serialize(bc(b)(apps.QFT(64)))
 	b.SetBytes(int64(len(text)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -275,7 +280,7 @@ func BenchmarkQASMParseQFT64(b *testing.B) {
 // BenchmarkStatevec16Qubit measures functional simulation of a 16-qubit
 // GHZ preparation (65,536 amplitudes).
 func BenchmarkStatevec16Qubit(b *testing.B) {
-	c := apps.GHZ(16)
+	c := bc(b)(apps.GHZ(16))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := statevec.Run(c); err != nil {
@@ -330,7 +335,7 @@ func BenchmarkTimelineQFT(b *testing.B) {
 // BenchmarkOptimizerSupremacy measures the circuit optimizer on the
 // gate-level Supremacy workload.
 func BenchmarkOptimizerSupremacy(b *testing.B) {
-	c := apps.Supremacy(8, 8, 20, 1)
+	c := bc(b)(apps.Supremacy(8, 8, 20, 1))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if opt, _ := c.Optimize(); opt.NumGates() == 0 {
@@ -415,5 +420,16 @@ func BenchmarkDesignSpaceExploration(b *testing.B) {
 		if len(ParetoFrontier(points)) == 0 {
 			b.Fatal("empty frontier")
 		}
+	}
+}
+
+// bc unwraps a circuit-generator result, failing the benchmark on error.
+func bc(b *testing.B) func(*circuit.Circuit, error) *circuit.Circuit {
+	return func(c *circuit.Circuit, err error) *circuit.Circuit {
+		b.Helper()
+		if err != nil {
+			b.Fatalf("unexpected error: %v", err)
+		}
+		return c
 	}
 }

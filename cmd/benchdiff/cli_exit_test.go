@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMain turns this test binary into the real CLI when the re-exec
+// marker is set, so the exit-status tests below observe main()'s true
+// exit code and stderr.
+func TestMain(m *testing.M) {
+	if os.Getenv("VELOCITI_CLI_EXIT_TEST") == "1" {
+		args := []string{os.Args[0]}
+		if raw := os.Getenv("VELOCITI_CLI_EXIT_ARGS"); raw != "" {
+			args = append(args, strings.Split(raw, "\x1f")...)
+		}
+		os.Args = args
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func execMain(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		"VELOCITI_CLI_EXIT_TEST=1",
+		"VELOCITI_CLI_EXIT_ARGS="+strings.Join(args, "\x1f"))
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	cmd.Stdout = io.Discard
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("re-exec failed: %v", err)
+		}
+		code = ee.ExitCode()
+	}
+	return code, stderr.String()
+}
+
+func checkDiagnostic(t *testing.T, code int, stderr, prefix, substr string) {
+	t.Helper()
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %q)", code, stderr)
+	}
+	if strings.Contains(stderr, "goroutine ") || strings.Contains(stderr, "panic:") {
+		t.Fatalf("stderr contains a stack trace:\n%s", stderr)
+	}
+	line := strings.TrimSuffix(stderr, "\n")
+	if line == "" || strings.Contains(line, "\n") {
+		t.Errorf("stderr should be exactly one diagnostic line, got %q", stderr)
+	}
+	if !strings.HasPrefix(line, prefix) {
+		t.Errorf("stderr = %q, want prefix %q", line, prefix)
+	}
+	if !strings.Contains(line, substr) {
+		t.Errorf("stderr = %q, want it to mention %q", line, substr)
+	}
+}
+
+func TestMalformedInputExitStatus(t *testing.T) {
+	dir := t.TempDir()
+	benchOut := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(benchOut, []byte("BenchmarkFoo-8   \t 200\t  199960 ns/op\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	badBase := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(badBase, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	emptyBase := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(emptyBase, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		args   []string
+		substr string
+	}{
+		{"missing input file", []string{filepath.Join(dir, "nope.txt")}, "no such file"},
+		{"empty input", nil, "no benchmark results"}, // stdin is /dev/null in the subprocess
+		{"missing baseline", []string{"-baseline", filepath.Join(dir, "nope.json"), benchOut}, "no such file"},
+		{"malformed baseline", []string{"-baseline", badBase, benchOut}, "invalid character"},
+		{"empty baseline", []string{"-baseline", emptyBase, benchOut}, "no benchmarks recorded"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, stderr := execMain(t, tc.args...)
+			checkDiagnostic(t, code, stderr, "benchdiff:", tc.substr)
+		})
+	}
+}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -26,15 +27,21 @@ import (
 	"velociti/internal/circuit"
 	"velociti/internal/core"
 	"velociti/internal/perf"
+	"velociti/internal/pool"
 	"velociti/internal/schedule"
 	"velociti/internal/ti"
+	"velociti/internal/verr"
 	"velociti/internal/workload"
 )
 
 func main() {
 	start := time.Now()
 	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "velociti-sweep:", err)
+		if verr.IsInput(err) {
+			fmt.Fprintln(os.Stderr, "velociti-sweep: invalid input:", err)
+		} else {
+			fmt.Fprintln(os.Stderr, "velociti-sweep:", err)
+		}
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "velociti-sweep: done in %s\n", time.Since(start).Round(time.Millisecond))
@@ -68,11 +75,11 @@ func run(args []string, out io.Writer) error {
 	}
 	lengths, err := parseInts(*chainLens)
 	if err != nil {
-		return fmt.Errorf("-chain-lengths: %w", err)
+		return verr.Inputf("-chain-lengths: %w", err)
 	}
 	alphaVals, err := parseFloats(*alphas)
 	if err != nil {
-		return fmt.Errorf("-alphas: %w", err)
+		return verr.Inputf("-alphas: %w", err)
 	}
 	placerNames := splitList(*placers)
 	topo, err := ti.ParseTopology(*topology)
@@ -80,39 +87,77 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	fmt.Fprintln(out, "workload,qubits,two_qubit_gates,chain_length,chains,weak_links,alpha,placer,serial_us,parallel_us,parallel_min_us,parallel_max_us,speedup,weak_gates")
+	// Flatten the grid into cells so one bad configuration degrades into
+	// one failed data point (a stderr diagnostic and a skipped CSV row)
+	// instead of aborting the whole sweep.
+	type cell struct {
+		spec       circuit.Spec
+		chainLen   int
+		alpha      float64
+		placerName string
+	}
+	var cells []cell
 	for _, spec := range specs {
 		for _, L := range lengths {
 			for _, alpha := range alphaVals {
 				for _, placerName := range placerNames {
-					lat := perf.DefaultLatencies()
-					lat.WeakPenalty = alpha
-					placer, err := schedule.ByName(placerName, lat)
-					if err != nil {
-						return err
-					}
-					cfg := core.Config{
-						Spec:        spec,
-						ChainLength: L,
-						Topology:    topo,
-						Latencies:   lat,
-						Placer:      placer,
-						Runs:        *runs,
-						Seed:        *seed,
-						Workers:     *workers,
-					}
-					rep, err := core.Run(cfg)
-					if err != nil {
-						return fmt.Errorf("%s L=%d α=%g %s: %w", spec.Name, L, alpha, placerName, err)
-					}
-					fmt.Fprintf(out, "%s,%d,%d,%d,%d,%d,%g,%s,%.3f,%.3f,%.3f,%.3f,%.3f,%.1f\n",
-						spec.Name, spec.Qubits, spec.TwoQubitGates,
-						L, rep.Device.NumChains, rep.Device.MaxWeakLinks, alpha, placerName,
-						rep.Serial.Mean, rep.Parallel.Mean, rep.Parallel.Min, rep.Parallel.Max,
-						rep.MeanSpeedup(), rep.WeakGates.Mean)
+					cells = append(cells, cell{spec, L, alpha, placerName})
 				}
 			}
 		}
+	}
+	if len(cells) == 0 {
+		return verr.Inputf("empty sweep grid")
+	}
+
+	// Trials parallelize inside each cell (cfg.Workers); cells run one at a
+	// time so CSV row order — and every trial's derived seed — matches the
+	// serial sweep exactly. RunAll gives per-cell error isolation either way.
+	reports := make([]*core.Report, len(cells))
+	errs := pool.RunAll(context.Background(), 1, len(cells), func(i int) error {
+		c := cells[i]
+		lat := perf.DefaultLatencies()
+		lat.WeakPenalty = c.alpha
+		placer, err := schedule.ByName(c.placerName, lat)
+		if err != nil {
+			return err
+		}
+		cfg := core.Config{
+			Spec:        c.spec,
+			ChainLength: c.chainLen,
+			Topology:    topo,
+			Latencies:   lat,
+			Placer:      placer,
+			Runs:        *runs,
+			Seed:        *seed,
+			Workers:     *workers,
+		}
+		rep, err := core.Run(cfg)
+		if err != nil {
+			return err
+		}
+		reports[i] = rep
+		return nil
+	})
+
+	fmt.Fprintln(out, "workload,qubits,two_qubit_gates,chain_length,chains,weak_links,alpha,placer,serial_us,parallel_us,parallel_min_us,parallel_max_us,speedup,weak_gates")
+	failed := 0
+	for i, c := range cells {
+		if errs != nil && errs[i] != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "velociti-sweep: skipping %s L=%d α=%g %s: %v\n",
+				c.spec.Name, c.chainLen, c.alpha, c.placerName, errs[i])
+			continue
+		}
+		rep := reports[i]
+		fmt.Fprintf(out, "%s,%d,%d,%d,%d,%d,%g,%s,%.3f,%.3f,%.3f,%.3f,%.3f,%.1f\n",
+			c.spec.Name, c.spec.Qubits, c.spec.TwoQubitGates,
+			c.chainLen, rep.Device.NumChains, rep.Device.MaxWeakLinks, c.alpha, c.placerName,
+			rep.Serial.Mean, rep.Parallel.Mean, rep.Parallel.Min, rep.Parallel.Max,
+			rep.MeanSpeedup(), rep.WeakGates.Mean)
+	}
+	if failed == len(cells) {
+		return fmt.Errorf("all %d sweep configurations failed; first: %w", failed, errs[0])
 	}
 	return nil
 }
@@ -130,30 +175,30 @@ func buildSpecs(app string, qv bool, ratio float64, qubits, oneQ, twoQ int, qubi
 		if qubitRange != "" {
 			parts := strings.Split(qubitRange, ":")
 			if len(parts) != 3 {
-				return nil, fmt.Errorf("-qubit-range wants from:to:step, got %q", qubitRange)
+				return nil, verr.Inputf("-qubit-range wants from:to:step, got %q", qubitRange)
 			}
 			vals := make([]int, 3)
 			for i, p := range parts {
 				v, err := strconv.Atoi(p)
 				if err != nil {
-					return nil, fmt.Errorf("-qubit-range: %w", err)
+					return nil, verr.Inputf("-qubit-range: %w", err)
 				}
 				vals[i] = v
 			}
 			from, to, step = vals[0], vals[1], vals[2]
 			if step <= 0 {
-				return nil, fmt.Errorf("-qubit-range step must be positive")
+				return nil, verr.Inputf("-qubit-range step must be positive")
 			}
 		}
 		if qv {
-			return workload.QVSweep(from, to, step), nil
+			return workload.QVSweep(from, to, step)
 		}
-		return workload.RatioSweep(from, to, step, ratio), nil
+		return workload.RatioSweep(from, to, step, ratio)
 	case qubits > 0:
 		spec := circuit.Spec{Name: "sweep", Qubits: qubits, OneQubitGates: oneQ, TwoQubitGates: twoQ}
 		return []circuit.Spec{spec}, spec.Validate()
 	default:
-		return nil, fmt.Errorf("no workload: pass -app, -qv, -ratio, or -qubits (see -h)")
+		return nil, verr.Inputf("no workload: pass -app, -qv, -ratio, or -qubits (see -h)")
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"velociti/internal/apps"
 	"velociti/internal/circuit"
@@ -28,11 +29,18 @@ import (
 	"velociti/internal/qasm"
 	"velociti/internal/shuttle"
 	"velociti/internal/stats"
+	"velociti/internal/verr"
 )
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "velociti:", err)
+		// Input-kind failures get an explicit marker so scripts (and
+		// humans) can tell a bad invocation from a framework bug.
+		if verr.IsInput(err) {
+			fmt.Fprintln(os.Stderr, "velociti: invalid input:", err)
+		} else {
+			fmt.Fprintln(os.Stderr, "velociti:", err)
+		}
 		os.Exit(1)
 	}
 }
@@ -88,6 +96,29 @@ func run(args []string, out io.Writer) error {
 	params.Runs = *runs
 	params.Seed = *seed
 
+	// A workload comes from exactly one source. Silently ignoring a
+	// conflicting flag (e.g. -app QFT -qubits 32 dropping -qubits) would
+	// report results for a different workload than the one asked for.
+	var sources []string
+	if *app != "" {
+		sources = append(sources, "-app")
+	}
+	if *circJSON != "" {
+		sources = append(sources, "-circuit")
+	}
+	if *qasmPath != "" {
+		sources = append(sources, "-qasm")
+	}
+	if *qubits > 0 {
+		sources = append(sources, "-qubits")
+	}
+	if len(sources) > 1 {
+		return verr.Inputf("conflicting workload flags %s: pass exactly one workload source", strings.Join(sources, " and "))
+	}
+	if *qubits <= 0 && (*oneQ != 0 || *twoQ != 0) {
+		return verr.Inputf("-one-qubit-gates/-two-qubit-gates need -qubits to define the abstract workload")
+	}
+
 	var explicit *circuit.Circuit
 	switch {
 	case *app != "":
@@ -96,7 +127,10 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		if *appGates {
-			explicit = a.Build()
+			explicit, err = a.Build()
+			if err != nil {
+				return err
+			}
 		} else {
 			params.Workload = a.Spec
 		}
@@ -122,7 +156,7 @@ func run(args []string, out io.Writer) error {
 	case *cfgPath != "":
 		// Workload comes from the config file.
 	default:
-		return fmt.Errorf("no workload: pass -qubits/-two-qubit-gates, -app, -circuit, -qasm, or -config (see -h)")
+		return verr.Inputf("no workload: pass -qubits/-two-qubit-gates, -app, -circuit, -qasm, or -config (see -h)")
 	}
 
 	if *saveConfig != "" {

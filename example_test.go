@@ -50,7 +50,11 @@ func ExampleParseQASM() {
 // ExampleSimulate functionally validates a circuit on the built-in
 // state-vector simulator.
 func ExampleSimulate() {
-	state, err := velociti.Simulate(velociti.GHZ(3))
+	ghz, err := velociti.GHZ(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	state, err := velociti.Simulate(ghz)
 	if err != nil {
 		log.Fatal(err)
 	}

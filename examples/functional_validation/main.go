@@ -28,7 +28,10 @@ func main() {
 
 func checkBernsteinVazirani() {
 	secret := []bool{true, false, true, true, false} // 01101 (LSB first)
-	c := velociti.BernsteinVazirani(6, secret)
+	c, err := velociti.BernsteinVazirani(6, secret)
+	if err != nil {
+		log.Fatal(err)
+	}
 	state, err := velociti.Simulate(c)
 	if err != nil {
 		log.Fatal(err)
@@ -61,7 +64,11 @@ func checkAdder() {
 			c.X(1 + bits + i)
 		}
 	}
-	for _, g := range velociti.CuccaroAdder(bits).Gates() {
+	adder, err := velociti.CuccaroAdder(bits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, g := range adder.Gates() {
 		c.Append(g.Kind, g.Qubits, g.Params...)
 	}
 	state, err := velociti.Simulate(c)
@@ -87,7 +94,10 @@ func checkAdder() {
 }
 
 func checkGrover() {
-	c := velociti.Grover(4, 2) // 4 data qubits, 2 amplification rounds
+	c, err := velociti.Grover(4, 2) // 4 data qubits, 2 amplification rounds
+	if err != nil {
+		log.Fatal(err)
+	}
 	state, err := velociti.Simulate(c)
 	if err != nil {
 		log.Fatal(err)

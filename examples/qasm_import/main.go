@@ -81,7 +81,11 @@ func main() {
 		aware.WeakGates.Mean, report.WeakGates.Mean)
 
 	// Export: any generated circuit serializes to portable OpenQASM.
-	text := velociti.SerializeQASM(velociti.QFT(16))
+	qft, err := velociti.QFT(16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	text := velociti.SerializeQASM(qft)
 	fmt.Printf("\nexported qft16 as OpenQASM (%d lines); header:\n", strings.Count(text, "\n"))
 	for _, line := range strings.SplitN(text, "\n", 5)[:4] {
 		fmt.Println("  " + line)

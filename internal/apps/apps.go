@@ -28,6 +28,7 @@ import (
 
 	"velociti/internal/circuit"
 	"velociti/internal/stats"
+	"velociti/internal/verr"
 )
 
 // App couples a Table II workload's abstract spec with its gate-level
@@ -36,8 +37,11 @@ type App struct {
 	// Spec is the paper's boundary conditions for the workload
 	// (Table II qubit and 2-qubit gate counts).
 	Spec circuit.Spec
-	// Build generates a concrete gate-level circuit for the workload.
-	Build func() *circuit.Circuit
+	// Build generates a concrete gate-level circuit for the workload,
+	// returning an input-kind error when the fixed Table II parameters
+	// would be invalid (they never are; the error path exists so callers
+	// share one contract with the parameterized generators).
+	Build func() (*circuit.Circuit, error)
 }
 
 // Name returns the workload name.
@@ -59,13 +63,19 @@ func PaperSpecs() []circuit.Spec {
 // Catalog returns the six Table II workloads with their generators.
 func Catalog() []App {
 	specs := PaperSpecs()
-	builders := []func() *circuit.Circuit{
-		func() *circuit.Circuit { return Supremacy(8, 8, 20, 1) },
-		func() *circuit.Circuit { return QAOA(64, RandomGraph(64, 315, 1), 2, 1) },
-		func() *circuit.Circuit { return Grover(40, 1) },
-		func() *circuit.Circuit { return QFT(64) },
-		func() *circuit.Circuit { return CuccaroAdder(31) },
-		func() *circuit.Circuit { return BernsteinVazirani(64, nil) },
+	builders := []func() (*circuit.Circuit, error){
+		func() (*circuit.Circuit, error) { return Supremacy(8, 8, 20, 1) },
+		func() (*circuit.Circuit, error) {
+			edges, err := RandomGraph(64, 315, 1)
+			if err != nil {
+				return nil, err
+			}
+			return QAOA(64, edges, 2, 1)
+		},
+		func() (*circuit.Circuit, error) { return Grover(40, 1) },
+		func() (*circuit.Circuit, error) { return QFT(64) },
+		func() (*circuit.Circuit, error) { return CuccaroAdder(31) },
+		func() (*circuit.Circuit, error) { return BernsteinVazirani(64, nil) },
 	}
 	out := make([]App, len(specs))
 	for i := range specs {
@@ -82,7 +92,7 @@ func ByName(name string) (App, error) {
 			return a, nil
 		}
 	}
-	return App{}, fmt.Errorf("apps: unknown application %q (want one of Supremacy, QAOA, SquareRoot, QFT, Adder, BV)", name)
+	return App{}, verr.Inputf("apps: unknown application %q (want one of Supremacy, QAOA, SquareRoot, QFT, Adder, BV)", name)
 }
 
 // QFT builds the n-qubit quantum Fourier transform with every controlled
@@ -90,7 +100,10 @@ func ByName(name string) (App, error) {
 // exactly n(n−1) CX gates — 4032 for n = 64, matching Table II — and
 // n + 3·n(n−1)/2 one-qubit gates. No terminal swap network is emitted
 // (Table II's count excludes it).
-func QFT(n int) *circuit.Circuit {
+func QFT(n int) (*circuit.Circuit, error) {
+	if n < 1 {
+		return nil, verr.Inputf("apps: QFT needs at least 1 qubit, got %d", n)
+	}
 	c := circuit.New(fmt.Sprintf("qft%d", n), n)
 	for i := 0; i < n; i++ {
 		c.H(i)
@@ -99,7 +112,7 @@ func QFT(n int) *circuit.Circuit {
 			appendCP(c, theta, j, i)
 		}
 	}
-	return c
+	return c, c.Err()
 }
 
 // appendCP emits a controlled-phase gate decomposed into 1-qubit rotations
@@ -119,7 +132,10 @@ func appendCP(c *circuit.Circuit, theta float64, ctrl, tgt int) {
 // four patterns cover 32+24+32+24 = 112 edges, so 20 cycles give exactly
 // 560 CZ gates — Table II's count. The random 1-qubit gate choice is
 // seeded for reproducibility.
-func Supremacy(rows, cols, cycles int, seed int64) *circuit.Circuit {
+func Supremacy(rows, cols, cycles int, seed int64) (*circuit.Circuit, error) {
+	if rows < 1 || cols < 1 || cycles < 0 {
+		return nil, verr.Inputf("apps: supremacy grid must be positive with non-negative cycles, got %dx%d over %d cycles", rows, cols, cycles)
+	}
 	n := rows * cols
 	c := circuit.New(fmt.Sprintf("supremacy%dx%dx%d", rows, cols, cycles), n)
 	r := stats.NewRand(seed)
@@ -165,16 +181,20 @@ func Supremacy(rows, cols, cycles int, seed int64) *circuit.Circuit {
 			}
 		}
 	}
-	return c
+	return c, c.Err()
 }
 
 // RandomGraph returns m distinct undirected edges over n vertices drawn
 // uniformly at random with the given seed, canonicalized (a < b) and in
-// draw order. It panics if m exceeds the number of possible edges.
-func RandomGraph(n, m int, seed int64) [][2]int {
+// draw order. It rejects a request for more edges than the complete graph
+// holds.
+func RandomGraph(n, m int, seed int64) ([][2]int, error) {
+	if n < 0 || m < 0 {
+		return nil, verr.Inputf("apps: random graph sizes must be non-negative, got n=%d m=%d", n, m)
+	}
 	maxEdges := n * (n - 1) / 2
 	if m > maxEdges {
-		panic(fmt.Sprintf("apps: %d edges requested, only %d possible on %d vertices", m, maxEdges, n))
+		return nil, verr.Inputf("apps: %d edges requested, only %d possible on %d vertices", m, maxEdges, n)
 	}
 	r := stats.NewRand(seed)
 	seen := make(map[[2]int]bool, m)
@@ -194,7 +214,7 @@ func RandomGraph(n, m int, seed int64) [][2]int {
 		seen[e] = true
 		edges = append(edges, e)
 	}
-	return edges
+	return edges, nil
 }
 
 // QAOA builds a Quantum Approximate Optimization Algorithm circuit for
@@ -204,7 +224,15 @@ func RandomGraph(n, m int, seed int64) [][2]int {
 // seeded generator, as QAOA parameters would come from a classical outer
 // loop. With 315 edges and 2 rounds the CX count is 2·315·2 = 1260 —
 // Table II's count for the 64-qubit QAOA.
-func QAOA(n int, edges [][2]int, rounds int, seed int64) *circuit.Circuit {
+func QAOA(n int, edges [][2]int, rounds int, seed int64) (*circuit.Circuit, error) {
+	if n < 1 || rounds < 0 {
+		return nil, verr.Inputf("apps: QAOA needs a positive qubit count and non-negative rounds, got n=%d rounds=%d", n, rounds)
+	}
+	for _, e := range edges {
+		if e[0] < 0 || e[0] >= n || e[1] < 0 || e[1] >= n || e[0] == e[1] {
+			return nil, verr.Inputf("apps: QAOA edge (%d,%d) invalid on %d vertices", e[0], e[1], n)
+		}
+	}
 	c := circuit.New(fmt.Sprintf("qaoa%dq%de%dr", n, len(edges), rounds), n)
 	r := stats.NewRand(seed)
 	for q := 0; q < n; q++ {
@@ -222,7 +250,7 @@ func QAOA(n int, edges [][2]int, rounds int, seed int64) *circuit.Circuit {
 			c.RX(2*beta, q)
 		}
 	}
-	return c
+	return c, c.Err()
 }
 
 // BernsteinVazirani builds the Bernstein–Vazirani circuit over n qubits:
@@ -230,9 +258,9 @@ func QAOA(n int, edges [][2]int, rounds int, seed int64) *circuit.Circuit {
 // the all-ones string, maximizing the oracle's CX count at n−1 (Table II
 // rounds this to 64 for the 64-qubit instance). The circuit is H on data,
 // X·H on the ancilla, one CX per set secret bit, and a final H on data.
-func BernsteinVazirani(n int, secret []bool) *circuit.Circuit {
+func BernsteinVazirani(n int, secret []bool) (*circuit.Circuit, error) {
 	if n < 2 {
-		panic(fmt.Sprintf("apps: Bernstein–Vazirani needs at least 2 qubits, got %d", n))
+		return nil, verr.Inputf("apps: Bernstein–Vazirani needs at least 2 qubits, got %d", n)
 	}
 	data := n - 1
 	if secret == nil {
@@ -242,7 +270,7 @@ func BernsteinVazirani(n int, secret []bool) *circuit.Circuit {
 		}
 	}
 	if len(secret) != data {
-		panic(fmt.Sprintf("apps: secret length %d, want %d data bits", len(secret), data))
+		return nil, verr.Inputf("apps: secret length %d, want %d data bits", len(secret), data)
 	}
 	c := circuit.New(fmt.Sprintf("bv%d", n), n)
 	anc := n - 1
@@ -259,7 +287,7 @@ func BernsteinVazirani(n int, secret []bool) *circuit.Circuit {
 	for q := 0; q < data; q++ {
 		c.H(q)
 	}
-	return c
+	return c, c.Err()
 }
 
 // appendCCX emits a Toffoli gate in the standard 6-CX, 9-single-qubit-gate
@@ -291,9 +319,9 @@ func appendCCX(c *circuit.Circuit, a, b, tgt int) {
 //
 // Register layout: qubit 0 is carry-in; qubits 1..bits are register b;
 // qubits bits+1..2·bits are register a; qubit 2·bits+1 is carry-out.
-func CuccaroAdder(bits int) *circuit.Circuit {
+func CuccaroAdder(bits int) (*circuit.Circuit, error) {
 	if bits < 1 {
-		panic(fmt.Sprintf("apps: adder width must be positive, got %d", bits))
+		return nil, verr.Inputf("apps: adder width must be positive, got %d", bits)
 	}
 	n := 2*bits + 2
 	c := circuit.New(fmt.Sprintf("adder%d", bits), n)
@@ -322,7 +350,7 @@ func CuccaroAdder(bits int) *circuit.Circuit {
 		uma(a(i-1), b(i), a(i))
 	}
 	uma(cin, b(0), a(0))
-	return c
+	return c, c.Err()
 }
 
 // Grover builds Grover's search (the paper's "SquareRoot") over dataQubits
@@ -332,12 +360,12 @@ func CuccaroAdder(bits int) *circuit.Circuit {
 // about the mean with the same ladder, so the circuit uses
 // 2·dataQubits − 2 qubits total — 78 for dataQubits = 40, matching
 // Table II's SquareRoot width.
-func Grover(dataQubits, iterations int) *circuit.Circuit {
+func Grover(dataQubits, iterations int) (*circuit.Circuit, error) {
 	if dataQubits < 3 {
-		panic(fmt.Sprintf("apps: Grover needs at least 3 data qubits, got %d", dataQubits))
+		return nil, verr.Inputf("apps: Grover needs at least 3 data qubits, got %d", dataQubits)
 	}
 	if iterations < 1 {
-		panic(fmt.Sprintf("apps: Grover needs at least 1 iteration, got %d", iterations))
+		return nil, verr.Inputf("apps: Grover needs at least 1 iteration, got %d", iterations)
 	}
 	n := 2*dataQubits - 2
 	c := circuit.New(fmt.Sprintf("grover%dx%d", dataQubits, iterations), n)
@@ -375,21 +403,21 @@ func Grover(dataQubits, iterations int) *circuit.Circuit {
 			c.H(q)
 		}
 	}
-	return c
+	return c, c.Err()
 }
 
 // GHZ builds the n-qubit Greenberger–Horne–Zeilinger state preparation:
 // one Hadamard followed by a CX ladder. It is not part of Table II but is
 // the canonical smoke-test circuit used throughout the test benches and
 // examples.
-func GHZ(n int) *circuit.Circuit {
+func GHZ(n int) (*circuit.Circuit, error) {
 	if n < 1 {
-		panic(fmt.Sprintf("apps: GHZ needs at least 1 qubit, got %d", n))
+		return nil, verr.Inputf("apps: GHZ needs at least 1 qubit, got %d", n)
 	}
 	c := circuit.New(fmt.Sprintf("ghz%d", n), n)
 	c.H(0)
 	for i := 0; i+1 < n; i++ {
 		c.CX(i, i+1)
 	}
-	return c
+	return c, c.Err()
 }

@@ -6,6 +6,7 @@ import (
 
 	"velociti/internal/circuit"
 	"velociti/internal/stats"
+	"velociti/internal/verr"
 )
 
 // This file extends the Table II catalog with further canonical workloads
@@ -22,9 +23,9 @@ import (
 // countQubits + 1, with the eigenstate qubit last. Measuring the counting
 // register (LSB = qubit 0 holding the 2^(t-1) power) yields
 // round(phase·2^t) when the phase is exactly representable.
-func QPE(countQubits int, phase float64) *circuit.Circuit {
+func QPE(countQubits int, phase float64) (*circuit.Circuit, error) {
 	if countQubits < 1 {
-		panic(fmt.Sprintf("apps: QPE needs at least 1 counting qubit, got %d", countQubits))
+		return nil, verr.Inputf("apps: QPE needs at least 1 counting qubit, got %d", countQubits)
 	}
 	n := countQubits + 1
 	eig := countQubits
@@ -44,7 +45,7 @@ func QPE(countQubits int, phase float64) *circuit.Circuit {
 	// Inverse QFT on the counting register: reversed QFT with negated
 	// angles.
 	appendInverseQFT(c, countQubits)
-	return c
+	return c, c.Err()
 }
 
 // appendInverseQFT emits the adjoint of this package's QFT construction
@@ -64,12 +65,12 @@ func appendInverseQFT(c *circuit.Circuit, m int) {
 // entangler ladder, with a final rotation layer. Angles are drawn from the
 // seeded generator, standing in for a classical optimizer's parameters.
 // Gate counts: 2·n·(layers+1) one-qubit rotations and (n−1)·layers CX.
-func VQEAnsatz(n, layers int, seed int64) *circuit.Circuit {
+func VQEAnsatz(n, layers int, seed int64) (*circuit.Circuit, error) {
 	if n < 2 {
-		panic(fmt.Sprintf("apps: VQE ansatz needs at least 2 qubits, got %d", n))
+		return nil, verr.Inputf("apps: VQE ansatz needs at least 2 qubits, got %d", n)
 	}
 	if layers < 1 {
-		panic(fmt.Sprintf("apps: VQE ansatz needs at least 1 layer, got %d", layers))
+		return nil, verr.Inputf("apps: VQE ansatz needs at least 1 layer, got %d", layers)
 	}
 	r := stats.NewRand(seed)
 	c := circuit.New(fmt.Sprintf("vqe%dx%d", n, layers), n)
@@ -86,16 +87,16 @@ func VQEAnsatz(n, layers int, seed int64) *circuit.Circuit {
 		}
 	}
 	rotate()
-	return c
+	return c, c.Err()
 }
 
 // WState prepares the n-qubit W state (the uniform superposition of all
 // one-hot basis states) with the standard cascade: qubit 0 starts in |1⟩
 // and the excitation is coherently shared down the register via controlled
 // rotations (decomposed into RY and CX) followed by CNOTs.
-func WState(n int) *circuit.Circuit {
+func WState(n int) (*circuit.Circuit, error) {
 	if n < 1 {
-		panic(fmt.Sprintf("apps: W state needs at least 1 qubit, got %d", n))
+		return nil, verr.Inputf("apps: W state needs at least 1 qubit, got %d", n)
 	}
 	c := circuit.New(fmt.Sprintf("w%d", n), n)
 	c.X(0)
@@ -108,7 +109,7 @@ func WState(n int) *circuit.Circuit {
 		appendCRY(c, theta, k-1, k)
 		c.CX(k, k-1)
 	}
-	return c
+	return c, c.Err()
 }
 
 // appendCRY emits a controlled-RY via the standard 2-CX decomposition.

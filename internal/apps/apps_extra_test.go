@@ -7,15 +7,28 @@ import (
 	"testing"
 
 	"velociti/internal/apps"
+	"velociti/internal/circuit"
 	"velociti/internal/statevec"
+	"velociti/internal/verr"
 )
+
+// mx unwraps a circuit-generator result, failing the test on error.
+func mx(t testing.TB) func(*circuit.Circuit, error) *circuit.Circuit {
+	return func(c *circuit.Circuit, err error) *circuit.Circuit {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		return c
+	}
+}
 
 func TestQPERecoversExactPhases(t *testing.T) {
 	const tBits = 4
 	N := 1 << tBits
 	for _, k := range []int{0, 1, 3, 7, 12, 15} {
 		phase := float64(k) / float64(N)
-		c := apps.QPE(tBits, phase)
+		c := mx(t)(apps.QPE(tBits, phase))
 		s, err := statevec.Run(c)
 		if err != nil {
 			t.Fatal(err)
@@ -47,31 +60,31 @@ func TestQPERecoversExactPhases(t *testing.T) {
 }
 
 func TestQPEGateShape(t *testing.T) {
-	c := apps.QPE(5, 0.25)
+	c := mx(t)(apps.QPE(5, 0.25))
 	if c.NumQubits() != 6 {
 		t.Fatalf("width = %d", c.NumQubits())
 	}
 	if c.NumTwoQubitGates() == 0 || c.NumOneQubitGates() == 0 {
 		t.Fatalf("degenerate QPE: %v", c.Spec())
 	}
-	mustPanic(t, "no counting qubits", func() { apps.QPE(0, 0.5) })
+	mustRejectX(t, "no counting qubits", func() error { _, err := apps.QPE(0, 0.5); return err })
 }
 
 func TestVQEAnsatzCounts(t *testing.T) {
-	c := apps.VQEAnsatz(8, 3, 1)
+	c := mx(t)(apps.VQEAnsatz(8, 3, 1))
 	if got := c.NumTwoQubitGates(); got != 7*3 {
 		t.Fatalf("CX count = %d, want 21", got)
 	}
 	if got := c.NumOneQubitGates(); got != 2*8*4 {
 		t.Fatalf("rotation count = %d, want 64", got)
 	}
-	mustPanic(t, "narrow", func() { apps.VQEAnsatz(1, 1, 1) })
-	mustPanic(t, "no layers", func() { apps.VQEAnsatz(4, 0, 1) })
+	mustRejectX(t, "narrow", func() error { _, err := apps.VQEAnsatz(1, 1, 1); return err })
+	mustRejectX(t, "no layers", func() error { _, err := apps.VQEAnsatz(4, 0, 1); return err })
 }
 
 func TestVQEAnsatzDeterministicAndUnitary(t *testing.T) {
-	a := apps.VQEAnsatz(5, 2, 9)
-	b := apps.VQEAnsatz(5, 2, 9)
+	a := mx(t)(apps.VQEAnsatz(5, 2, 9))
+	b := mx(t)(apps.VQEAnsatz(5, 2, 9))
 	if a.String() != b.String() {
 		t.Fatalf("same seed must reproduce the ansatz")
 	}
@@ -86,7 +99,7 @@ func TestVQEAnsatzDeterministicAndUnitary(t *testing.T) {
 
 func TestWStateAmplitudes(t *testing.T) {
 	for _, n := range []int{1, 2, 3, 5, 8} {
-		c := apps.WState(n)
+		c := mx(t)(apps.WState(n))
 		s, err := statevec.Run(c)
 		if err != nil {
 			t.Fatal(err)
@@ -104,15 +117,19 @@ func TestWStateAmplitudes(t *testing.T) {
 			t.Fatalf("W%d: one-hot states carry %v of the probability", n, total)
 		}
 	}
-	mustPanic(t, "zero", func() { apps.WState(0) })
+	mustRejectX(t, "zero", func() error { _, err := apps.WState(0); return err })
 }
 
-func mustPanic(t *testing.T, name string, f func()) {
+// mustRejectX asserts a generator rejects its arguments with an input-kind
+// error rather than panicking.
+func mustRejectX(t *testing.T, name string, f func() error) {
 	t.Helper()
-	defer func() {
-		if recover() == nil {
-			t.Errorf("%s: expected panic", name)
-		}
-	}()
-	f()
+	err := f()
+	if err == nil {
+		t.Errorf("%s: expected an error", name)
+		return
+	}
+	if !verr.IsInput(err) {
+		t.Errorf("%s: error should be input-kind, got %v", name, err)
+	}
 }

@@ -4,7 +4,40 @@ import (
 	"testing"
 
 	"velociti/internal/circuit"
+	"velociti/internal/verr"
 )
+
+// must returns an unwrapper for a generator result, failing the test on
+// error: must[*circuit.Circuit](t)(QFT(8)). Go only allows a multi-value
+// call as the sole argument, hence the curried shape.
+func must[T any](t testing.TB) func(T, error) T {
+	return func(v T, err error) T {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		return v
+	}
+}
+
+// mc unwraps circuit-generator results, the common case.
+func mc(t testing.TB) func(*circuit.Circuit, error) *circuit.Circuit {
+	return must[*circuit.Circuit](t)
+}
+
+// mustReject asserts that a generator rejects its arguments with an
+// input-kind error (not a panic — the errors-not-panics contract).
+func mustReject(t *testing.T, name string, f func() error) {
+	t.Helper()
+	err := f()
+	if err == nil {
+		t.Errorf("%s: expected an error", name)
+		return
+	}
+	if !verr.IsInput(err) {
+		t.Errorf("%s: error should be input-kind, got %v", name, err)
+	}
+}
 
 // Table II pins (qubits, 2-qubit gates) for every workload.
 func TestPaperSpecsMatchTableII(t *testing.T) {
@@ -39,7 +72,7 @@ func TestPaperSpecsMatchTableII(t *testing.T) {
 
 func TestCatalogBuildersAgreeWithSpecWidth(t *testing.T) {
 	for _, a := range Catalog() {
-		c := a.Build()
+		c := mc(t)(a.Build())
 		if c.NumQubits() != a.Spec.Qubits {
 			t.Errorf("%s: generator width %d != spec %d", a.Name(), c.NumQubits(), a.Spec.Qubits)
 		}
@@ -59,7 +92,7 @@ func TestByName(t *testing.T) {
 // QFT(n) must produce exactly n(n−1) CX gates and n + 3n(n−1)/2 1q gates.
 func TestQFTGateCounts(t *testing.T) {
 	for _, n := range []int{2, 4, 8, 64} {
-		c := QFT(n)
+		c := mc(t)(QFT(n))
 		wantP := n * (n - 1)
 		if got := c.NumTwoQubitGates(); got != wantP {
 			t.Errorf("QFT(%d): 2q gates = %d, want %d", n, got, wantP)
@@ -70,13 +103,13 @@ func TestQFTGateCounts(t *testing.T) {
 		}
 	}
 	// Table II: the 64-qubit QFT has 4032 2-qubit gates.
-	if got := QFT(64).NumTwoQubitGates(); got != 4032 {
+	if got := mc(t)(QFT(64)).NumTwoQubitGates(); got != 4032 {
 		t.Fatalf("QFT(64) 2q gates = %d, want 4032", got)
 	}
 }
 
 func TestSupremacyMatchesTableII(t *testing.T) {
-	c := Supremacy(8, 8, 20, 1)
+	c := mc(t)(Supremacy(8, 8, 20, 1))
 	if c.NumQubits() != 64 {
 		t.Fatalf("width = %d", c.NumQubits())
 	}
@@ -90,7 +123,7 @@ func TestSupremacyMatchesTableII(t *testing.T) {
 
 func TestSupremacyEdgePatternsStayOnGrid(t *testing.T) {
 	rows, cols := 3, 5
-	c := Supremacy(rows, cols, 8, 2)
+	c := mc(t)(Supremacy(rows, cols, 8, 2))
 	for _, g := range c.Gates() {
 		if !g.IsTwoQubit() {
 			continue
@@ -106,20 +139,20 @@ func TestSupremacyEdgePatternsStayOnGrid(t *testing.T) {
 }
 
 func TestSupremacyDeterministicPerSeed(t *testing.T) {
-	a := Supremacy(4, 4, 6, 7)
-	b := Supremacy(4, 4, 6, 7)
+	a := mc(t)(Supremacy(4, 4, 6, 7))
+	b := mc(t)(Supremacy(4, 4, 6, 7))
 	if a.String() != b.String() {
 		t.Fatalf("same seed should reproduce the circuit")
 	}
-	c := Supremacy(4, 4, 6, 8)
+	c := mc(t)(Supremacy(4, 4, 6, 8))
 	if a.String() == c.String() {
 		t.Fatalf("different seed should change 1q gate choices")
 	}
 }
 
 func TestQAOAMatchesTableII(t *testing.T) {
-	edges := RandomGraph(64, 315, 1)
-	c := QAOA(64, edges, 2, 1)
+	edges := must[[][2]int](t)(RandomGraph(64, 315, 1))
+	c := mc(t)(QAOA(64, edges, 2, 1))
 	if got := c.NumTwoQubitGates(); got != 1260 {
 		t.Fatalf("QAOA 2q gates = %d, want 1260 (2 rounds × 315 edges × 2 CX)", got)
 	}
@@ -129,7 +162,7 @@ func TestQAOAMatchesTableII(t *testing.T) {
 }
 
 func TestRandomGraphProperties(t *testing.T) {
-	edges := RandomGraph(10, 20, 3)
+	edges := must[[][2]int](t)(RandomGraph(10, 20, 3))
 	if len(edges) != 20 {
 		t.Fatalf("edge count = %d", len(edges))
 	}
@@ -147,20 +180,15 @@ func TestRandomGraphProperties(t *testing.T) {
 		seen[e] = true
 	}
 	// Complete graph boundary.
-	full := RandomGraph(5, 10, 1)
+	full := must[[][2]int](t)(RandomGraph(5, 10, 1))
 	if len(full) != 10 {
 		t.Fatalf("complete graph edges = %d", len(full))
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatalf("too many edges should panic")
-		}
-	}()
-	RandomGraph(4, 7, 1)
+	mustReject(t, "too many edges", func() error { _, err := RandomGraph(4, 7, 1); return err })
 }
 
 func TestBernsteinVaziraniCounts(t *testing.T) {
-	c := BernsteinVazirani(64, nil)
+	c := mc(t)(BernsteinVazirani(64, nil))
 	if c.NumQubits() != 64 {
 		t.Fatalf("width = %d", c.NumQubits())
 	}
@@ -175,7 +203,7 @@ func TestBernsteinVaziraniCounts(t *testing.T) {
 
 func TestBernsteinVaziraniCustomSecret(t *testing.T) {
 	secret := []bool{true, false, true, false}
-	c := BernsteinVazirani(5, secret)
+	c := mc(t)(BernsteinVazirani(5, secret))
 	if got := c.NumTwoQubitGates(); got != 2 {
 		t.Fatalf("2q gates = %d, want one per set bit", got)
 	}
@@ -187,12 +215,12 @@ func TestBernsteinVaziraniCustomSecret(t *testing.T) {
 }
 
 func TestBernsteinVaziraniValidation(t *testing.T) {
-	mustPanic(t, "too small", func() { BernsteinVazirani(1, nil) })
-	mustPanic(t, "secret length", func() { BernsteinVazirani(4, []bool{true}) })
+	mustReject(t, "too small", func() error { _, err := BernsteinVazirani(1, nil); return err })
+	mustReject(t, "secret length", func() error { _, err := BernsteinVazirani(4, []bool{true}); return err })
 }
 
 func TestCuccaroAdderCounts(t *testing.T) {
-	c := CuccaroAdder(31)
+	c := mc(t)(CuccaroAdder(31))
 	if c.NumQubits() != 64 {
 		t.Fatalf("width = %d, want 64 (2·31+2)", c.NumQubits())
 	}
@@ -206,11 +234,11 @@ func TestCuccaroAdderCounts(t *testing.T) {
 }
 
 func TestCuccaroAdderValidation(t *testing.T) {
-	mustPanic(t, "zero bits", func() { CuccaroAdder(0) })
+	mustReject(t, "zero bits", func() error { _, err := CuccaroAdder(0); return err })
 }
 
 func TestGroverCounts(t *testing.T) {
-	c := Grover(40, 1)
+	c := mc(t)(Grover(40, 1))
 	if c.NumQubits() != 78 {
 		t.Fatalf("width = %d, want 78 (2·40−2)", c.NumQubits())
 	}
@@ -222,30 +250,30 @@ func TestGroverCounts(t *testing.T) {
 }
 
 func TestGroverValidation(t *testing.T) {
-	mustPanic(t, "small", func() { Grover(2, 1) })
-	mustPanic(t, "no iterations", func() { Grover(5, 0) })
+	mustReject(t, "small", func() error { _, err := Grover(2, 1); return err })
+	mustReject(t, "no iterations", func() error { _, err := Grover(5, 0); return err })
 }
 
 func TestGHZ(t *testing.T) {
-	c := GHZ(8)
+	c := mc(t)(GHZ(8))
 	if c.NumTwoQubitGates() != 7 || c.NumOneQubitGates() != 1 {
 		t.Fatalf("GHZ counts = %d/%d", c.NumOneQubitGates(), c.NumTwoQubitGates())
 	}
 	if c.Depth() != 8 {
 		t.Fatalf("GHZ depth = %d, want 8 (fully serial ladder)", c.Depth())
 	}
-	mustPanic(t, "zero", func() { GHZ(0) })
+	mustReject(t, "zero", func() error { _, err := GHZ(0); return err })
 }
 
 func TestAllGeneratorsProduceValidCircuits(t *testing.T) {
 	gens := map[string]*circuit.Circuit{
-		"qft":       QFT(8),
-		"supremacy": Supremacy(3, 3, 4, 1),
-		"qaoa":      QAOA(6, RandomGraph(6, 5, 1), 1, 1),
-		"bv":        BernsteinVazirani(6, nil),
-		"adder":     CuccaroAdder(3),
-		"grover":    Grover(4, 2),
-		"ghz":       GHZ(5),
+		"qft":       mc(t)(QFT(8)),
+		"supremacy": mc(t)(Supremacy(3, 3, 4, 1)),
+		"qaoa":      mc(t)(QAOA(6, must[[][2]int](t)(RandomGraph(6, 5, 1)), 1, 1)),
+		"bv":        mc(t)(BernsteinVazirani(6, nil)),
+		"adder":     mc(t)(CuccaroAdder(3)),
+		"grover":    mc(t)(Grover(4, 2)),
+		"ghz":       mc(t)(GHZ(5)),
 	}
 	for name, c := range gens {
 		if c.NumGates() == 0 {
@@ -270,14 +298,4 @@ func abs(x int) int {
 		return -x
 	}
 	return x
-}
-
-func mustPanic(t *testing.T, name string, f func()) {
-	t.Helper()
-	defer func() {
-		if recover() == nil {
-			t.Errorf("%s: expected panic", name)
-		}
-	}()
-	f()
 }

@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"velociti/internal/verr"
 )
 
 // Kind identifies the logical operation a gate performs.
@@ -194,22 +196,47 @@ func (g Gate) String() string {
 }
 
 // Circuit is an ordered list of gates over a fixed qubit register.
+//
+// The builder follows a sticky-error contract (like bufio.Writer): invalid
+// construction — a non-positive register width, a gate with the wrong
+// operand or parameter count, an out-of-range qubit — records the first
+// error instead of panicking, the offending gate is dropped, and Err
+// returns the diagnostic. Code assembling circuits from untrusted input
+// checks Err (or Validate) once at the end instead of guarding every
+// append.
 type Circuit struct {
 	// Name identifies the circuit in reports (e.g. "qft64").
 	Name string
 
 	numQubits int
 	gates     []Gate
+	err       error
 }
 
-// New returns an empty circuit over numQubits qubits. It panics if
-// numQubits is not positive.
+// New returns an empty circuit over numQubits qubits. A non-positive width
+// yields an empty zero-qubit circuit whose Err reports the problem; every
+// subsequent Append fails against the empty register, so the poisoned
+// circuit stays inert rather than crashing the caller.
 func New(name string, numQubits int) *Circuit {
+	c := &Circuit{Name: name}
 	if numQubits <= 0 {
-		panic(fmt.Sprintf("circuit: numQubits must be positive, got %d", numQubits))
+		c.fail(verr.Inputf("circuit %q: numQubits must be positive, got %d", name, numQubits))
+		return c
 	}
-	return &Circuit{Name: name, numQubits: numQubits}
+	c.numQubits = numQubits
+	return c
 }
+
+// fail records the first construction error.
+func (c *Circuit) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+// Err returns the first construction error recorded by New or Append, or
+// nil if the circuit was built cleanly.
+func (c *Circuit) Err() error { return c.err }
 
 // NumQubits returns the register width.
 func (c *Circuit) NumQubits() int { return c.numQubits }
@@ -221,7 +248,12 @@ func (c *Circuit) NumGates() int { return len(c.gates) }
 // circuit's backing store and must not be modified.
 func (c *Circuit) Gates() []Gate { return c.gates }
 
-// Gate returns the gate with the given id. It panics if id is out of range.
+// Gate returns the gate with the given id.
+//
+// Invariant, not input validation: gate ids are produced by this package's
+// builder and by the framework's schedulers, never by external input, so an
+// out-of-range id is a programmer bug and panics deliberately (the
+// errors-not-panics contract applies to input-reachable paths only).
 func (c *Circuit) Gate(id int) Gate {
 	if id < 0 || id >= len(c.gates) {
 		panic(fmt.Sprintf("circuit: gate %d out of range [0,%d)", id, len(c.gates)))
@@ -229,23 +261,37 @@ func (c *Circuit) Gate(id int) Gate {
 	return c.gates[id]
 }
 
-// Append adds a gate of the given kind and returns its id. It panics if the
-// operand count or parameter count does not match the kind, if a qubit index
-// is out of range, or if a 2-qubit gate names the same qubit twice.
+// Append adds a gate of the given kind and returns its id. A malformed gate
+// — operand or parameter count not matching the kind, a qubit index out of
+// range, or a 2-qubit gate naming the same qubit twice — is dropped: Append
+// records the first such error (see Err) and returns -1.
 func (c *Circuit) Append(k Kind, qubits []int, params ...float64) int {
+	if c.err != nil {
+		// Once poisoned, the circuit stays inert so a long builder chain
+		// degrades into one Err() check at the end.
+		return -1
+	}
+	if k < 0 || k >= numKinds {
+		c.fail(verr.Inputf("circuit: unknown gate kind %d", int(k)))
+		return -1
+	}
 	if len(qubits) != k.Arity() {
-		panic(fmt.Sprintf("circuit: gate %s wants %d qubits, got %d", k.Name(), k.Arity(), len(qubits)))
+		c.fail(verr.Inputf("circuit: gate %s wants %d qubits, got %d", k.Name(), k.Arity(), len(qubits)))
+		return -1
 	}
 	if len(params) != k.NumParams() {
-		panic(fmt.Sprintf("circuit: gate %s wants %d params, got %d", k.Name(), k.NumParams(), len(params)))
+		c.fail(verr.Inputf("circuit: gate %s wants %d params, got %d", k.Name(), k.NumParams(), len(params)))
+		return -1
 	}
 	for _, q := range qubits {
 		if q < 0 || q >= c.numQubits {
-			panic(fmt.Sprintf("circuit: qubit q%d out of range [0,%d)", q, c.numQubits))
+			c.fail(verr.Inputf("circuit: qubit q%d out of range [0,%d)", q, c.numQubits))
+			return -1
 		}
 	}
 	if len(qubits) == 2 && qubits[0] == qubits[1] {
-		panic(fmt.Sprintf("circuit: 2-qubit gate %s on identical qubits q%d", k.Name(), qubits[0]))
+		c.fail(verr.Inputf("circuit: 2-qubit gate %s on identical qubits q%d", k.Name(), qubits[0]))
+		return -1
 	}
 	id := len(c.gates)
 	c.gates = append(c.gates, Gate{
@@ -410,9 +456,10 @@ func (c *Circuit) InteractionGraph() map[[2]int]int {
 	return out
 }
 
-// Clone returns a deep copy of the circuit.
+// Clone returns a deep copy of the circuit, including any recorded
+// construction error.
 func (c *Circuit) Clone() *Circuit {
-	out := New(c.Name, c.numQubits)
+	out := &Circuit{Name: c.Name, numQubits: c.numQubits, err: c.err}
 	out.gates = make([]Gate, len(c.gates))
 	for i, g := range c.gates {
 		out.gates[i] = Gate{
@@ -427,8 +474,11 @@ func (c *Circuit) Clone() *Circuit {
 
 // Reordered returns a copy of the circuit whose gates appear in the order
 // given by perm (a permutation of gate ids); gate ids are reassigned to the
-// new positions. Schedulers use this to realize an operation order. It
-// panics if perm is not a permutation of [0, NumGates).
+// new positions. Schedulers use this to realize an operation order.
+//
+// Invariant, not input validation: permutations come from the framework's
+// schedulers, never from external input, so a malformed perm is a
+// programmer bug and panics deliberately.
 func (c *Circuit) Reordered(perm []int) *Circuit {
 	if len(perm) != len(c.gates) {
 		panic(fmt.Sprintf("circuit: permutation length %d != gate count %d", len(perm), len(c.gates)))
@@ -493,17 +543,18 @@ type Spec struct {
 	TwoQubitGates int `json:"two_qubit_gates"`
 }
 
-// Validate reports an error if the spec is not physically meaningful.
+// Validate reports an input error if the spec is not physically
+// meaningful.
 func (s Spec) Validate() error {
 	if s.Qubits <= 0 {
-		return fmt.Errorf("circuit spec %q: qubits must be positive, got %d", s.Name, s.Qubits)
+		return verr.Inputf("circuit spec %q: qubits must be positive, got %d", s.Name, s.Qubits)
 	}
 	if s.OneQubitGates < 0 || s.TwoQubitGates < 0 {
-		return fmt.Errorf("circuit spec %q: gate counts must be non-negative (q=%d, p=%d)",
+		return verr.Inputf("circuit spec %q: gate counts must be non-negative (q=%d, p=%d)",
 			s.Name, s.OneQubitGates, s.TwoQubitGates)
 	}
 	if s.TwoQubitGates > 0 && s.Qubits < 2 {
-		return fmt.Errorf("circuit spec %q: 2-qubit gates require at least 2 qubits", s.Name)
+		return verr.Inputf("circuit spec %q: 2-qubit gates require at least 2 qubits", s.Name)
 	}
 	return nil
 }

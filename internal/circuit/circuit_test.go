@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"velociti/internal/verr"
 )
 
 func TestKindMetadata(t *testing.T) {
@@ -64,34 +66,56 @@ func TestAllKindsHaveMetadata(t *testing.T) {
 	}
 }
 
-func TestNewPanicsOnNonPositiveWidth(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatalf("New(0) should panic")
-		}
-	}()
-	New("bad", 0)
+func TestNewRejectsNonPositiveWidth(t *testing.T) {
+	c := New("bad", 0)
+	if err := c.Err(); !verr.IsInput(err) {
+		t.Fatalf("New(0) should poison the circuit with an input-kind error, got %v", err)
+	}
+	// A poisoned circuit stays inert: appends fail, nothing mutates.
+	if id := c.H(0); id != -1 {
+		t.Fatalf("append on poisoned circuit returned id %d", id)
+	}
+	if c.NumGates() != 0 {
+		t.Fatalf("poisoned circuit accumulated gates")
+	}
 }
 
 func TestAppendValidation(t *testing.T) {
-	c := New("t", 3)
-	mustPanic := func(name string, f func()) {
+	mustFail := func(name string, f func(c *Circuit) int) {
 		t.Helper()
-		defer func() {
-			if recover() == nil {
-				t.Errorf("%s should panic", name)
-			}
-		}()
-		f()
+		c := New("t", 3)
+		if id := f(c); id != -1 {
+			t.Errorf("%s: id = %d, want -1", name, id)
+		}
+		if err := c.Err(); !verr.IsInput(err) {
+			t.Errorf("%s: want input-kind error, got %v", name, err)
+		}
+		if c.NumGates() != 0 {
+			t.Errorf("%s: failed append mutated the circuit", name)
+		}
 	}
-	mustPanic("wrong arity", func() { c.Append(CX, []int{0}) })
-	mustPanic("missing params", func() { c.Append(RZ, []int{0}) })
-	mustPanic("extra params", func() { c.Append(H, []int{0}, 1.0) })
-	mustPanic("qubit out of range", func() { c.H(3) })
-	mustPanic("negative qubit", func() { c.H(-1) })
-	mustPanic("identical 2q operands", func() { c.CX(1, 1) })
-	if c.NumGates() != 0 {
-		t.Fatalf("failed appends must not mutate the circuit")
+	mustFail("unknown kind", func(c *Circuit) int { return c.Append(Kind(999), []int{0}) })
+	mustFail("wrong arity", func(c *Circuit) int { return c.Append(CX, []int{0}) })
+	mustFail("missing params", func(c *Circuit) int { return c.Append(RZ, []int{0}) })
+	mustFail("extra params", func(c *Circuit) int { return c.Append(H, []int{0}, 1.0) })
+	mustFail("qubit out of range", func(c *Circuit) int { return c.H(3) })
+	mustFail("negative qubit", func(c *Circuit) int { return c.H(-1) })
+	mustFail("identical 2q operands", func(c *Circuit) int { return c.CX(1, 1) })
+
+	// The first error sticks: later valid appends stay rejected and Err()
+	// keeps reporting the original cause.
+	c := New("t", 2)
+	c.H(9)
+	first := c.Err()
+	if id := c.H(0); id != -1 {
+		t.Fatalf("append after failure returned id %d", id)
+	}
+	if c.Err() != first {
+		t.Fatalf("Err() changed after subsequent appends")
+	}
+	// Clone carries the poison with it.
+	if err := c.Clone().Err(); err != first {
+		t.Fatalf("Clone dropped the sticky error: %v", err)
 	}
 }
 

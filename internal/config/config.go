@@ -20,6 +20,7 @@ import (
 	"velociti/internal/placement"
 	"velociti/internal/schedule"
 	"velociti/internal/ti"
+	"velociti/internal/verr"
 )
 
 // Params is the serializable form of a simulation configuration.
@@ -68,7 +69,7 @@ func placementByName(name string) (placement.Policy, error) {
 	case "sequential":
 		return placement.Sequential{}, nil
 	default:
-		return nil, fmt.Errorf("config: unknown placement policy %q (want random, round-robin, or sequential)", name)
+		return nil, verr.Inputf("config: unknown placement policy %q (want random, round-robin, or sequential)", name)
 	}
 }
 
@@ -138,13 +139,14 @@ func (p Params) Save(path string) error {
 }
 
 // ReadParams parses params from JSON. Unknown fields are rejected to catch
-// config typos early.
+// config typos early. All failures are input-kind errors: a config file is
+// untrusted input.
 func ReadParams(r io.Reader) (Params, error) {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	var p Params
 	if err := dec.Decode(&p); err != nil {
-		return Params{}, fmt.Errorf("config: parsing params: %w", err)
+		return Params{}, verr.Inputf("config: parsing params: %w", err)
 	}
 	return p, nil
 }
@@ -153,7 +155,7 @@ func ReadParams(r io.Reader) (Params, error) {
 func LoadParams(path string) (Params, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return Params{}, err
+		return Params{}, verr.Mark(err)
 	}
 	defer f.Close()
 	return ReadParams(f)
@@ -203,32 +205,27 @@ func SaveCircuit(path string, c *circuit.Circuit) error {
 }
 
 // ReadCircuit parses a circuit from JSON, validating gate kinds, arities,
-// and qubit ranges through the circuit builder.
-func ReadCircuit(r io.Reader) (c *circuit.Circuit, err error) {
+// and qubit ranges through the circuit builder's sticky-error contract.
+// Every rejection is an input-kind diagnostic; no JSON input can panic.
+func ReadCircuit(r io.Reader) (*circuit.Circuit, error) {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	var in circuitJSON
 	if err := dec.Decode(&in); err != nil {
-		return nil, fmt.Errorf("config: parsing circuit: %w", err)
+		return nil, verr.Inputf("config: parsing circuit: %w", err)
 	}
 	if in.Qubits <= 0 {
-		return nil, fmt.Errorf("config: circuit %q has non-positive qubit count %d", in.Name, in.Qubits)
+		return nil, verr.Inputf("config: circuit %q has non-positive qubit count %d", in.Name, in.Qubits)
 	}
-	// The builder panics on malformed gates; convert to errors here so
-	// bad files do not crash callers.
-	defer func() {
-		if rec := recover(); rec != nil {
-			c = nil
-			err = fmt.Errorf("config: invalid circuit %q: %v", in.Name, rec)
-		}
-	}()
 	out := circuit.New(in.Name, in.Qubits)
 	for i, g := range in.Gates {
 		kind, ok := circuit.KindByName(g.Kind)
 		if !ok {
-			return nil, fmt.Errorf("config: circuit %q gate %d: unknown kind %q", in.Name, i, g.Kind)
+			return nil, verr.Inputf("config: circuit %q gate %d: unknown kind %q", in.Name, i, g.Kind)
 		}
-		out.Append(kind, g.Qubits, g.Params...)
+		if out.Append(kind, g.Qubits, g.Params...) < 0 {
+			return nil, fmt.Errorf("config: circuit %q gate %d: %w", in.Name, i, out.Err())
+		}
 	}
 	return out, nil
 }
@@ -237,7 +234,7 @@ func ReadCircuit(r io.Reader) (c *circuit.Circuit, err error) {
 func LoadCircuit(path string) (*circuit.Circuit, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, verr.Mark(err)
 	}
 	defer f.Close()
 	return ReadCircuit(f)

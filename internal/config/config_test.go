@@ -109,7 +109,10 @@ func TestToCoreConfigDefaultsLatencies(t *testing.T) {
 }
 
 func TestCircuitRoundTrip(t *testing.T) {
-	orig := apps.QFT(6)
+	orig, err := apps.QFT(6)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
 	if err := WriteCircuit(&buf, orig); err != nil {
 		t.Fatal(err)
@@ -124,7 +127,10 @@ func TestCircuitRoundTrip(t *testing.T) {
 }
 
 func TestCircuitFileRoundTrip(t *testing.T) {
-	orig := apps.GHZ(5)
+	orig, err := apps.GHZ(5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	path := filepath.Join(t.TempDir(), "ghz.json")
 	if err := SaveCircuit(path, orig); err != nil {
 		t.Fatal(err)

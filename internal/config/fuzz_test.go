@@ -1,0 +1,66 @@
+package config
+
+import (
+	"bytes"
+	"testing"
+
+	"velociti/internal/verr"
+)
+
+// FuzzReadCircuit drives the JSON circuit loader with arbitrary bytes.
+// No input may panic: either the bytes decode into a well-formed circuit,
+// or the loader returns an input-kind diagnostic.
+func FuzzReadCircuit(f *testing.F) {
+	f.Add([]byte(`{"name":"bell","qubits":2,"gates":[{"kind":"H","qubits":[0]},{"kind":"CX","qubits":[0,1]}]}`))
+	f.Add([]byte(`{"name":"rot","qubits":1,"gates":[{"kind":"RZ","qubits":[0],"params":[1.5707]}]}`))
+	f.Add([]byte(`{"name":"bad-kind","qubits":1,"gates":[{"kind":"WARP","qubits":[0]}]}`))
+	f.Add([]byte(`{"name":"bad-index","qubits":2,"gates":[{"kind":"H","qubits":[9]}]}`))
+	f.Add([]byte(`{"qubits":0,"gates":[]}`))
+	f.Add([]byte(`{not json`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte{0x00, 0xff, 0x7b})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ReadCircuit(bytes.NewReader(data))
+		if err != nil {
+			if !verr.IsInput(err) {
+				t.Fatalf("rejection is not an input-kind error: %v", err)
+			}
+			return
+		}
+		if c.Err() != nil {
+			t.Fatalf("ReadCircuit returned nil error but a poisoned circuit: %v", c.Err())
+		}
+		if c.NumQubits() <= 0 {
+			t.Fatalf("accepted circuit has non-positive width %d", c.NumQubits())
+		}
+	})
+}
+
+// FuzzReadParams drives the JSON params loader. Beyond the no-panic
+// invariant, any params that decode must survive ToCoreConfig without
+// panicking — validation failures there must be errors too.
+func FuzzReadParams(f *testing.F) {
+	f.Add([]byte(`{"chain_length":16,"topology":"ring","runs":5,"seed":1}`))
+	f.Add([]byte(`{"workload":{"name":"w","qubits":8,"two_qubit_gates":12},"chain_length":8}`))
+	f.Add([]byte(`{"latencies":{"one_qubit":1,"two_qubit":100,"weak_penalty":2}}`))
+	f.Add([]byte(`{"chain_length":-4}`))
+	f.Add([]byte(`{"topology":"torus"}`))
+	f.Add([]byte(`{"placement":"bogus"}`))
+	f.Add([]byte(`{not json`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ReadParams(bytes.NewReader(data))
+		if err != nil {
+			if !verr.IsInput(err) {
+				t.Fatalf("rejection is not an input-kind error: %v", err)
+			}
+			return
+		}
+		// Decoded params may still be semantically invalid; turning them
+		// into a core config must reject with an error, never panic.
+		_, _ = p.ToCoreConfig()
+	})
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"velociti/internal/apps"
+)
+
+// TestBVParallelBoundedBySerialPerGate is the regression guard for the
+// "BV speedup 0.54x" report: a serial/parallel speedup below 1× is
+// expected model behavior for Bernstein–Vazirani, not a bug, because
+// Eq. 1–2 charges the α·γ weak-link penalty only once per distinct link
+// while the parallel model charges every cross-chain gate (see the
+// SerialTime doc in internal/perf). What must hold instead, in every
+// trial, is the physical bound: the parallel time can never exceed the
+// per-gate-charged serial worst case.
+func TestBVParallelBoundedBySerialPerGate(t *testing.T) {
+	a, err := apps.ByName("BV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(Config{
+		Spec:        a.Spec,
+		ChainLength: 16,
+		Runs:        20,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range rep.Trials {
+		if tr.Perf.ParallelMicros > tr.Perf.SerialPerGateMicros {
+			t.Errorf("trial %d: parallel %.3f µs exceeds per-gate serial bound %.3f µs",
+				i, tr.Perf.ParallelMicros, tr.Perf.SerialPerGateMicros)
+		}
+	}
+	// The gate-level generator (velociti -app BV -app-gates) is where the
+	// sub-1× speedup shows up: the oracle CXs all share the ancilla, so
+	// the dependency chain is as long as the gate list and the critical
+	// path pays α·γ per cross-chain gate.
+	c, err := a.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grep, err := Run(Config{Circuit: c, ChainLength: 16, Runs: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range grep.Trials {
+		if tr.Perf.ParallelMicros > tr.Perf.SerialPerGateMicros {
+			t.Errorf("gate-level trial %d: parallel %.3f µs exceeds per-gate bound %.3f µs",
+				i, tr.Perf.ParallelMicros, tr.Perf.SerialPerGateMicros)
+		}
+	}
+	// Pin the documented expectation: the Eq. 1–2 baseline genuinely sits
+	// below the parallel time here (speedup < 1 is correct, not a bug).
+	if s := grep.MeanSpeedup(); s >= 1 {
+		t.Errorf("gate-level BV speedup = %.2fx; expected < 1 (Eq. 1's Γ charges only w link-uses — did the model or defaults change?)", s)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"velociti/internal/schedule"
 	"velociti/internal/stats"
 	"velociti/internal/ti"
+	"velociti/internal/verr"
 )
 
 // DefaultRuns is the number of randomized trials the paper averages over
@@ -92,15 +93,22 @@ func (c Config) workloadSpec() circuit.Spec {
 	return c.Spec
 }
 
-// Validate reports configuration errors without running anything.
+// Validate reports configuration errors without running anything. All
+// failures are input-kind (verr.ErrInput): a Config is assembled from user
+// input (flags, JSON files), so rejection is a diagnostic, never a panic.
 func (c Config) Validate() error {
 	n := c.normalized()
+	if n.Circuit != nil {
+		if err := n.Circuit.Err(); err != nil {
+			return fmt.Errorf("core: invalid circuit: %w", err)
+		}
+	}
 	spec := n.workloadSpec()
 	if err := spec.Validate(); err != nil {
 		return err
 	}
 	if n.ChainLength <= 0 {
-		return fmt.Errorf("core: chain length must be positive, got %d", n.ChainLength)
+		return verr.Inputf("core: chain length must be positive, got %d", n.ChainLength)
 	}
 	if err := n.Latencies.Validate(); err != nil {
 		return err

@@ -151,7 +151,10 @@ func TestSingleChainHasNoWeakGates(t *testing.T) {
 }
 
 func TestExplicitCircuitMode(t *testing.T) {
-	c := apps.GHZ(16)
+	c, err := apps.GHZ(16)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cfg := Config{
 		Circuit:     c,
 		ChainLength: 8,

@@ -16,7 +16,10 @@ import (
 // must be reflect.DeepEqual between serial (Workers: 1) and concurrent
 // (Workers: 8) execution, in both spec and explicit-circuit modes.
 func TestReportBitIdenticalAcrossWorkerCounts(t *testing.T) {
-	qaoa := apps.QAOA(24, nil, 2, 3)
+	qaoa, err := apps.QAOA(24, nil, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cases := []struct {
 		name string
 		cfg  Config

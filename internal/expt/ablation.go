@@ -91,7 +91,10 @@ func AblationSchedulers(opt Options) (*AblationResult, error) {
 // gives interaction-aware placement real locality to exploit).
 func AblationPlacement(opt Options) (*AblationResult, error) {
 	opt = opt.normalized()
-	c := apps.Supremacy(8, 8, 20, opt.Seed+1)
+	c, err := apps.Supremacy(8, 8, 20, opt.Seed+1)
+	if err != nil {
+		return nil, fmt.Errorf("expt: placement ablation workload: %w", err)
+	}
 	ig := c.InteractionGraph()
 	variants := []struct {
 		name string

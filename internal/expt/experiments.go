@@ -484,12 +484,20 @@ func runScaling(name string, opt Options, specs []circuit.Spec) (*ScalingResult,
 // Fig8 runs the quantum-volume scaling study (N qubits, N/2 2-qubit
 // gates, N = 8 … 128).
 func Fig8(opt Options) (*ScalingResult, error) {
-	return runScaling("Figure 8 (quantum volume)", opt, workload.QVSweep(8, 128, 20))
+	specs, err := workload.QVSweep(8, 128, 20)
+	if err != nil {
+		return nil, fmt.Errorf("expt: figure 8 workload: %w", err)
+	}
+	return runScaling("Figure 8 (quantum volume)", opt, specs)
 }
 
 // Fig9 runs the 2:1-ratio scaling study (N qubits, 2N 2-qubit gates).
 func Fig9(opt Options) (*ScalingResult, error) {
-	return runScaling("Figure 9 (2:1 ratio circuits)", opt, workload.RatioSweep(8, 128, 20, 2))
+	specs, err := workload.RatioSweep(8, 128, 20, 2)
+	if err != nil {
+		return nil, fmt.Errorf("expt: figure 9 workload: %w", err)
+	}
+	return runScaling("Figure 9 (2:1 ratio circuits)", opt, specs)
 }
 
 // Table renders both panels of the scaling study.

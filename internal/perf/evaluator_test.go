@@ -62,7 +62,7 @@ func TestEvaluatorMatchesLegacyOnRandomCircuits(t *testing.T) {
 		n := 2 + r.Intn(40)
 		gates := r.Intn(300)
 		frac := r.Float64()
-		c := workload.RandomCircuit(n, gates, frac, int64(trial))
+		c := genc(t)(workload.RandomCircuit(n, gates, frac, int64(trial)))
 		d, err := ti.DeviceFor(n, 4+r.Intn(13), ti.Ring)
 		if err != nil {
 			t.Fatal(err)
@@ -82,11 +82,15 @@ func TestEvaluatorMatchesLegacyOnRandomCircuits(t *testing.T) {
 // TestEvaluatorMatchesLegacyAcrossPlacers drives the property through
 // every gate placer over spec workloads, across the α sweep.
 func TestEvaluatorMatchesLegacyAcrossPlacers(t *testing.T) {
-	specs := []circuit.Spec{
-		workload.Random(16, 60),
-		workload.QuantumVolume(24),
-		workload.RatioCircuit(32, 2),
+	qv, err := workload.QuantumVolume(24)
+	if err != nil {
+		t.Fatal(err)
 	}
+	rc, err := workload.RatioCircuit(32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []circuit.Spec{workload.Random(16, 60), qv, rc}
 	for _, alpha := range evaluatorAlphas {
 		lat := perf.DefaultLatencies()
 		lat.WeakPenalty = alpha
@@ -116,7 +120,7 @@ func TestEvaluatorMatchesLegacyAcrossPlacers(t *testing.T) {
 // evaluator, many randomized placements, results identical to fresh legacy
 // evaluations every time.
 func TestEvaluatorReuseAcrossLayouts(t *testing.T) {
-	c := workload.RandomCircuit(24, 200, 0.3, 7)
+	c := genc(t)(workload.RandomCircuit(24, 200, 0.3, 7))
 	d, err := ti.DeviceFor(24, 6, ti.Ring)
 	if err != nil {
 		t.Fatal(err)
@@ -147,7 +151,7 @@ func TestEvaluatorReuseAcrossLayouts(t *testing.T) {
 // goroutines — the worker-pool runner's access pattern — under the race
 // detector.
 func TestEvaluatorConcurrentUse(t *testing.T) {
-	c := workload.RandomCircuit(16, 120, 0.2, 3)
+	c := genc(t)(workload.RandomCircuit(16, 120, 0.2, 3))
 	d, err := ti.DeviceFor(16, 4, ti.Ring)
 	if err != nil {
 		t.Fatal(err)
@@ -229,7 +233,7 @@ func TestEvaluatorEmptyAndTinyCircuits(t *testing.T) {
 
 // TestEvaluatorValidation mirrors Evaluate's error contract.
 func TestEvaluatorValidation(t *testing.T) {
-	c := workload.RandomCircuit(8, 20, 0.5, 1)
+	c := genc(t)(workload.RandomCircuit(8, 20, 0.5, 1))
 	d, err := ti.DeviceFor(4, 4, ti.Ring)
 	if err != nil {
 		t.Fatal(err)
@@ -254,5 +258,16 @@ func TestEvaluatorValidation(t *testing.T) {
 	}
 	if _, err := e.Evaluate(l8, bad); err == nil {
 		t.Fatal("expected latency validation error")
+	}
+}
+
+// genc unwraps a circuit-generator result, failing the test on error.
+func genc(t testing.TB) func(*circuit.Circuit, error) *circuit.Circuit {
+	return func(c *circuit.Circuit, err error) *circuit.Circuit {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		return c
 	}
 }

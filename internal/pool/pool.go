@@ -7,14 +7,49 @@
 // bounded set of goroutines while keeping outputs deterministic — callers
 // derive any randomness from the job index (stats.SplitSeed), so results
 // are bit-identical at every worker count, a property the test suites pin.
+//
+// Jobs are panic-isolated: a panic inside fn is recovered and converted
+// into a *PanicError carrying the offending index, the panic value, and
+// the goroutine stack, so one crashing job cannot take down the process
+// or silently strand sibling workers. Run keeps its lowest-index-error
+// semantics for such errors; RunAll collects one error per job so callers
+// can degrade gracefully on partial failure.
 package pool
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is the error produced when a job passed to Run or RunAll
+// panics. It records which job crashed, the recovered value, and the stack
+// captured at the panic site, so the report points at the bug rather than
+// at the pool machinery.
+type PanicError struct {
+	Index int    // job index whose fn panicked
+	Value any    // the value passed to panic()
+	Stack []byte // debug.Stack() captured inside the recovering goroutine
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("pool: job %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// safeCall runs fn(i), converting a panic into a *PanicError. The recover
+// happens here — inside the same goroutine frame as the panic — so the
+// captured stack includes the panic site.
+func safeCall(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}
 
 // Run executes fn(i) for every i in [0, n), using at most workers
 // concurrent goroutines. workers is additionally bounded by n and by
@@ -22,11 +57,12 @@ import (
 // noise); workers <= 1 runs everything inline on the calling goroutine.
 //
 // fn must write its result into an index-addressed slot rather than shared
-// state; distinct indices never race. When any fn returns an error, the
-// lowest-indexed error among all executed jobs is returned — the same
-// error the serial order would surface — and remaining jobs may be
-// skipped. When ctx is cancelled, Run stops dispatching and returns
-// ctx.Err() (unless a job error with a lower index was already recorded).
+// state; distinct indices never race. When any fn returns an error (or
+// panics — see PanicError), the lowest-indexed error among all executed
+// jobs is returned — the same error the serial order would surface — and
+// remaining jobs may be skipped. When ctx is cancelled, Run stops
+// dispatching and returns ctx.Err() (unless a job error with a lower index
+// was already recorded).
 func Run(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
@@ -42,7 +78,7 @@ func Run(ctx context.Context, workers, n int, fn func(i int) error) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(i); err != nil {
+			if err := safeCall(fn, i); err != nil {
 				return err
 			}
 		}
@@ -77,7 +113,7 @@ func Run(ctx context.Context, workers, n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := safeCall(fn, i); err != nil {
 					record(i, err)
 					return
 				}
@@ -89,6 +125,80 @@ func Run(ctx context.Context, workers, n int, fn func(i int) error) error {
 		return firstEr
 	}
 	return ctx.Err()
+}
+
+// RunAll executes fn(i) for every i in [0, n) like Run, but never stops
+// early on job failure: every job runs, and the result is a per-index
+// error slice (nil on success, the job's error or *PanicError otherwise),
+// or nil when every job succeeded. Use it when one bad job should degrade
+// into one failed slot — e.g. a sweep where one malformed configuration
+// must not discard the other data points.
+//
+// Context cancellation still short-circuits: jobs not yet started are
+// marked with ctx.Err() and the slice is returned as soon as in-flight
+// jobs drain. Determinism is preserved exactly as in Run — errs[i] depends
+// only on fn(i), never on scheduling order.
+func RunAll(ctx context.Context, workers, n int, fn func(i int) error) []error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	any := false
+	if workers > n {
+		workers = n
+	}
+	if p := runtime.GOMAXPROCS(0); workers > p {
+		workers = p
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				any = true
+				continue
+			}
+			if err := safeCall(fn, i); err != nil {
+				errs[i] = err
+				any = true
+			}
+		}
+		if any {
+			return errs
+		}
+		return nil
+	}
+
+	var (
+		next   atomic.Int64
+		anyErr atomic.Bool
+		wg     sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					anyErr.Store(true)
+					continue
+				}
+				if err := safeCall(fn, i); err != nil {
+					errs[i] = err
+					anyErr.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if anyErr.Load() {
+		return errs
+	}
+	return nil
 }
 
 // Workers resolves a worker-count knob: values above zero are returned

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"reflect"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -138,5 +140,176 @@ func TestWorkersKnob(t *testing.T) {
 	}
 	if got := Workers(-2); got != runtime.GOMAXPROCS(0) {
 		t.Fatalf("Workers(-2) = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestRunRecoversPanicsInline(t *testing.T) {
+	// workers=1 exercises the inline path: a panic must come back as a
+	// *PanicError, not crash the caller.
+	err := Run(context.Background(), 1, 5, func(i int) error {
+		if i == 3 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Index != 3 || pe.Value != "kaboom" {
+		t.Fatalf("PanicError = index %d value %v", pe.Index, pe.Value)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "pool_test") {
+		t.Fatalf("stack should point at the panic site:\n%s", pe.Stack)
+	}
+	if !strings.Contains(pe.Error(), "job 3 panicked") {
+		t.Fatalf("message = %q", pe.Error())
+	}
+}
+
+func TestRunRecoversPanicsConcurrently(t *testing.T) {
+	// A panicking job in a worker goroutine surfaces as the lowest-indexed
+	// error while every other job's result lands untouched.
+	for _, workers := range []int{2, 4, 8} {
+		n := 64
+		results := make([]int, n)
+		err := Run(context.Background(), workers, n, func(i int) error {
+			if i == 10 {
+				panic(fmt.Sprintf("job %d exploded", i))
+			}
+			results[i] = i * i
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Index != 10 {
+			t.Fatalf("workers=%d: panic index = %d", workers, pe.Index)
+		}
+		for i, r := range results {
+			if r != 0 && r != i*i {
+				t.Fatalf("workers=%d: job %d result corrupted: %d", workers, i, r)
+			}
+		}
+	}
+}
+
+func TestRunPanicLowestIndexWinsOverError(t *testing.T) {
+	// Panics participate in the lowest-index-error rule like any error.
+	err := Run(context.Background(), 1, 10, func(i int) error {
+		switch i {
+		case 2:
+			return errors.New("plain failure")
+		case 5:
+			panic("later panic")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "plain failure" {
+		t.Fatalf("err = %v, want the index-2 plain error", err)
+	}
+}
+
+func TestRunAllCollectsPerIndexErrors(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		n := 20
+		results := make([]int, n)
+		errs := RunAll(context.Background(), workers, n, func(i int) error {
+			switch i {
+			case 4:
+				return fmt.Errorf("job %d failed", i)
+			case 11:
+				panic("job 11 blew up")
+			}
+			results[i] = 1
+			return nil
+		})
+		if errs == nil {
+			t.Fatalf("workers=%d: want non-nil error slice", workers)
+		}
+		if len(errs) != n {
+			t.Fatalf("workers=%d: len(errs) = %d", workers, len(errs))
+		}
+		for i := 0; i < n; i++ {
+			switch i {
+			case 4:
+				if errs[i] == nil || errs[i].Error() != "job 4 failed" {
+					t.Fatalf("workers=%d: errs[4] = %v", workers, errs[4])
+				}
+			case 11:
+				var pe *PanicError
+				if !errors.As(errs[i], &pe) || pe.Index != 11 {
+					t.Fatalf("workers=%d: errs[11] = %v", workers, errs[11])
+				}
+			default:
+				if errs[i] != nil {
+					t.Fatalf("workers=%d: errs[%d] = %v", workers, i, errs[i])
+				}
+				if results[i] != 1 {
+					t.Fatalf("workers=%d: job %d skipped", workers, i)
+				}
+			}
+		}
+	}
+}
+
+func TestRunAllNilOnSuccess(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		if errs := RunAll(context.Background(), workers, 50, func(int) error { return nil }); errs != nil {
+			t.Fatalf("workers=%d: errs = %v, want nil", workers, errs)
+		}
+	}
+	if errs := RunAll(context.Background(), 4, 0, func(int) error { return errors.New("never") }); errs != nil {
+		t.Fatalf("zero jobs: errs = %v", errs)
+	}
+}
+
+func TestRunAllDeterministicAcrossWorkerCounts(t *testing.T) {
+	// errs[i] must depend only on fn(i), never on scheduling.
+	shape := func(workers int) []string {
+		errs := RunAll(context.Background(), workers, 40, func(i int) error {
+			if i%7 == 3 {
+				return fmt.Errorf("mod7 %d", i)
+			}
+			if i == 25 {
+				panic("deterministic panic")
+			}
+			return nil
+		})
+		out := make([]string, len(errs))
+		for i, e := range errs {
+			if e == nil {
+				continue
+			}
+			var pe *PanicError
+			if errors.As(e, &pe) {
+				out[i] = fmt.Sprintf("panic@%d:%v", pe.Index, pe.Value)
+			} else {
+				out[i] = e.Error()
+			}
+		}
+		return out
+	}
+	want := shape(1)
+	for _, workers := range []int{2, 4, 8} {
+		got := shape(workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: error shape diverged:\n%v\nvs\n%v", workers, got, want)
+		}
+	}
+}
+
+func TestRunAllCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	errs := RunAll(ctx, 1, 5, func(int) error { return nil })
+	if errs == nil {
+		t.Fatalf("cancelled context should mark jobs")
+	}
+	for i, e := range errs {
+		if !errors.Is(e, context.Canceled) {
+			t.Fatalf("errs[%d] = %v", i, e)
+		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"velociti/internal/circuit"
+	"velociti/internal/verr"
 )
 
 // Result is the outcome of parsing an OpenQASM program: the timing-relevant
@@ -28,10 +29,13 @@ func Parse(name, src string) (*Result, error) {
 // ParseWithIncludes parses OpenQASM 2.0 source, resolving include
 // directives other than qelib1.inc through the given loader (which maps an
 // include name to source text). A nil loader rejects such includes.
+//
+// All parse failures are input-kind errors (verr.ErrInput): QASM source is
+// untrusted input, so every rejection is a diagnostic, never a panic.
 func ParseWithIncludes(name, src string, resolve func(string) (string, error)) (*Result, error) {
 	toks, err := tokenize(src)
 	if err != nil {
-		return nil, err
+		return nil, verr.Mark(err)
 	}
 	p := &parser{
 		toks:    toks,
@@ -42,10 +46,12 @@ func ParseWithIncludes(name, src string, resolve func(string) (string, error)) (
 		resolve: resolve,
 	}
 	if err := p.loadPrelude(); err != nil {
+		// The prelude is compiled in; failing to parse it is a bug, not
+		// bad input, so it stays unmarked.
 		return nil, fmt.Errorf("qasm: internal prelude: %w", err)
 	}
 	if err := p.parseProgram(); err != nil {
-		return nil, err
+		return nil, verr.Mark(err)
 	}
 	return p.finish()
 }
@@ -751,11 +757,17 @@ func (p *parser) parseReset() error {
 // finish materializes the parsed operations into a circuit.
 func (p *parser) finish() (*Result, error) {
 	if p.numQubits == 0 {
-		return nil, fmt.Errorf("qasm: program declares no quantum registers")
+		return nil, verr.Inputf("qasm: program declares no quantum registers")
 	}
 	c := circuit.New(p.name, p.numQubits)
 	for _, op := range p.ops {
 		c.Append(op.kind, op.qubits, op.params...)
+	}
+	// The parser validates arity, ranges, and operand distinctness before
+	// ops reach the builder, but the builder's sticky error is re-checked
+	// so no gap between the two validators can leak a malformed circuit.
+	if err := c.Err(); err != nil {
+		return nil, fmt.Errorf("qasm: %w", err)
 	}
 	return &Result{
 		Circuit:      c,

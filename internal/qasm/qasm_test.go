@@ -286,11 +286,11 @@ func TestParseErrorsCatalog(t *testing.T) {
 
 func TestSerializeRoundTripGenerated(t *testing.T) {
 	circuits := []*circuit.Circuit{
-		apps.GHZ(6),
-		apps.QFT(5),
-		apps.BernsteinVazirani(5, nil),
-		apps.CuccaroAdder(2),
-		workload.RandomCircuit(8, 60, 0.4, 3),
+		genc(t)(apps.GHZ(6)),
+		genc(t)(apps.QFT(5)),
+		genc(t)(apps.BernsteinVazirani(5, nil)),
+		genc(t)(apps.CuccaroAdder(2)),
+		genc(t)(workload.RandomCircuit(8, 60, 0.4, 3)),
 	}
 	for _, orig := range circuits {
 		text := Serialize(orig)
@@ -341,7 +341,7 @@ func TestSerializeEmitsPortableDefs(t *testing.T) {
 func TestFileRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "ghz.qasm")
-	orig := apps.GHZ(4)
+	orig := genc(t)(apps.GHZ(4))
 	if err := WriteFile(path, orig); err != nil {
 		t.Fatal(err)
 	}
@@ -401,12 +401,23 @@ func TestArrowToken(t *testing.T) {
 
 func TestBigGeneratedCircuitParses(t *testing.T) {
 	// QFT(16): 16 + 3·120 = 376 one-qubit gates, 240 CX.
-	orig := apps.QFT(16)
+	orig := genc(t)(apps.QFT(16))
 	got, err := ParseCircuit("qft16", Serialize(orig))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got.NumTwoQubitGates() != orig.NumTwoQubitGates() {
 		t.Fatalf("2q count = %d, want %d", got.NumTwoQubitGates(), orig.NumTwoQubitGates())
+	}
+}
+
+// genc unwraps a circuit-generator result, failing the test on error.
+func genc(t testing.TB) func(*circuit.Circuit, error) *circuit.Circuit {
+	return func(c *circuit.Circuit, err error) *circuit.Circuit {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		return c
 	}
 }

@@ -115,7 +115,7 @@ func TestLocalizeStreakBrokenByThirdParty(t *testing.T) {
 
 func TestLocalizeIntraChainUnchanged(t *testing.T) {
 	l := layout(t, 8, 8) // single chain: nothing to route
-	c := workload.RandomCircuit(8, 60, 0.3, 4)
+	c := genc(t)(workload.RandomCircuit(8, 60, 0.3, 4))
 	res, err := Localize(c, l, perf.DefaultLatencies())
 	if err != nil {
 		t.Fatal(err)
@@ -136,7 +136,7 @@ func TestLocalizePreservesSemantics(t *testing.T) {
 	l := layout(t, 8, 4)
 	lat := perf.DefaultLatencies()
 	for seed := int64(0); seed < 10; seed++ {
-		c := workload.RandomCircuit(8, 40, 0.3, seed)
+		c := genc(t)(workload.RandomCircuit(8, 40, 0.3, seed))
 		// Add a hot cross pair so migrations actually occur sometimes.
 		for i := 0; i < 8; i++ {
 			c.CX(0, 4)
@@ -193,7 +193,7 @@ func TestLocalizeRoutedNeverSlowerOnItsOwnModel(t *testing.T) {
 	lat := perf.DefaultLatencies()
 	for seed := int64(0); seed < 15; seed++ {
 		l := layout(t, 16, 4)
-		c := workload.RandomCircuit(16, 80, 0.2, seed)
+		c := genc(t)(workload.RandomCircuit(16, 80, 0.2, seed))
 		origSerial := perf.SerialTimePerGate(c, l, lat)
 		res, err := Localize(c, l, lat)
 		if err != nil {
@@ -213,7 +213,7 @@ func TestLocalizeIdempotent(t *testing.T) {
 	l := layout(t, 16, 4)
 	lat := perf.DefaultLatencies()
 	for seed := int64(0); seed < 8; seed++ {
-		c := workload.RandomCircuit(16, 60, 0.2, seed)
+		c := genc(t)(workload.RandomCircuit(16, 60, 0.2, seed))
 		for i := 0; i < 8; i++ {
 			c.CX(1, 9) // hot cross pair under sequential placement
 		}
@@ -228,5 +228,16 @@ func TestLocalizeIdempotent(t *testing.T) {
 		if second.Migrations != 0 {
 			t.Fatalf("seed %d: second pass migrated %d times", seed, second.Migrations)
 		}
+	}
+}
+
+// genc unwraps a circuit-generator result, failing the test on error.
+func genc(t testing.TB) func(*circuit.Circuit, error) *circuit.Circuit {
+	return func(c *circuit.Circuit, err error) *circuit.Circuit {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		return c
 	}
 }

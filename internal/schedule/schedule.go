@@ -34,6 +34,7 @@ import (
 	"velociti/internal/circuit"
 	"velociti/internal/perf"
 	"velociti/internal/ti"
+	"velociti/internal/verr"
 )
 
 // Placer synthesizes a gate sequence realizing a circuit spec on a layout.
@@ -272,5 +273,5 @@ func ByName(name string, lat perf.Latencies) (Placer, error) {
 			return p, nil
 		}
 	}
-	return nil, fmt.Errorf("schedule: unknown placer %q (want random, weak-avoiding, load-balanced, or edge-constrained)", name)
+	return nil, verr.Inputf("schedule: unknown placer %q (want random, weak-avoiding, load-balanced, or edge-constrained)", name)
 }

@@ -62,7 +62,7 @@ func TestBellState(t *testing.T) {
 }
 
 func TestGHZState(t *testing.T) {
-	s := run(t, apps.GHZ(5))
+	s := run(t, genc(t)(apps.GHZ(5)))
 	all := uint64(1<<5 - 1)
 	if math.Abs(s.Probability(0)-0.5) > eps || math.Abs(s.Probability(all)-0.5) > eps {
 		t.Fatalf("GHZ probabilities: %v %v", s.Probability(0), s.Probability(all))
@@ -185,7 +185,7 @@ func TestBernsteinVaziraniRecoversSecret(t *testing.T) {
 		{false, false, false, false, false},
 	}
 	for _, secret := range secrets {
-		c := apps.BernsteinVazirani(6, secret)
+		c := genc(t)(apps.BernsteinVazirani(6, secret))
 		s := run(t, c)
 		var want uint64
 		for i, b := range secret {
@@ -217,7 +217,7 @@ func TestCuccaroAdderAdds(t *testing.T) {
 					c.X(1 + bits + i)
 				}
 			}
-			adder := apps.CuccaroAdder(bits)
+			adder := genc(t)(apps.CuccaroAdder(bits))
 			for _, g := range adder.Gates() {
 				c.Append(g.Kind, g.Qubits, g.Params...)
 			}
@@ -246,7 +246,7 @@ func TestCuccaroAdderAdds(t *testing.T) {
 // followed by its inverse must be the identity.
 func TestQFTProperties(t *testing.T) {
 	const n = 5
-	qft := apps.QFT(n)
+	qft := genc(t)(apps.QFT(n))
 	s := run(t, qft)
 	want := 1.0 / float64(uint64(1)<<n)
 	for i := 0; i < 1<<n; i++ {
@@ -259,7 +259,7 @@ func TestQFTProperties(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Random input state via a prefix of gates, then QFT · QFT†.
-	c := workload.RandomCircuit(n, 30, 0.5, 7)
+	c := genc(t)(workload.RandomCircuit(n, 30, 0.5, 7))
 	ref := run(t, c)
 	full := c.Clone()
 	for _, g := range qft.Gates() {
@@ -294,7 +294,7 @@ func TestQFTMatchesDFT(t *testing.T) {
 				c.X(i)
 			}
 		}
-		qft := apps.QFT(n)
+		qft := genc(t)(apps.QFT(n))
 		for _, g := range qft.Gates() {
 			c.Append(g.Kind, g.Qubits, g.Params...)
 		}
@@ -317,7 +317,7 @@ func TestQFTMatchesDFT(t *testing.T) {
 // Grover's single iteration on 3 data qubits must amplify the all-ones
 // state well above the uniform 1/8 and above 1/2.
 func TestGroverAmplifies(t *testing.T) {
-	c := apps.Grover(3, 1)
+	c := genc(t)(apps.Grover(3, 1))
 	s := run(t, c)
 	dataMask := uint64(0b111)
 	p := s.MarginalProbability(dataMask, 0b111)
@@ -333,14 +333,18 @@ func TestGroverAmplifies(t *testing.T) {
 
 // Every generator circuit must preserve the norm (unitarity smoke test).
 func TestGeneratorsPreserveNorm(t *testing.T) {
+	edges, err := apps.RandomGraph(5, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	circuits := []*circuit.Circuit{
-		apps.QFT(6),
-		apps.Supremacy(2, 3, 4, 1),
-		apps.QAOA(5, apps.RandomGraph(5, 6, 1), 2, 1),
-		apps.BernsteinVazirani(5, nil),
-		apps.CuccaroAdder(2),
-		apps.Grover(3, 2),
-		workload.RandomCircuit(6, 80, 0.5, 2),
+		genc(t)(apps.QFT(6)),
+		genc(t)(apps.Supremacy(2, 3, 4, 1)),
+		genc(t)(apps.QAOA(5, edges, 2, 1)),
+		genc(t)(apps.BernsteinVazirani(5, nil)),
+		genc(t)(apps.CuccaroAdder(2)),
+		genc(t)(apps.Grover(3, 2)),
+		genc(t)(workload.RandomCircuit(6, 80, 0.5, 2)),
 	}
 	for _, c := range circuits {
 		s := run(t, c)
@@ -395,7 +399,7 @@ func TestInverseCircuitAllKinds(t *testing.T) {
 }
 
 func TestSampleFollowsDistribution(t *testing.T) {
-	s := run(t, apps.GHZ(3))
+	s := run(t, genc(t)(apps.GHZ(3)))
 	r := stats.NewRand(1)
 	counts := map[uint64]int{}
 	const trials = 2000
@@ -436,4 +440,15 @@ func bitReverse(x, n int) int {
 		}
 	}
 	return out
+}
+
+// genc unwraps a circuit-generator result, failing the test on error.
+func genc(t testing.TB) func(*circuit.Circuit, error) *circuit.Circuit {
+	return func(c *circuit.Circuit, err error) *circuit.Circuit {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		return c
+	}
 }

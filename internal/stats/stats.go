@@ -13,6 +13,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"velociti/internal/verr"
 )
 
 // Summary holds the aggregate statistics of a sample of observations.
@@ -185,11 +187,12 @@ func Shuffle[T any](r *rand.Rand, xs []T) {
 }
 
 // SampleWithoutReplacement returns k distinct values drawn uniformly from
-// [0, n). It panics if k > n or either argument is negative.
-func SampleWithoutReplacement(r *rand.Rand, n, k int) []int {
+// [0, n). It rejects k > n and negative arguments with an input-kind
+// error.
+func SampleWithoutReplacement(r *rand.Rand, n, k int) ([]int, error) {
 	if k < 0 || n < 0 || k > n {
-		panic(fmt.Sprintf("stats: invalid sample request k=%d n=%d", k, n))
+		return nil, verr.Inputf("stats: invalid sample request k=%d n=%d", k, n)
 	}
 	perm := r.Perm(n)
-	return perm[:k]
+	return perm[:k], nil
 }

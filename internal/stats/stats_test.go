@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"velociti/internal/verr"
 )
 
 func almostEqual(a, b, eps float64) bool {
@@ -164,7 +166,10 @@ func TestMeanOf(t *testing.T) {
 
 func TestSampleWithoutReplacement(t *testing.T) {
 	r := NewRand(1)
-	got := SampleWithoutReplacement(r, 10, 5)
+	got, err := SampleWithoutReplacement(r, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != 5 {
 		t.Fatalf("want 5 samples, got %d", len(got))
 	}
@@ -178,12 +183,9 @@ func TestSampleWithoutReplacement(t *testing.T) {
 		}
 		seen[v] = true
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatalf("k > n should panic")
-		}
-	}()
-	SampleWithoutReplacement(r, 3, 4)
+	if _, err := SampleWithoutReplacement(r, 3, 4); !verr.IsInput(err) {
+		t.Fatalf("k > n should be an input-kind error, got %v", err)
+	}
 }
 
 func TestShuffleIsPermutation(t *testing.T) {

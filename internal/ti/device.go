@@ -20,6 +20,7 @@ package ti
 
 import (
 	"fmt"
+	"velociti/internal/verr"
 )
 
 // Topology selects how chains are joined by weak links.
@@ -53,7 +54,7 @@ func ParseTopology(s string) (Topology, error) {
 	case "line":
 		return Line, nil
 	default:
-		return 0, fmt.Errorf("ti: unknown topology %q (want \"ring\" or \"line\")", s)
+		return 0, verr.Inputf("ti: unknown topology %q (want \"ring\" or \"line\")", s)
 	}
 }
 
@@ -106,13 +107,13 @@ type Device struct {
 // chains, and weak-link topology.
 func NewDevice(chainLength, numChains int, topo Topology) (*Device, error) {
 	if chainLength <= 0 {
-		return nil, fmt.Errorf("ti: chain length must be positive, got %d", chainLength)
+		return nil, verr.Inputf("ti: chain length must be positive, got %d", chainLength)
 	}
 	if numChains <= 0 {
-		return nil, fmt.Errorf("ti: number of chains must be positive, got %d", numChains)
+		return nil, verr.Inputf("ti: number of chains must be positive, got %d", numChains)
 	}
 	if topo != Ring && topo != Line {
-		return nil, fmt.Errorf("ti: invalid topology %d", topo)
+		return nil, verr.Inputf("ti: invalid topology %d", topo)
 	}
 	d := &Device{chainLength: chainLength, numChains: numChains, topology: topo}
 	d.links = buildLinks(numChains, topo)
@@ -124,10 +125,10 @@ func NewDevice(chainLength, numChains int, topo Topology) (*Device, error) {
 // (c = ⌈numQubits / chainLength⌉), the paper's `opt = area` target (§III-B).
 func DeviceFor(numQubits, chainLength int, topo Topology) (*Device, error) {
 	if numQubits <= 0 {
-		return nil, fmt.Errorf("ti: number of qubits must be positive, got %d", numQubits)
+		return nil, verr.Inputf("ti: number of qubits must be positive, got %d", numQubits)
 	}
 	if chainLength <= 0 {
-		return nil, fmt.Errorf("ti: chain length must be positive, got %d", chainLength)
+		return nil, verr.Inputf("ti: chain length must be positive, got %d", chainLength)
 	}
 	chains := (numQubits + chainLength - 1) / chainLength
 	return NewDevice(chainLength, chains, topo)

@@ -1,0 +1,58 @@
+// Package verr defines VelociTI's error-kind contract: every validation
+// failure that can be provoked by user input — CLI flags, QASM files, JSON
+// circuits and configs, API arguments — is marked as an *input* error, so
+// that CLIs (and future servers) can distinguish "the request was bad" from
+// "the framework has a bug" with errors.Is(err, verr.ErrInput).
+//
+// The contract, repo-wide:
+//
+//   - Input-reachable validation returns an error marked with ErrInput
+//     (construct with Inputf, or mark an existing error with Mark).
+//   - panic() remains only for genuine programmer-bug invariants that no
+//     external input can reach (e.g. dag node-id range, ti layout qubit
+//     range), each documented as such at the panic site.
+//
+// Wrapping an input error with fmt.Errorf("...: %w", err) preserves the
+// kind, so callers can add context freely.
+package verr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInput is the sentinel all user-input validation errors match via
+// errors.Is. It is never returned directly; use Inputf or Mark.
+var ErrInput = errors.New("invalid input")
+
+// inputError marks an underlying error as input-kind while preserving its
+// message and unwrap chain.
+type inputError struct {
+	err error
+}
+
+func (e *inputError) Error() string { return e.err.Error() }
+
+func (e *inputError) Unwrap() error { return e.err }
+
+// Is makes errors.Is(err, ErrInput) true for every marked error without
+// ErrInput appearing in the message text.
+func (e *inputError) Is(target error) bool { return target == ErrInput }
+
+// Inputf returns a new input-kind error with a fmt.Sprintf-style message.
+// %w verbs work as in fmt.Errorf.
+func Inputf(format string, args ...any) error {
+	return &inputError{err: fmt.Errorf(format, args...)}
+}
+
+// Mark wraps err as input-kind, preserving its message verbatim. A nil err
+// stays nil.
+func Mark(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &inputError{err: err}
+}
+
+// IsInput reports whether err is (or wraps) an input-kind error.
+func IsInput(err error) bool { return errors.Is(err, ErrInput) }

@@ -1,0 +1,80 @@
+package verr
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestInputfMatchesSentinel(t *testing.T) {
+	err := Inputf("qubits must be positive, got %d", -3)
+	if !IsInput(err) {
+		t.Fatalf("Inputf error should be input-kind")
+	}
+	if !errors.Is(err, ErrInput) {
+		t.Fatalf("errors.Is(err, ErrInput) should hold")
+	}
+	if want := "qubits must be positive, got -3"; err.Error() != want {
+		t.Fatalf("message = %q, want %q", err.Error(), want)
+	}
+	if strings.Contains(err.Error(), ErrInput.Error()) {
+		t.Fatalf("sentinel text should not leak into the message: %q", err.Error())
+	}
+}
+
+func TestWrappingPreservesKind(t *testing.T) {
+	inner := Inputf("bad ratio %g", -1.0)
+	wrapped := fmt.Errorf("workload: %w", wrapErr{inner})
+	if !IsInput(wrapped) {
+		t.Fatalf("kind should survive fmt.Errorf wrapping")
+	}
+	twice := fmt.Errorf("cmd: %w", wrapped)
+	if !IsInput(twice) {
+		t.Fatalf("kind should survive double wrapping")
+	}
+}
+
+// wrapErr exercises the unwrap chain through a custom error type too.
+type wrapErr struct{ err error }
+
+func (w wrapErr) Error() string { return w.err.Error() }
+func (w wrapErr) Unwrap() error { return w.err }
+
+func TestMark(t *testing.T) {
+	if Mark(nil) != nil {
+		t.Fatalf("Mark(nil) should be nil")
+	}
+	_, err := os.Open("/nonexistent/velociti-test-file")
+	marked := Mark(err)
+	if !IsInput(marked) {
+		t.Fatalf("marked error should be input-kind")
+	}
+	if marked.Error() != err.Error() {
+		t.Fatalf("Mark should preserve the message: %q vs %q", marked.Error(), err.Error())
+	}
+	// The original error chain stays intact for callers matching concrete
+	// kinds (e.g. fs.ErrNotExist).
+	if !errors.Is(marked, fs.ErrNotExist) {
+		t.Fatalf("underlying error chain should survive marking")
+	}
+}
+
+func TestNonInputErrorsDoNotMatch(t *testing.T) {
+	if IsInput(errors.New("internal invariant broken")) {
+		t.Fatalf("plain errors must not be input-kind")
+	}
+	if IsInput(nil) {
+		t.Fatalf("nil is not an input error")
+	}
+}
+
+func TestInputfSupportsWrapVerb(t *testing.T) {
+	cause := errors.New("unexpected EOF")
+	err := Inputf("parsing circuit: %w", cause)
+	if !IsInput(err) || !errors.Is(err, cause) {
+		t.Fatalf("Inputf %%w should preserve both kinds")
+	}
+}

@@ -10,6 +10,10 @@
 // runtimes by well under 1%. RandomCircuit additionally produces explicit
 // gate-level random circuits for the QASM and functional-simulation test
 // paths.
+//
+// Every constructor validates its arguments and returns an input-kind
+// error (verr.ErrInput) on nonsense — workload parameters arrive straight
+// from CLI flags, so rejection must be a diagnostic, never a panic.
 package workload
 
 import (
@@ -17,6 +21,7 @@ import (
 
 	"velociti/internal/circuit"
 	"velociti/internal/stats"
+	"velociti/internal/verr"
 )
 
 // Random returns the spec of a random circuit with the given qubit and
@@ -33,57 +38,65 @@ func Random(qubits, twoQubitGates int) circuit.Spec {
 // QuantumVolume returns the paper's quantum-volume workload: "a square
 // quantum circuit with N qubits and N/2 2-qubit gates" (§VI-B). N must be
 // even and at least 2.
-func QuantumVolume(n int) circuit.Spec {
+func QuantumVolume(n int) (circuit.Spec, error) {
 	if n < 2 || n%2 != 0 {
-		panic(fmt.Sprintf("workload: quantum volume needs an even qubit count ≥ 2, got %d", n))
+		return circuit.Spec{}, verr.Inputf("workload: quantum volume needs an even qubit count ≥ 2, got %d", n)
 	}
 	return circuit.Spec{
 		Name:          fmt.Sprintf("qv%d", n),
 		Qubits:        n,
 		OneQubitGates: n,
 		TwoQubitGates: n / 2,
-	}
+	}, nil
 }
 
 // RatioCircuit returns an N-qubit random workload with ratio·N 2-qubit
 // gates. The paper's Figure 9 uses ratio 2 ("N qubits to 2·N 2-qubit
 // gates") to contrast with quantum volume's ratio of 1/2.
-func RatioCircuit(n int, ratio float64) circuit.Spec {
+func RatioCircuit(n int, ratio float64) (circuit.Spec, error) {
 	if n < 1 || ratio < 0 {
-		panic(fmt.Sprintf("workload: invalid ratio circuit n=%d ratio=%g", n, ratio))
+		return circuit.Spec{}, verr.Inputf("workload: invalid ratio circuit n=%d ratio=%g", n, ratio)
 	}
 	return circuit.Spec{
 		Name:          fmt.Sprintf("ratio%g-%dq", ratio, n),
 		Qubits:        n,
 		OneQubitGates: n,
 		TwoQubitGates: int(ratio * float64(n)),
-	}
+	}, nil
 }
 
 // QVSweep returns quantum-volume specs for N = from, from+step, ..., ≤ to.
 // The paper sweeps N from 8 to 128 in steps of 20 qubits (8, 28, 48, ...).
-func QVSweep(from, to, step int) []circuit.Spec {
+func QVSweep(from, to, step int) ([]circuit.Spec, error) {
 	if step <= 0 {
-		panic(fmt.Sprintf("workload: sweep step must be positive, got %d", step))
+		return nil, verr.Inputf("workload: sweep step must be positive, got %d", step)
 	}
 	var out []circuit.Spec
 	for n := from; n <= to; n += step {
-		out = append(out, QuantumVolume(n))
+		spec, err := QuantumVolume(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, spec)
 	}
-	return out
+	return out, nil
 }
 
 // RatioSweep returns fixed-ratio specs over the same qubit range as
 // QVSweep.
-func RatioSweep(from, to, step int, ratio float64) []circuit.Spec {
+func RatioSweep(from, to, step int, ratio float64) ([]circuit.Spec, error) {
 	if step <= 0 {
-		panic(fmt.Sprintf("workload: sweep step must be positive, got %d", step))
+		return nil, verr.Inputf("workload: sweep step must be positive, got %d", step)
 	}
 	var out []circuit.Spec
 	for n := from; n <= to; n += step {
-		out = append(out, RatioCircuit(n, ratio))
+		spec, err := RatioCircuit(n, ratio)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, spec)
 	}
-	return out
+	return out, nil
 }
 
 // Fig5Grid returns the (qubits, 2-qubit gates) grid of the paper's Figure 5
@@ -101,13 +114,17 @@ func Fig5Grid() []circuit.Spec {
 // operations over n qubits, each a 1-qubit gate with probability
 // oneQubitFraction (an H, X, or T chosen uniformly) and otherwise a CX on a
 // uniformly drawn distinct qubit pair. It exercises the QASM and
-// state-vector paths; the performance experiments use abstract specs.
-func RandomCircuit(n, gates int, oneQubitFraction float64, seed int64) *circuit.Circuit {
+// functional-simulation paths; the performance experiments use abstract
+// specs.
+func RandomCircuit(n, gates int, oneQubitFraction float64, seed int64) (*circuit.Circuit, error) {
 	if n < 2 {
-		panic(fmt.Sprintf("workload: random circuit needs at least 2 qubits, got %d", n))
+		return nil, verr.Inputf("workload: random circuit needs at least 2 qubits, got %d", n)
+	}
+	if gates < 0 {
+		return nil, verr.Inputf("workload: random circuit gate count must be non-negative, got %d", gates)
 	}
 	if oneQubitFraction < 0 || oneQubitFraction > 1 {
-		panic(fmt.Sprintf("workload: 1-qubit fraction %g out of [0,1]", oneQubitFraction))
+		return nil, verr.Inputf("workload: 1-qubit fraction %g out of [0,1]", oneQubitFraction)
 	}
 	r := stats.NewRand(seed)
 	c := circuit.New(fmt.Sprintf("random%dq%dg", n, gates), n)
@@ -124,5 +141,5 @@ func RandomCircuit(n, gates int, oneQubitFraction float64, seed int64) *circuit.
 		}
 		c.CX(a, b)
 	}
-	return c
+	return c, c.Err()
 }

@@ -2,7 +2,35 @@ package workload
 
 import (
 	"testing"
+
+	"velociti/internal/circuit"
+	"velociti/internal/verr"
 )
+
+// ok unwraps a constructor result, failing the test on error.
+func ok[T any](t *testing.T) func(T, error) T {
+	return func(v T, err error) T {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		return v
+	}
+}
+
+// mustReject asserts that a constructor rejects its arguments with an
+// input-kind error (the errors-not-panics contract).
+func mustReject(t *testing.T, name string, f func() error) {
+	t.Helper()
+	err := f()
+	if err == nil {
+		t.Errorf("%s: expected an error", name)
+		return
+	}
+	if !verr.IsInput(err) {
+		t.Errorf("%s: error should be input-kind, got %v", name, err)
+	}
+}
 
 func TestRandomSpec(t *testing.T) {
 	s := Random(25, 100)
@@ -15,32 +43,32 @@ func TestRandomSpec(t *testing.T) {
 }
 
 func TestQuantumVolume(t *testing.T) {
-	s := QuantumVolume(128)
+	s := ok[circuit.Spec](t)(QuantumVolume(128))
 	if s.Qubits != 128 || s.TwoQubitGates != 64 {
 		t.Fatalf("QV spec = %+v, want N qubits, N/2 2q gates", s)
 	}
-	mustPanic(t, "odd", func() { QuantumVolume(7) })
-	mustPanic(t, "tiny", func() { QuantumVolume(0) })
+	mustReject(t, "odd", func() error { _, err := QuantumVolume(7); return err })
+	mustReject(t, "tiny", func() error { _, err := QuantumVolume(0); return err })
 }
 
 func TestRatioCircuit(t *testing.T) {
-	s := RatioCircuit(64, 2)
+	s := ok[circuit.Spec](t)(RatioCircuit(64, 2))
 	if s.TwoQubitGates != 128 {
 		t.Fatalf("2:1 ratio spec = %+v", s)
 	}
 	if s.TwoQubitRatio() != 2 {
 		t.Fatalf("ratio = %v", s.TwoQubitRatio())
 	}
-	half := RatioCircuit(64, 0.5)
+	half := ok[circuit.Spec](t)(RatioCircuit(64, 0.5))
 	if half.TwoQubitGates != 32 {
 		t.Fatalf("0.5 ratio = %+v", half)
 	}
-	mustPanic(t, "negative", func() { RatioCircuit(4, -1) })
+	mustReject(t, "negative", func() error { _, err := RatioCircuit(4, -1); return err })
 }
 
 func TestQVSweepRange(t *testing.T) {
 	// The paper sweeps quantum volume from 8 to 128 qubits.
-	specs := QVSweep(8, 128, 20)
+	specs := ok[[]circuit.Spec](t)(QVSweep(8, 128, 20))
 	if len(specs) != 7 {
 		t.Fatalf("sweep size = %d, want 7 (8,28,...,128)", len(specs))
 	}
@@ -52,11 +80,11 @@ func TestQVSweepRange(t *testing.T) {
 			t.Errorf("spec %s: p = %d, want N/2", s.Name, s.TwoQubitGates)
 		}
 	}
-	mustPanic(t, "bad step", func() { QVSweep(8, 128, 0) })
+	mustReject(t, "bad step", func() error { _, err := QVSweep(8, 128, 0); return err })
 }
 
 func TestRatioSweep(t *testing.T) {
-	specs := RatioSweep(8, 128, 20, 2)
+	specs := ok[[]circuit.Spec](t)(RatioSweep(8, 128, 20, 2))
 	if len(specs) != 7 {
 		t.Fatalf("sweep size = %d", len(specs))
 	}
@@ -65,7 +93,7 @@ func TestRatioSweep(t *testing.T) {
 			t.Errorf("spec %s: p = %d, want 2N", s.Name, s.TwoQubitGates)
 		}
 	}
-	mustPanic(t, "bad step", func() { RatioSweep(8, 128, -1, 2) })
+	mustReject(t, "bad step", func() error { _, err := RatioSweep(8, 128, -1, 2); return err })
 }
 
 func TestFig5Grid(t *testing.T) {
@@ -83,7 +111,7 @@ func TestFig5Grid(t *testing.T) {
 }
 
 func TestRandomCircuitComposition(t *testing.T) {
-	c := RandomCircuit(10, 200, 0.3, 5)
+	c := ok[*circuit.Circuit](t)(RandomCircuit(10, 200, 0.3, 5))
 	if c.NumGates() != 200 {
 		t.Fatalf("gates = %d", c.NumGates())
 	}
@@ -101,35 +129,26 @@ func TestRandomCircuitComposition(t *testing.T) {
 }
 
 func TestRandomCircuitExtremes(t *testing.T) {
-	all1 := RandomCircuit(4, 50, 1.0, 1)
+	all1 := ok[*circuit.Circuit](t)(RandomCircuit(4, 50, 1.0, 1))
 	if all1.NumTwoQubitGates() != 0 {
 		t.Fatalf("fraction 1.0 should produce no 2q gates")
 	}
-	all2 := RandomCircuit(4, 50, 0.0, 1)
+	all2 := ok[*circuit.Circuit](t)(RandomCircuit(4, 50, 0.0, 1))
 	if all2.NumOneQubitGates() != 0 {
 		t.Fatalf("fraction 0.0 should produce no 1q gates")
 	}
 }
 
 func TestRandomCircuitDeterminism(t *testing.T) {
-	a := RandomCircuit(6, 40, 0.5, 9)
-	b := RandomCircuit(6, 40, 0.5, 9)
+	a := ok[*circuit.Circuit](t)(RandomCircuit(6, 40, 0.5, 9))
+	b := ok[*circuit.Circuit](t)(RandomCircuit(6, 40, 0.5, 9))
 	if a.String() != b.String() {
 		t.Fatalf("same seed should reproduce the circuit")
 	}
 }
 
 func TestRandomCircuitValidation(t *testing.T) {
-	mustPanic(t, "narrow", func() { RandomCircuit(1, 5, 0.5, 1) })
-	mustPanic(t, "fraction", func() { RandomCircuit(4, 5, 1.5, 1) })
-}
-
-func mustPanic(t *testing.T, name string, f func()) {
-	t.Helper()
-	defer func() {
-		if recover() == nil {
-			t.Errorf("%s: expected panic", name)
-		}
-	}()
-	f()
+	mustReject(t, "narrow", func() error { _, err := RandomCircuit(1, 5, 0.5, 1); return err })
+	mustReject(t, "gates", func() error { _, err := RandomCircuit(4, -1, 0.5, 1); return err })
+	mustReject(t, "fraction", func() error { _, err := RandomCircuit(4, 5, 1.5, 1); return err })
 }

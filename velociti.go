@@ -59,6 +59,7 @@ import (
 	"velociti/internal/statevec"
 	"velociti/internal/stats"
 	"velociti/internal/ti"
+	"velociti/internal/verr"
 )
 
 // Spec is a workload's boundary conditions: register width and the 1- and
@@ -74,10 +75,22 @@ type Gate = circuit.Gate
 // Kind identifies a gate's logical operation.
 type Kind = circuit.Kind
 
-// NewCircuit returns an empty circuit over numQubits qubits.
+// NewCircuit returns an empty circuit over numQubits qubits. A non-positive
+// width poisons the circuit (see Circuit.Err) rather than panicking.
 func NewCircuit(name string, numQubits int) *Circuit {
 	return circuit.New(name, numQubits)
 }
+
+// ErrInput is the sentinel matched (via errors.Is or IsInputError) by every
+// validation failure provoked by user input — bad API arguments, malformed
+// QASM or JSON, unknown policy names. Errors that do not match it indicate
+// a bug in the framework itself. See internal/verr for the repo-wide
+// contract.
+var ErrInput = verr.ErrInput
+
+// IsInputError reports whether err stems from invalid user input rather
+// than an internal failure.
+func IsInputError(err error) bool { return verr.IsInput(err) }
 
 // Latencies is the timing configuration: δ (1-qubit), γ (2-qubit), and the
 // weak-link penalty α (Table III).
@@ -210,7 +223,7 @@ func Apps() []Spec { return apps.PaperSpecs() }
 
 // AppByName returns the Table II workload with the given name along with a
 // gate-level generator for it.
-func AppByName(name string) (Spec, func() *Circuit, error) {
+func AppByName(name string) (Spec, func() (*Circuit, error), error) {
 	a, err := apps.ByName(name)
 	if err != nil {
 		return Spec{}, nil, err
@@ -218,21 +231,28 @@ func AppByName(name string) (Spec, func() *Circuit, error) {
 	return a.Spec, a.Build, nil
 }
 
-// Application circuit generators (gate-level extensions of Table II).
-func QFT(n int) *Circuit                              { return apps.QFT(n) }
-func GHZ(n int) *Circuit                              { return apps.GHZ(n) }
-func BernsteinVazirani(n int, secret []bool) *Circuit { return apps.BernsteinVazirani(n, secret) }
-func CuccaroAdder(bits int) *Circuit                  { return apps.CuccaroAdder(bits) }
-func Grover(dataQubits, iterations int) *Circuit      { return apps.Grover(dataQubits, iterations) }
-func Supremacy(rows, cols, cycles int, seed int64) *Circuit {
+// Application circuit generators (gate-level extensions of Table II). Each
+// validates its arguments and returns an input-kind error on nonsense.
+func QFT(n int) (*Circuit, error) { return apps.QFT(n) }
+func GHZ(n int) (*Circuit, error) { return apps.GHZ(n) }
+func BernsteinVazirani(n int, secret []bool) (*Circuit, error) {
+	return apps.BernsteinVazirani(n, secret)
+}
+func CuccaroAdder(bits int) (*Circuit, error) { return apps.CuccaroAdder(bits) }
+func Grover(dataQubits, iterations int) (*Circuit, error) {
+	return apps.Grover(dataQubits, iterations)
+}
+func Supremacy(rows, cols, cycles int, seed int64) (*Circuit, error) {
 	return apps.Supremacy(rows, cols, cycles, seed)
 }
-func QAOA(n int, edges [][2]int, rounds int, seed int64) *Circuit {
+func QAOA(n int, edges [][2]int, rounds int, seed int64) (*Circuit, error) {
 	return apps.QAOA(n, edges, rounds, seed)
 }
-func QPE(countQubits int, phase float64) *Circuit  { return apps.QPE(countQubits, phase) }
-func VQEAnsatz(n, layers int, seed int64) *Circuit { return apps.VQEAnsatz(n, layers, seed) }
-func WState(n int) *Circuit                        { return apps.WState(n) }
+func QPE(countQubits int, phase float64) (*Circuit, error) { return apps.QPE(countQubits, phase) }
+func VQEAnsatz(n, layers int, seed int64) (*Circuit, error) {
+	return apps.VQEAnsatz(n, layers, seed)
+}
+func WState(n int) (*Circuit, error) { return apps.WState(n) }
 
 // ParseQASM parses an OpenQASM 2.0 program into a Circuit.
 func ParseQASM(name, src string) (*Circuit, error) { return qasm.ParseCircuit(name, src) }

@@ -40,7 +40,10 @@ func TestFacadeRunOnce(t *testing.T) {
 }
 
 func TestFacadeExplicitCircuit(t *testing.T) {
-	c := QFT(16)
+	c, err := QFT(16)
+	if err != nil {
+		t.Fatal(err)
+	}
 	rep, err := Run(Config{Circuit: c, ChainLength: 8, Runs: 3, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -62,7 +65,11 @@ func TestFacadeAppsCatalog(t *testing.T) {
 	if spec.TwoQubitGates != 64 {
 		t.Fatalf("BV spec = %+v", spec)
 	}
-	if c := build(); c.NumQubits() != 64 {
+	c, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits() != 64 {
 		t.Fatalf("BV generator width = %d", c.NumQubits())
 	}
 }
@@ -76,7 +83,7 @@ func TestFacadeDeviceAndEvaluate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Evaluate(GHZ(16), layout, DefaultLatencies())
+	res, err := Evaluate(fc(t)(GHZ(16)), layout, DefaultLatencies())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +93,7 @@ func TestFacadeDeviceAndEvaluate(t *testing.T) {
 }
 
 func TestFacadeQASMRoundTrip(t *testing.T) {
-	text := SerializeQASM(GHZ(4))
+	text := SerializeQASM(fc(t)(GHZ(4)))
 	c, err := ParseQASM("ghz", text)
 	if err != nil {
 		t.Fatal(err)
@@ -101,7 +108,7 @@ func TestFacadeQASMRoundTrip(t *testing.T) {
 
 func TestFacadeCircuitJSON(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteCircuitJSON(&buf, CuccaroAdder(2)); err != nil {
+	if err := WriteCircuitJSON(&buf, fc(t)(CuccaroAdder(2))); err != nil {
 		t.Fatal(err)
 	}
 	c, err := ReadCircuitJSON(&buf)
@@ -141,16 +148,16 @@ func TestFacadeParams(t *testing.T) {
 }
 
 func TestFacadeGenerators(t *testing.T) {
-	if Supremacy(8, 8, 20, 1).NumTwoQubitGates() != 560 {
+	if fc(t)(Supremacy(8, 8, 20, 1)).NumTwoQubitGates() != 560 {
 		t.Fatalf("Supremacy count drifted")
 	}
-	if QAOA(6, [][2]int{{0, 1}, {2, 3}}, 2, 1).NumTwoQubitGates() != 8 {
+	if fc(t)(QAOA(6, [][2]int{{0, 1}, {2, 3}}, 2, 1)).NumTwoQubitGates() != 8 {
 		t.Fatalf("QAOA count drifted")
 	}
-	if BernsteinVazirani(8, nil).NumQubits() != 8 {
+	if fc(t)(BernsteinVazirani(8, nil)).NumQubits() != 8 {
 		t.Fatalf("BV width drifted")
 	}
-	if Grover(4, 1).NumQubits() != 6 {
+	if fc(t)(Grover(4, 1)).NumQubits() != 6 {
 		t.Fatalf("Grover width drifted")
 	}
 	if NewRand(3).Int63() != NewRand(3).Int63() {
@@ -166,7 +173,7 @@ func TestFacadeGenerators(t *testing.T) {
 func TestFacadeFidelity(t *testing.T) {
 	d, _ := DeviceFor(8, 4, Ring)
 	l, _ := SequentialPlacement.Place(d, 8, nil)
-	est, err := EstimateFidelity(GHZ(8), l, DefaultLatencies(), DefaultFidelityModel())
+	est, err := EstimateFidelity(fc(t)(GHZ(8)), l, DefaultLatencies(), DefaultFidelityModel())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +188,7 @@ func TestFacadeFidelity(t *testing.T) {
 func TestFacadeShuttle(t *testing.T) {
 	d, _ := DeviceFor(8, 4, Ring)
 	l, _ := SequentialPlacement.Place(d, 8, nil)
-	res, err := CompareShuttle(GHZ(8), l, DefaultLatencies(), DefaultShuttleParams())
+	res, err := CompareShuttle(fc(t)(GHZ(8)), l, DefaultLatencies(), DefaultShuttleParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +203,7 @@ func TestFacadeShuttle(t *testing.T) {
 func TestFacadeTimeline(t *testing.T) {
 	d, _ := DeviceFor(8, 4, Ring)
 	l, _ := SequentialPlacement.Place(d, 8, nil)
-	tl, err := BuildTimeline(GHZ(8), l, DefaultLatencies())
+	tl, err := BuildTimeline(fc(t)(GHZ(8)), l, DefaultLatencies())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,16 +216,16 @@ func TestFacadeTimeline(t *testing.T) {
 }
 
 func TestFacadeExtraApps(t *testing.T) {
-	if QPE(4, 0.25).NumQubits() != 5 {
+	if fc(t)(QPE(4, 0.25)).NumQubits() != 5 {
 		t.Fatalf("QPE width")
 	}
-	if VQEAnsatz(6, 2, 1).NumTwoQubitGates() != 10 {
+	if fc(t)(VQEAnsatz(6, 2, 1)).NumTwoQubitGates() != 10 {
 		t.Fatalf("VQE counts")
 	}
-	if WState(5).NumQubits() != 5 {
+	if fc(t)(WState(5)).NumQubits() != 5 {
 		t.Fatalf("W width")
 	}
-	opt, stats := GHZ(4).Optimize()
+	opt, stats := fc(t)(GHZ(4)).Optimize()
 	if opt.NumGates() != 4 || stats.Total() != 0 {
 		t.Fatalf("GHZ should be irreducible")
 	}
@@ -237,5 +244,16 @@ func TestFacadeRouter(t *testing.T) {
 	}
 	if res.Migrations != 1 {
 		t.Fatalf("migrations = %d", res.Migrations)
+	}
+}
+
+// fc unwraps a facade circuit-generator result, failing the test on error.
+func fc(t testing.TB) func(*Circuit, error) *Circuit {
+	return func(c *Circuit, err error) *Circuit {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		return c
 	}
 }
