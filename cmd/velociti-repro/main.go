@@ -250,17 +250,23 @@ func run(args []string, out io.Writer) error {
 		if err := writeCSV("ablation-comm", comm.CSV()); err != nil {
 			return err
 		}
-		for name, f := range map[string]func(expt.Options) (*expt.AblationResult, error){
-			"ablation-schedulers": expt.AblationSchedulers,
-			"ablation-placement":  expt.AblationPlacement,
-			"ablation-topology":   expt.AblationTopology,
+		// A named slice, not a map: map iteration order would shuffle the
+		// ablation tables between runs (velociti-vet's determinism pass
+		// rejects ranging over a map literal for exactly this reason).
+		for _, ab := range []struct {
+			name string
+			f    func(expt.Options) (*expt.AblationResult, error)
+		}{
+			{"ablation-schedulers", expt.AblationSchedulers},
+			{"ablation-placement", expt.AblationPlacement},
+			{"ablation-topology", expt.AblationTopology},
 		} {
-			res, err := f(opt)
+			res, err := ab.f(opt)
 			if err != nil {
 				return err
 			}
 			emit(res.Table())
-			if err := writeCSV(name, res.CSV()); err != nil {
+			if err := writeCSV(ab.name, res.CSV()); err != nil {
 				return err
 			}
 		}

@@ -56,6 +56,36 @@ func TestReproAblations(t *testing.T) {
 	}
 }
 
+// TestReproAblationOrderingIsStable pins the fix for the map-literal
+// range that velociti-vet's determinism pass caught: the three named
+// ablations must appear in declaration order on every run, not in map
+// iteration order.
+func TestReproAblationOrderingIsStable(t *testing.T) {
+	var first string
+	for i := 0; i < 3; i++ {
+		var buf bytes.Buffer
+		if err := run([]string{"-runs", "1", "-only", "ablations"}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		out := buf.String()
+		iSched := strings.Index(out, "scheduling policy")
+		iPlace := strings.Index(out, "placement policy")
+		iTopo := strings.Index(out, "topology")
+		if iSched < 0 || iPlace < 0 || iTopo < 0 {
+			t.Fatalf("run %d: missing ablation tables:\n%s", i, out)
+		}
+		if !(iSched < iPlace && iPlace < iTopo) {
+			t.Fatalf("run %d: ablations out of declaration order (schedulers@%d, placement@%d, topology@%d)",
+				i, iSched, iPlace, iTopo)
+		}
+		if i == 0 {
+			first = out
+		} else if out != first {
+			t.Fatalf("run %d: ablation output differs between identical invocations", i)
+		}
+	}
+}
+
 func TestReproUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-only", "fig42"}, &buf); err == nil {

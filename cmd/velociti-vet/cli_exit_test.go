@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMain turns this test binary into the real CLI when the re-exec
+// marker is set, so the exit-status tests below observe main()'s true
+// exit code, stdout, and stderr.
+func TestMain(m *testing.M) {
+	if os.Getenv("VELOCITI_CLI_EXIT_TEST") == "1" {
+		args := []string{os.Args[0]}
+		if raw := os.Getenv("VELOCITI_CLI_EXIT_ARGS"); raw != "" {
+			args = append(args, strings.Split(raw, "\x1f")...)
+		}
+		os.Args = args
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// execMain re-executes the CLI with args in dir ("" = this package's
+// directory) and returns exit code, stdout, and stderr.
+func execMain(t *testing.T, dir string, args ...string) (int, string, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(),
+		"VELOCITI_CLI_EXIT_TEST=1",
+		"VELOCITI_CLI_EXIT_ARGS="+strings.Join(args, "\x1f"))
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("re-exec failed: %v", err)
+		}
+		code = ee.ExitCode()
+	}
+	return code, stdout.String(), stderr.String()
+}
+
+// moduleRoot locates the repository root from the test's working
+// directory (cmd/velociti-vet).
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Dir(filepath.Dir(cwd))
+}
+
+func TestInvalidInputExitStatus(t *testing.T) {
+	cases := []struct {
+		name   string
+		args   []string
+		substr string
+	}{
+		{"unknown flag", []string{"-definitely-not-a-flag"}, "flag"},
+		{"missing explicit allowlist", []string{"-allowlist", "does-not-exist.txt", "./..."}, "allowlist"},
+		{"pattern matches nothing", []string{"./no-such-dir/..."}, "matches no packages"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := execMain(t, moduleRoot(t), tc.args...)
+			if code != 1 {
+				t.Fatalf("exit code = %d, want 1 (stderr: %q)", code, stderr)
+			}
+			if strings.Contains(stderr, "goroutine ") || strings.Contains(stderr, "panic:") {
+				t.Fatalf("stderr contains a stack trace:\n%s", stderr)
+			}
+			line := strings.TrimSuffix(stderr, "\n")
+			if line == "" || strings.Contains(line, "\n") {
+				t.Errorf("stderr should be exactly one diagnostic line, got %q", stderr)
+			}
+			if !strings.HasPrefix(line, "velociti-vet: invalid input:") {
+				t.Errorf("stderr = %q, want prefix %q", line, "velociti-vet: invalid input:")
+			}
+			if !strings.Contains(line, tc.substr) {
+				t.Errorf("stderr = %q, want it to mention %q", line, tc.substr)
+			}
+		})
+	}
+}
+
+func TestCleanTreeExitsZero(t *testing.T) {
+	// The whole repository must be contract-clean: this is the same
+	// invocation the CI vet-contracts job performs.
+	code, stdout, stderr := execMain(t, moduleRoot(t), "./...")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean run should print nothing, got:\n%s", stdout)
+	}
+}
+
+func TestFindingsExitTwo(t *testing.T) {
+	// A scratch module with one undocumented panic and a dropped error
+	// must exit 2 and print deterministic file:line:col diagnostics.
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module scratch\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "internal", "m", "m.go"), `package m
+
+import "os"
+
+func F(p string) {
+	if p == "" {
+		panic("empty")
+	}
+	os.Remove(p)
+}
+`)
+	code, stdout, stderr := execMain(t, dir, "./...")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	for _, want := range []string{
+		"internal/m/m.go:7:3: [panicguard]",
+		"internal/m/m.go:9:2: [errcheck-lite]",
+		"velociti-vet: 2 finding(s)",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+	// Findings must come out sorted (panicguard line 7 before
+	// errcheck line 9) regardless of pass execution order.
+	if i, j := strings.Index(stdout, "[panicguard]"), strings.Index(stdout, "[errcheck-lite]"); i > j {
+		t.Errorf("diagnostics not sorted by position:\n%s", stdout)
+	}
+}
+
+func TestBrokenTreeIsInvalidInput(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module scratch\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "b.go"), "package b\n\nfunc F() int { return undefinedName }\n")
+	code, _, stderr := execMain(t, dir, "./...")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %q)", code, stderr)
+	}
+	if !strings.Contains(stderr, "velociti-vet: invalid input:") || !strings.Contains(stderr, "type-check") {
+		t.Errorf("stderr = %q, want an invalid-input type-check diagnostic", stderr)
+	}
+}
+
+func writeFile(t *testing.T, path, body string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,164 @@
+// Command velociti-vet is the repository's contract checker: it loads
+// every package in the module with the stdlib toolchain, type-checks
+// it, and runs the four static contract passes from internal/analysis
+// (panicguard, errcheck-lite, determinism, floatsum) that enforce the
+// invariants DESIGN.md §"Static contracts" documents.
+//
+//	velociti-vet ./...                        # whole module (CI gate)
+//	velociti-vet ./internal/perf ./internal/pool
+//	velociti-vet -allowlist analysis/panic_allowlist.txt ./...
+//
+// Exit status follows the repo-wide CLI contract: 0 clean, 1 invalid
+// input or usage (one-line "velociti-vet: invalid input: ..."
+// diagnostic), 2 findings (one "file:line:col: [pass] message" line
+// each, deterministically ordered).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"velociti/internal/analysis"
+	"velociti/internal/verr"
+)
+
+const defaultAllowlist = "analysis/panic_allowlist.txt"
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		// Input-kind failures get an explicit marker so scripts (and
+		// humans) can tell a bad invocation from a framework bug.
+		if verr.IsInput(err) {
+			fmt.Fprintln(os.Stderr, "velociti-vet: invalid input:", err)
+		} else {
+			fmt.Fprintln(os.Stderr, "velociti-vet:", err)
+		}
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+// run executes the checker and returns the exit code (0 clean, 2
+// findings) or an error (exit 1).
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("velociti-vet", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	allowPath := fs.String("allowlist", "", "panic allowlist file (default "+defaultAllowlist+" at the module root, if present)")
+	if err := fs.Parse(args); err != nil {
+		return 0, verr.Inputf("%w (usage: velociti-vet [-allowlist file] [packages])", err)
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		return 0, err
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		return 0, verr.Inputf("%w", err)
+	}
+	mod, err := analysis.LoadModule(root)
+	if err != nil {
+		return 0, verr.Inputf("%w", err)
+	}
+	pkgs, err := selectPackages(mod, cwd, patterns)
+	if err != nil {
+		return 0, err
+	}
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			return 0, verr.Inputf("package %s does not type-check: %v", pkg.Path, pkg.TypeErrors[0])
+		}
+	}
+
+	allowlist, err := loadAllowlist(root, *allowPath)
+	if err != nil {
+		return 0, err
+	}
+	// Stale-allowlist detection only makes sense when every package is
+	// in view; a partial selection (e.g. the bench job's hot-path check)
+	// legitimately leaves entries for unselected packages unmatched.
+	complete := len(pkgs) == len(mod.Packages)
+	runner := analysis.NewDefaultRunner(mod.Path, root, allowlist, complete)
+	diags := runner.Run(pkgs)
+	if len(diags) == 0 {
+		return 0, nil
+	}
+	for _, d := range diags {
+		fmt.Fprintln(out, d.String(root))
+	}
+	fmt.Fprintf(out, "velociti-vet: %d finding(s)\n", len(diags))
+	return 2, nil
+}
+
+// loadAllowlist reads the panic allowlist. An explicitly named file
+// must exist; the default path is optional so fresh modules start from
+// an empty allowlist.
+func loadAllowlist(root, path string) (*analysis.Allowlist, error) {
+	explicit := path != ""
+	if !explicit {
+		path = filepath.Join(root, filepath.FromSlash(defaultAllowlist))
+	}
+	al, err := analysis.ParseAllowlist(path)
+	if err != nil {
+		if !explicit && errors.Is(err, os.ErrNotExist) {
+			return analysis.EmptyAllowlist(), nil
+		}
+		return nil, verr.Inputf("allowlist: %w", err)
+	}
+	return al, nil
+}
+
+// selectPackages resolves package patterns against the loaded module.
+// Supported forms: "./..." (everything), "dir/..." (subtree), and plain
+// directory paths, all relative to the current directory.
+func selectPackages(mod *analysis.Module, cwd string, patterns []string) ([]*analysis.Package, error) {
+	dirOf := func(pkg *analysis.Package) string { return pkg.Dir }
+	var out []*analysis.Package
+	seen := map[string]bool{}
+	for _, pat := range patterns {
+		recursive := false
+		dir := pat
+		if pat == "..." {
+			recursive, dir = true, "."
+		} else if strings.HasSuffix(pat, "/...") {
+			recursive, dir = true, strings.TrimSuffix(pat, "/...")
+		}
+		abs := dir
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(cwd, filepath.FromSlash(dir))
+		}
+		abs = filepath.Clean(abs)
+		matched := false
+		for _, pkg := range mod.Packages {
+			d := dirOf(pkg)
+			ok := d == abs
+			if recursive && !ok {
+				rel, err := filepath.Rel(abs, d)
+				ok = err == nil && !strings.HasPrefix(rel, "..")
+			}
+			if !ok || seen[pkg.Path] {
+				if ok {
+					matched = true
+				}
+				continue
+			}
+			seen[pkg.Path] = true
+			matched = true
+			out = append(out, pkg)
+		}
+		if !matched {
+			return nil, verr.Inputf("pattern %q matches no packages in module %s", pat, mod.Path)
+		}
+	}
+	return out, nil
+}

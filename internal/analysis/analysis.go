@@ -1,0 +1,278 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding. Formatting and ordering are deterministic
+// so golden tests and CI diffs are stable.
+type Diagnostic struct {
+	Pos     token.Position // absolute file name
+	Pass    string
+	Message string
+}
+
+// String renders the canonical "file:line:col: [pass] message" form with
+// the file name relative to base (when possible) in slash form.
+func (d Diagnostic) String(base string) string {
+	name := d.Pos.Filename
+	if base != "" {
+		if rel, err := filepath.Rel(base, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+	}
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", filepath.ToSlash(name), d.Pos.Line, d.Pos.Column, d.Pass, d.Message)
+}
+
+// SortDiagnostics orders findings by file, line, column, pass, message.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Pass != b.Pass {
+			return a.Pass < b.Pass
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Pass is one contract check run over a type-checked package.
+type Pass interface {
+	Name() string
+	Run(pkg *Package) []Diagnostic
+}
+
+// Finisher is implemented by passes that report cross-package findings
+// (e.g. stale allowlist entries) after every package has been visited.
+type Finisher interface {
+	Finish() []Diagnostic
+}
+
+// Runner applies a set of passes to a set of packages, honors
+// //vet:allow suppressions, and returns the sorted findings.
+type Runner struct {
+	Passes []Pass
+	// Scope, when non-nil, reports whether a pass applies to a package.
+	Scope func(pass Pass, pkg *Package) bool
+}
+
+// Run executes every in-scope pass over every package.
+func (r *Runner) Run(pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sup, malformed := suppressions(pkg)
+		diags = append(diags, malformed...)
+		for _, pass := range r.Passes {
+			if r.Scope != nil && !r.Scope(pass, pkg) {
+				continue
+			}
+			for _, d := range pass.Run(pkg) {
+				if sup.allows(d) {
+					continue
+				}
+				diags = append(diags, d)
+			}
+		}
+	}
+	for _, pass := range r.Passes {
+		if f, ok := pass.(Finisher); ok {
+			diags = append(diags, f.Finish()...)
+		}
+	}
+	SortDiagnostics(diags)
+	return diags
+}
+
+// ---- //vet:allow suppression ----
+//
+// A finding may be silenced, with a mandatory justification, by a
+// comment on the same line as the finding or on the line directly
+// above it:
+//
+//	//vet:allow determinism -- Fig5 measures wall time; the clock IS the result
+//
+// The pass list is comma-separated; the reason after " -- " must be
+// non-empty. A comment that starts with //vet:allow but does not parse
+// is itself a finding, so suppressions can never silently rot.
+
+var allowRE = regexp.MustCompile(`^//vet:allow ([a-z][a-z0-9-]*(?:,[a-z][a-z0-9-]*)*) -- \S`)
+
+// suppressed records which passes are allowed on which line of which file.
+type suppressed map[string]map[int]map[string]bool
+
+func (s suppressed) allows(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		if lines[line][d.Pass] {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressions scans a package's comments for //vet:allow markers.
+func suppressions(pkg *Package) (suppressed, []Diagnostic) {
+	sup := suppressed{}
+	var malformed []Diagnostic
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				if !strings.HasPrefix(c.Text, "//vet:allow") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				m := allowRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					malformed = append(malformed, Diagnostic{
+						Pos:     pos,
+						Pass:    "vet",
+						Message: `malformed //vet:allow comment: want "//vet:allow <pass>[,<pass>...] -- <reason>"`,
+					})
+					continue
+				}
+				lines := sup[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					sup[pos.Filename] = lines
+				}
+				passes := lines[pos.Line]
+				if passes == nil {
+					passes = map[string]bool{}
+					lines[pos.Line] = passes
+				}
+				for _, name := range strings.Split(m[1], ",") {
+					passes[name] = true
+				}
+			}
+		}
+	}
+	return sup, malformed
+}
+
+// ---- shared AST / type helpers ----
+
+// calleeFunc resolves the *types.Func a call invokes, or nil for
+// builtins, type conversions, and calls of function-typed values.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		if f, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isBuiltin reports whether the identifier resolves to the named
+// predeclared function (panic, append, ...).
+func isBuiltin(pkg *Package, id *ast.Ident, name string) bool {
+	if id.Name != name {
+		return false
+	}
+	b, ok := pkg.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// pkgFunc reports whether f is the package-level function path.name.
+func pkgFunc(f *types.Func, path, name string) bool {
+	if f == nil || f.Pkg() == nil {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	return f.Pkg().Path() == path && f.Name() == name
+}
+
+// isFloat reports whether t's underlying type is a floating-point kind.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isMapType reports whether t's underlying type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// enclosingFuncName names the top-level declaration containing pos:
+// "Func" for functions, "Type.Method" for methods (pointer receivers
+// included), "init" for package-level initializers. Function literals
+// report their enclosing declaration, which is how the panic allowlist
+// keys sites.
+func enclosingFuncName(file *ast.File, pos token.Pos) string {
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || pos < fd.Pos() || pos >= fd.End() {
+			continue
+		}
+		if fd.Recv != nil && len(fd.Recv.List) > 0 {
+			return recvTypeName(fd.Recv.List[0].Type) + "." + fd.Name.Name
+		}
+		return fd.Name.Name
+	}
+	return "init"
+}
+
+// recvTypeName extracts the bare receiver type name from a receiver
+// type expression ("*Circuit" -> "Circuit", "Model" -> "Model").
+func recvTypeName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr: // generic receiver T[P]
+		return recvTypeName(t.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(t.X)
+	default:
+		return "?"
+	}
+}
+
+// relFile returns file's path relative to root in slash form, or the
+// input unchanged when it is not under root.
+func relFile(root, file string) string {
+	if root == "" {
+		return filepath.ToSlash(file)
+	}
+	rel, err := filepath.Rel(root, file)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(file)
+	}
+	return filepath.ToSlash(rel)
+}

@@ -1,0 +1,215 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Determinism enforces the reproducible-runs contract behind the
+// paper's 35-run averages (§V-B/§VI): model code may draw randomness
+// only through seeded *rand.Rand values (internal/stats.NewRand), never
+// the global math/rand source, the wall clock, or the environment; and
+// nothing may emit output or grow a slice in map-iteration order.
+//
+// The randomness/clock/environment clauses apply only to model packages
+// (ModelPackage); the map-iteration-order clause applies everywhere the
+// pass runs, because output ordering is part of every CLI's observable
+// contract.
+type Determinism struct {
+	// ModelPackage reports whether a package path is model code. nil
+	// treats every package as model code (used by fixture tests).
+	ModelPackage func(path string) bool
+}
+
+func (*Determinism) Name() string { return "determinism" }
+
+// randConstructors are the math/rand functions that build seeded
+// generators rather than touching the global source; they are the one
+// sanctioned way in (via internal/stats.NewRand).
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
+}
+
+// Run applies the determinism clauses to one package.
+func (p *Determinism) Run(pkg *Package) []Diagnostic {
+	model := p.ModelPackage == nil || p.ModelPackage(pkg.Path)
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		if model {
+			diags = append(diags, p.checkRandClockEnv(pkg, file)...)
+		}
+		forEachMapRange(pkg, file, func(rs *ast.RangeStmt) {
+			diags = append(diags, p.checkMapRange(pkg, file, rs)...)
+		})
+	}
+	return diags
+}
+
+// checkRandClockEnv flags global-source math/rand calls and wall-clock
+// or environment reads.
+func (p *Determinism) checkRandClockEnv(pkg *Package, file *ast.File) []Diagnostic {
+	var diags []Diagnostic
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := calleeFunc(pkg, call)
+		if f == nil || f.Pkg() == nil {
+			return true
+		}
+		sig, ok := f.Type().(*types.Signature)
+		if !ok || sig.Recv() != nil {
+			return true
+		}
+		path, name := f.Pkg().Path(), f.Name()
+		var msg string
+		switch {
+		case (path == "math/rand" || path == "math/rand/v2") && !randConstructors[name]:
+			msg = fmt.Sprintf("global math/rand source via rand.%s; model code must thread a seeded *rand.Rand from internal/stats.NewRand", name)
+		case path == "time" && (name == "Now" || name == "Since"):
+			msg = fmt.Sprintf("wall-clock read via time.%s in model code breaks run-to-run reproducibility; inject the value or justify with //vet:allow", name)
+		case path == "os" && (name == "Getenv" || name == "LookupEnv" || name == "Environ"):
+			msg = fmt.Sprintf("environment read via os.%s in model code makes results host-dependent; plumb configuration explicitly", name)
+		default:
+			return true
+		}
+		diags = append(diags, Diagnostic{Pos: pkg.Fset.Position(call.Pos()), Pass: p.Name(), Message: msg})
+		return true
+	})
+	return diags
+}
+
+// outputMethods are writer-shaped method names whose invocation inside
+// a map range emits data in iteration order.
+var outputMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+// fmtPrinters are the fmt functions that emit to a stream.
+var fmtPrinters = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// checkMapRange flags ranges over map literals (the contents are fixed
+// at the call site, so the order scramble buys nothing), and map ranges
+// whose body appends to a slice (unless a sort follows later in the
+// enclosing function) or writes output.
+func (p *Determinism) checkMapRange(pkg *Package, file *ast.File, rs *ast.RangeStmt) []Diagnostic {
+	var diags []Diagnostic
+	if lit, ok := ast.Unparen(rs.X).(*ast.CompositeLit); ok {
+		if tv, ok := pkg.Info.Types[lit]; ok && isMapType(tv.Type) {
+			diags = append(diags, Diagnostic{
+				Pos:  pkg.Fset.Position(rs.Pos()),
+				Pass: p.Name(),
+				Message: "range over a map literal runs its body in nondeterministic order for contents " +
+					"fixed at the call site; use a slice literal",
+			})
+			return diags
+		}
+	}
+	appendSeen := false
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && isBuiltin(pkg, id, "append") && !appendSeen {
+			appendSeen = true
+			if !sortFollows(pkg, file, rs) {
+				diags = append(diags, Diagnostic{
+					Pos:  pkg.Fset.Position(rs.Pos()),
+					Pass: p.Name(),
+					Message: "map iteration order drives append; range over a sorted key slice " +
+						"(or sort the result before it is observed)",
+				})
+			}
+			return true
+		}
+		f := calleeFunc(pkg, call)
+		isPrinter := f != nil && f.Pkg() != nil && f.Pkg().Path() == "fmt" && fmtPrinters[f.Name()]
+		isWriter := false
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && outputMethods[sel.Sel.Name] {
+			if s, ok := pkg.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+				isWriter = true
+			}
+		}
+		if isPrinter || isWriter {
+			diags = append(diags, Diagnostic{
+				Pos:     pkg.Fset.Position(call.Pos()),
+				Pass:    p.Name(),
+				Message: "output written in map-iteration order is nondeterministic run-to-run; iterate a sorted key slice",
+			})
+			return false // one finding per write site, don't descend into args
+		}
+		return true
+	})
+	return diags
+}
+
+// sortFollows reports whether the enclosing function calls into
+// package sort or slices anywhere at or after the range body — the
+// collect-then-sort idiom that restores a deterministic order before
+// the appended slice can be observed. The check is deliberately
+// function-granular: precise post-dominance is out of scope for a lite
+// checker, and the repo's determinism property tests pin actual
+// behavior.
+func sortFollows(pkg *Package, file *ast.File, rs *ast.RangeStmt) bool {
+	fn := enclosingFuncBody(file, rs.Pos())
+	if fn == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.Pos() {
+			return true
+		}
+		if f := calleeFunc(pkg, call); f != nil && f.Pkg() != nil {
+			if p := f.Pkg().Path(); p == "sort" || p == "slices" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// enclosingFuncBody returns the body of the innermost function
+// declaration or literal containing pos.
+func enclosingFuncBody(file *ast.File, pos token.Pos) *ast.BlockStmt {
+	var body *ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil || pos < n.Pos() || pos >= n.End() {
+			return n == file // keep scanning top-level siblings
+		}
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		}
+		return true
+	})
+	return body
+}
+
+// forEachMapRange calls fn for every `range` statement over a map in
+// file.
+func forEachMapRange(pkg *Package, file *ast.File, fn func(rs *ast.RangeStmt)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if tv, ok := pkg.Info.Types[rs.X]; ok && isMapType(tv.Type) {
+			fn(rs)
+		}
+		return true
+	})
+}

@@ -1,0 +1,51 @@
+package analysis
+
+import "strings"
+
+// modelPackages are the result-producing packages behind the paper's
+// figures: randomness, clocks, and the environment are off-limits there
+// (DESIGN.md "Static contracts").
+var modelPackages = map[string]bool{
+	"perf": true, "core": true, "expt": true, "dse": true, "stats": true,
+	"schedule": true, "placement": true, "fidelity": true, "route": true,
+	"shuttle": true,
+}
+
+// IsModelPackage reports whether the import path names one of the model
+// packages, given the module path.
+func IsModelPackage(modPath, pkgPath string) bool {
+	rest, ok := strings.CutPrefix(pkgPath, modPath+"/internal/")
+	return ok && modelPackages[rest]
+}
+
+// NewDefaultRunner assembles the four contract passes with the
+// production scoping policy:
+//
+//   - panicguard and floatsum run on every package;
+//   - errcheck-lite runs under internal/... and cmd/... (the facade and
+//     examples print freely);
+//   - determinism runs everywhere, but its randomness/clock/environment
+//     clauses bind only in the model packages — the map-iteration-order
+//     clause binds everywhere.
+//
+// complete states that the caller will run the checker over every
+// package of the module; only then can an unused panic-allowlist entry
+// be declared stale (a partial selection legitimately leaves entries
+// for unselected packages unmatched).
+func NewDefaultRunner(modPath, moduleRoot string, allowlist *Allowlist, complete bool) *Runner {
+	return &Runner{
+		Passes: []Pass{
+			&PanicGuard{Allowlist: allowlist, ModuleRoot: moduleRoot, ReportStale: complete},
+			&ErrCheck{},
+			&Determinism{ModelPackage: func(p string) bool { return IsModelPackage(modPath, p) }},
+			&FloatSum{},
+		},
+		Scope: func(pass Pass, pkg *Package) bool {
+			if pass.Name() == "errcheck-lite" {
+				return strings.HasPrefix(pkg.Path, modPath+"/internal/") ||
+					strings.HasPrefix(pkg.Path, modPath+"/cmd/")
+			}
+			return true
+		},
+	}
+}

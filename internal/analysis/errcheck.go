@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheck (errcheck-lite) closes the gap the (T, error) migration
+// opened: a call whose error result is silently discarded defeats the
+// errors-not-panics boundary. It flags
+//
+//   - expression statements whose call returns an error, and
+//   - assignments that send an error result to the blank identifier,
+//
+// except for callees on the never-fails list below. Deferred calls
+// (defer f.Close() on read paths) are deliberately out of scope — the
+// accepted idiom predates this checker and closing a read handle has
+// no recovery path.
+type ErrCheck struct{}
+
+func (*ErrCheck) Name() string { return "errcheck-lite" }
+
+// droppableCallees never return a non-nil error in practice (the fmt
+// print family only fails when the underlying writer does, and the CLIs
+// write to stdout/stderr; strings.Builder and bytes.Buffer document
+// err as always nil), so dropping their error is accepted idiom.
+var droppableCallees = map[string]bool{
+	"fmt.Print":                      true,
+	"fmt.Printf":                     true,
+	"fmt.Println":                    true,
+	"fmt.Fprint":                     true,
+	"fmt.Fprintf":                    true,
+	"fmt.Fprintln":                   true,
+	"(*strings.Builder).Write":       true,
+	"(*strings.Builder).WriteString": true,
+	"(*strings.Builder).WriteByte":   true,
+	"(*strings.Builder).WriteRune":   true,
+	"(*bytes.Buffer).Write":          true,
+	"(*bytes.Buffer).WriteString":    true,
+	"(*bytes.Buffer).WriteByte":      true,
+	"(*bytes.Buffer).WriteRune":      true,
+}
+
+// Run scans every function body for dropped error results.
+func (c *ErrCheck) Run(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if idx := errorResultIndex(pkg, call); idx >= 0 && !c.droppable(pkg, call) {
+					diags = append(diags, Diagnostic{
+						Pos:  pkg.Fset.Position(call.Pos()),
+						Pass: c.Name(),
+						Message: fmt.Sprintf("error result of %s is dropped; handle it (or assign and check it)",
+							calleeName(pkg, call)),
+					})
+				}
+			case *ast.AssignStmt:
+				diags = append(diags, c.checkAssign(pkg, stmt)...)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// checkAssign flags `_`-assignments whose corresponding value is an
+// error result of a call.
+func (c *ErrCheck) checkAssign(pkg *Package, stmt *ast.AssignStmt) []Diagnostic {
+	var diags []Diagnostic
+	flag := func(call *ast.CallExpr) {
+		if c.droppable(pkg, call) {
+			return
+		}
+		diags = append(diags, Diagnostic{
+			Pos:  pkg.Fset.Position(call.Pos()),
+			Pass: c.Name(),
+			Message: fmt.Sprintf("error result of %s is assigned to _; handle it or justify with //vet:allow",
+				calleeName(pkg, call)),
+		})
+	}
+	if len(stmt.Rhs) == 1 && len(stmt.Lhs) > 1 {
+		// v, _ := f() — multi-value call; map each blank LHS to its
+		// tuple slot.
+		call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		tuple, ok := pkg.Info.Types[call].Type.(*types.Tuple)
+		if !ok {
+			return nil
+		}
+		for i, lhs := range stmt.Lhs {
+			if isBlank(lhs) && i < tuple.Len() && isErrorType(tuple.At(i).Type()) {
+				flag(call)
+				break
+			}
+		}
+		return diags
+	}
+	for i, lhs := range stmt.Lhs {
+		if !isBlank(lhs) || i >= len(stmt.Rhs) {
+			continue
+		}
+		call, ok := ast.Unparen(stmt.Rhs[i]).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if t := pkg.Info.Types[call].Type; t != nil && isErrorType(t) {
+			flag(call)
+		}
+	}
+	return diags
+}
+
+// droppable reports whether the call's callee is on the never-fails
+// list.
+func (c *ErrCheck) droppable(pkg *Package, call *ast.CallExpr) bool {
+	f := calleeFunc(pkg, call)
+	return f != nil && droppableCallees[f.FullName()]
+}
+
+// errorResultIndex returns the index of the first error in the call's
+// result types, or -1.
+func errorResultIndex(pkg *Package, call *ast.CallExpr) int {
+	tv, ok := pkg.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return -1
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return i
+			}
+		}
+	default:
+		if isErrorType(t) {
+			return 0
+		}
+	}
+	return -1
+}
+
+// isErrorType reports whether t is the predeclared error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// calleeName renders the callee for a message: the qualified function
+// name when resolvable, else the source text of the call target.
+func calleeName(pkg *Package, call *ast.CallExpr) string {
+	if f := calleeFunc(pkg, call); f != nil {
+		return f.FullName()
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

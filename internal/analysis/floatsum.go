@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatSum guards the kernelized hot path's bit-identical guarantee:
+// floating-point addition is not associative, so an accumulator updated
+// in map-iteration order produces different low bits on different runs
+// (and different worker counts). Unlike the determinism append clause,
+// no later sort can repair this — the sum is already order-scrambled —
+// so every such site is a finding.
+//
+// Flagged: `acc += x`, `acc -= x`, `acc *= x`, `acc /= x`, and the
+// spelled-out `acc = acc + x` forms, where acc has a floating-point
+// type and is declared outside the map range (an accumulator, not a
+// per-iteration temporary). Accumulators addressed through index
+// expressions (m[k] += x) are out of scope: keyed writes land on
+// distinct keys and are order-independent.
+type FloatSum struct{}
+
+func (*FloatSum) Name() string { return "floatsum" }
+
+// Run flags float accumulation inside map ranges.
+func (p *FloatSum) Run(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		forEachMapRange(pkg, file, func(rs *ast.RangeStmt) {
+			ast.Inspect(rs.Body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok || len(as.Lhs) != 1 {
+					return true
+				}
+				lhs := as.Lhs[0]
+				if !isAccumulatorTarget(lhs) || !declaredOutside(pkg, lhs, rs) {
+					return true
+				}
+				t := pkg.Info.Types[lhs].Type
+				if t == nil || !isFloat(t) {
+					return true
+				}
+				if !isAccumulatingAssign(as, lhs) {
+					return true
+				}
+				diags = append(diags, Diagnostic{
+					Pos:  pkg.Fset.Position(as.Pos()),
+					Pass: p.Name(),
+					Message: "floating-point accumulation in map-iteration order is not bit-reproducible; " +
+						"accumulate over a sorted key slice",
+				})
+				return true
+			})
+		})
+	}
+	return diags
+}
+
+// isAccumulatingAssign reports whether as updates lhs in terms of its
+// previous value: an op-assign token, or `x = x <op> e` / `x = e <op> x`.
+func isAccumulatingAssign(as *ast.AssignStmt, lhs ast.Expr) bool {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return true
+	case token.ASSIGN:
+		bin, ok := ast.Unparen(as.Rhs[0]).(*ast.BinaryExpr)
+		if !ok {
+			return false
+		}
+		switch bin.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+			want := types.ExprString(lhs)
+			return types.ExprString(ast.Unparen(bin.X)) == want || types.ExprString(ast.Unparen(bin.Y)) == want
+		}
+	}
+	return false
+}
+
+// isAccumulatorTarget limits the check to plain identifiers and field
+// selectors; indexed writes (m[k] += x) are keyed per iteration and
+// therefore order-independent.
+func isAccumulatorTarget(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name != "_"
+	case *ast.SelectorExpr:
+		return true
+	}
+	return false
+}
+
+// declaredOutside reports whether the root object of e was declared
+// outside the range statement — i.e. it survives across iterations.
+func declaredOutside(pkg *Package, e ast.Expr, rs *ast.RangeStmt) bool {
+	var root *ast.Ident
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			root = x
+		case *ast.SelectorExpr:
+			e = x.X
+			continue
+		case *ast.ParenExpr:
+			e = x.X
+			continue
+		}
+		break
+	}
+	if root == nil {
+		return false
+	}
+	obj := pkg.Info.Uses[root]
+	if obj == nil {
+		obj = pkg.Info.Defs[root]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < rs.Pos() || obj.Pos() >= rs.End()
+}

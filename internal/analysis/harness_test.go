@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The fixture harness: each testdata/src package annotates the lines
+// where findings must land with golden comments of the form
+//
+//	code() // want `\[pass\] message regexp`
+//
+// (multiple backquoted or quoted patterns per comment are allowed).
+// Diagnostics are matched as "[pass] message", so fixtures pin pass
+// names as well as messages. Every expectation must match exactly one
+// finding on its line and every finding must be claimed by an
+// expectation — extra findings and unmet expectations both fail.
+
+var wantRE = regexp.MustCompile("`([^`]+)`|\"([^\"]+)\"")
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	met     bool
+}
+
+// loadFixture type-checks testdata/src/<name> as package <name>.
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := LoadDir(dir, name)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture %s does not type-check: %v", name, pkg.TypeErrors)
+	}
+	return pkg
+}
+
+// parseWants extracts the golden expectations from a fixture package.
+func parseWants(t *testing.T, pkg *Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				matches := wantRE.FindAllStringSubmatch(rest, -1)
+				if len(matches) == 0 {
+					t.Fatalf("%s:%d: unparsable want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, m := range matches {
+					text := m[1]
+					if text == "" {
+						text = m[2]
+					}
+					re, err := regexp.Compile(text)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, text, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkFixture runs the passes over the fixture and compares findings
+// against the want comments.
+func checkFixture(t *testing.T, pkg *Package, passes ...Pass) {
+	t.Helper()
+	runner := &Runner{Passes: passes}
+	diags := runner.Run([]*Package{pkg})
+	wants := parseWants(t, pkg)
+	for _, d := range diags {
+		text := "[" + d.Pass + "] " + d.Message
+		claimed := false
+		for _, w := range wants {
+			if w.met || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.pattern.MatchString(text) {
+				w.met = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected finding at %s:%d: %s", filepath.Base(d.Pos.Filename), d.Pos.Line, text)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("expectation not met at %s:%d: %s", filepath.Base(w.file), w.line, w.pattern)
+		}
+	}
+}
+
+// fixtureFuncNames is a helper used by tests asserting the allowlist
+// keying scheme.
+func fixtureFuncNames(pkg *Package) []string {
+	var names []string
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				names = append(names, enclosingFuncName(file, fd.Body.Pos()))
+			}
+		}
+	}
+	return names
+}

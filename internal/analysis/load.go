@@ -1,0 +1,319 @@
+// Package analysis is VelociTI's contract checker: a multi-pass static
+// analyzer built purely on the stdlib toolchain (go/parser, go/ast,
+// go/types, go/importer — no golang.org/x/tools) that machine-checks the
+// invariants DESIGN.md promises in prose:
+//
+//   - panicguard: every panic() outside _test.go files names a documented
+//     programmer-bug invariant listed in analysis/panic_allowlist.txt.
+//   - errcheck-lite: no error result is silently dropped in internal/...
+//     or cmd/... (expression statements and assignments to _).
+//   - determinism: model packages draw randomness only through seeded
+//     *rand.Rand values, never the global math/rand source, never the
+//     wall clock or the environment; and no code emits output or grows a
+//     slice in map-iteration order.
+//   - floatsum: no floating-point accumulator is updated in
+//     map-iteration order (the bit-identical sweep guarantee).
+//
+// The driver is cmd/velociti-vet; it runs all four passes over every
+// package in the module and fails CI on any finding.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked, non-test package of the module (or a
+// standalone fixture directory in tests).
+type Package struct {
+	Path  string // import path, e.g. "velociti/internal/perf"
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File // non-test files only, sorted by file name
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors holds every type-checking error encountered. Passes
+	// still run on a partially checked package, but the driver treats a
+	// non-empty list as invalid input.
+	TypeErrors []error
+}
+
+// Module is the loaded state of one Go module.
+type Module struct {
+	Root     string // absolute directory containing go.mod
+	Path     string // module path from go.mod
+	Packages []*Package
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory
+// containing go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			p = strings.Trim(p, `"`)
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("%s: no module directive", gomod)
+}
+
+// loader type-checks module packages from source, resolving stdlib
+// imports through the compiler's export data (with a source-importer
+// fallback) and module-internal imports recursively from the parsed
+// ASTs, so the whole pipeline stays inside the stdlib.
+type loader struct {
+	fset       *token.FileSet
+	moduleRoot string
+	modulePath string
+	dirs       map[string]string // import path -> absolute dir
+	pkgs       map[string]*Package
+	loading    map[string]bool // import-cycle guard
+	gc         types.Importer
+	src        types.Importer
+	stdCache   map[string]*types.Package
+}
+
+func newLoader(root, modPath string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:       fset,
+		moduleRoot: root,
+		modulePath: modPath,
+		dirs:       map[string]string{},
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+		gc:         importer.Default(),
+		src:        importer.ForCompiler(fset, "source", nil),
+		stdCache:   map[string]*types.Package{},
+	}
+}
+
+// Import implements types.Importer over the chain described on loader.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/") {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if cached, ok := l.stdCache[path]; ok {
+		return cached, nil
+	}
+	p, err := l.gc.Import(path)
+	if err != nil {
+		// Toolchains without compiled export data fall back to
+		// type-checking the dependency from source.
+		p, err = l.src.Import(path)
+		if err != nil {
+			return nil, err
+		}
+	}
+	l.stdCache[path] = p
+	return p, nil
+}
+
+// load parses and type-checks one module package (cached).
+func (l *loader) load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir, ok := l.dirs[path]
+	if !ok {
+		return nil, fmt.Errorf("package %s is not in module %s", path, l.modulePath)
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	pkg, err := checkDir(l.fset, dir, path, l)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// checkDir parses the non-test files of dir and type-checks them as
+// import path path, resolving imports through imp.
+func checkDir(fset *token.FileSet, dir, path string, imp types.Importer) (*Package, error) {
+	names, err := goFileNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("%s: no non-test Go files", dir)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: fset, Files: files}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil && len(pkg.TypeErrors) == 0 {
+		pkg.TypeErrors = append(pkg.TypeErrors, err)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	return pkg, nil
+}
+
+// goFileNames lists the non-test .go files of dir, sorted.
+func goFileNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// LoadModule discovers, parses, and type-checks every non-test package
+// under root (the directory containing go.mod), skipping testdata and
+// hidden directories. Packages come back sorted by import path.
+func LoadModule(root string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader(root, modPath)
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		names, err := goFileNames(path)
+		if err != nil {
+			return err
+		}
+		if len(names) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		imp := modPath
+		if rel != "." {
+			imp = modPath + "/" + filepath.ToSlash(rel)
+		}
+		l.dirs[imp] = path
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	paths := make([]string, 0, len(l.dirs))
+	for p := range l.dirs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	mod := &Module{Root: root, Path: modPath}
+	for _, p := range paths {
+		pkg, err := l.load(p)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", p, err)
+		}
+		mod.Packages = append(mod.Packages, pkg)
+	}
+	return mod, nil
+}
+
+// LoadDir parses and type-checks a single standalone directory (used by
+// the pass tests to load testdata/src fixtures). Imports are resolved
+// from the toolchain only, so fixtures must import nothing outside the
+// standard library.
+func LoadDir(dir, path string) (*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	chain := &stdChain{
+		gc:  importer.Default(),
+		src: importer.ForCompiler(fset, "source", nil),
+	}
+	return checkDir(fset, dir, path, chain)
+}
+
+// stdChain resolves imports via compiled export data, falling back to
+// compiling the dependency from source.
+type stdChain struct {
+	gc, src types.Importer
+}
+
+func (c *stdChain) Import(path string) (*types.Package, error) {
+	p, err := c.gc.Import(path)
+	if err != nil {
+		p, err = c.src.Import(path)
+	}
+	return p, err
+}

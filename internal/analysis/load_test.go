@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestFindModuleRoot(t *testing.T) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := FindModuleRoot(cwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("root %s has no go.mod: %v", root, err)
+	}
+	if _, err := FindModuleRoot(os.TempDir()); err == nil {
+		t.Error("expected an error outside any module")
+	}
+}
+
+func TestLoadModuleDiscoversKnownPackages(t *testing.T) {
+	mod := loadRepoModule(t)
+	if mod.Path != "velociti" {
+		t.Fatalf("module path = %q", mod.Path)
+	}
+	got := map[string]bool{}
+	for _, pkg := range mod.Packages {
+		got[pkg.Path] = true
+		if len(pkg.TypeErrors) > 0 {
+			t.Errorf("%s has type errors: %v", pkg.Path, pkg.TypeErrors[0])
+		}
+	}
+	for _, want := range []string{
+		"velociti", // root facade
+		"velociti/internal/perf",
+		"velociti/internal/pool",
+		"velociti/internal/analysis", // self
+		"velociti/cmd/velociti-vet",
+		"velociti/cmd/velociti-repro",
+	} {
+		if !got[want] {
+			t.Errorf("module load missed %s", want)
+		}
+	}
+	if !sort.SliceIsSorted(mod.Packages, func(i, j int) bool {
+		return mod.Packages[i].Path < mod.Packages[j].Path
+	}) {
+		t.Error("packages are not sorted by import path")
+	}
+	for p := range got {
+		if strings.Contains(p, "testdata") {
+			t.Errorf("testdata package leaked into the load: %s", p)
+		}
+	}
+}
+
+func TestLoadModuleSkipsTestFiles(t *testing.T) {
+	mod := loadRepoModule(t)
+	for _, pkg := range mod.Packages {
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			if strings.HasSuffix(name, "_test.go") {
+				t.Errorf("test file loaded: %s", name)
+			}
+		}
+	}
+}
+
+func TestParseAllowlistRejectsMalformedLines(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"three fields", "a.go F extra\n", `want "<file> <function>"`},
+		{"one field", "lonely\n", `want "<file> <function>"`},
+		{"duplicate", "a.go F\na.go F\n", "duplicate entry"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, strings.ReplaceAll(tc.name, " ", "_")+".txt")
+			if err := os.WriteFile(path, []byte(tc.body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := ParseAllowlist(path)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestIsModelPackage(t *testing.T) {
+	cases := map[string]bool{
+		"velociti/internal/perf":    true,
+		"velociti/internal/stats":   true,
+		"velociti/internal/shuttle": true,
+		"velociti/internal/qasm":    false,
+		"velociti/internal/pool":    false,
+		"velociti/cmd/velociti":     false,
+		"velociti":                  false,
+		"other/internal/perf":       false,
+	}
+	for path, want := range cases {
+		if got := IsModelPackage("velociti", path); got != want {
+			t.Errorf("IsModelPackage(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+// loadRepoModule loads this repository's module once per test binary.
+func loadRepoModule(t *testing.T) *Module {
+	t.Helper()
+	repoModuleOnce.Do(func() {
+		cwd, err := os.Getwd()
+		if err != nil {
+			repoModuleErr = err
+			return
+		}
+		root, err := FindModuleRoot(cwd)
+		if err != nil {
+			repoModuleErr = err
+			return
+		}
+		repoModule, repoModuleErr = LoadModule(root)
+	})
+	if repoModuleErr != nil {
+		t.Fatal(repoModuleErr)
+	}
+	return repoModule
+}

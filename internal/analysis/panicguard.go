@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// PanicGuard enforces DESIGN.md §6: panic() is reserved for documented
+// programmer-bug invariants, each named in the checked-in allowlist.
+// Any other panic must become a verr input error. Test files never
+// reach this pass (the loader skips them).
+type PanicGuard struct {
+	// Allowlist holds the permitted sites; nil behaves as empty.
+	Allowlist *Allowlist
+	// ModuleRoot anchors the relative file paths the allowlist keys on.
+	ModuleRoot string
+	// ReportStale enables the Finish check that every allowlist entry
+	// matched a panic site. Only meaningful when the pass saw the whole
+	// module; partial package selections must leave it false.
+	ReportStale bool
+}
+
+func (*PanicGuard) Name() string { return "panicguard" }
+
+// Run flags every call to the predeclared panic whose (file, function)
+// pair is not in the allowlist.
+func (g *PanicGuard) Run(pkg *Package) []Diagnostic {
+	al := g.Allowlist
+	if al == nil {
+		al = EmptyAllowlist()
+	}
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || !isBuiltin(pkg, id, "panic") {
+				return true
+			}
+			pos := pkg.Fset.Position(call.Pos())
+			rel := relFile(g.ModuleRoot, pos.Filename)
+			fn := enclosingFuncName(file, call.Pos())
+			if al.permit(rel, fn) {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:  pos,
+				Pass: "panicguard",
+				Message: fmt.Sprintf("panic in %s %s is not in the panic allowlist; "+
+					"return a verr input error, or document the invariant and add %q to %s",
+					rel, fn, rel+" "+fn, allowlistName(al)),
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+// Finish reports allowlist entries that matched no panic site.
+func (g *PanicGuard) Finish() []Diagnostic {
+	if !g.ReportStale || g.Allowlist == nil {
+		return nil
+	}
+	return g.Allowlist.stale()
+}
+
+func allowlistName(al *Allowlist) string {
+	if al.Path == "" {
+		return "analysis/panic_allowlist.txt"
+	}
+	return al.Path
+}

@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestPanicGuardFixture(t *testing.T) {
+	pkg := loadFixture(t, "panicfix")
+	al, err := ParseAllowlist(filepath.Join("testdata", "src", "panicfix", "allowlist.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFixture(t, pkg, &PanicGuard{Allowlist: al, ModuleRoot: pkg.Dir})
+}
+
+func TestPanicGuardStaleEntry(t *testing.T) {
+	pkg := loadFixture(t, "panicfix")
+	path := filepath.Join(t.TempDir(), "allowlist.txt")
+	if err := os.WriteFile(path, []byte("panicfix.go Allowed\npanicfix.go Recv.Check\npanicfix.go Gone\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	al, err := ParseAllowlist(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guard := &PanicGuard{Allowlist: al, ModuleRoot: pkg.Dir, ReportStale: true}
+	runner := &Runner{Passes: []Pass{guard}}
+	diags := runner.Run([]*Package{pkg})
+	var stale []Diagnostic
+	for _, d := range diags {
+		if strings.Contains(d.Message, "stale allowlist entry") {
+			stale = append(stale, d)
+		}
+	}
+	if len(stale) != 1 {
+		t.Fatalf("stale diagnostics = %d, want 1 (%v)", len(stale), diags)
+	}
+	if !strings.Contains(stale[0].Message, `"panicfix.go Gone"`) {
+		t.Errorf("stale message = %q, want it to name the entry", stale[0].Message)
+	}
+	if stale[0].Pos.Filename != path || stale[0].Pos.Line != 3 {
+		t.Errorf("stale anchored at %s:%d, want %s:3", stale[0].Pos.Filename, stale[0].Pos.Line, path)
+	}
+}
+
+func TestPanicGuardWithoutAllowlistFlagsEverything(t *testing.T) {
+	pkg := loadFixture(t, "panicfix")
+	runner := &Runner{Passes: []Pass{&PanicGuard{ModuleRoot: pkg.Dir}}}
+	diags := runner.Run([]*Package{pkg})
+	if len(diags) != 4 { // Allowed, Bad, Recv.Check, Closure
+		t.Fatalf("findings = %d, want 4:\n%s", len(diags), render(diags))
+	}
+}
+
+func TestErrCheckFixture(t *testing.T) {
+	checkFixture(t, loadFixture(t, "errcheckfix"), &ErrCheck{})
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	checkFixture(t, loadFixture(t, "determfix"), &Determinism{})
+}
+
+func TestDeterminismModelScoping(t *testing.T) {
+	// With the fixture declared non-model, only the map-order clauses
+	// remain: rand/clock/env findings must disappear.
+	pkg := loadFixture(t, "determfix")
+	pass := &Determinism{ModelPackage: func(string) bool { return false }}
+	runner := &Runner{Passes: []Pass{pass}}
+	diags := runner.Run([]*Package{pkg})
+	for _, d := range diags {
+		for _, banned := range []string{"math/rand", "wall-clock", "environment"} {
+			if strings.Contains(d.Message, banned) {
+				t.Errorf("non-model package still flagged: %s", d.Message)
+			}
+		}
+	}
+	if len(diags) != 3 { // map literal, unsorted append, map-order print
+		t.Errorf("map-order findings = %d, want 3:\n%s", len(diags), render(diags))
+	}
+}
+
+func TestFloatSumFixture(t *testing.T) {
+	checkFixture(t, loadFixture(t, "floatsumfix"), &FloatSum{})
+}
+
+func TestCleanFixtureHasZeroFindings(t *testing.T) {
+	pkg := loadFixture(t, "clean")
+	runner := &Runner{Passes: []Pass{
+		&PanicGuard{Allowlist: EmptyAllowlist(), ModuleRoot: pkg.Dir},
+		&ErrCheck{},
+		&Determinism{},
+		&FloatSum{},
+	}}
+	if diags := runner.Run([]*Package{pkg}); len(diags) != 0 {
+		t.Fatalf("clean fixture produced findings:\n%s", render(diags))
+	}
+}
+
+func TestMalformedVetAllowCommentIsAFinding(t *testing.T) {
+	dir := t.TempDir()
+	src := `package bad
+
+import "os"
+
+func F(p string) {
+	//vet:allow errcheck-lite
+	os.Remove(p)
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(dir, "bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := &Runner{Passes: []Pass{&ErrCheck{}}}
+	diags := runner.Run([]*Package{pkg})
+	var sawMalformed, sawDrop bool
+	for _, d := range diags {
+		if d.Pass == "vet" && strings.Contains(d.Message, "malformed //vet:allow") {
+			sawMalformed = true
+		}
+		if d.Pass == "errcheck-lite" {
+			sawDrop = true
+		}
+	}
+	if !sawMalformed {
+		t.Errorf("missing malformed-comment finding:\n%s", render(diags))
+	}
+	if !sawDrop {
+		t.Errorf("reason-less //vet:allow must not suppress the finding:\n%s", render(diags))
+	}
+}
+
+func TestDiagnosticOrderingIsDeterministic(t *testing.T) {
+	pkg := loadFixture(t, "determfix")
+	runner := &Runner{Passes: []Pass{&Determinism{}, &FloatSum{}}}
+	first := render(runner.Run([]*Package{pkg}))
+	for i := 0; i < 3; i++ {
+		if got := render(runner.Run([]*Package{pkg})); got != first {
+			t.Fatalf("run %d ordering differs:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+	// All findings are in one file, so line numbers must ascend.
+	var prev int
+	for _, l := range strings.Split(strings.TrimSpace(first), "\n") {
+		parts := strings.Split(l, ":")
+		if len(parts) < 3 {
+			t.Fatalf("bad diagnostic %q", l)
+		}
+		line, err := strconv.Atoi(parts[1])
+		if err != nil {
+			t.Fatalf("bad line in %q: %v", l, err)
+		}
+		if line < prev {
+			t.Fatalf("diagnostics out of order:\n%s", first)
+		}
+		prev = line
+	}
+}
+
+func render(diags []Diagnostic) string {
+	var sb strings.Builder
+	for _, d := range diags {
+		sb.WriteString(d.String("") + "\n")
+	}
+	return sb.String()
+}

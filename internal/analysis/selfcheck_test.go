@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+var (
+	repoModuleOnce sync.Once
+	repoModule     *Module
+	repoModuleErr  error
+)
+
+// TestRepositoryHonorsItsOwnContracts is the in-process twin of the CI
+// vet-contracts gate: the four passes must report zero findings over
+// the whole module with the checked-in allowlist. A failure here means
+// either new code broke a contract or the allowlist went stale.
+func TestRepositoryHonorsItsOwnContracts(t *testing.T) {
+	mod := loadRepoModule(t)
+	allowlist, err := ParseAllowlist(filepath.Join(mod.Root, "analysis", "panic_allowlist.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := NewDefaultRunner(mod.Path, mod.Root, allowlist, true)
+	diags := runner.Run(mod.Packages)
+	for _, d := range diags {
+		t.Errorf("%s", d.String(mod.Root))
+	}
+}
+
+// TestHotPathPackagesAreClean pins the narrow gate the bench-smoke CI
+// job runs: the kernelized hot path (internal/perf, internal/pool)
+// must stay contract-clean on its own, with the bit-identical floatsum
+// and determinism passes active.
+func TestHotPathPackagesAreClean(t *testing.T) {
+	mod := loadRepoModule(t)
+	allowlist, err := ParseAllowlist(filepath.Join(mod.Root, "analysis", "panic_allowlist.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// complete=false: the panic allowlist legitimately contains entries
+	// for packages outside this narrowed selection.
+	runner := NewDefaultRunner(mod.Path, mod.Root, allowlist, false)
+	var hot []*Package
+	for _, pkg := range mod.Packages {
+		if pkg.Path == "velociti/internal/perf" || pkg.Path == "velociti/internal/pool" {
+			hot = append(hot, pkg)
+		}
+	}
+	if len(hot) != 2 {
+		t.Fatalf("hot-path packages found = %d, want 2", len(hot))
+	}
+	for _, d := range runner.Run(hot) {
+		t.Errorf("%s", d.String(mod.Root))
+	}
+}

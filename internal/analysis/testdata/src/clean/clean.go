@@ -1,0 +1,38 @@
+// Package clean holds representative idiomatic code that must produce
+// zero findings from all four passes: validated errors, seeded
+// randomness, sorted map iteration, and no panics.
+package clean
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Summary renders m deterministically.
+func Summary(m map[string]float64) (string, error) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	var total float64
+	for _, k := range keys {
+		total += m[k]
+		fmt.Fprintf(&sb, "%s=%g\n", k, m[k])
+	}
+	if total < 0 {
+		return "", fmt.Errorf("clean: negative total %g", total)
+	}
+	sb.WriteString(fmt.Sprintf("total=%g\n", total))
+	return sb.String(), nil
+}
+
+// Shuffled returns a deterministic permutation for a given seed.
+func Shuffled(seed int64, n int) []int {
+	r := rand.New(rand.NewSource(seed))
+	out := r.Perm(n)
+	return out
+}

@@ -1,0 +1,81 @@
+// Package determfix exercises the determinism pass: global math/rand,
+// wall-clock and environment reads, and map-iteration-order dependence.
+package determfix
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// GlobalRand draws from the shared source.
+func GlobalRand() int {
+	return rand.Intn(6) // want `\[determinism\] global math/rand source via rand.Intn`
+}
+
+// SeededRand constructs a dedicated generator, which is the sanctioned
+// path (internal/stats.NewRand does exactly this).
+func SeededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// Clock reads the wall clock in model code.
+func Clock() time.Time {
+	return time.Now() // want `\[determinism\] wall-clock read via time.Now`
+}
+
+// JustifiedClock measures wall time as its deliverable, like the Fig5
+// tool-runtime study.
+func JustifiedClock() time.Time {
+	return time.Now() //vet:allow determinism -- fixture: the clock is the measured quantity
+}
+
+// Env reads host state.
+func Env() string {
+	return os.Getenv("HOME") // want `\[determinism\] environment read via os.Getenv`
+}
+
+// MapLiteral ranges over contents fixed at the call site.
+func MapLiteral() {
+	for name := range map[string]bool{"a": true, "b": true} { // want `\[determinism\] range over a map literal`
+		fmt.Println(name)
+	}
+}
+
+// UnsortedAppend grows a slice in map-iteration order and never sorts.
+func UnsortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `\[determinism\] map iteration order drives append`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// SortedAppend is the collect-then-sort idiom.
+func SortedAppend(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// PrintsInMapOrder writes output while iterating a map.
+func PrintsInMapOrder(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `\[determinism\] output written in map-iteration order`
+	}
+}
+
+// CountsInMapOrder is order-independent and clean.
+func CountsInMapOrder(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

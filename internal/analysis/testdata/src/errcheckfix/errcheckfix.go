@@ -1,0 +1,46 @@
+// Package errcheckfix exercises the errcheck-lite pass: dropped error
+// results are findings, the never-fails callee list and checked errors
+// are not.
+package errcheckfix
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Drops demonstrates the flagged shapes.
+func Drops(path string) {
+	os.Remove(path)       // want `\[errcheck-lite\] error result of os.Remove is dropped`
+	_ = os.Remove(path)   // want `\[errcheck-lite\] error result of os.Remove is assigned to _`
+	f, _ := os.Open(path) // want `\[errcheck-lite\] error result of os.Open is assigned to _`
+	_ = f
+	n, _ := strconv.Atoi(path) // want `\[errcheck-lite\] error result of strconv.Atoi is assigned to _`
+	_ = n
+}
+
+// Fine demonstrates the accepted shapes: handled errors, the fmt print
+// family, and the builder types whose errors are documented nil.
+func Fine(path string) error {
+	if err := os.Remove(path); err != nil {
+		return err
+	}
+	fmt.Println("ok")
+	fmt.Fprintf(os.Stderr, "ok\n")
+	var sb strings.Builder
+	sb.WriteString("ok")
+	n, err := strconv.Atoi(path)
+	if err != nil {
+		return err
+	}
+	_ = n
+	return nil
+}
+
+// Justified drops an error under a //vet:allow suppression with a
+// reason, which the runner honors.
+func Justified(path string) {
+	//vet:allow errcheck-lite -- fixture: demonstrates justified suppression
+	os.Remove(path)
+}

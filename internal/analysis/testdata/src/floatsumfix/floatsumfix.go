@@ -1,0 +1,91 @@
+// Package floatsumfix exercises the floatsum pass: floating-point
+// accumulators updated in map-iteration order are findings; integer
+// accumulators, per-iteration temporaries, keyed writes, and slice
+// iteration are not.
+package floatsumfix
+
+import "sort"
+
+// Stats carries a float field used as an accumulator.
+type Stats struct{ Total float64 }
+
+// SumMap accumulates with +=.
+func SumMap(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `\[floatsum\] floating-point accumulation in map-iteration order`
+	}
+	return sum
+}
+
+// SumMapSpelled accumulates with the spelled-out form.
+func SumMapSpelled(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum = sum + v // want `\[floatsum\] floating-point accumulation in map-iteration order`
+	}
+	return sum
+}
+
+// ProductField accumulates into a struct field.
+func ProductField(m map[string]float64, s *Stats) {
+	for _, v := range m {
+		s.Total *= v // want `\[floatsum\] floating-point accumulation in map-iteration order`
+	}
+}
+
+// IntSum is exact whatever the order.
+func IntSum(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// PerIterationTemp resets the accumulator each iteration, so order
+// cannot matter.
+func PerIterationTemp(m map[string][]float64) []float64 {
+	var out []float64
+	for _, vs := range m {
+		local := 0.0
+		for _, v := range vs {
+			local += v
+		}
+		out = append(out, local)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// KeyedWrite lands on a distinct key per iteration.
+func KeyedWrite(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] += v
+	}
+	return out
+}
+
+// SliceSum iterates a slice, which has a fixed order.
+func SliceSum(vs []float64) float64 {
+	var sum float64
+	for _, v := range vs {
+		sum += v
+	}
+	return sum
+}
+
+// SortedKeySum is the sanctioned pattern for map data.
+func SortedKeySum(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}

@@ -1,0 +1,40 @@
+// Package panicfix exercises the panicguard pass: panics outside the
+// allowlist are findings, allowlisted sites (allowlist.txt next to this
+// file) are not, and test files never reach the pass at all.
+package panicfix
+
+import "fmt"
+
+// Allowed is listed in allowlist.txt, so its panic is a documented
+// invariant.
+func Allowed(i, n int) {
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("panicfix: index %d out of range [0,%d)", i, n))
+	}
+}
+
+// Bad is not allowlisted.
+func Bad(input string) {
+	if input == "" {
+		panic("panicfix: empty input") // want `\[panicguard\] panic in panicfix.go Bad is not in the panic allowlist`
+	}
+}
+
+// Recv exercises method naming: the allowlist keys pointer-receiver
+// methods as Type.Method.
+type Recv struct{ n int }
+
+// Check is allowlisted as "panicfix.go Recv.Check".
+func (r *Recv) Check(i int) {
+	if i >= r.n {
+		panic("panicfix: recv check")
+	}
+}
+
+// Closure panics inside a function literal, which panicguard attributes
+// to the enclosing declaration.
+func Closure() func() {
+	return func() {
+		panic("panicfix: closure") // want `\[panicguard\] panic in panicfix.go Closure is not in the panic allowlist`
+	}
+}
