@@ -362,6 +362,61 @@ func BenchmarkConcurrentRun(b *testing.B) {
 	}
 }
 
+// scalingSweepBench is the α-panel workload shared by the sweep benchmarks:
+// one Figure 8-class cell (64-qubit quantum volume at L=32) priced under
+// every ScalingAlphas timing model.
+func scalingSweepBench(b *testing.B) (core.Config, []perf.Latencies) {
+	b.Helper()
+	qv, err := workload.QuantumVolume(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config{Spec: qv, ChainLength: 32, Runs: 5, Seed: 1}
+	lats := make([]perf.Latencies, len(expt.ScalingAlphas))
+	for j, alpha := range expt.ScalingAlphas {
+		lats[j] = perf.DefaultLatencies()
+		lats[j].WeakPenalty = alpha
+	}
+	return cfg, lats
+}
+
+// BenchmarkScalingAlphaSweep measures the stage-pipeline α panel: one
+// RunSweep call binds each trial once and prices all six α models through
+// the parametric kernel. The committed baseline records the legacy
+// one-run-per-α cost, so benchdiff gates the sweep engine's advantage.
+func BenchmarkScalingAlphaSweep(b *testing.B) {
+	cfg, lats := scalingSweepBench(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Pipeline = core.NewPipeline()
+		reports, err := core.RunSweep(cfg, lats)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(reports) != len(lats) {
+			b.Fatal("short sweep")
+		}
+	}
+}
+
+// BenchmarkLegacyScalingAlphaSweep pins the pre-refactor shape of the same
+// panel — one independent core.Run per α cell — for comparison.
+func BenchmarkLegacyScalingAlphaSweep(b *testing.B) {
+	cfg, lats := scalingSweepBench(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, lat := range lats {
+			run := cfg
+			run.Latencies = lat
+			if _, err := core.Run(run); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // BenchmarkRouterHotPairs measures the localizing router on a workload
 // with migration opportunities.
 func BenchmarkRouterHotPairs(b *testing.B) {

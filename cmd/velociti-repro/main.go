@@ -11,15 +11,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"velociti/internal/apps"
+	"velociti/internal/cache"
 	"velociti/internal/core"
 	"velociti/internal/expt"
 	"velociti/internal/perf"
@@ -30,23 +34,32 @@ var order = []string{"table1", "table2", "table3", "fig5", "fig6", "fig7", "fig8
 
 func main() {
 	start := time.Now()
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "velociti-repro:", err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "velociti-repro: done in %s\n", time.Since(start).Round(time.Millisecond))
 }
 
-func run(args []string, out io.Writer) error {
+// statsDelta renders the change in one stage's cache counters since the
+// previous experiment finished.
+func statsDelta(cur, prev cache.Stats) string {
+	return fmt.Sprintf("%d hit/%d miss/%d evict", cur.Hits-prev.Hits, cur.Misses-prev.Misses, cur.Evictions-prev.Evictions)
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("velociti-repro", flag.ContinueOnError)
 	var (
-		runs    = fs.Int("runs", core.DefaultRuns, "randomized trials per data point")
-		seed    = fs.Int64("seed", 1, "master random seed")
-		only    = fs.String("only", "", "comma-separated subset of: "+strings.Join(order, ","))
-		csvDir  = fs.String("csv", "", "directory to write per-experiment CSV files into")
-		workers = fs.Int("workers", 1, "concurrent trials per data point")
-		svgDir  = fs.String("svg", "", "directory to write per-figure SVG charts into")
-		mdPath  = fs.String("md", "", "write a Markdown reproduction report to this file")
+		runs       = fs.Int("runs", core.DefaultRuns, "randomized trials per data point")
+		seed       = fs.Int64("seed", 1, "master random seed")
+		only       = fs.String("only", "", "comma-separated subset of: "+strings.Join(order, ","))
+		csvDir     = fs.String("csv", "", "directory to write per-experiment CSV files into")
+		workers    = fs.Int("workers", 1, "concurrent trials per data point")
+		svgDir     = fs.String("svg", "", "directory to write per-figure SVG charts into")
+		mdPath     = fs.String("md", "", "write a Markdown reproduction report to this file")
+		cacheStats = fs.Bool("cache-stats", false, "report per-stage artifact-cache counters per experiment on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,7 +95,12 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
-	opt := expt.Options{Runs: *runs, Seed: *seed, Workers: *workers}
+	// One shared artifact store across every selected experiment: cells that
+	// agree on workload, device, policies, and trial seed reuse each other's
+	// layouts, circuits, and bindings. Content keying guarantees the tables
+	// and figures are byte-identical with or without it.
+	pipeline := core.NewPipeline()
+	opt := expt.Options{Runs: *runs, Seed: *seed, Workers: *workers, Pipeline: pipeline}
 	var md strings.Builder
 	if *mdPath != "" {
 		fmt.Fprintf(&md, "# VelociTI reproduction report\n\n%d randomized trials per data point, master seed %d.\n", *runs, *seed)
@@ -120,15 +138,28 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 	// clock reports per-experiment wall-clock time on stderr so sweep cost
-	// is visible without polluting the captured stdout tables.
+	// is visible without polluting the captured stdout tables; with
+	// -cache-stats it also reports what the artifact store did for the
+	// experiment (per-stage hit/miss/eviction deltas).
 	lap := time.Now()
+	var prev core.StageStats
 	clock := func(name string) {
-		fmt.Fprintf(os.Stderr, "velociti-repro: %s in %s\n", name, time.Since(lap).Round(time.Millisecond))
+		if *cacheStats {
+			cur := pipeline.Stats()
+			fmt.Fprintf(os.Stderr, "velociti-repro: %s in %s [place %s | synth %s | bind %s]\n",
+				name, time.Since(lap).Round(time.Millisecond),
+				statsDelta(cur.Place, prev.Place),
+				statsDelta(cur.Synthesize, prev.Synthesize),
+				statsDelta(cur.Bind, prev.Bind))
+			prev = cur
+		} else {
+			fmt.Fprintf(os.Stderr, "velociti-repro: %s in %s\n", name, time.Since(lap).Round(time.Millisecond))
+		}
 		lap = time.Now()
 	}
 
 	if selected["table1"] {
-		t1, err := expt.TableI(opt, apps.PaperSpecs()[3], 16) // QFT, the paper's worked example
+		t1, err := expt.TableIContext(ctx, opt, apps.PaperSpecs()[3], 16) // QFT, the paper's worked example
 		if err != nil {
 			return err
 		}
@@ -144,7 +175,7 @@ func run(args []string, out io.Writer) error {
 		clock("table3")
 	}
 	if selected["fig5"] {
-		res, err := expt.Fig5(opt)
+		res, err := expt.Fig5Context(ctx, opt)
 		if err != nil {
 			return err
 		}
@@ -158,7 +189,7 @@ func run(args []string, out io.Writer) error {
 		clock("fig5")
 	}
 	if selected["fig6"] {
-		res, err := expt.Fig6(opt)
+		res, err := expt.Fig6Context(ctx, opt)
 		if err != nil {
 			return err
 		}
@@ -172,7 +203,7 @@ func run(args []string, out io.Writer) error {
 		clock("fig6")
 	}
 	if selected["fig7"] {
-		res, err := expt.Fig7(opt)
+		res, err := expt.Fig7Context(ctx, opt)
 		if err != nil {
 			return err
 		}
@@ -186,7 +217,7 @@ func run(args []string, out io.Writer) error {
 		clock("fig7")
 	}
 	if selected["fig8"] {
-		res, err := expt.Fig8(opt)
+		res, err := expt.Fig8Context(ctx, opt)
 		if err != nil {
 			return err
 		}
@@ -203,7 +234,7 @@ func run(args []string, out io.Writer) error {
 		clock("fig8")
 	}
 	if selected["fig9"] {
-		res, err := expt.Fig9(opt)
+		res, err := expt.Fig9Context(ctx, opt)
 		if err != nil {
 			return err
 		}
@@ -220,7 +251,7 @@ func run(args []string, out io.Writer) error {
 		clock("fig9")
 	}
 	if selected["ext-fidelity"] {
-		res, err := expt.ExtFidelity(opt)
+		res, err := expt.ExtFidelityContext(ctx, opt)
 		if err != nil {
 			return err
 		}
@@ -231,7 +262,7 @@ func run(args []string, out io.Writer) error {
 		clock("ext-fidelity")
 	}
 	if selected["ext-capacity"] {
-		res, err := expt.ExtControlCapacity(opt)
+		res, err := expt.ExtControlCapacityContext(ctx, opt)
 		if err != nil {
 			return err
 		}
@@ -242,7 +273,7 @@ func run(args []string, out io.Writer) error {
 		clock("ext-capacity")
 	}
 	if selected["ablations"] {
-		comm, err := expt.AblationComm(opt)
+		comm, err := expt.AblationCommContext(ctx, opt)
 		if err != nil {
 			return err
 		}
@@ -255,13 +286,13 @@ func run(args []string, out io.Writer) error {
 		// rejects ranging over a map literal for exactly this reason).
 		for _, ab := range []struct {
 			name string
-			f    func(expt.Options) (*expt.AblationResult, error)
+			f    func(context.Context, expt.Options) (*expt.AblationResult, error)
 		}{
-			{"ablation-schedulers", expt.AblationSchedulers},
-			{"ablation-placement", expt.AblationPlacement},
-			{"ablation-topology", expt.AblationTopology},
+			{"ablation-schedulers", expt.AblationSchedulersContext},
+			{"ablation-placement", expt.AblationPlacementContext},
+			{"ablation-topology", expt.AblationTopologyContext},
 		} {
-			res, err := ab.f(opt)
+			res, err := ab.f(ctx, opt)
 			if err != nil {
 				return err
 			}

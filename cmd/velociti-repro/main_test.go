@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,7 +11,7 @@ import (
 
 func TestReproSubset(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-runs", "3", "-only", "table2,table3,fig6"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-runs", "3", "-only", "table2,table3,fig6"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -27,7 +28,7 @@ func TestReproSubset(t *testing.T) {
 func TestReproCSVOutput(t *testing.T) {
 	dir := t.TempDir()
 	var buf bytes.Buffer
-	if err := run([]string{"-runs", "2", "-only", "fig7", "-csv", dir}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-runs", "2", "-only", "fig7", "-csv", dir}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig7.csv"))
@@ -45,7 +46,7 @@ func TestReproCSVOutput(t *testing.T) {
 
 func TestReproAblations(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-runs", "2", "-only", "ablations"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-runs", "2", "-only", "ablations"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -64,7 +65,7 @@ func TestReproAblationOrderingIsStable(t *testing.T) {
 	var first string
 	for i := 0; i < 3; i++ {
 		var buf bytes.Buffer
-		if err := run([]string{"-runs", "1", "-only", "ablations"}, &buf); err != nil {
+		if err := run(context.Background(), []string{"-runs", "1", "-only", "ablations"}, &buf); err != nil {
 			t.Fatal(err)
 		}
 		out := buf.String()
@@ -88,14 +89,14 @@ func TestReproAblationOrderingIsStable(t *testing.T) {
 
 func TestReproUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-only", "fig42"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-only", "fig42"}, &buf); err == nil {
 		t.Fatalf("unknown experiment should error")
 	}
 }
 
 func TestReproScalingStudies(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-runs", "2", "-only", "fig8,fig9"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-runs", "2", "-only", "fig8,fig9"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -107,7 +108,7 @@ func TestReproScalingStudies(t *testing.T) {
 func TestReproSVGOutput(t *testing.T) {
 	dir := t.TempDir()
 	var buf bytes.Buffer
-	if err := run([]string{"-runs", "2", "-only", "fig6,fig8", "-svg", dir}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-runs", "2", "-only", "fig6,fig8", "-svg", dir}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"fig6.svg", "fig8a.svg", "fig8b.svg"} {
@@ -124,7 +125,7 @@ func TestReproSVGOutput(t *testing.T) {
 func TestReproMarkdownReport(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "report.md")
 	var buf bytes.Buffer
-	if err := run([]string{"-runs", "2", "-only", "table2,fig6", "-md", path}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-runs", "2", "-only", "table2,fig6", "-md", path}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)

@@ -19,11 +19,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"velociti/internal/apps"
+	"velociti/internal/cache"
 	"velociti/internal/circuit"
 	"velociti/internal/core"
 	"velociti/internal/perf"
@@ -36,7 +39,9 @@ import (
 
 func main() {
 	start := time.Now()
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		if verr.IsInput(err) {
 			fmt.Fprintln(os.Stderr, "velociti-sweep: invalid input:", err)
 		} else {
@@ -47,7 +52,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "velociti-sweep: done in %s\n", time.Since(start).Round(time.Millisecond))
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("velociti-sweep", flag.ContinueOnError)
 	var (
 		app        = fs.String("app", "", "Table II application workload")
@@ -64,6 +69,7 @@ func run(args []string, out io.Writer) error {
 		runs       = fs.Int("runs", core.DefaultRuns, "randomized trials per configuration")
 		seed       = fs.Int64("seed", 1, "master random seed")
 		workers    = fs.Int("workers", 1, "trials to run concurrently per configuration")
+		cacheStats = fs.Bool("cache-stats", false, "report stage-cache counters and per-phase wall clock on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -110,11 +116,16 @@ func run(args []string, out io.Writer) error {
 		return verr.Inputf("empty sweep grid")
 	}
 
+	// One artifact store across the whole grid: cells that differ only in α
+	// (or any other Time-stage knob) share placement, synthesis, and binding
+	// work. Content-keyed artifacts keep the CSV byte-identical either way.
+	pipeline := core.NewPipeline()
+	evalStart := time.Now()
 	// Trials parallelize inside each cell (cfg.Workers); cells run one at a
 	// time so CSV row order — and every trial's derived seed — matches the
 	// serial sweep exactly. RunAll gives per-cell error isolation either way.
 	reports := make([]*core.Report, len(cells))
-	errs := pool.RunAll(context.Background(), 1, len(cells), func(i int) error {
+	errs := pool.RunAll(ctx, 1, len(cells), func(i int) error {
 		c := cells[i]
 		lat := perf.DefaultLatencies()
 		lat.WeakPenalty = c.alpha
@@ -131,8 +142,9 @@ func run(args []string, out io.Writer) error {
 			Runs:        *runs,
 			Seed:        *seed,
 			Workers:     *workers,
+			Pipeline:    pipeline,
 		}
-		rep, err := core.Run(cfg)
+		rep, err := core.RunContext(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -140,6 +152,7 @@ func run(args []string, out io.Writer) error {
 		return nil
 	})
 
+	renderStart := time.Now()
 	fmt.Fprintln(out, "workload,qubits,two_qubit_gates,chain_length,chains,weak_links,alpha,placer,serial_us,parallel_us,parallel_min_us,parallel_max_us,speedup,weak_gates")
 	failed := 0
 	for i, c := range cells {
@@ -158,6 +171,18 @@ func run(args []string, out io.Writer) error {
 	}
 	if failed == len(cells) {
 		return fmt.Errorf("all %d sweep configurations failed; first: %w", failed, errs[0])
+	}
+	if *cacheStats {
+		st := pipeline.Stats()
+		fmt.Fprintf(os.Stderr, "velociti-sweep: %d cells evaluated in %s, rendered in %s\n",
+			len(cells)-failed, renderStart.Sub(evalStart).Round(time.Millisecond), time.Since(renderStart).Round(time.Millisecond))
+		for _, stage := range []struct {
+			name string
+			s    cache.Stats
+		}{{"place", st.Place}, {"synth", st.Synthesize}, {"bind", st.Bind}} {
+			fmt.Fprintf(os.Stderr, "velociti-sweep: cache %-5s %d hit / %d miss / %d evict / %d resident\n",
+				stage.name, stage.s.Hits, stage.s.Misses, stage.s.Evictions, stage.s.Entries)
+		}
 	}
 	return nil
 }

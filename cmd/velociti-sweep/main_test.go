@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -10,7 +11,7 @@ import (
 func sweep(t *testing.T, args ...string) []string {
 	t.Helper()
 	var buf bytes.Buffer
-	if err := run(args, &buf); err != nil {
+	if err := run(context.Background(), args, &buf); err != nil {
 		t.Fatalf("run(%v): %v", args, err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
@@ -114,7 +115,7 @@ func TestSweepErrors(t *testing.T) {
 	}
 	for i, args := range cases {
 		var buf bytes.Buffer
-		if err := run(args, &buf); err == nil {
+		if err := run(context.Background(), args, &buf); err == nil {
 			t.Errorf("case %d (%v): expected error", i, args)
 		}
 	}

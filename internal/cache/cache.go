@@ -1,0 +1,201 @@
+// Package cache provides the deterministic, size-bounded, sharded memo
+// store behind VelociTI's stage pipeline (internal/core.Stages).
+//
+// Sweep engines evaluate grids whose cells differ only in late-stage knobs
+// (the weak-link penalty α enters at the final timing step), so early-stage
+// artifacts — synthesized circuits, layouts, latency-class bindings — repeat
+// across cells. A Cache memoizes them under canonical stage-input
+// fingerprints.
+//
+// The store is written for the repo's worker-pool discipline
+// (internal/pool): results must be bit-identical at every worker count.
+// Caching a deterministic computation can never change a value, but a
+// bounded cache's *retained set* usually depends on arrival order (LRU does,
+// for example), which would make hit/miss patterns — and therefore wall
+// clock and allocation profiles — scheduling-dependent. This cache instead
+// uses rank-based retention: every key has a fixed rank (a 64-bit FNV-1a
+// hash, ties broken by the key string), and a full shard always retains the
+// lowest-ranked keys among everything inserted into it. The final contents
+// after any set of inserts are a pure function of that set — never of
+// insertion order, interleaving, or timing — a property the test suite pins
+// under concurrent access.
+//
+// All operations are safe for concurrent use. Hit, miss, and eviction
+// counters are maintained with atomics and snapshot via Stats.
+package cache
+
+import (
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+)
+
+// Keyer is implemented by policy values that can describe their behavior-
+// relevant configuration as a canonical string. Stage pipelines refuse to
+// cache artifacts produced by policies that do not implement it: a wrong
+// cache key silently corrupts results, so "no key" must mean "no caching",
+// never "guess".
+type Keyer interface {
+	// CacheKey returns a canonical fingerprint of the value's configuration.
+	// Two values with equal keys must behave identically on all inputs.
+	CacheKey() string
+}
+
+// Stats is a point-in-time snapshot of a cache's counters.
+type Stats struct {
+	// Hits and Misses count Get/GetOrCompute lookups.
+	Hits, Misses uint64
+	// Evictions counts entries displaced by lower-ranked keys.
+	Evictions uint64
+	// Rejected counts inserts declined because the shard was full and the
+	// new key ranked above every resident (the value was still returned to
+	// the caller, just not retained).
+	Rejected uint64
+	// Entries is the number of currently retained artifacts.
+	Entries int
+}
+
+// numShards spreads lock contention across the worker pool; must be a
+// power of two.
+const numShards = 16
+
+// Cache is a deterministic, size-bounded, sharded memo store. The zero
+// value is not usable; construct with New.
+type Cache struct {
+	shards   [numShards]shard
+	shardCap int // per-shard entry bound; 0 = unbounded
+
+	hits, misses, evictions, rejected atomic.Uint64
+}
+
+type shard struct {
+	mu sync.Mutex
+	m  map[string]any
+}
+
+// New returns a cache retaining at most capacity entries (rounded up to a
+// multiple of the shard count). capacity <= 0 disables the bound.
+func New(capacity int) *Cache {
+	c := &Cache{}
+	if capacity > 0 {
+		c.shardCap = (capacity + numShards - 1) / numShards
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]any)
+	}
+	return c
+}
+
+// rank is the fixed retention priority of a key: lower ranks are retained
+// in preference to higher ones. FNV-1a spreads ranks uniformly so retention
+// is not biased toward any key shape.
+func rank(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key)) //vet:allow errcheck-lite -- hash.Hash.Write never returns an error
+	return h.Sum64()
+}
+
+func (c *Cache) shardFor(key string) *shard {
+	return &c.shards[rank(key)&(numShards-1)]
+}
+
+// Get returns the artifact stored under key, if any.
+func (c *Cache) Get(key string) (any, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	v, ok := s.m[key]
+	s.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+// Put stores value under key, applying the deterministic retention policy:
+// if the shard is full, the resident with the highest (rank, key) is
+// evicted when the new key ranks below it, otherwise the insert is
+// rejected. Put never affects the hit/miss counters.
+func (c *Cache) Put(key string, value any) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	c.putLocked(s, key, value)
+	s.mu.Unlock()
+}
+
+// putLocked implements the retention policy; the shard lock must be held.
+func (c *Cache) putLocked(s *shard, key string, value any) {
+	if _, ok := s.m[key]; ok {
+		s.m[key] = value
+		return
+	}
+	if c.shardCap > 0 && len(s.m) >= c.shardCap {
+		// Find the worst resident under the fixed total order. The linear
+		// scan runs only on inserts into a full shard; shard capacities are
+		// small (total capacity / 16) and the hot path is hits.
+		worstKey, worstRank, found := "", uint64(0), false
+		for k := range s.m {
+			r := rank(k)
+			if !found || r > worstRank || (r == worstRank && k > worstKey) {
+				worstKey, worstRank, found = k, r, true
+			}
+		}
+		nr := rank(key)
+		if nr > worstRank || (nr == worstRank && key > worstKey) {
+			c.rejected.Add(1)
+			return
+		}
+		delete(s.m, worstKey)
+		c.evictions.Add(1)
+	}
+	s.m[key] = value
+}
+
+// GetOrCompute returns the artifact stored under key, computing and
+// retaining it on a miss. When two goroutines miss the same key
+// concurrently, both compute (the computations are deterministic, so the
+// values agree); the store keeps one. A compute error is returned to the
+// caller and nothing is cached.
+func (c *Cache) GetOrCompute(key string, compute func() (any, error)) (any, error) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if v, ok := s.m[key]; ok {
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return v, nil
+	}
+	s.mu.Unlock()
+	c.misses.Add(1)
+	v, err := compute()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	c.putLocked(s, key, v)
+	s.mu.Unlock()
+	return v, nil
+}
+
+// Len returns the number of retained entries.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Rejected:  c.rejected.Load(),
+		Entries:   c.Len(),
+	}
+}

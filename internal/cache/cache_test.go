@@ -1,0 +1,200 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"velociti/internal/stats"
+)
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c := New(0)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put("a", 1)
+	v, ok := c.Get("a")
+	if !ok || v.(int) != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	c.Put("a", 2) // overwrite
+	if v, _ := c.Get("a"); v.(int) != 2 {
+		t.Fatalf("overwrite lost: %v", v)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestGetOrCompute(t *testing.T) {
+	c := New(0)
+	calls := 0
+	f := func() (any, error) { calls++; return "value", nil }
+	for i := 0; i < 3; i++ {
+		v, err := c.GetOrCompute("k", f)
+		if err != nil || v.(string) != "value" {
+			t.Fatalf("GetOrCompute = %v, %v", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestGetOrComputeErrorNotCached(t *testing.T) {
+	c := New(0)
+	boom := errors.New("boom")
+	if _, err := c.GetOrCompute("k", func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed compute was cached")
+	}
+	v, err := c.GetOrCompute("k", func() (any, error) { return 7, nil })
+	if err != nil || v.(int) != 7 {
+		t.Fatalf("recovery compute = %v, %v", v, err)
+	}
+}
+
+// retainedSet computes the expected final contents for a set of inserted
+// keys under the documented policy: per shard, the shardCap lowest-(rank,
+// key) keys survive.
+func retainedSet(keys []string, capacity int) map[string]bool {
+	shardCap := (capacity + numShards - 1) / numShards
+	byShard := make(map[uint64][]string)
+	seen := make(map[string]bool)
+	for _, k := range keys {
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		byShard[rank(k)&(numShards-1)] = append(byShard[rank(k)&(numShards-1)], k)
+	}
+	want := make(map[string]bool)
+	for _, ks := range byShard {
+		sort.Slice(ks, func(i, j int) bool {
+			ri, rj := rank(ks[i]), rank(ks[j])
+			if ri != rj {
+				return ri < rj
+			}
+			return ks[i] < ks[j]
+		})
+		if len(ks) > shardCap {
+			ks = ks[:shardCap]
+		}
+		for _, k := range ks {
+			want[k] = true
+		}
+	}
+	return want
+}
+
+func contents(c *Cache) map[string]bool {
+	got := make(map[string]bool)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for k := range s.m {
+			got[k] = true
+		}
+		s.mu.Unlock()
+	}
+	return got
+}
+
+// TestDeterministicEvictionConcurrent pins the store's headline contract:
+// the retained set after any sequence of inserts depends only on the SET of
+// keys, never on order, interleaving, or goroutine scheduling.
+func TestDeterministicEvictionConcurrent(t *testing.T) {
+	const capacity, nKeys = 64, 512
+	keys := make([]string, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("artifact-%04d", i)
+	}
+	want := retainedSet(keys, capacity)
+
+	for trial := 0; trial < 4; trial++ {
+		c := New(capacity)
+		shuffled := append([]string(nil), keys...)
+		stats.Shuffle(stats.NewRand(int64(trial+1)), shuffled)
+		var wg sync.WaitGroup
+		const workers = 8
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(shuffled); i += workers {
+					c.Put(shuffled[i], i)
+				}
+			}(w)
+		}
+		wg.Wait()
+		if got := contents(c); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: retained set differs from order-independent expectation\n got %d entries, want %d", trial, len(got), len(want))
+		}
+		if st := c.Stats(); st.Entries != len(want) {
+			t.Fatalf("trial %d: Entries = %d, want %d", trial, st.Entries, len(want))
+		}
+	}
+}
+
+// TestEvictionCounters checks that a full shard either evicts or rejects on
+// every further distinct insert.
+func TestEvictionCounters(t *testing.T) {
+	c := New(numShards) // one entry per shard
+	for i := 0; i < 200; i++ {
+		c.Put(fmt.Sprintf("k%03d", i), i)
+	}
+	st := c.Stats()
+	if st.Entries > numShards {
+		t.Fatalf("bound violated: %d entries retained with capacity %d", st.Entries, numShards)
+	}
+	if st.Evictions+st.Rejected == 0 {
+		t.Fatal("no evictions or rejections recorded despite overflow")
+	}
+}
+
+func TestUnboundedCacheNeverEvicts(t *testing.T) {
+	c := New(0)
+	for i := 0; i < 1000; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	st := c.Stats()
+	if st.Entries != 1000 || st.Evictions != 0 || st.Rejected != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestConcurrentGetOrCompute exercises the racy-miss path under the race
+// detector: concurrent computes of one key must agree and leave one entry.
+func TestConcurrentGetOrCompute(t *testing.T) {
+	c := New(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 64; i++ {
+				key := fmt.Sprintf("k%02d", i%16)
+				v, err := c.GetOrCompute(key, func() (any, error) { return key + "!", nil })
+				if err != nil || v.(string) != key+"!" {
+					t.Errorf("GetOrCompute(%s) = %v, %v", key, v, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Len(); got != 16 {
+		t.Fatalf("Len = %d, want 16", got)
+	}
+}

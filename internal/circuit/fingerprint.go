@@ -1,0 +1,36 @@
+package circuit
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// Fingerprint returns a 64-bit FNV-1a content hash of the circuit: name,
+// register width, and every gate's kind, operands, and parameter bit
+// patterns, in gate order. Two circuits with equal fingerprints time
+// identically under every layout and latency model (up to hash collision),
+// so the stage pipeline uses the fingerprint to key explicit-circuit
+// artifacts.
+func (c *Circuit) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:]) //vet:allow errcheck-lite -- hash.Hash.Write never returns an error
+	}
+	h.Write([]byte(c.Name)) //vet:allow errcheck-lite -- hash.Hash.Write never returns an error
+	writeInt(c.numQubits)
+	for _, g := range c.gates {
+		writeInt(int(g.Kind))
+		writeInt(len(g.Qubits))
+		for _, q := range g.Qubits {
+			writeInt(q)
+		}
+		for _, p := range g.Params {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(p))
+			h.Write(buf[:]) //vet:allow errcheck-lite -- hash.Hash.Write never returns an error
+		}
+	}
+	return h.Sum64()
+}

@@ -65,6 +65,12 @@ type Config struct {
 	// every trial derives its own seed and the report preserves trial
 	// order.
 	Workers int
+	// Pipeline, when non-nil, memoizes latency-independent stage artifacts
+	// (layouts, synthesized circuits, gate-class bindings) across runs that
+	// share it. Caching never changes results — artifacts are keyed by
+	// everything that influences them — it only skips recomputation; see
+	// stages.go.
+	Pipeline *Pipeline
 }
 
 // normalized returns a copy of the config with defaults filled in.
@@ -181,6 +187,16 @@ func RunContext(ctx context.Context, cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	trials, err := runTrials(ctx, cfg, spec, device)
+	if err != nil {
+		return nil, err
+	}
+	return buildReport(spec, device, trials), nil
+}
+
+// buildReport aggregates per-trial results into summary statistics, in
+// trial order.
+func buildReport(spec circuit.Spec, device *ti.Device, trials []TrialResult) *Report {
 	report := &Report{
 		Spec: spec,
 		Device: DeviceInfo{
@@ -189,18 +205,13 @@ func RunContext(ctx context.Context, cfg Config) (*Report, error) {
 			Topology:     device.Topology().String(),
 			MaxWeakLinks: device.MaxWeakLinks(),
 		},
-		Trials: make([]TrialResult, 0, cfg.Runs),
+		Trials: trials,
 	}
-	trials, err := runTrials(ctx, cfg, spec, device)
-	if err != nil {
-		return nil, err
-	}
-	report.Trials = trials
-	serial := make([]float64, 0, cfg.Runs)
-	serialPG := make([]float64, 0, cfg.Runs)
-	parallel := make([]float64, 0, cfg.Runs)
-	weak := make([]float64, 0, cfg.Runs)
-	links := make([]float64, 0, cfg.Runs)
+	serial := make([]float64, 0, len(trials))
+	serialPG := make([]float64, 0, len(trials))
+	parallel := make([]float64, 0, len(trials))
+	weak := make([]float64, 0, len(trials))
+	links := make([]float64, 0, len(trials))
 	for _, tr := range trials {
 		serial = append(serial, tr.Perf.SerialMicros)
 		serialPG = append(serialPG, tr.Perf.SerialPerGateMicros)
@@ -213,23 +224,25 @@ func RunContext(ctx context.Context, cfg Config) (*Report, error) {
 	report.Parallel = stats.Summarize(parallel)
 	report.WeakGates = stats.Summarize(weak)
 	report.LinksUsed = stats.Summarize(links)
-	return report, nil
+	return report
 }
 
-// runTrials executes every trial through the shared worker-pool runner,
-// preserving trial order in the result. Trial i derives its own seed from
-// the master seed, so results are bit-identical at every worker count. In
-// explicit mode one flat-array evaluator is built for the fixed circuit
-// and shared (it is immutable and concurrency-safe) across all trials.
+// runTrials executes every trial through the shared worker-pool runner and
+// the stage pipeline, preserving trial order in the result. Trial i derives
+// its own seed from the master seed, so results are bit-identical at every
+// worker count. Each trial binds its gate classes once (Place → Synthesize
+// → Bind, memoized when cfg.Pipeline is set) and prices them under the
+// configured timing model.
 func runTrials(ctx context.Context, cfg Config, spec circuit.Spec, device *ti.Device) ([]TrialResult, error) {
 	trials := make([]TrialResult, cfg.Runs)
-	var shared *perf.Evaluator
-	if cfg.Circuit != nil {
-		shared = perf.NewEvaluator(cfg.Circuit)
-	}
+	st := newStages(cfg, spec, device)
 	err := pool.Run(ctx, cfg.Workers, cfg.Runs, func(i int) error {
 		seed := stats.SplitSeed(cfg.Seed, i)
-		res, err := runTrial(cfg, spec, device, shared, seed)
+		b, err := st.Bind(seed)
+		if err != nil {
+			return fmt.Errorf("core: trial %d: %w", i, err)
+		}
+		res, err := st.Time(b, cfg.Latencies)
 		if err != nil {
 			return fmt.Errorf("core: trial %d: %w", i, err)
 		}
@@ -240,27 +253,6 @@ func runTrials(ctx context.Context, cfg Config, spec circuit.Spec, device *ti.De
 		return nil, err
 	}
 	return trials, nil
-}
-
-// runTrial performs one randomized place-and-route plus evaluation.
-// shared, when non-nil, is the explicit-mode evaluator reused across
-// trials; spec mode synthesizes a fresh circuit and evaluates it through a
-// throwaway evaluator (still cheaper than the legacy multi-pass path).
-func runTrial(cfg Config, spec circuit.Spec, device *ti.Device, shared *perf.Evaluator, seed int64) (perf.Result, error) {
-	r := stats.NewRand(seed)
-	layout, err := cfg.Placement.Place(device, spec.Qubits, r)
-	if err != nil {
-		return perf.Result{}, err
-	}
-	ev := shared
-	if ev == nil {
-		c, err := cfg.Placer.Place(spec, layout, r)
-		if err != nil {
-			return perf.Result{}, err
-		}
-		ev = perf.NewEvaluator(c)
-	}
-	return ev.Evaluate(layout, cfg.Latencies)
 }
 
 // RunOnce executes a single trial with an explicit seed, returning the

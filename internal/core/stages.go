@@ -1,0 +1,347 @@
+package core
+
+// This file decomposes the monolithic trial path (spec+seed → circuit →
+// layout → evaluate) into an explicit stage graph with typed, individually
+// cacheable artifacts:
+//
+//	Place      device+spec+seed      → *ti.Layout
+//	Synthesize spec+layout+seed      → *perf.Evaluator (explicit mode: fixed)
+//	Bind       circuit+layout        → *perf.Binding (per-gate latency classes)
+//	Time       binding + Latencies   → perf.Result
+//
+// The weak-link penalty α enters only at Time, so sweep cells that differ
+// only in α share every earlier artifact and re-run just the pricing step —
+// the refactor the ROADMAP's caching north star calls for.
+//
+// Cache keys and the RNG stream. A trial draws placement and synthesis from
+// ONE seeded RNG stream: the placer consumes whatever randomness the
+// placement policy left behind. A cached stage must therefore never skip
+// the stream consumption of an earlier stage — Synthesize's compute replays
+// placement from the trial seed instead of reusing a cached layout. Keys
+// embed the canonical fingerprints of everything that influences an
+// artifact: device geometry, workload, policy configurations
+// (cache.Keyer), and the trial seed. A policy that cannot describe itself
+// as a canonical string disables caching for the stages it feeds — a wrong
+// key would silently corrupt results, so "no key" means "no caching".
+
+import (
+	"context"
+	"fmt"
+
+	"velociti/internal/cache"
+	"velociti/internal/circuit"
+	"velociti/internal/perf"
+	"velociti/internal/pool"
+	"velociti/internal/stats"
+	"velociti/internal/ti"
+	"velociti/internal/verr"
+)
+
+// DefaultStageCapacity bounds each stage cache of NewPipeline. Sweeps
+// revisit (spec, seed) pairs across α and policy cells, so the working set
+// is trials × specs — comfortably inside the bound for every experiment in
+// the repo; the deterministic retention policy keeps behavior reproducible
+// if a caller overflows it.
+const DefaultStageCapacity = 1 << 14
+
+// Pipeline is the shared artifact store of a stage-graph evaluation: one
+// deterministic memo cache per cacheable stage. A single Pipeline is safe
+// for concurrent use and is meant to be shared across every Config of a
+// sweep (attach it via Config.Pipeline); artifacts are content-keyed, so
+// configs that disagree on any behavior-relevant input never share them.
+type Pipeline struct {
+	synth *cache.Cache
+	place *cache.Cache
+	bind  *cache.Cache
+}
+
+// NewPipeline returns a Pipeline with DefaultStageCapacity per stage.
+func NewPipeline() *Pipeline {
+	return NewPipelineCapacity(DefaultStageCapacity)
+}
+
+// NewPipelineCapacity returns a Pipeline bounding each stage cache at
+// perStage entries; perStage <= 0 disables the bound.
+func NewPipelineCapacity(perStage int) *Pipeline {
+	return &Pipeline{
+		synth: cache.New(perStage),
+		place: cache.New(perStage),
+		bind:  cache.New(perStage),
+	}
+}
+
+// StageStats is a point-in-time snapshot of a pipeline's per-stage cache
+// counters. Time is not listed: it is the parametric step that is always
+// recomputed.
+type StageStats struct {
+	Synthesize cache.Stats
+	Place      cache.Stats
+	Bind       cache.Stats
+}
+
+// Stats snapshots the per-stage counters.
+func (p *Pipeline) Stats() StageStats {
+	return StageStats{
+		Synthesize: p.synth.Stats(),
+		Place:      p.place.Stats(),
+		Bind:       p.bind.Stats(),
+	}
+}
+
+// Stages executes the stage graph for one validated Config. It is
+// immutable after construction and safe for concurrent use — the
+// worker-pool trial runner calls Bind/Time from many goroutines.
+type Stages struct {
+	cfg    Config
+	spec   circuit.Spec
+	device *ti.Device
+	pl     *Pipeline
+
+	// shared is the explicit-mode evaluator, built once for the fixed
+	// circuit (it is immutable and concurrency-safe).
+	shared *perf.Evaluator
+
+	// placeKey/synthKey are canonical key prefixes ("" = stage not
+	// cacheable); the trial seed is appended per artifact.
+	placeKey string
+	synthKey string
+	bindKey  string
+}
+
+// NewStages validates cfg, derives the area-optimal device, and returns the
+// stage executor. Caching is active only when cfg.Pipeline is set and the
+// configured policies can fingerprint themselves (cache.Keyer).
+func NewStages(cfg Config) (*Stages, error) {
+	cfg = cfg.normalized()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	spec := cfg.workloadSpec()
+	device, err := ti.DeviceFor(spec.Qubits, cfg.ChainLength, cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	return newStages(cfg, spec, device), nil
+}
+
+// newStages builds the executor for an already normalized+validated config
+// and derived device.
+func newStages(cfg Config, spec circuit.Spec, device *ti.Device) *Stages {
+	s := &Stages{cfg: cfg, spec: spec, device: device, pl: cfg.Pipeline}
+	if cfg.Circuit != nil {
+		s.shared = perf.NewEvaluator(cfg.Circuit)
+	}
+	if s.pl == nil {
+		return s
+	}
+	polKey, ok := policyKey(cfg.Placement)
+	if !ok {
+		return s
+	}
+	dev := fmt.Sprintf("dev=%s/L%d/c%d", device.Topology(), device.ChainLength(), device.NumChains())
+	s.placeKey = fmt.Sprintf("place|%s|q%d|pol=%s", dev, spec.Qubits, polKey)
+	if cfg.Circuit != nil {
+		// Explicit mode: the circuit is fixed, so Synthesize needs no cache
+		// and Bind depends only on the layout inputs plus circuit content.
+		s.bindKey = fmt.Sprintf("bind|%s|circ=%016x|pol=%s", dev, cfg.Circuit.Fingerprint(), polKey)
+		return s
+	}
+	placerKey, ok := policyKey(cfg.Placer)
+	if !ok {
+		return s
+	}
+	workload := fmt.Sprintf("spec=%q/q%d/1q%d/2q%d", spec.Name, spec.Qubits, spec.OneQubitGates, spec.TwoQubitGates)
+	s.synthKey = fmt.Sprintf("synth|%s|%s|pol=%s|placer=%s", dev, workload, polKey, placerKey)
+	s.bindKey = fmt.Sprintf("bind|%s|%s|pol=%s|placer=%s", dev, workload, polKey, placerKey)
+	return s
+}
+
+// policyKey returns a policy's canonical fingerprint when it provides one.
+func policyKey(v any) (string, bool) {
+	k, ok := v.(cache.Keyer)
+	if !ok {
+		return "", false
+	}
+	return k.CacheKey(), true
+}
+
+// Device returns the derived machine.
+func (s *Stages) Device() *ti.Device { return s.device }
+
+// Spec returns the effective workload spec.
+func (s *Stages) Spec() circuit.Spec { return s.spec }
+
+// placeCompute runs the placement policy on a fresh RNG stream for seed.
+func (s *Stages) placeCompute(seed int64) (*ti.Layout, error) {
+	return s.cfg.Placement.Place(s.device, s.spec.Qubits, stats.NewRand(seed))
+}
+
+// Place produces the trial's layout (stage 1). The layout equals what the
+// coupled trial path computes for the same seed: placement draws from the
+// head of the trial's RNG stream.
+func (s *Stages) Place(seed int64) (*ti.Layout, error) {
+	if s.pl == nil || s.placeKey == "" {
+		return s.placeCompute(seed)
+	}
+	v, err := s.pl.place.GetOrCompute(seedKey(s.placeKey, seed), func() (any, error) {
+		return s.placeCompute(seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*ti.Layout), nil
+}
+
+// trial runs the coupled place+synthesize path exactly as one randomized
+// trial does: one RNG stream, placement first, then the gate placer over
+// whatever stream state placement left behind. It returns both artifacts.
+func (s *Stages) trial(seed int64) (*ti.Layout, *perf.Evaluator, error) {
+	r := stats.NewRand(seed)
+	layout, err := s.cfg.Placement.Place(s.device, s.spec.Qubits, r)
+	if err != nil {
+		return nil, nil, err
+	}
+	if s.shared != nil {
+		return layout, s.shared, nil
+	}
+	c, err := s.cfg.Placer.Place(s.spec, layout, r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return layout, perf.NewEvaluator(c), nil
+}
+
+// Synthesize produces the trial's evaluator-wrapped circuit (stage 2). In
+// explicit mode the fixed circuit's shared evaluator is returned. In spec
+// mode the compute must replay placement first — the gate placer consumes
+// the RNG stream where the placement policy left it — and the replayed
+// layout is stored into the Place cache as a side effect.
+func (s *Stages) Synthesize(seed int64) (*perf.Evaluator, error) {
+	if s.shared != nil {
+		return s.shared, nil
+	}
+	if s.pl == nil || s.synthKey == "" {
+		_, ev, err := s.trial(seed)
+		return ev, err
+	}
+	v, err := s.pl.synth.GetOrCompute(seedKey(s.synthKey, seed), func() (any, error) {
+		layout, ev, err := s.trial(seed)
+		if err != nil {
+			return nil, err
+		}
+		s.pl.place.Put(seedKey(s.placeKey, seed), layout)
+		return ev, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*perf.Evaluator), nil
+}
+
+// Bind classifies the trial's gates against its layout (stage 3) — the last
+// latency-independent artifact, shared by every timing model evaluated for
+// the trial.
+func (s *Stages) Bind(seed int64) (*perf.Binding, error) {
+	if s.pl == nil || s.bindKey == "" {
+		return s.bindCompute(seed)
+	}
+	v, err := s.pl.bind.GetOrCompute(seedKey(s.bindKey, seed), func() (any, error) {
+		return s.bindCompute(seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*perf.Binding), nil
+}
+
+// bindCompute runs the coupled trial once and feeds the earlier stage
+// caches on the way.
+func (s *Stages) bindCompute(seed int64) (*perf.Binding, error) {
+	layout, ev, err := s.trial(seed)
+	if err != nil {
+		return nil, err
+	}
+	if s.pl != nil && s.placeKey != "" {
+		s.pl.place.Put(seedKey(s.placeKey, seed), layout)
+		if s.synthKey != "" {
+			s.pl.synth.Put(seedKey(s.synthKey, seed), ev)
+		}
+	}
+	return ev.Bind(layout)
+}
+
+// Time prices a binding under one timing model (stage 4) — the only stage
+// where α enters, and the only one re-run across an α sweep.
+func (s *Stages) Time(b *perf.Binding, lat perf.Latencies) (perf.Result, error) {
+	return b.Time(lat)
+}
+
+// TimeAll prices a binding under every timing model in lats with the
+// one-pass parametric kernel; lane j equals Time(b, lats[j]) bit for bit.
+func (s *Stages) TimeAll(b *perf.Binding, lats []perf.Latencies) ([]perf.Result, error) {
+	return b.TimeAll(lats)
+}
+
+func seedKey(prefix string, seed int64) string {
+	return fmt.Sprintf("%s|seed=%d", prefix, seed)
+}
+
+// RunSweep executes the configured simulation under every timing model in
+// lats, sharing the latency-independent stages across models: each trial is
+// placed, synthesized, and bound once, then priced for all models by the
+// parametric kernel. RunSweep(cfg, lats)[j] is bit-identical to Run with
+// cfg.Latencies = lats[j] — same seeds, same trials, same floats — because
+// only the Time stage reads the timing model.
+func RunSweep(cfg Config, lats []perf.Latencies) ([]*Report, error) {
+	return RunSweepContext(context.Background(), cfg, lats)
+}
+
+// RunSweepContext is RunSweep with cancellation, mirroring RunContext.
+func RunSweepContext(ctx context.Context, cfg Config, lats []perf.Latencies) ([]*Report, error) {
+	if len(lats) == 0 {
+		return nil, verr.Inputf("core: sweep requires at least one timing model")
+	}
+	cfg = cfg.normalized()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	for _, lat := range lats {
+		if err := lat.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	spec := cfg.workloadSpec()
+	device, err := ti.DeviceFor(spec.Qubits, cfg.ChainLength, cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	st := newStages(cfg, spec, device)
+	perTrial := make([][]perf.Result, cfg.Runs)
+	seeds := make([]int64, cfg.Runs)
+	err = pool.Run(ctx, cfg.Workers, cfg.Runs, func(i int) error {
+		seed := stats.SplitSeed(cfg.Seed, i)
+		b, err := st.Bind(seed)
+		if err != nil {
+			return fmt.Errorf("core: trial %d: %w", i, err)
+		}
+		rs, err := st.TimeAll(b, lats)
+		if err != nil {
+			return fmt.Errorf("core: trial %d: %w", i, err)
+		}
+		seeds[i] = seed
+		perTrial[i] = rs
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	reports := make([]*Report, len(lats))
+	for j := range lats {
+		trials := make([]TrialResult, cfg.Runs)
+		for i := range trials {
+			trials[i] = TrialResult{Seed: seeds[i], Perf: perTrial[i][j]}
+		}
+		reports[j] = buildReport(spec, device, trials)
+	}
+	return reports, nil
+}

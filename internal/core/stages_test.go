@@ -1,0 +1,256 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"velociti/internal/apps"
+	"velociti/internal/core"
+	"velociti/internal/perf"
+	"velociti/internal/placement"
+	"velociti/internal/schedule"
+	"velociti/internal/workload"
+)
+
+func sweepLats(alphas []float64) []perf.Latencies {
+	lats := make([]perf.Latencies, len(alphas))
+	for i, a := range alphas {
+		lats[i] = perf.DefaultLatencies()
+		lats[i].WeakPenalty = a
+	}
+	return lats
+}
+
+// stageConfigs is the config matrix the pipeline equivalence properties run
+// over: spec mode with each keyable placer, and explicit mode.
+func stageConfigs(t *testing.T) []core.Config {
+	t.Helper()
+	qv, err := workload.QuantumVolume(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qft, err := apps.QFT(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := perf.DefaultLatencies()
+	return []core.Config{
+		{Spec: workload.Random(20, 80), ChainLength: 8, Runs: 6, Seed: 11},
+		{Spec: qv, ChainLength: 8, Runs: 5, Seed: 23, Placer: schedule.WeakAvoiding{}},
+		{Spec: qv, ChainLength: 8, Runs: 5, Seed: 23, Placer: schedule.LoadBalanced{Latencies: lat}},
+		{Circuit: qft, ChainLength: 4, Runs: 6, Seed: 42},
+	}
+}
+
+// TestCachedPipelineMatchesUncached is the refactor's headline property:
+// attaching a Pipeline never changes a Report — bit for bit, trials
+// included — at any worker count, whether the cache is cold, warm, or
+// thrashing under a tiny capacity.
+func TestCachedPipelineMatchesUncached(t *testing.T) {
+	for _, cfg := range stageConfigs(t) {
+		base := cfg
+		base.Pipeline = nil
+		want, err := core.Run(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pl := range []*core.Pipeline{core.NewPipeline(), core.NewPipelineCapacity(2)} {
+			for _, workers := range []int{1, 3, 8} {
+				cached := cfg
+				cached.Pipeline = pl
+				cached.Workers = workers
+				for pass := 0; pass < 2; pass++ { // cold then warm
+					got, err := core.Run(cached)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("spec %q workers=%d pass=%d: cached report diverges from uncached",
+							workloadName(cfg), workers, pass)
+					}
+				}
+			}
+		}
+	}
+}
+
+// workloadName is a test-only label helper.
+func workloadName(c core.Config) string {
+	if c.Circuit != nil {
+		return c.Circuit.Name
+	}
+	return c.Spec.Name
+}
+
+// TestRunSweepMatchesPerAlphaRuns pins the α-sweep engine: RunSweep(cfg,
+// lats)[j] must equal Run with cfg.Latencies = lats[j], bit for bit, with
+// and without a shared pipeline and across worker counts.
+func TestRunSweepMatchesPerAlphaRuns(t *testing.T) {
+	lats := sweepLats([]float64{2.0, 1.8, 1.6, 1.4, 1.2, 1.0})
+	for _, cfg := range stageConfigs(t) {
+		want := make([]*core.Report, len(lats))
+		for j, lat := range lats {
+			perAlpha := cfg
+			perAlpha.Pipeline = nil
+			perAlpha.Latencies = lat
+			r, err := core.Run(perAlpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[j] = r
+		}
+		for _, pl := range []*core.Pipeline{nil, core.NewPipeline()} {
+			for _, workers := range []int{1, 4} {
+				swept := cfg
+				swept.Pipeline = pl
+				swept.Workers = workers
+				got, err := core.RunSweep(swept, lats)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("spec %q workers=%d cached=%v: RunSweep diverges from per-α runs",
+						workloadName(cfg), workers, pl != nil)
+				}
+			}
+		}
+	}
+}
+
+// TestPipelineSharesAcrossAlphaCells checks the caching actually bites:
+// running α-only-differing configs against one pipeline hits the Bind cache
+// on every cell after the first.
+func TestPipelineSharesAcrossAlphaCells(t *testing.T) {
+	pl := core.NewPipeline()
+	cfg := core.Config{Spec: workload.Random(20, 80), ChainLength: 8, Runs: 6, Seed: 11, Pipeline: pl}
+	for _, lat := range sweepLats([]float64{2.0, 1.5, 1.0}) {
+		cfg.Latencies = lat
+		if _, err := core.Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := pl.Stats()
+	if st.Bind.Misses != uint64(cfg.Runs) {
+		t.Fatalf("Bind misses = %d, want one per trial (%d)", st.Bind.Misses, cfg.Runs)
+	}
+	if st.Bind.Hits != uint64(2*cfg.Runs) {
+		t.Fatalf("Bind hits = %d, want %d (two warm α cells)", st.Bind.Hits, 2*cfg.Runs)
+	}
+}
+
+// TestPipelineKeysSeparateLatDependentPlacers guards against false sharing:
+// LoadBalanced consults its latency model during synthesis, so cells whose
+// placers embed different models must not share artifacts.
+func TestPipelineKeysSeparateLatDependentPlacers(t *testing.T) {
+	qv, err := workload.QuantumVolume(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := core.NewPipeline()
+	run := func(alpha float64) *core.Report {
+		lat := perf.DefaultLatencies()
+		lat.WeakPenalty = alpha
+		r, err := core.Run(core.Config{
+			Spec: qv, ChainLength: 8, Runs: 4, Seed: 9,
+			Latencies: lat,
+			Placer:    schedule.LoadBalanced{Latencies: lat},
+			Pipeline:  pl,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	gotA, gotB := run(2.0), run(1.0)
+	wantB, err := core.Run(core.Config{
+		Spec: qv, ChainLength: 8, Runs: 4, Seed: 9,
+		Latencies: sweepLats([]float64{1.0})[0],
+		Placer:    schedule.LoadBalanced{Latencies: sweepLats([]float64{1.0})[0]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotB, wantB) {
+		t.Fatal("α=1.0 cell polluted by α=2.0 placer artifacts")
+	}
+	if reflect.DeepEqual(gotA.Parallel, gotB.Parallel) {
+		t.Fatal("suspicious: α=2.0 and α=1.0 load-balanced cells agree exactly")
+	}
+	if st := pl.Stats(); st.Bind.Hits != 0 {
+		t.Fatalf("Bind hits = %d across lat-dependent placers, want 0", st.Bind.Hits)
+	}
+}
+
+// TestUnkeyablePolicyBypassesCache checks the safety rule: a policy without
+// a CacheKey disables caching (no artifacts stored) instead of guessing,
+// and results still match the uncached path.
+func TestUnkeyablePolicyBypassesCache(t *testing.T) {
+	cfg := core.Config{
+		Spec: workload.Random(16, 60), ChainLength: 8, Runs: 4, Seed: 3,
+		Placement: placement.Refined{}, // no CacheKey: base policy is open-ended
+	}
+	want, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := core.NewPipeline()
+	cfg.Pipeline = pl
+	got, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("bypassed pipeline changed results")
+	}
+	if st := pl.Stats(); st.Place.Entries+st.Synthesize.Entries+st.Bind.Entries != 0 {
+		t.Fatalf("unkeyable policy stored artifacts: %+v", st)
+	}
+}
+
+// TestNewStagesValidates mirrors Run's input contract at the stage API.
+func TestNewStagesValidates(t *testing.T) {
+	if _, err := core.NewStages(core.Config{Spec: workload.Random(8, 10)}); err == nil {
+		t.Fatal("expected chain-length validation error")
+	}
+	if _, err := core.RunSweep(core.Config{Spec: workload.Random(8, 10), ChainLength: 4}, nil); err == nil {
+		t.Fatal("expected empty-sweep error")
+	}
+	bad := perf.DefaultLatencies()
+	bad.WeakPenalty = 0.5
+	if _, err := core.RunSweep(core.Config{Spec: workload.Random(8, 10), ChainLength: 4}, []perf.Latencies{bad}); err == nil {
+		t.Fatal("expected latency validation error")
+	}
+}
+
+// TestStagesExplicitCircuitSharing checks explicit mode: the fixed
+// circuit's binding is cached per seed and RunOnce-style artifacts stay
+// reachable through the stage API.
+func TestStagesExplicitCircuitSharing(t *testing.T) {
+	qft, err := apps.QFT(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := core.NewPipeline()
+	cfg := core.Config{Circuit: qft, ChainLength: 4, Runs: 5, Seed: 17, Pipeline: pl}
+	st, err := core.NewStages(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Spec().Qubits != qft.NumQubits() {
+		t.Fatalf("stage spec width %d, circuit width %d", st.Spec().Qubits, qft.NumQubits())
+	}
+	want, err := core.Run(core.Config{Circuit: qft, ChainLength: 4, Runs: 5, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("explicit-mode cached run diverges")
+	}
+	if st2 := pl.Stats(); st2.Bind.Entries != 5 {
+		t.Fatalf("Bind entries = %d, want one per trial seed", st2.Bind.Entries)
+	}
+}

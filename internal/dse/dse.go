@@ -16,9 +16,9 @@ import (
 	"sort"
 
 	"velociti/internal/circuit"
+	"velociti/internal/core"
 	"velociti/internal/fidelity"
 	"velociti/internal/perf"
-	"velociti/internal/placement"
 	"velociti/internal/pool"
 	"velociti/internal/schedule"
 	"velociti/internal/stats"
@@ -69,6 +69,12 @@ type Options struct {
 	// seeds independently, so results are bit-identical at any worker
 	// count.
 	Workers int
+	// Pipeline is the shared stage-artifact store. Every grid point runs
+	// through it, so cells that differ only in α share placement,
+	// synthesis, and gate-class binding and re-price just the timing
+	// model. Nil creates a fresh pipeline per Explore call; caching never
+	// changes results.
+	Pipeline *core.Pipeline
 }
 
 func (o Options) normalized() Options {
@@ -145,6 +151,9 @@ func Explore(spec circuit.Spec, opt Options) ([]Point, error) {
 // ExploreContext is Explore with cancellation.
 func ExploreContext(ctx context.Context, spec circuit.Spec, opt Options) ([]Point, error) {
 	opt = opt.normalized()
+	if opt.Pipeline == nil {
+		opt.Pipeline = core.NewPipeline()
+	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -167,26 +176,38 @@ func ExploreContext(ctx context.Context, spec circuit.Spec, opt Options) ([]Poin
 	return points, nil
 }
 
-// explorePoint averages one grid cell over opt.Runs randomized trials.
+// explorePoint averages one grid cell over opt.Runs randomized trials,
+// running each trial through the stage pipeline: trial seeds are shared
+// across cells, so the latency-independent artifacts (layout, synthesized
+// circuit, gate-class binding) are computed once per (device, placer, seed)
+// and only the timing-dependent pricing — makespan and the dephasing term —
+// re-runs per α.
 func explorePoint(spec circuit.Spec, opt Options, cell gridCell) (Point, error) {
+	st, err := core.NewStages(core.Config{
+		Spec:        spec,
+		ChainLength: cell.chainLength,
+		Latencies:   cell.lat,
+		Placer:      cell.placer,
+		Runs:        opt.Runs,
+		Seed:        opt.Seed,
+		Pipeline:    opt.Pipeline,
+	})
+	if err != nil {
+		return Point{}, err
+	}
 	var parSum, logSum, weakSum float64
 	for i := 0; i < opt.Runs; i++ {
-		r := stats.NewRand(stats.SplitSeed(opt.Seed, i))
-		layout, err := placement.Random{}.Place(cell.device, spec.Qubits, r)
+		b, err := st.Bind(stats.SplitSeed(opt.Seed, i))
 		if err != nil {
 			return Point{}, err
 		}
-		c, err := cell.placer.Place(spec, layout, r)
-		if err != nil {
-			return Point{}, err
-		}
-		est, err := opt.Fidelity.Estimate(c, layout, cell.lat)
+		est, err := opt.Fidelity.EstimateBinding(b, cell.lat)
 		if err != nil {
 			return Point{}, err
 		}
 		parSum += est.MakespanMicros
 		logSum += est.LogTotal
-		weakSum += float64(perf.WeakGates(c, layout))
+		weakSum += float64(b.WeakGates())
 	}
 	n := float64(opt.Runs)
 	return Point{

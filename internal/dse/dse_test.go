@@ -5,6 +5,9 @@ import (
 	"testing"
 
 	"velociti/internal/circuit"
+	"velociti/internal/perf"
+	"velociti/internal/placement"
+	"velociti/internal/stats"
 )
 
 func spec() circuit.Spec {
@@ -130,5 +133,69 @@ func TestPointString(t *testing.T) {
 	s := p.String()
 	if !strings.Contains(s, "L=16") || !strings.Contains(s, "random") {
 		t.Fatalf("string = %q", s)
+	}
+}
+
+// TestExploreMatchesLegacyTrialPath pins the stage-pipeline rewiring
+// against the pre-pipeline per-trial computation, reimplemented inline:
+// place randomly, synthesize with the cell's placer, estimate fidelity,
+// count weak gates — all from one RNG stream per trial seed. Every grid
+// point must agree exactly, and sharing one pipeline across worker counts
+// must not change anything.
+func TestExploreMatchesLegacyTrialPath(t *testing.T) {
+	opt := Options{
+		ChainLengths: []int{8, 16},
+		Alphas:       []float64{2.0, 1.5, 1.0},
+		Placers:      []string{"random", "load-balanced"},
+		Runs:         4,
+		Seed:         13,
+	}.normalized()
+	sp := spec()
+	cells, err := opt.grid(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]Point, len(cells))
+	for ci, cell := range cells {
+		var parSum, logSum, weakSum float64
+		for i := 0; i < opt.Runs; i++ {
+			r := stats.NewRand(stats.SplitSeed(opt.Seed, i))
+			layout, err := placement.Random{}.Place(cell.device, sp.Qubits, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := cell.placer.Place(sp, layout, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			est, err := opt.Fidelity.Estimate(c, layout, cell.lat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parSum += est.MakespanMicros
+			logSum += est.LogTotal
+			weakSum += float64(perf.WeakGates(c, layout))
+		}
+		n := float64(opt.Runs)
+		want[ci] = Point{
+			ChainLength:    cell.chainLength,
+			Alpha:          cell.alpha,
+			Placer:         cell.placerName,
+			ParallelMicros: parSum / n,
+			LogFidelity:    logSum / n,
+			WeakGates:      weakSum / n,
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		opt.Workers = workers
+		got, err := Explore(sp, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d point %d: pipeline path %+v, legacy path %+v", workers, i, got[i], want[i])
+			}
+		}
 	}
 }

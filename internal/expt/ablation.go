@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 
 	"velociti/internal/apps"
@@ -53,8 +54,8 @@ func (r *AblationResult) CSV() string {
 	return renderCSV([]string{"variant", "parallel_us", "parallel_min_us", "parallel_max_us", "weak_gates", "speedup_vs_serial"}, rows)
 }
 
-func ablationRow(variant string, cfg core.Config) (AblationRow, error) {
-	rep, err := core.Run(cfg)
+func ablationRow(ctx context.Context, variant string, cfg core.Config) (AblationRow, error) {
+	rep, err := core.RunContext(ctx, cfg)
 	if err != nil {
 		return AblationRow{}, err
 	}
@@ -71,13 +72,18 @@ func ablationRow(variant string, cfg core.Config) (AblationRow, error) {
 // workload (QAOA), quantifying how much of the random-scheduling
 // performance loss smarter schedulers recover (§VI-B's motivation).
 func AblationSchedulers(opt Options) (*AblationResult, error) {
+	return AblationSchedulersContext(context.Background(), opt)
+}
+
+// AblationSchedulersContext is AblationSchedulers with cancellation.
+func AblationSchedulersContext(ctx context.Context, opt Options) (*AblationResult, error) {
 	opt = opt.normalized()
 	spec := apps.PaperSpecs()[1] // QAOA: highest 2q-gate pressure per qubit after QFT
 	res := &AblationResult{Name: "Ablation: gate scheduling policy (QAOA, 16-ion chains)"}
 	for _, placer := range schedule.All(opt.Latencies) {
 		cfg := opt.baseConfig(spec, 16)
 		cfg.Placer = placer
-		row, err := ablationRow(placer.Name(), cfg)
+		row, err := ablationRow(ctx, placer.Name(), cfg)
 		if err != nil {
 			return nil, fmt.Errorf("expt: scheduler ablation %s: %w", placer.Name(), err)
 		}
@@ -90,6 +96,11 @@ func AblationSchedulers(opt Options) (*AblationResult, error) {
 // gate-level circuit (the 8×8 Supremacy workload, whose grid structure
 // gives interaction-aware placement real locality to exploit).
 func AblationPlacement(opt Options) (*AblationResult, error) {
+	return AblationPlacementContext(context.Background(), opt)
+}
+
+// AblationPlacementContext is AblationPlacement with cancellation.
+func AblationPlacementContext(ctx context.Context, opt Options) (*AblationResult, error) {
 	opt = opt.normalized()
 	c, err := apps.Supremacy(8, 8, 20, opt.Seed+1)
 	if err != nil {
@@ -117,8 +128,9 @@ func AblationPlacement(opt Options) (*AblationResult, error) {
 			Placement:   v.pol,
 			Runs:        opt.Runs,
 			Seed:        opt.Seed,
+			Pipeline:    opt.Pipeline,
 		}
-		row, err := ablationRow(v.name, cfg)
+		row, err := ablationRow(ctx, v.name, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("expt: placement ablation %s: %w", v.name, err)
 		}
@@ -181,6 +193,11 @@ func (r *CommResult) CSV() string {
 // becomes the better mechanism. Per-trial circuits and placements are
 // shared between the two mechanisms.
 func AblationComm(opt Options) (*CommResult, error) {
+	return AblationCommContext(context.Background(), opt)
+}
+
+// AblationCommContext is AblationComm with cancellation.
+func AblationCommContext(ctx context.Context, opt Options) (*CommResult, error) {
 	opt = opt.normalized()
 	spec := apps.PaperSpecs()[1] // QAOA
 	params := shuttle.Default()
@@ -188,28 +205,45 @@ func AblationComm(opt Options) (*CommResult, error) {
 		Name:           "Ablation: cross-chain communication mechanism (QAOA, 16-ion chains)",
 		BreakEvenAlpha: params.BreakEvenAlpha(opt.Latencies),
 	}
+	// The per-trial circuit and placement depend only on the seed, never on
+	// α, so synthesize each trial once and re-price it under every α —
+	// shuttle.Compare sees the identical (circuit, layout) pair the per-α
+	// loop used to rebuild.
+	type commTrial struct {
+		c      *circuit.Circuit
+		layout *ti.Layout
+	}
+	device, err := ti.DeviceFor(spec.Qubits, 16, ti.Ring)
+	if err != nil {
+		return nil, err
+	}
+	trials := make([]commTrial, opt.Runs)
+	for i := range trials {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		r := stats.NewRand(stats.SplitSeed(opt.Seed, i))
+		layout, err := placement.Random{}.Place(device, spec.Qubits, r)
+		if err != nil {
+			return nil, err
+		}
+		c, err := schedule.Random{}.Place(spec, layout, r)
+		if err != nil {
+			return nil, err
+		}
+		trials[i] = commTrial{c: c, layout: layout}
+	}
 	// Extend the sweep above Table III's range to expose the crossover.
 	alphas := append(append([]float64{}, ScalingAlphas...), 3.0, 4.0, 5.0)
 	for _, alpha := range alphas {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		lat := opt.Latencies
 		lat.WeakPenalty = alpha
 		var weakSum, shuttleSum float64
-		for i := 0; i < opt.Runs; i++ {
-			seed := stats.SplitSeed(opt.Seed, i)
-			r := stats.NewRand(seed)
-			device, err := ti.DeviceFor(spec.Qubits, 16, ti.Ring)
-			if err != nil {
-				return nil, err
-			}
-			layout, err := placement.Random{}.Place(device, spec.Qubits, r)
-			if err != nil {
-				return nil, err
-			}
-			c, err := schedule.Random{}.Place(spec, layout, r)
-			if err != nil {
-				return nil, err
-			}
-			cmp, err := shuttle.Compare(c, layout, lat, params)
+		for _, tr := range trials {
+			cmp, err := shuttle.Compare(tr.c, tr.layout, lat, params)
 			if err != nil {
 				return nil, err
 			}
@@ -238,6 +272,11 @@ func AblationComm(opt Options) (*CommResult, error) {
 // missing wraparound link removes cross-chain pair options (and the w of
 // Eq. 2 drops from c to c−1).
 func AblationTopology(opt Options) (*AblationResult, error) {
+	return AblationTopologyContext(context.Background(), opt)
+}
+
+// AblationTopologyContext is AblationTopology with cancellation.
+func AblationTopologyContext(ctx context.Context, opt Options) (*AblationResult, error) {
 	opt = opt.normalized()
 	spec := circuit.Spec{Name: "ratio2-64q", Qubits: 64, OneQubitGates: 64, TwoQubitGates: 128}
 	res := &AblationResult{Name: "Ablation: weak-link topology (64-qubit 2:1 circuit, 16-ion chains, edge-constrained placer)"}
@@ -245,7 +284,7 @@ func AblationTopology(opt Options) (*AblationResult, error) {
 		cfg := opt.baseConfig(spec, 16)
 		cfg.Topology = topo
 		cfg.Placer = schedule.EdgeConstrained{}
-		row, err := ablationRow(topo.String(), cfg)
+		row, err := ablationRow(ctx, topo.String(), cfg)
 		if err != nil {
 			return nil, fmt.Errorf("expt: topology ablation %s: %w", topo, err)
 		}

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 
 	"velociti/internal/apps"
@@ -43,6 +44,14 @@ type CapacityResult struct {
 // ExtControlCapacity sweeps the per-chain budget over the Table II
 // applications on 16-ion chains.
 func ExtControlCapacity(opt Options) (*CapacityResult, error) {
+	return ExtControlCapacityContext(context.Background(), opt)
+}
+
+// ExtControlCapacityContext is ExtControlCapacity with cancellation. The
+// constrained scheduler needs the explicit gate list per trial, which the
+// stage pipeline's bindings do not carry, so this driver keeps its own trial
+// loop (each trial is already shared across all capacity levels).
+func ExtControlCapacityContext(ctx context.Context, opt Options) (*CapacityResult, error) {
 	opt = opt.normalized()
 	res := &CapacityResult{Levels: CapacityLevels}
 	var slowdowns []float64
@@ -54,6 +63,9 @@ func ExtControlCapacity(opt Options) (*CapacityResult, error) {
 		row := CapacityRow{App: spec.Name}
 		sums := make([]float64, len(CapacityLevels))
 		for i := 0; i < opt.Runs; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			r := stats.NewRand(stats.SplitSeed(opt.Seed, i))
 			layout, err := placement.Random{}.Place(device, spec.Qubits, r)
 			if err != nil {

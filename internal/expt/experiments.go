@@ -31,6 +31,13 @@ type Options struct {
 	// pool; single-point drivers pass the budget down to core.Run's
 	// trial pool instead.
 	Workers int
+	// Pipeline, when non-nil, is the shared stage-artifact store threaded
+	// into every simulation the drivers run (except Fig5, which measures
+	// cold simulation wall time). Caching never changes any figure —
+	// artifacts are content-keyed — it only skips recomputation of
+	// layouts, synthesized circuits, and gate-class bindings that repeat
+	// across cells.
+	Pipeline *core.Pipeline
 }
 
 func (o Options) normalized() Options {
@@ -54,6 +61,7 @@ func (o Options) baseConfig(spec circuit.Spec, chainLength int) core.Config {
 		Runs:        o.Runs,
 		Seed:        o.Seed,
 		Workers:     o.Workers,
+		Pipeline:    o.Pipeline,
 	}
 }
 
@@ -63,8 +71,13 @@ func (o Options) baseConfig(spec circuit.Spec, chainLength int) core.Config {
 // machine: the configured parameters (q, p, δ, γ, α·γ, opt) and the
 // computed ones (c, w_max, and the mean w over opt.Runs trials).
 func TableI(opt Options, spec circuit.Spec, chainLength int) (string, error) {
+	return TableIContext(context.Background(), opt, spec, chainLength)
+}
+
+// TableIContext is TableI with cancellation.
+func TableIContext(ctx context.Context, opt Options, spec circuit.Spec, chainLength int) (string, error) {
 	opt = opt.normalized()
-	rep, err := core.Run(opt.baseConfig(spec, chainLength))
+	rep, err := core.RunContext(ctx, opt.baseConfig(spec, chainLength))
 	if err != nil {
 		return "", fmt.Errorf("expt: table I: %w", err)
 	}
@@ -132,12 +145,21 @@ type Fig5Result struct {
 // paper's circuit-size grid. Each data point runs opt.Runs simulations of
 // a fresh random circuit and reports the mean per-simulation time.
 func Fig5(opt Options) (*Fig5Result, error) {
+	return Fig5Context(context.Background(), opt)
+}
+
+// Fig5Context is Fig5 with cancellation.
+func Fig5Context(ctx context.Context, opt Options) (*Fig5Result, error) {
 	opt = opt.normalized()
+	// Fig5's measured quantity is cold simulation wall time; a warm
+	// artifact cache would measure cache lookups instead, so the pipeline
+	// is deliberately not attached here.
+	opt.Pipeline = nil
 	res := &Fig5Result{}
 	for _, spec := range workload.Fig5Grid() {
 		cfg := opt.baseConfig(spec, 16)
 		start := time.Now() //vet:allow determinism -- Fig5 reproduces the paper's tool-runtime study: the wall clock IS the measured quantity
-		if _, err := core.Run(cfg); err != nil {
+		if _, err := core.RunContext(ctx, cfg); err != nil {
 			return nil, fmt.Errorf("expt: fig5 %s: %w", spec.Name, err)
 		}
 		elapsed := time.Since(start).Seconds() / float64(opt.Runs) //vet:allow determinism -- Fig5 reproduces the paper's tool-runtime study: the wall clock IS the measured quantity
@@ -206,17 +228,22 @@ type Fig6Result struct {
 // chains. Applications are independent data points and run across the
 // worker pool.
 func Fig6(opt Options) (*Fig6Result, error) {
+	return Fig6Context(context.Background(), opt)
+}
+
+// Fig6Context is Fig6 with cancellation.
+func Fig6Context(ctx context.Context, opt Options) (*Fig6Result, error) {
 	opt = opt.normalized()
 	res := &Fig6Result{}
 	specs := apps.PaperSpecs()
 	res.Rows = make([]Fig6Row, len(specs))
-	err := pool.Run(context.Background(), opt.Workers, len(specs), func(i int) error {
+	err := pool.Run(ctx, opt.Workers, len(specs), func(i int) error {
 		spec := specs[i]
 		// The pool budget is spent across applications here; per-point
 		// trials run serially to avoid nesting worker pools.
 		cfg := opt.baseConfig(spec, 16)
 		cfg.Workers = 1
-		rep, err := core.Run(cfg)
+		rep, err := core.RunContext(ctx, cfg)
 		if err != nil {
 			return fmt.Errorf("expt: fig6 %s: %w", spec.Name, err)
 		}
@@ -307,16 +334,21 @@ type Fig7Result struct {
 // (application × chain length) product forms independent data points that
 // run across the worker pool.
 func Fig7(opt Options) (*Fig7Result, error) {
+	return Fig7Context(context.Background(), opt)
+}
+
+// Fig7Context is Fig7 with cancellation.
+func Fig7Context(ctx context.Context, opt Options) (*Fig7Result, error) {
 	opt = opt.normalized()
 	res := &Fig7Result{ChainLengths: Fig7ChainLengths}
 	specs := apps.PaperSpecs()
 	nL := len(res.ChainLengths)
 	cells := make([]stats.Summary, len(specs)*nL)
-	err := pool.Run(context.Background(), opt.Workers, len(cells), func(i int) error {
+	err := pool.Run(ctx, opt.Workers, len(cells), func(i int) error {
 		spec, L := specs[i/nL], res.ChainLengths[i%nL]
 		cfg := opt.baseConfig(spec, L)
 		cfg.Workers = 1
-		rep, err := core.Run(cfg)
+		rep, err := core.RunContext(ctx, cfg)
 		if err != nil {
 			return fmt.Errorf("expt: fig7 %s L=%d: %w", spec.Name, L, err)
 		}
@@ -414,36 +446,56 @@ type ScalingResult struct {
 	MaxRelSpread float64
 }
 
-// runScaling executes the scaling study for the given spec generator. The
-// full (spec × knob) product — every chain-length and every α cell — runs
-// across the worker pool; aggregation happens afterwards in deterministic
-// order, so results are identical at any worker count.
-func runScaling(name string, opt Options, specs []circuit.Spec) (*ScalingResult, error) {
+// scalingAlphaLats expands ScalingAlphas into the timing models of the (b)
+// panel: the base model with only WeakPenalty varied.
+func scalingAlphaLats(base perf.Latencies) []perf.Latencies {
+	lats := make([]perf.Latencies, len(ScalingAlphas))
+	for j, alpha := range ScalingAlphas {
+		lats[j] = base
+		lats[j].WeakPenalty = alpha
+	}
+	return lats
+}
+
+// runScaling executes the scaling study for the given spec generator. Each
+// spec contributes one worker-pool job per chain length plus a single α-sweep
+// job: the six α cells differ only in WeakPenalty, so they share one pass of
+// placement, synthesis, and gate classification through core.RunSweepContext
+// and re-price just the timing model per α (RunSweep(cfg, lats)[j] is pinned
+// bit-identical to Run with cfg.Latencies = lats[j], which is exactly what
+// the per-α cells computed before). Aggregation happens afterwards in
+// deterministic order, so results are identical at any worker count.
+func runScaling(ctx context.Context, name string, opt Options, specs []circuit.Spec) (*ScalingResult, error) {
 	opt = opt.normalized()
 	res := &ScalingResult{Name: name}
 	nChain, nAlpha := len(ScalingChainLengths), len(ScalingAlphas)
 	perSpec := nChain + nAlpha
+	alphaLats := scalingAlphaLats(opt.Latencies)
 	cells := make([]stats.Summary, len(specs)*perSpec)
-	err := pool.Run(context.Background(), opt.Workers, len(cells), func(i int) error {
-		spec, k := specs[i/perSpec], i%perSpec
-		var cfg core.Config
-		var tag string
+	jobsPerSpec := nChain + 1 // chain cells, plus one sweep covering every α
+	err := pool.Run(ctx, opt.Workers, len(specs)*jobsPerSpec, func(i int) error {
+		si, k := i/jobsPerSpec, i%jobsPerSpec
+		spec := specs[si]
 		if k < nChain {
 			L := ScalingChainLengths[k]
-			cfg = opt.baseConfig(spec, L)
-			tag = fmt.Sprintf("chain L=%d", L)
-		} else {
-			alpha := ScalingAlphas[k-nChain]
-			cfg = opt.baseConfig(spec, 32)
-			cfg.Latencies.WeakPenalty = alpha
-			tag = fmt.Sprintf("alpha=%g", alpha)
+			cfg := opt.baseConfig(spec, L)
+			cfg.Workers = 1
+			rep, err := core.RunContext(ctx, cfg)
+			if err != nil {
+				return fmt.Errorf("expt: %s chain L=%d %s: %w", name, L, spec.Name, err)
+			}
+			cells[si*perSpec+k] = rep.Parallel
+			return nil
 		}
+		cfg := opt.baseConfig(spec, 32)
 		cfg.Workers = 1
-		rep, err := core.Run(cfg)
+		reps, err := core.RunSweepContext(ctx, cfg, alphaLats)
 		if err != nil {
-			return fmt.Errorf("expt: %s %s %s: %w", name, tag, spec.Name, err)
+			return fmt.Errorf("expt: %s alpha sweep %s: %w", name, spec.Name, err)
 		}
-		cells[i] = rep.Parallel
+		for j, rep := range reps {
+			cells[si*perSpec+nChain+j] = rep.Parallel
+		}
 		return nil
 	})
 	if err != nil {
@@ -484,20 +536,30 @@ func runScaling(name string, opt Options, specs []circuit.Spec) (*ScalingResult,
 // Fig8 runs the quantum-volume scaling study (N qubits, N/2 2-qubit
 // gates, N = 8 … 128).
 func Fig8(opt Options) (*ScalingResult, error) {
+	return Fig8Context(context.Background(), opt)
+}
+
+// Fig8Context is Fig8 with cancellation.
+func Fig8Context(ctx context.Context, opt Options) (*ScalingResult, error) {
 	specs, err := workload.QVSweep(8, 128, 20)
 	if err != nil {
 		return nil, fmt.Errorf("expt: figure 8 workload: %w", err)
 	}
-	return runScaling("Figure 8 (quantum volume)", opt, specs)
+	return runScaling(ctx, "Figure 8 (quantum volume)", opt, specs)
 }
 
 // Fig9 runs the 2:1-ratio scaling study (N qubits, 2N 2-qubit gates).
 func Fig9(opt Options) (*ScalingResult, error) {
+	return Fig9Context(context.Background(), opt)
+}
+
+// Fig9Context is Fig9 with cancellation.
+func Fig9Context(ctx context.Context, opt Options) (*ScalingResult, error) {
 	specs, err := workload.RatioSweep(8, 128, 20, 2)
 	if err != nil {
 		return nil, fmt.Errorf("expt: figure 9 workload: %w", err)
 	}
-	return runScaling("Figure 9 (2:1 ratio circuits)", opt, specs)
+	return runScaling(ctx, "Figure 9 (2:1 ratio circuits)", opt, specs)
 }
 
 // Table renders both panels of the scaling study.

@@ -1,15 +1,14 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"velociti/internal/apps"
+	"velociti/internal/core"
 	"velociti/internal/fidelity"
-	"velociti/internal/placement"
-	"velociti/internal/schedule"
 	"velociti/internal/stats"
-	"velociti/internal/ti"
 )
 
 // FidelityRow is one application's timing/fidelity trade-off across chain
@@ -42,6 +41,16 @@ type FidelityResult struct {
 // ExtFidelity sweeps chain length over the Table II applications and
 // reports both axes: parallel time and estimated fidelity.
 func ExtFidelity(opt Options) (*FidelityResult, error) {
+	return ExtFidelityContext(context.Background(), opt)
+}
+
+// ExtFidelityContext is ExtFidelity with cancellation. Trials run through
+// the stage pipeline: the (application × chain length) grid here is exactly
+// Figure 7's, so with a shared Options.Pipeline the layouts, circuits, and
+// bindings are reused rather than regenerated, and only the fidelity pricing
+// is new work. EstimateBinding is pinned bit-identical to Estimate on the
+// trial's (circuit, layout) pair, so the figures are unchanged.
+func ExtFidelityContext(ctx context.Context, opt Options) (*FidelityResult, error) {
 	opt = opt.normalized()
 	model := fidelity.Default()
 	res := &FidelityResult{ChainLengths: Fig7ChainLengths}
@@ -49,22 +58,20 @@ func ExtFidelity(opt Options) (*FidelityResult, error) {
 	for _, spec := range apps.PaperSpecs() {
 		row := FidelityRow{App: spec.Name}
 		for _, L := range res.ChainLengths {
-			device, err := ti.DeviceFor(spec.Qubits, L, ti.Ring)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			st, err := core.NewStages(opt.baseConfig(spec, L))
 			if err != nil {
 				return nil, err
 			}
 			var parSum, logSum, errSum float64
 			for i := 0; i < opt.Runs; i++ {
-				r := stats.NewRand(stats.SplitSeed(opt.Seed, i))
-				layout, err := placement.Random{}.Place(device, spec.Qubits, r)
+				b, err := st.Bind(stats.SplitSeed(opt.Seed, i))
 				if err != nil {
 					return nil, err
 				}
-				c, err := schedule.Random{}.Place(spec, layout, r)
-				if err != nil {
-					return nil, err
-				}
-				est, err := model.Estimate(c, layout, opt.Latencies)
+				est, err := model.EstimateBinding(b, opt.Latencies)
 				if err != nil {
 					return nil, err
 				}

@@ -143,6 +143,59 @@ func (m Model) Estimate(c *circuit.Circuit, l *ti.Layout, lat perf.Latencies) (E
 	return est, nil
 }
 
+// EstimateBinding computes the same success-probability breakdown from a
+// stage-pipeline binding: the per-gate latency classes already encode
+// exactly the 1q / intra-chain / weak-link distinction the error model
+// prices, and the classes are iterated in gate order, so every log-space
+// sum — and therefore every field of the Estimate — is bit-identical to
+// Estimate on the (circuit, layout) pair the binding was built from.
+// Sweep engines reuse one binding across latency models; only the
+// makespan-dependent dephasing term is re-priced per model.
+func (m Model) EstimateBinding(b *perf.Binding, lat perf.Latencies) (Estimate, error) {
+	if err := m.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	if err := lat.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	var logGate, logWeak, expected float64
+	for i := 0; i < b.NumGates(); i++ {
+		var eps float64
+		weak := false
+		switch b.Class(i) {
+		case perf.ClassOneQ:
+			eps = m.OneQubitError
+		case perf.ClassTwoQIntra:
+			eps = m.TwoQubitError
+		default:
+			eps = m.WeakLinkError
+			weak = true
+		}
+		expected += eps
+		lg := math.Log1p(-eps)
+		logGate += lg
+		if weak {
+			logWeak += lg
+		}
+	}
+	makespan := b.ParallelTime(lat)
+	// Every qubit dephases for the full window; busy time is not
+	// protected, which errs conservative.
+	logCoherence := -float64(b.NumQubits()) * makespan / m.T2Micros
+	est := Estimate{
+		GateFidelity:      math.Exp(logGate),
+		CoherenceFidelity: math.Exp(logCoherence),
+		LogTotal:          logGate + logCoherence,
+		ExpectedErrors:    expected,
+		MakespanMicros:    makespan,
+	}
+	est.Total = math.Exp(est.LogTotal)
+	if logGate != 0 {
+		est.WeakGateErrorShare = logWeak / logGate
+	}
+	return est, nil
+}
+
 // Sample performs one Monte-Carlo execution of the placed circuit: each
 // gate independently fails with its class's ε, and dephasing kills the run
 // with probability 1 − exp(−n·makespan/T2). It reports whether the run

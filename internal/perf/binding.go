@@ -1,0 +1,288 @@
+package perf
+
+// This file splits the evaluator's hot path at the point where the timing
+// model enters. Evaluate classifies every gate against a layout (1-qubit,
+// 2-qubit intra-chain, or 2-qubit weak-link) and then prices the classes
+// under one Latencies. The classification — Bind — depends only on
+// (circuit, layout); the pricing — Time — is where α and the other
+// Table III knobs appear. Separating the two lets sweep engines reuse one
+// Binding across every α cell (internal/core's stage pipeline caches them)
+// and lets TimeAll price many latency models in a single pass over the
+// gate list instead of one independent dynamic program per model.
+//
+// Bit-exactness contract: Binding.Time(lat) equals Evaluator.Evaluate(l,
+// lat) field for field — including float bit patterns and critical-path
+// tie-breaking — and TimeAll(lats)[i] equals Time(lats[i]). The property
+// tests pin both.
+
+import (
+	"fmt"
+	"sync"
+
+	"velociti/internal/ti"
+)
+
+// GateClass is a gate's latency class under one layout.
+type GateClass uint8
+
+const (
+	// ClassOneQ is a 1-qubit gate (latency δ).
+	ClassOneQ GateClass = iota
+	// ClassTwoQIntra is a 2-qubit gate within one chain (latency γ).
+	ClassTwoQIntra
+	// ClassTwoQWeak is a 2-qubit gate across a weak link (latency α·γ).
+	ClassTwoQWeak
+	numClasses
+)
+
+// Binding is the layout-dependent but latency-independent artifact of one
+// (circuit, layout) pair: per-gate latency classes over the evaluator's CSR
+// arrays, plus the weak-gate and links-used counts. A Binding is immutable
+// after construction and safe for concurrent use, so sweep engines share
+// one across α cells and worker goroutines.
+type Binding struct {
+	ev      *Evaluator
+	classes []GateClass
+	weak    int
+	links   int
+}
+
+// Bind classifies every gate of the evaluator's circuit under layout l.
+func (e *Evaluator) Bind(l *ti.Layout) (*Binding, error) {
+	if e.c.NumQubits() > l.NumQubits() {
+		return nil, fmt.Errorf("perf: circuit has %d qubits but layout places only %d", e.c.NumQubits(), l.NumQubits())
+	}
+	b := &Binding{ev: e, classes: make([]GateClass, e.n)}
+	for i := 0; i < e.n; i++ {
+		switch {
+		case !e.twoQ[i]:
+			b.classes[i] = ClassOneQ
+		case l.SameChain(int(e.qa[i]), int(e.qb[i])):
+			b.classes[i] = ClassTwoQIntra
+		default:
+			b.classes[i] = ClassTwoQWeak
+			b.weak++
+		}
+	}
+	b.links = e.linksUsed(l)
+	return b, nil
+}
+
+// Evaluator returns the evaluator the binding was built from.
+func (b *Binding) Evaluator() *Evaluator { return b.ev }
+
+// NumGates returns the number of bound gates.
+func (b *Binding) NumGates() int { return b.ev.n }
+
+// NumQubits returns the circuit's qubit count.
+func (b *Binding) NumQubits() int { return b.ev.c.NumQubits() }
+
+// Class returns gate i's latency class.
+func (b *Binding) Class(i int) GateClass { return b.classes[i] }
+
+// WeakGates returns the number of cross-chain 2-qubit gates.
+func (b *Binding) WeakGates() int { return b.weak }
+
+// LinksUsed returns Table I's w: distinct weak links used by placement.
+func (b *Binding) LinksUsed() int { return b.links }
+
+// lut returns the per-class latency table for one timing model. The weak
+// entry is computed exactly as gateLatencies computes it (one multiply), so
+// priced latencies are bit-identical to the classic path.
+func classLatencies(lat Latencies) [numClasses]float64 {
+	return [numClasses]float64{
+		ClassOneQ:      lat.OneQubit,
+		ClassTwoQIntra: lat.TwoQubit,
+		ClassTwoQWeak:  lat.WeakPenalty * lat.TwoQubit,
+	}
+}
+
+// sweepScratch is the pooled working memory of a multi-latency evaluation:
+// lane-interleaved finish/prev buffers (gate-major, so one gate's lanes sit
+// contiguously) plus the shared last-writer table.
+type sweepScratch struct {
+	finish []float64
+	prev   []int32
+	last   []int32
+}
+
+var sweepPool = sync.Pool{New: func() any { return new(sweepScratch) }}
+
+func (s *sweepScratch) grow(cells, qubits int) {
+	if cap(s.finish) < cells {
+		s.finish = make([]float64, cells)
+		s.prev = make([]int32, cells)
+	}
+	s.finish = s.finish[:cells]
+	s.prev = s.prev[:cells]
+	if cap(s.last) < qubits {
+		s.last = make([]int32, qubits)
+	}
+	s.last = s.last[:qubits]
+	for i := range s.last {
+		s.last[i] = -1
+	}
+}
+
+// Time prices the binding under one timing model. The Result is exactly
+// equal — bit for bit, critical path included — to
+// Evaluator.Evaluate(layout, lat) on the layout the binding was built from.
+func (b *Binding) Time(lat Latencies) (Result, error) {
+	res, err := b.TimeAll([]Latencies{lat})
+	if err != nil {
+		return Result{}, err
+	}
+	return res[0], nil
+}
+
+// TimeAll prices the binding under every timing model in lats with one pass
+// over the gate list: the dependency traversal, last-writer tracking, and
+// class lookups are shared across models, and per-model finish times run in
+// interleaved lanes over pooled scratch. TimeAll(lats)[i] is exactly equal
+// to Time(lats[i]) — this is the parametric kernel behind α sweeps, where
+// the models differ only in WeakPenalty.
+func (b *Binding) TimeAll(lats []Latencies) ([]Result, error) {
+	nl := len(lats)
+	if nl == 0 {
+		return nil, fmt.Errorf("perf: TimeAll requires at least one timing model")
+	}
+	for _, lat := range lats {
+		if err := lat.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	e := b.ev
+	w := b.links
+	if w > e.twoQGates {
+		w = e.twoQGates
+	}
+	results := make([]Result, nl)
+	luts := make([][numClasses]float64, nl)
+	for j, lat := range lats {
+		luts[j] = classLatencies(lat)
+		results[j] = Result{
+			SerialMicros: SerialTimeFromCounts(e.oneQGates, e.twoQGates, w, lat),
+			WeakGates:    b.weak,
+			LinksUsed:    b.links,
+		}
+	}
+	if e.n == 0 {
+		return results, nil
+	}
+
+	s := sweepPool.Get().(*sweepScratch)
+	s.grow(e.n*nl, e.c.NumQubits())
+	finish, prev, last := s.finish, s.prev, s.last
+
+	// serial accumulates the per-gate-charged serial worst case per lane in
+	// gate order — the same addition order Evaluate uses, so sums match bit
+	// for bit. total/best track the makespan and its final gate per lane
+	// with Evaluate's strict-> tie-breaking (first maximum wins).
+	serial := make([]float64, nl)
+	total := make([]float64, nl)
+	best := make([]int32, nl)
+
+	for i := 0; i < e.n; i++ {
+		p0 := last[e.qa[i]]
+		p1 := int32(-1)
+		if qb := e.qb[i]; qb >= 0 {
+			p1 = last[qb]
+		}
+		class := b.classes[i]
+		base := i * nl
+		for j := 0; j < nl; j++ {
+			ready := 0.0
+			pr := int32(-1)
+			if p0 >= 0 && finish[int(p0)*nl+j] > ready {
+				ready = finish[int(p0)*nl+j]
+				pr = p0
+			}
+			if p1 >= 0 && finish[int(p1)*nl+j] > ready {
+				ready = finish[int(p1)*nl+j]
+				pr = p1
+			}
+			d := luts[j][class]
+			f := ready + d
+			finish[base+j] = f
+			prev[base+j] = pr
+			serial[j] += d
+			if f > total[j] {
+				total[j] = f
+				best[j] = int32(i)
+			}
+		}
+		last[e.qa[i]] = int32(i)
+		if qb := e.qb[i]; qb >= 0 {
+			last[qb] = int32(i)
+		}
+	}
+
+	labels := e.Labels()
+	for j := 0; j < nl; j++ {
+		results[j].SerialPerGateMicros = serial[j]
+		results[j].ParallelMicros = total[j]
+		depth := 0
+		for at := best[j]; at != -1; at = prev[int(at)*nl+j] {
+			depth++
+		}
+		path := make([]string, depth)
+		for at := best[j]; at != -1; at = prev[int(at)*nl+j] {
+			depth--
+			path[depth] = labels[at]
+		}
+		results[j].CriticalPath = path
+	}
+	sweepPool.Put(s)
+	return results, nil
+}
+
+// ParallelTime prices only the parallel model — the makespan under ASAP
+// scheduling — for one timing model, with no critical-path bookkeeping. It
+// equals Time(lat).ParallelMicros exactly; fidelity estimation uses it for
+// the dephasing window.
+func (b *Binding) ParallelTime(lat Latencies) float64 {
+	e := b.ev
+	if e.n == 0 {
+		return 0
+	}
+	lut := classLatencies(lat)
+	s := sweepPool.Get().(*sweepScratch)
+	s.grow(e.n, e.c.NumQubits())
+	finish, last := s.finish, s.last
+	total := 0.0
+	for i := 0; i < e.n; i++ {
+		ready := 0.0
+		if p := last[e.qa[i]]; p >= 0 && finish[p] > ready {
+			ready = finish[p]
+		}
+		if qb := e.qb[i]; qb >= 0 {
+			if p := last[qb]; p >= 0 && finish[p] > ready {
+				ready = finish[p]
+			}
+		}
+		f := ready + lut[b.classes[i]]
+		finish[i] = f
+		last[e.qa[i]] = int32(i)
+		if qb := e.qb[i]; qb >= 0 {
+			last[qb] = int32(i)
+		}
+		if f > total {
+			total = f
+		}
+	}
+	sweepPool.Put(s)
+	return total
+}
+
+// EvaluateAll runs both performance models for one layout under every
+// timing model in lats, sharing the gate classification and the dependency
+// traversal across models. EvaluateAll(l, lats)[i] is exactly equal to
+// Evaluate(l, lats[i]); with the models of an α sweep it replaces len(lats)
+// independent dynamic programs by one multi-lane pass.
+func (e *Evaluator) EvaluateAll(l *ti.Layout, lats []Latencies) ([]Result, error) {
+	b, err := e.Bind(l)
+	if err != nil {
+		return nil, err
+	}
+	return b.TimeAll(lats)
+}

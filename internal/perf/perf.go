@@ -24,6 +24,7 @@ package perf
 
 import (
 	"fmt"
+	"strconv"
 
 	"velociti/internal/circuit"
 	"velociti/internal/dag"
@@ -63,6 +64,16 @@ func (l Latencies) Validate() error {
 		return verr.Inputf("perf: weak-link penalty must be ≥ 1, got %g", l.WeakPenalty)
 	}
 	return nil
+}
+
+// CacheKey implements internal/cache.Keyer (structurally): a canonical
+// fingerprint of the timing model. Floats are rendered with the shortest
+// round-tripping decimal form, so models with equal field bit patterns —
+// and only those — share a key.
+func (l Latencies) CacheKey() string {
+	return "δ=" + strconv.FormatFloat(l.OneQubit, 'g', -1, 64) +
+		",γ=" + strconv.FormatFloat(l.TwoQubit, 'g', -1, 64) +
+		",α=" + strconv.FormatFloat(l.WeakPenalty, 'g', -1, 64)
 }
 
 // GateLatency returns the execution latency in µs of gate g under layout l:

@@ -1,0 +1,46 @@
+package placement
+
+// CacheKey methods implement internal/cache.Keyer (structurally — no import
+// needed) for the policies whose behavior is fully described by a canonical
+// string. The stage pipeline (internal/core.Stages) only caches layouts
+// produced by policies that provide one; Refined deliberately does not — its
+// behavior depends on an arbitrary Base policy, so a universally correct
+// fingerprint cannot be written for it and stage caching is bypassed.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// CacheKey implements cache.Keyer. Random's behavior is fixed given the
+// device, qubit count, and RNG stream, all of which the pipeline keys
+// separately.
+func (Random) CacheKey() string { return "random" }
+
+// CacheKey implements cache.Keyer.
+func (RoundRobin) CacheKey() string { return "round-robin" }
+
+// CacheKey implements cache.Keyer.
+func (Sequential) CacheKey() string { return "sequential" }
+
+// CacheKey implements cache.Keyer: the interaction graph is part of the
+// policy's behavior, so its content is hashed into the key in canonical
+// (sorted-pair) order.
+func (p InteractionAware) CacheKey() string {
+	keys := make([][2]int, 0, len(p.Interactions))
+	for k := range p.Interactions {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	h := fnv.New64a()
+	for _, k := range keys {
+		fmt.Fprintf(h, "%d,%d=%d;", k[0], k[1], p.Interactions[k])
+	}
+	return fmt.Sprintf("interaction-aware/%016x", h.Sum64())
+}

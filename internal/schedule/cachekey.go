@@ -1,0 +1,28 @@
+package schedule
+
+// CacheKey methods implement internal/cache.Keyer (structurally) for the
+// gate placers. Keys must cover everything that influences the produced
+// circuit: LoadBalanced consults its latency model while scheduling, so its
+// key embeds the model — without it, α-sweep cells would silently share
+// circuits that should differ.
+
+import "fmt"
+
+// CacheKey implements cache.Keyer.
+func (Random) CacheKey() string { return "random" }
+
+// CacheKey implements cache.Keyer.
+func (WeakAvoiding) CacheKey() string { return "weak-avoiding" }
+
+// CacheKey implements cache.Keyer.
+func (EdgeConstrained) CacheKey() string { return "edge-constrained" }
+
+// CacheKey implements cache.Keyer. Candidates is normalized to its
+// effective value so the zero default and an explicit 8 share artifacts.
+func (pl LoadBalanced) CacheKey() string {
+	k := pl.Candidates
+	if k <= 0 {
+		k = 8
+	}
+	return fmt.Sprintf("load-balanced/%s/k=%d", pl.Latencies.CacheKey(), k)
+}

@@ -125,6 +125,24 @@ func RunOnce(cfg Config, seed int64) (*Circuit, *Layout, Result, error) {
 	return core.RunOnce(cfg, seed)
 }
 
+// RunSweep executes the configured simulation under every timing model in
+// lats with shared placement, synthesis, and gate classification;
+// RunSweep(cfg, lats)[j] is bit-identical to Run with cfg.Latencies =
+// lats[j]. This is the engine behind the α sweeps of Figures 8(b)/9(b).
+func RunSweep(cfg Config, lats []Latencies) ([]*Report, error) {
+	return core.RunSweep(cfg, lats)
+}
+
+// Pipeline is a shared, content-keyed store of latency-independent trial
+// artifacts (layouts, synthesized circuits, gate-class bindings). Attach one
+// to Config.Pipeline to reuse artifacts across related simulations — caching
+// never changes results.
+type Pipeline = core.Pipeline
+
+// NewPipeline returns an empty artifact store with the default per-stage
+// capacity.
+func NewPipeline() *Pipeline { return core.NewPipeline() }
+
 // Device describes a fixed trapped-ion machine: chains of a given length
 // joined by weak links.
 type Device = ti.Device
