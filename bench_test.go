@@ -10,11 +10,13 @@
 package velociti
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
 	"velociti/internal/apps"
 	"velociti/internal/core"
+	"velociti/internal/dse"
 	"velociti/internal/expt"
 	"velociti/internal/perf"
 	"velociti/internal/qasm"
@@ -192,6 +194,7 @@ func BenchmarkParallelModelQFT(b *testing.B) {
 	}
 	lat := perf.DefaultLatencies()
 	ev := perf.NewEvaluator(c)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if ev.ParallelTime(layout, lat) <= 0 {
@@ -212,6 +215,7 @@ func BenchmarkLegacyParallelModelQFT(b *testing.B) {
 		b.Fatal(err)
 	}
 	lat := perf.DefaultLatencies()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if perf.ParallelTime(c, layout, lat) <= 0 {
@@ -234,6 +238,7 @@ func BenchmarkGateGraphConstruction(b *testing.B) {
 		b.Fatal(err)
 	}
 	lat := perf.DefaultLatencies()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ev := perf.NewEvaluator(c)
@@ -255,6 +260,7 @@ func BenchmarkLegacyGateGraphConstruction(b *testing.B) {
 		b.Fatal(err)
 	}
 	lat := perf.DefaultLatencies()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g := perf.BuildGateGraph(c, layout, lat)
@@ -462,13 +468,39 @@ func BenchmarkExtFidelity(b *testing.B) {
 	}
 }
 
-// BenchmarkDesignSpaceExploration runs the Pareto design-space explorer
-// with the grid spread across the worker pool.
+// BenchmarkDesignSpaceExploration runs the Pareto design-space explorer on
+// the plan-grouped batched path: one coupled trial per (plan, seed) prices
+// the whole α axis through the parametric sweep kernel and the batched
+// fidelity estimator. The committed baseline pins the per-cell legacy cost
+// (BenchmarkLegacyDesignSpaceExploration), so benchdiff gates the grouped
+// explorer's advantage; its allocs/op entry records the batched path itself
+// and keeps the hot loop allocation-flat.
 func BenchmarkDesignSpaceExploration(b *testing.B) {
 	spec := Spec{Name: "dse", Qubits: 64, TwoQubitGates: 300}
 	workers := runtime.GOMAXPROCS(0)
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		points, err := ExploreDesignSpace(spec, DesignSpaceOptions{Runs: 5, Seed: int64(i), Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ParetoFrontier(points)) == 0 {
+			b.Fatal("empty frontier")
+		}
+	}
+}
+
+// BenchmarkLegacyDesignSpaceExploration pins the per-cell exploration path
+// (dse.ExplorePerCell) the grouped explorer replaced — the bit-exactness
+// oracle doubles as the performance reference.
+func BenchmarkLegacyDesignSpaceExploration(b *testing.B) {
+	spec := Spec{Name: "dse", Qubits: 64, TwoQubitGates: 300}
+	workers := runtime.GOMAXPROCS(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points, err := dse.ExplorePerCell(context.Background(), spec, DesignSpaceOptions{Runs: 5, Seed: int64(i), Workers: workers})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,6 +1,8 @@
 // Command benchdiff compares `go test -bench` output against a committed
-// ns/op baseline and flags regressions — the check CI's benchmark-smoke
-// job runs so hot-path slowdowns surface in the pull request, not after.
+// baseline and flags regressions — the check CI's benchmark-smoke job runs
+// so hot-path slowdowns surface in the pull request, not after. Three
+// metrics are gated, each with its own tolerance: ns/op (timing, noisy),
+// allocs/op (deterministic, tight tolerance), and B/op.
 //
 //	go test -run '^$' -bench . -benchtime 200x . | benchdiff
 //	go test -run '^$' -bench . . | benchdiff -fail            # exit 1 on regression
@@ -9,10 +11,23 @@
 // Repeated counts of the same benchmark are averaged. Benchmark names are
 // matched with the -N GOMAXPROCS suffix stripped, so baselines recorded on
 // different core counts compare cleanly.
+//
+// Baseline entries come in two forms: a bare number is ns/op only (the
+// legacy format), and an object tracks any of ns_op, allocs_op, and b_op:
+//
+//	"benchmarks": {
+//	  "BenchmarkLegacy": 13465503,
+//	  "BenchmarkGated":  {"ns_op": 4100000, "allocs_op": 1141, "b_op": 221568}
+//	}
+//
+// A benchmark is gated exactly on the metrics its entry tracks; -update
+// preserves each entry's tracked-metric shape and errors if the input
+// lacks a tracked metric (allocs require ReportAllocs or -benchmem).
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,13 +40,60 @@ import (
 
 // baseline is the committed reference file format.
 type baseline struct {
-	Note       string             `json:"note,omitempty"`
-	Benchmarks map[string]float64 `json:"benchmarks"`
+	Note       string            `json:"note,omitempty"`
+	Benchmarks map[string]metric `json:"benchmarks"`
+}
+
+// metric is one benchmark's tracked values. NsOp is always tracked;
+// AllocsOp and BOp are optional — nil means "not gated", which is distinct
+// from an explicit zero.
+type metric struct {
+	NsOp     float64
+	AllocsOp *float64
+	BOp      *float64
+}
+
+// MarshalJSON writes the legacy bare number when only ns/op is tracked
+// and the object form otherwise.
+func (m metric) MarshalJSON() ([]byte, error) {
+	if m.AllocsOp == nil && m.BOp == nil {
+		return json.Marshal(m.NsOp)
+	}
+	obj := map[string]float64{"ns_op": m.NsOp}
+	if m.AllocsOp != nil {
+		obj["allocs_op"] = *m.AllocsOp
+	}
+	if m.BOp != nil {
+		obj["b_op"] = *m.BOp
+	}
+	return json.Marshal(obj)
+}
+
+// UnmarshalJSON accepts both entry forms.
+func (m *metric) UnmarshalJSON(data []byte) error {
+	if t := bytes.TrimSpace(data); len(t) > 0 && t[0] == '{' {
+		var obj struct {
+			NsOp     *float64 `json:"ns_op"`
+			AllocsOp *float64 `json:"allocs_op"`
+			BOp      *float64 `json:"b_op"`
+		}
+		if err := json.Unmarshal(data, &obj); err != nil {
+			return err
+		}
+		if obj.NsOp == nil {
+			return fmt.Errorf("benchmark entry missing ns_op")
+		}
+		m.NsOp, m.AllocsOp, m.BOp = *obj.NsOp, obj.AllocsOp, obj.BOp
+		return nil
+	}
+	m.AllocsOp, m.BOp = nil, nil
+	return json.Unmarshal(data, &m.NsOp)
 }
 
 // benchLine matches one result row of `go test -bench` output, e.g.
-// "BenchmarkGateGraphConstruction-8   	 200	  199960 ns/op".
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// "BenchmarkX-8   200   199960 ns/op   221568 B/op   1141 allocs/op"
+// (the memory columns appear under ReportAllocs or -benchmem).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+([0-9.]+) allocs/op)?`)
 
 func main() {
 	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
@@ -40,14 +102,22 @@ func main() {
 	}
 }
 
+// thresholds bundles the per-metric tolerances.
+type thresholds struct {
+	ns, allocs, bytes float64
+}
+
 func run(args []string, in io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	var (
-		basePath  = fs.String("baseline", "BENCH_BASELINE.json", "baseline JSON file")
-		threshold = fs.Float64("threshold", 0.30, "relative ns/op increase that counts as a regression")
-		fail      = fs.Bool("fail", false, "exit non-zero when a regression is found")
-		update    = fs.String("update", "", "write measured ns/op back to this baseline file instead of comparing")
+		basePath = fs.String("baseline", "BENCH_BASELINE.json", "baseline JSON file")
+		thr      thresholds
+		fail     = fs.Bool("fail", false, "exit non-zero when a regression is found")
+		update   = fs.String("update", "", "write measured values back to this baseline file instead of comparing")
 	)
+	fs.Float64Var(&thr.ns, "threshold", 0.30, "relative ns/op increase that counts as a regression")
+	fs.Float64Var(&thr.allocs, "alloc-threshold", 0.05, "relative allocs/op increase that counts as a regression")
+	fs.Float64Var(&thr.bytes, "bytes-threshold", 0.15, "relative B/op increase that counts as a regression")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,18 +143,22 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	regressions := report(out, base, got, *threshold)
+	regressions := report(out, base, got, thr)
 	if regressions > 0 && *fail {
-		return fmt.Errorf("%d benchmark regression(s) beyond %.0f%%", regressions, *threshold*100)
+		return fmt.Errorf("%d benchmark regression(s) beyond threshold", regressions)
 	}
 	return nil
 }
 
-// parseBench extracts ns/op per benchmark, averaging repeated counts and
-// stripping the -N GOMAXPROCS suffix from names.
-func parseBench(in io.Reader) (map[string]float64, error) {
-	sums := map[string]float64{}
-	counts := map[string]int{}
+// parseBench extracts the per-benchmark metrics, averaging repeated counts
+// and stripping the -N GOMAXPROCS suffix from names. AllocsOp/BOp are set
+// only when at least one row reported them.
+func parseBench(in io.Reader) (map[string]metric, error) {
+	type acc struct {
+		ns, bytes, allocs float64
+		n, nb, na         int
+	}
+	accs := map[string]*acc{}
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	for sc.Scan() {
@@ -92,20 +166,51 @@ func parseBench(in io.Reader) (map[string]float64, error) {
 		if m == nil {
 			continue
 		}
+		a := accs[m[1]]
+		if a == nil {
+			a = &acc{}
+			accs[m[1]] = a
+		}
 		ns, err := strconv.ParseFloat(m[2], 64)
 		if err != nil {
 			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
 		}
-		sums[m[1]] += ns
-		counts[m[1]]++
+		a.ns += ns
+		a.n++
+		if m[3] != "" {
+			v, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad B/op in %q: %w", sc.Text(), err)
+			}
+			a.bytes += v
+			a.nb++
+		}
+		if m[4] != "" {
+			v, err := strconv.ParseFloat(m[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad allocs/op in %q: %w", sc.Text(), err)
+			}
+			a.allocs += v
+			a.na++
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	for name := range sums {
-		sums[name] /= float64(counts[name])
+	out := make(map[string]metric, len(accs))
+	for name, a := range accs {
+		m := metric{NsOp: a.ns / float64(a.n)}
+		if a.na > 0 {
+			v := a.allocs / float64(a.na)
+			m.AllocsOp = &v
+		}
+		if a.nb > 0 {
+			v := a.bytes / float64(a.nb)
+			m.BOp = &v
+		}
+		out[name] = m
 	}
-	return sums, nil
+	return out, nil
 }
 
 func readBaseline(path string) (*baseline, error) {
@@ -123,17 +228,33 @@ func readBaseline(path string) (*baseline, error) {
 	return &b, nil
 }
 
-// writeBaseline records the measured averages, preserving the note (and
-// the tracked benchmark set, when the file already exists).
-func writeBaseline(path string, got map[string]float64) error {
+// writeBaseline records the measured averages. When the file already
+// exists, the note, the tracked benchmark set, AND each entry's tracked
+// metric shape are preserved; dropping a tracked metric is an error, so a
+// run without allocation reporting cannot silently shed the allocs gate.
+func writeBaseline(path string, got map[string]metric) error {
 	b := baseline{Benchmarks: got}
 	if old, err := readBaseline(path); err == nil {
 		b.Note = old.Note
-		b.Benchmarks = map[string]float64{}
-		for name := range old.Benchmarks {
-			if ns, ok := got[name]; ok {
-				b.Benchmarks[name] = ns
+		b.Benchmarks = map[string]metric{}
+		for name, ref := range old.Benchmarks {
+			m, ok := got[name]
+			if !ok {
+				continue
 			}
+			if ref.AllocsOp != nil && m.AllocsOp == nil {
+				return fmt.Errorf("%s tracks allocs/op for %s but the input has none (run with ReportAllocs or -benchmem)", path, name)
+			}
+			if ref.BOp != nil && m.BOp == nil {
+				return fmt.Errorf("%s tracks B/op for %s but the input has none (run with ReportAllocs or -benchmem)", path, name)
+			}
+			if ref.AllocsOp == nil {
+				m.AllocsOp = nil
+			}
+			if ref.BOp == nil {
+				m.BOp = nil
+			}
+			b.Benchmarks[name] = m
 		}
 		if len(b.Benchmarks) == 0 {
 			return fmt.Errorf("input contains none of the benchmarks tracked by %s", path)
@@ -146,9 +267,9 @@ func writeBaseline(path string, got map[string]float64) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// report prints one line per tracked benchmark and returns how many
-// regressed beyond the threshold.
-func report(out io.Writer, base *baseline, got map[string]float64, threshold float64) int {
+// report prints one line per tracked (benchmark, metric) pair and returns
+// how many regressed beyond their metric's threshold.
+func report(out io.Writer, base *baseline, got map[string]metric, thr thresholds) int {
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
 		names = append(names, name)
@@ -158,19 +279,28 @@ func report(out io.Writer, base *baseline, got map[string]float64, threshold flo
 	for _, name := range names {
 		ref := base.Benchmarks[name]
 		cur, ok := got[name]
-		switch {
-		case !ok:
+		if !ok {
 			fmt.Fprintf(out, "WARN %s: tracked in baseline but missing from input\n", name)
-		case ref <= 0:
-			fmt.Fprintf(out, "WARN %s: non-positive baseline %g ns/op\n", name, ref)
-		case cur > ref*(1+threshold):
-			regressions++
-			fmt.Fprintf(out, "REGRESSION %s: %.0f ns/op vs baseline %.0f (%.2fx slower, threshold %.0f%%)\n",
-				name, cur, ref, cur/ref, threshold*100)
-		case cur < ref:
-			fmt.Fprintf(out, "ok %s: %.0f ns/op vs baseline %.0f (%.2fx faster)\n", name, cur, ref, ref/cur)
-		default:
-			fmt.Fprintf(out, "ok %s: %.0f ns/op vs baseline %.0f (+%.1f%%)\n", name, cur, ref, (cur/ref-1)*100)
+			continue
+		}
+		if ref.NsOp <= 0 {
+			fmt.Fprintf(out, "WARN %s: non-positive baseline %g ns/op\n", name, ref.NsOp)
+		} else {
+			regressions += compareMetric(out, name, "ns/op", cur.NsOp, ref.NsOp, thr.ns)
+		}
+		if ref.AllocsOp != nil {
+			if cur.AllocsOp == nil {
+				fmt.Fprintf(out, "WARN %s: baseline tracks allocs/op but input has none (run with ReportAllocs or -benchmem)\n", name)
+			} else {
+				regressions += compareMetric(out, name, "allocs/op", *cur.AllocsOp, *ref.AllocsOp, thr.allocs)
+			}
+		}
+		if ref.BOp != nil {
+			if cur.BOp == nil {
+				fmt.Fprintf(out, "WARN %s: baseline tracks B/op but input has none (run with ReportAllocs or -benchmem)\n", name)
+			} else {
+				regressions += compareMetric(out, name, "B/op", *cur.BOp, *ref.BOp, thr.bytes)
+			}
 		}
 	}
 	var extras []string
@@ -181,7 +311,24 @@ func report(out io.Writer, base *baseline, got map[string]float64, threshold flo
 	}
 	sort.Strings(extras)
 	for _, name := range extras {
-		fmt.Fprintf(out, "note %s: %.0f ns/op (not tracked in baseline)\n", name, got[name])
+		fmt.Fprintf(out, "note %s: %.0f ns/op (not tracked in baseline)\n", name, got[name].NsOp)
 	}
 	return regressions
+}
+
+// compareMetric prints one comparison line and returns 1 on regression.
+func compareMetric(out io.Writer, name, unit string, cur, ref, threshold float64) int {
+	switch {
+	case cur > ref*(1+threshold):
+		fmt.Fprintf(out, "REGRESSION %s: %.0f %s vs baseline %.0f (%.2fx slower, threshold %.0f%%)\n",
+			name, cur, unit, ref, cur/ref, threshold*100)
+		return 1
+	case cur < ref:
+		fmt.Fprintf(out, "ok %s: %.0f %s vs baseline %.0f (%.2fx faster)\n", name, cur, unit, ref, ref/cur)
+	case cur == 0: // ref is 0 too: cur > 0 would have regressed above
+		fmt.Fprintf(out, "ok %s: 0 %s vs baseline 0\n", name, unit)
+	default:
+		fmt.Fprintf(out, "ok %s: %.0f %s vs baseline %.0f (+%.1f%%)\n", name, cur, unit, ref, (cur/ref-1)*100)
+	}
+	return 0
 }

@@ -19,6 +19,21 @@ PASS
 ok  	velociti	1.234s
 `
 
+const sampleBenchMem = `goos: linux
+BenchmarkDesignSpaceExploration-8 	     200	   4100000 ns/op	  221568 B/op	    1141 allocs/op
+BenchmarkDesignSpaceExploration-8 	     200	   4300000 ns/op	  221570 B/op	    1141 allocs/op
+BenchmarkParallelModelQFT-8      	     200	     50000 ns/op
+PASS
+`
+
+// nsOnly builds a legacy bare-number entry.
+func nsOnly(ns float64) metric { return metric{NsOp: ns} }
+
+// full builds an entry gating all three metrics.
+func full(ns, allocs, bytes float64) metric {
+	return metric{NsOp: ns, AllocsOp: &allocs, BOp: &bytes}
+}
+
 func writeTempBaseline(t *testing.T, b baseline) string {
 	t.Helper()
 	data, err := json.Marshal(b)
@@ -37,22 +52,79 @@ func TestParseBenchAveragesAndStripsSuffix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got["BenchmarkParallelModelQFT"] != 55000 {
-		t.Fatalf("average = %v, want 55000", got["BenchmarkParallelModelQFT"])
+	if got["BenchmarkParallelModelQFT"].NsOp != 55000 {
+		t.Fatalf("average = %v, want 55000", got["BenchmarkParallelModelQFT"].NsOp)
 	}
-	if got["BenchmarkGateGraphConstruction"] != 200000 {
-		t.Fatalf("single = %v", got["BenchmarkGateGraphConstruction"])
+	if got["BenchmarkGateGraphConstruction"].NsOp != 200000 {
+		t.Fatalf("single = %v", got["BenchmarkGateGraphConstruction"].NsOp)
 	}
-	if got["BenchmarkNewThing"] != 1234 {
-		t.Fatalf("suffixless = %v", got["BenchmarkNewThing"])
+	if got["BenchmarkNewThing"].NsOp != 1234 {
+		t.Fatalf("suffixless = %v", got["BenchmarkNewThing"].NsOp)
+	}
+	if m := got["BenchmarkParallelModelQFT"]; m.AllocsOp != nil || m.BOp != nil {
+		t.Fatalf("memory metrics appeared without ReportAllocs rows: %+v", m)
+	}
+}
+
+func TestParseBenchMemoryColumns(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBenchMem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := got["BenchmarkDesignSpaceExploration"]
+	if m.NsOp != 4200000 {
+		t.Fatalf("ns/op average = %v", m.NsOp)
+	}
+	if m.AllocsOp == nil || *m.AllocsOp != 1141 {
+		t.Fatalf("allocs/op = %v", m.AllocsOp)
+	}
+	if m.BOp == nil || *m.BOp != 221569 {
+		t.Fatalf("B/op average = %v", m.BOp)
+	}
+	if q := got["BenchmarkParallelModelQFT"]; q.AllocsOp != nil {
+		t.Fatalf("memory metric leaked onto a row without columns: %+v", q)
+	}
+}
+
+func TestMetricJSONRoundTrip(t *testing.T) {
+	b := baseline{Benchmarks: map[string]metric{
+		"BenchmarkLegacy": nsOnly(13465503),
+		"BenchmarkGated":  full(4100000, 1141, 221568),
+	}}
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"BenchmarkLegacy":13465503`) {
+		t.Fatalf("legacy entry not a bare number: %s", data)
+	}
+	if !strings.Contains(string(data), `"allocs_op":1141`) {
+		t.Fatalf("gated entry missing allocs_op: %s", data)
+	}
+	var back baseline
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if m := back.Benchmarks["BenchmarkLegacy"]; m.NsOp != 13465503 || m.AllocsOp != nil {
+		t.Fatalf("legacy round trip = %+v", m)
+	}
+	if m := back.Benchmarks["BenchmarkGated"]; *m.AllocsOp != 1141 || *m.BOp != 221568 || m.NsOp != 4100000 {
+		t.Fatalf("gated round trip = %+v", m)
+	}
+}
+
+func TestMetricJSONRejectsMissingNsOp(t *testing.T) {
+	var m metric
+	if err := json.Unmarshal([]byte(`{"allocs_op": 5}`), &m); err == nil {
+		t.Fatal("want error for entry without ns_op")
 	}
 }
 
 func TestRunReportsSpeedupsAndNotes(t *testing.T) {
-	path := writeTempBaseline(t, baseline{Benchmarks: map[string]float64{
-		"BenchmarkParallelModelQFT":      178580,
-		"BenchmarkGateGraphConstruction": 8304790,
-		"BenchmarkMissing":               100,
+	path := writeTempBaseline(t, baseline{Benchmarks: map[string]metric{
+		"BenchmarkParallelModelQFT":      nsOnly(178580),
+		"BenchmarkGateGraphConstruction": nsOnly(8304790),
+		"BenchmarkMissing":               nsOnly(100),
 	}})
 	var out strings.Builder
 	err := run([]string{"-baseline", path}, strings.NewReader(sampleBench), &out)
@@ -72,8 +144,8 @@ func TestRunReportsSpeedupsAndNotes(t *testing.T) {
 }
 
 func TestRunFlagsRegression(t *testing.T) {
-	path := writeTempBaseline(t, baseline{Benchmarks: map[string]float64{
-		"BenchmarkParallelModelQFT": 10000, // sample's 55000 is 5.5x slower
+	path := writeTempBaseline(t, baseline{Benchmarks: map[string]metric{
+		"BenchmarkParallelModelQFT": nsOnly(10000), // sample's 55000 is 5.5x slower
 	}})
 	var out strings.Builder
 	if err := run([]string{"-baseline", path}, strings.NewReader(sampleBench), &out); err != nil {
@@ -89,8 +161,8 @@ func TestRunFlagsRegression(t *testing.T) {
 }
 
 func TestRunWithinThresholdPasses(t *testing.T) {
-	path := writeTempBaseline(t, baseline{Benchmarks: map[string]float64{
-		"BenchmarkParallelModelQFT": 50000, // 55000 is +10%, under 30%
+	path := writeTempBaseline(t, baseline{Benchmarks: map[string]metric{
+		"BenchmarkParallelModelQFT": nsOnly(50000), // 55000 is +10%, under 30%
 	}})
 	var out strings.Builder
 	if err := run([]string{"-baseline", path, "-fail"}, strings.NewReader(sampleBench), &out); err != nil {
@@ -101,12 +173,73 @@ func TestRunWithinThresholdPasses(t *testing.T) {
 	}
 }
 
+func TestRunGatesAllocRegressionIndependently(t *testing.T) {
+	// ns/op is well within its 30% tolerance but allocs/op grew 10%:
+	// the alloc gate alone must trip.
+	path := writeTempBaseline(t, baseline{Benchmarks: map[string]metric{
+		"BenchmarkDesignSpaceExploration": full(4200000, 1037, 221569),
+	}})
+	var out strings.Builder
+	err := run([]string{"-baseline", path, "-fail"}, strings.NewReader(sampleBenchMem), &out)
+	if err == nil || !strings.Contains(err.Error(), "1 benchmark regression") {
+		t.Fatalf("-fail err = %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION BenchmarkDesignSpaceExploration: 1141 allocs/op") {
+		t.Fatalf("no alloc regression line:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "ok BenchmarkDesignSpaceExploration: 4200000 ns/op") {
+		t.Fatalf("ns/op should pass:\n%s", out.String())
+	}
+
+	// Raising only the alloc tolerance clears the failure.
+	out.Reset()
+	if err := run([]string{"-baseline", path, "-fail", "-alloc-threshold", "0.2"}, strings.NewReader(sampleBenchMem), &out); err != nil {
+		t.Fatalf("with loose alloc threshold: %v\n%s", err, out.String())
+	}
+}
+
+func TestRunGatesBytesRegressionIndependently(t *testing.T) {
+	path := writeTempBaseline(t, baseline{Benchmarks: map[string]metric{
+		"BenchmarkDesignSpaceExploration": full(4200000, 1141, 150000), // measured 221569 B/op is ~1.48x
+	}})
+	var out strings.Builder
+	err := run([]string{"-baseline", path, "-fail"}, strings.NewReader(sampleBenchMem), &out)
+	if err == nil {
+		t.Fatalf("want B/op regression\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION BenchmarkDesignSpaceExploration: 221569 B/op") {
+		t.Fatalf("no B/op regression line:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-baseline", path, "-fail", "-bytes-threshold", "0.5"}, strings.NewReader(sampleBenchMem), &out); err != nil {
+		t.Fatalf("with loose bytes threshold: %v\n%s", err, out.String())
+	}
+}
+
+func TestRunWarnsWhenTrackedMetricUnmeasured(t *testing.T) {
+	// The baseline gates allocs but the input rows carry no memory
+	// columns: warn rather than silently pass or fail.
+	path := writeTempBaseline(t, baseline{Benchmarks: map[string]metric{
+		"BenchmarkParallelModelQFT": full(178580, 10, 1000),
+	}})
+	var out strings.Builder
+	if err := run([]string{"-baseline", path, "-fail"}, strings.NewReader(sampleBench), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "WARN BenchmarkParallelModelQFT: baseline tracks allocs/op but input has none") {
+		t.Fatalf("missing allocs warn:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "WARN BenchmarkParallelModelQFT: baseline tracks B/op but input has none") {
+		t.Fatalf("missing B/op warn:\n%s", out.String())
+	}
+}
+
 func TestUpdatePreservesTrackedSetAndNote(t *testing.T) {
 	path := writeTempBaseline(t, baseline{
 		Note: "reference numbers",
-		Benchmarks: map[string]float64{
-			"BenchmarkParallelModelQFT":      178580,
-			"BenchmarkGateGraphConstruction": 8304790,
+		Benchmarks: map[string]metric{
+			"BenchmarkParallelModelQFT":      nsOnly(178580),
+			"BenchmarkGateGraphConstruction": nsOnly(8304790),
 		},
 	})
 	var out strings.Builder
@@ -120,7 +253,7 @@ func TestUpdatePreservesTrackedSetAndNote(t *testing.T) {
 	if got.Note != "reference numbers" {
 		t.Fatalf("note = %q", got.Note)
 	}
-	if len(got.Benchmarks) != 2 || got.Benchmarks["BenchmarkParallelModelQFT"] != 55000 {
+	if len(got.Benchmarks) != 2 || got.Benchmarks["BenchmarkParallelModelQFT"].NsOp != 55000 {
 		t.Fatalf("benchmarks = %+v", got.Benchmarks)
 	}
 	if _, ok := got.Benchmarks["BenchmarkNewThing"]; ok {
@@ -128,18 +261,61 @@ func TestUpdatePreservesTrackedSetAndNote(t *testing.T) {
 	}
 }
 
+func TestUpdatePreservesMetricShape(t *testing.T) {
+	// A legacy bare-number entry must stay bare even when the input
+	// carries memory columns, and a gated entry keeps all its metrics.
+	path := writeTempBaseline(t, baseline{Benchmarks: map[string]metric{
+		"BenchmarkParallelModelQFT":       nsOnly(178580),
+		"BenchmarkDesignSpaceExploration": full(9000000, 2000, 400000),
+	}})
+	var out strings.Builder
+	if err := run([]string{"-update", path}, strings.NewReader(sampleBenchMem), &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"BenchmarkParallelModelQFT": 50000`) {
+		t.Fatalf("legacy entry not preserved as bare number:\n%s", data)
+	}
+	got, err := readBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := got.Benchmarks["BenchmarkDesignSpaceExploration"]
+	if m.NsOp != 4200000 || m.AllocsOp == nil || *m.AllocsOp != 1141 || m.BOp == nil || *m.BOp != 221569 {
+		t.Fatalf("gated entry = %+v", m)
+	}
+}
+
+func TestUpdateRejectsDroppingTrackedMetric(t *testing.T) {
+	path := writeTempBaseline(t, baseline{Benchmarks: map[string]metric{
+		"BenchmarkParallelModelQFT": full(178580, 10, 1000),
+	}})
+	var out strings.Builder
+	err := run([]string{"-update", path}, strings.NewReader(sampleBench), &out)
+	if err == nil || !strings.Contains(err.Error(), "tracks allocs/op") {
+		t.Fatalf("err = %v, want tracked-metric error", err)
+	}
+}
+
 func TestUpdateCreatesFreshBaseline(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "fresh.json")
 	var out strings.Builder
-	if err := run([]string{"-update", path}, strings.NewReader(sampleBench), &out); err != nil {
+	if err := run([]string{"-update", path}, strings.NewReader(sampleBenchMem), &out); err != nil {
 		t.Fatal(err)
 	}
 	got, err := readBaseline(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got.Benchmarks) != 3 {
+	if len(got.Benchmarks) != 2 {
 		t.Fatalf("benchmarks = %+v", got.Benchmarks)
+	}
+	// Fresh files record every measured metric.
+	if got.Benchmarks["BenchmarkDesignSpaceExploration"].AllocsOp == nil {
+		t.Fatalf("fresh baseline dropped allocs: %+v", got.Benchmarks)
 	}
 }
 
@@ -151,8 +327,8 @@ func TestRunEmptyInput(t *testing.T) {
 }
 
 func TestCommittedBaselineMatchesRepoFile(t *testing.T) {
-	// The committed repo baseline must parse and track the three CI smoke
-	// benchmarks.
+	// The committed repo baseline must parse, track the CI smoke
+	// benchmarks, and gate the grouped explorer's allocations.
 	b, err := readBaseline("../../BENCH_BASELINE.json")
 	if err != nil {
 		t.Fatal(err)
@@ -161,9 +337,13 @@ func TestCommittedBaselineMatchesRepoFile(t *testing.T) {
 		"BenchmarkParallelModelQFT",
 		"BenchmarkGateGraphConstruction",
 		"BenchmarkDesignSpaceExploration",
+		"BenchmarkLegacyDesignSpaceExploration",
 	} {
-		if b.Benchmarks[name] <= 0 {
+		if b.Benchmarks[name].NsOp <= 0 {
 			t.Errorf("baseline missing %s", name)
 		}
+	}
+	if m := b.Benchmarks["BenchmarkDesignSpaceExploration"]; m.AllocsOp == nil || *m.AllocsOp <= 0 {
+		t.Errorf("grouped explorer benchmark must gate allocs/op, got %+v", m)
 	}
 }

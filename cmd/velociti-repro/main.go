@@ -8,6 +8,7 @@
 //	velociti-repro -only fig6,fig7 # a subset
 //	velociti-repro -runs 10        # faster, noisier
 //	velociti-repro -csv out/       # also write one CSV per experiment
+//	velociti-repro -cpuprofile cpu.pprof -memprofile mem.pprof  # pprof files
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"velociti/internal/core"
 	"velociti/internal/expt"
 	"velociti/internal/perf"
+	"velociti/internal/prof"
 )
 
 // experiment names in execution order.
@@ -49,9 +51,10 @@ func statsDelta(cur, prev cache.Stats) string {
 	return fmt.Sprintf("%d hit/%d miss/%d evict", cur.Hits-prev.Hits, cur.Misses-prev.Misses, cur.Evictions-prev.Evictions)
 }
 
-func run(ctx context.Context, args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("velociti-repro", flag.ContinueOnError)
 	var (
+		profile    prof.Flags
 		runs       = fs.Int("runs", core.DefaultRuns, "randomized trials per data point")
 		seed       = fs.Int64("seed", 1, "master random seed")
 		only       = fs.String("only", "", "comma-separated subset of: "+strings.Join(order, ","))
@@ -61,9 +64,20 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		mdPath     = fs.String("md", "", "write a Markdown reproduction report to this file")
 		cacheStats = fs.Bool("cache-stats", false, "report per-stage artifact-cache counters per experiment on stderr")
 	)
+	profile.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Profiles go to their own files, so the tables on stdout are
+	// byte-identical with or without them.
+	if err := profile.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		if perr := profile.Stop(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 	selected := map[string]bool{}
 	if *only == "" {
 		for _, name := range order {

@@ -31,6 +31,7 @@ import (
 	"velociti/internal/core"
 	"velociti/internal/perf"
 	"velociti/internal/pool"
+	"velociti/internal/prof"
 	"velociti/internal/schedule"
 	"velociti/internal/ti"
 	"velociti/internal/verr"
@@ -52,9 +53,10 @@ func main() {
 	fmt.Fprintf(os.Stderr, "velociti-sweep: done in %s\n", time.Since(start).Round(time.Millisecond))
 }
 
-func run(ctx context.Context, args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("velociti-sweep", flag.ContinueOnError)
 	var (
+		profile    prof.Flags
 		app        = fs.String("app", "", "Table II application workload")
 		qv         = fs.Bool("qv", false, "quantum-volume workload (N qubits, N/2 2-qubit gates)")
 		ratio      = fs.Float64("ratio", 0, "fixed-ratio workload (N qubits, ratio*N 2-qubit gates)")
@@ -71,9 +73,20 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		workers    = fs.Int("workers", 1, "trials to run concurrently per configuration")
 		cacheStats = fs.Bool("cache-stats", false, "report stage-cache counters and per-phase wall clock on stderr")
 	)
+	profile.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Profiles go to their own files, so the CSV on stdout is byte-identical
+	// with or without them.
+	if err := profile.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		if perr := profile.Stop(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	specs, err := buildSpecs(*app, *qv, *ratio, *qubits, *oneQ, *twoQ, *qubitRange)
 	if err != nil {

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"context"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -141,6 +143,33 @@ func TestWorkersFlagMatchesSerial(t *testing.T) {
 	for i := range serial {
 		if serial[i] != concurrent[i] {
 			t.Fatalf("row %d differs between serial and concurrent sweeps:\n%s\n%s", i, serial[i], concurrent[i])
+		}
+	}
+}
+
+func TestProfilingFlagsKeepStdoutByteIdentical(t *testing.T) {
+	base := []string{"-app", "BV", "-chain-lengths", "8,16", "-runs", "2"}
+	var plain bytes.Buffer
+	if err := run(context.Background(), base, &plain); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.pprof"), filepath.Join(dir, "mem.pprof")
+	var profiled bytes.Buffer
+	args := append([]string{"-cpuprofile", cpu, "-memprofile", mem}, base...)
+	if err := run(context.Background(), args, &profiled); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), profiled.Bytes()) {
+		t.Fatalf("stdout changed under profiling:\n--- plain ---\n%s--- profiled ---\n%s", plain.String(), profiled.String())
+	}
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", path)
 		}
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"velociti/internal/verr"
 )
@@ -210,7 +211,12 @@ type Circuit struct {
 
 	numQubits int
 	gates     []Gate
-	err       error
+	// arena backs the Qubits slices of appended gates so synthesis loops
+	// don't allocate per gate. Gates receive disjoint capacity-clipped
+	// windows; when a block fills, a fresh one is started and earlier gates
+	// keep referencing the old block.
+	arena []int
+	err   error
 }
 
 // New returns an empty circuit over numQubits qubits. A non-positive width
@@ -218,13 +224,51 @@ type Circuit struct {
 // subsequent Append fails against the empty register, so the poisoned
 // circuit stays inert rather than crashing the caller.
 func New(name string, numQubits int) *Circuit {
-	c := &Circuit{Name: name}
+	return (&Circuit{}).init(name, numQubits)
+}
+
+// init resets a circuit to the empty state New produces, keeping whatever
+// gate and arena capacity the struct already carries.
+func (c *Circuit) init(name string, numQubits int) *Circuit {
+	c.Name = name
+	c.numQubits = 0
+	c.gates = c.gates[:0]
+	c.arena = c.arena[:0]
+	c.err = nil
 	if numQubits <= 0 {
 		c.fail(verr.Inputf("circuit %q: numQubits must be positive, got %d", name, numQubits))
 		return c
 	}
 	c.numQubits = numQubits
 	return c
+}
+
+// scratchPool holds retired circuits for hot synthesis loops. It only ever
+// contains circuits explicitly handed back through Recycle, so ordinary
+// construction is unaffected.
+var scratchPool sync.Pool
+
+// NewScratch is New, but reuses a recycled circuit's gate and arena storage
+// when one is available. The returned circuit is indistinguishable from a
+// fresh New result.
+func NewScratch(name string, numQubits int) *Circuit {
+	if c, _ := scratchPool.Get().(*Circuit); c != nil {
+		return c.init(name, numQubits)
+	}
+	return New(name, numQubits)
+}
+
+// Recycle retires c's storage for reuse by NewScratch. The caller must own
+// every live reference into c — the circuit itself, its Gates slice, and
+// each gate's Qubits view — because a later NewScratch will overwrite them
+// in place. Trial loops that synthesize, price, and discard circuits use
+// this to stay allocation-flat; anything cached or returned to a caller
+// must never be recycled.
+func Recycle(c *Circuit) {
+	if c == nil {
+		return
+	}
+	scratchPool.Put(c)
 }
 
 // fail records the first construction error.
@@ -297,26 +341,130 @@ func (c *Circuit) Append(k Kind, qubits []int, params ...float64) int {
 	c.gates = append(c.gates, Gate{
 		ID:     id,
 		Kind:   k,
-		Qubits: append([]int(nil), qubits...),
+		Qubits: c.internQubits(qubits),
 		Params: append([]float64(nil), params...),
 	})
 	return id
 }
 
+// internQubits copies an operand list into the circuit's arena. The window
+// is capacity-clipped so growing one gate's slice can never clobber a
+// neighbour's operands.
+func (c *Circuit) internQubits(qubits []int) []int {
+	if len(qubits) == 0 {
+		return nil
+	}
+	c.ensureArena(len(qubits))
+	start := len(c.arena)
+	c.arena = append(c.arena, qubits...)
+	return c.arena[start:len(c.arena):len(c.arena)]
+}
+
+// ensureArena makes room for n more arena ints, starting a fresh block when
+// the current one is full (earlier gates keep referencing the old block).
+func (c *Circuit) ensureArena(n int) {
+	if cap(c.arena)-len(c.arena) >= n {
+		return
+	}
+	g := 2 * cap(c.arena)
+	if g < 64 {
+		g = 64
+	}
+	if g < n {
+		g = n
+	}
+	c.arena = make([]int, 0, g)
+}
+
+// append1 is Append specialized for a parameterless 1-qubit kind: same
+// sticky-error contract, same diagnostics, no generic dispatch. Synthesis
+// loops emit millions of these, so the rejection paths are outlined to
+// keep the common path branch-light.
+func (c *Circuit) append1(k Kind, q int) int {
+	if c.err != nil || uint(q) >= uint(c.numQubits) {
+		return c.append1Err(q)
+	}
+	c.ensureArena(1)
+	start := len(c.arena)
+	c.arena = append(c.arena, q)
+	id := len(c.gates)
+	c.gates = append(c.gates, Gate{ID: id, Kind: k, Qubits: c.arena[start : start+1 : start+1]})
+	return id
+}
+
+// append1Err records append1's rejection: a no-op on an already-failed
+// circuit, an input error otherwise.
+func (c *Circuit) append1Err(q int) int {
+	if c.err == nil {
+		c.fail(verr.Inputf("circuit: qubit q%d out of range [0,%d)", q, c.numQubits))
+	}
+	return -1
+}
+
+// append2 is Append specialized for a parameterless 2-qubit kind.
+func (c *Circuit) append2(k Kind, a, b int) int {
+	if c.err != nil || uint(a) >= uint(c.numQubits) || uint(b) >= uint(c.numQubits) || a == b {
+		return c.append2Err(k, a, b)
+	}
+	c.ensureArena(2)
+	start := len(c.arena)
+	c.arena = append(c.arena, a, b)
+	id := len(c.gates)
+	c.gates = append(c.gates, Gate{ID: id, Kind: k, Qubits: c.arena[start : start+2 : start+2]})
+	return id
+}
+
+// append2Err records append2's rejection with Append's exact diagnostics,
+// checked in Append's order: operand range first, then the identical-qubit
+// rule.
+func (c *Circuit) append2Err(k Kind, a, b int) int {
+	if c.err != nil {
+		return -1
+	}
+	if a < 0 || a >= c.numQubits {
+		c.fail(verr.Inputf("circuit: qubit q%d out of range [0,%d)", a, c.numQubits))
+		return -1
+	}
+	if b < 0 || b >= c.numQubits {
+		c.fail(verr.Inputf("circuit: qubit q%d out of range [0,%d)", b, c.numQubits))
+		return -1
+	}
+	c.fail(verr.Inputf("circuit: 2-qubit gate %s on identical qubits q%d", k.Name(), a))
+	return -1
+}
+
+// Grow reserves capacity for n additional gates and their operands, so a
+// synthesis loop of n Appends performs no per-gate allocation. It never
+// changes the circuit's contents; non-positive n and poisoned circuits are
+// no-ops.
+func (c *Circuit) Grow(n int) {
+	if c.err != nil || n <= 0 {
+		return
+	}
+	if free := cap(c.gates) - len(c.gates); free < n {
+		gates := make([]Gate, len(c.gates), len(c.gates)+n)
+		copy(gates, c.gates)
+		c.gates = gates
+	}
+	if free := cap(c.arena) - len(c.arena); free < 2*n {
+		c.arena = make([]int, 0, 2*n)
+	}
+}
+
 // Convenience builders for the common gates.
 
-func (c *Circuit) H(q int) int                    { return c.Append(H, []int{q}) }
-func (c *Circuit) X(q int) int                    { return c.Append(X, []int{q}) }
-func (c *Circuit) Y(q int) int                    { return c.Append(Y, []int{q}) }
-func (c *Circuit) Z(q int) int                    { return c.Append(Z, []int{q}) }
-func (c *Circuit) S(q int) int                    { return c.Append(S, []int{q}) }
-func (c *Circuit) T(q int) int                    { return c.Append(T, []int{q}) }
+func (c *Circuit) H(q int) int                    { return c.append1(H, q) }
+func (c *Circuit) X(q int) int                    { return c.append1(X, q) }
+func (c *Circuit) Y(q int) int                    { return c.append1(Y, q) }
+func (c *Circuit) Z(q int) int                    { return c.append1(Z, q) }
+func (c *Circuit) S(q int) int                    { return c.append1(S, q) }
+func (c *Circuit) T(q int) int                    { return c.append1(T, q) }
 func (c *Circuit) RX(theta float64, q int) int    { return c.Append(RX, []int{q}, theta) }
 func (c *Circuit) RY(theta float64, q int) int    { return c.Append(RY, []int{q}, theta) }
 func (c *Circuit) RZ(theta float64, q int) int    { return c.Append(RZ, []int{q}, theta) }
-func (c *Circuit) CX(ctrl, tgt int) int           { return c.Append(CX, []int{ctrl, tgt}) }
-func (c *Circuit) CZ(a, b int) int                { return c.Append(CZ, []int{a, b}) }
-func (c *Circuit) SWAP(a, b int) int              { return c.Append(SWAP, []int{a, b}) }
+func (c *Circuit) CX(ctrl, tgt int) int           { return c.append2(CX, ctrl, tgt) }
+func (c *Circuit) CZ(a, b int) int                { return c.append2(CZ, a, b) }
+func (c *Circuit) SWAP(a, b int) int              { return c.append2(SWAP, a, b) }
 func (c *Circuit) CP(theta float64, a, b int) int { return c.Append(CP, []int{a, b}, theta) }
 func (c *Circuit) XX(theta float64, a, b int) int { return c.Append(XX, []int{a, b}, theta) }
 

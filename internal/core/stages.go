@@ -106,6 +106,14 @@ type Stages struct {
 	placeKey string
 	synthKey string
 	bindKey  string
+
+	// Key components retained for BindAll, which rebuilds synth/bind
+	// prefixes per sweep lane (the placer fingerprint varies with the
+	// lane's timing model). keyPol is "" when the placement policy cannot
+	// fingerprint itself, which disables caching everywhere.
+	keyDev      string
+	keyWorkload string
+	keyPol      string
 }
 
 // NewStages validates cfg, derives the area-optimal device, and returns the
@@ -139,6 +147,8 @@ func newStages(cfg Config, spec circuit.Spec, device *ti.Device) *Stages {
 		return s
 	}
 	dev := fmt.Sprintf("dev=%s/L%d/c%d", device.Topology(), device.ChainLength(), device.NumChains())
+	s.keyDev = dev
+	s.keyPol = polKey
 	s.placeKey = fmt.Sprintf("place|%s|q%d|pol=%s", dev, spec.Qubits, polKey)
 	if cfg.Circuit != nil {
 		// Explicit mode: the circuit is fixed, so Synthesize needs no cache
@@ -146,14 +156,21 @@ func newStages(cfg Config, spec circuit.Spec, device *ti.Device) *Stages {
 		s.bindKey = fmt.Sprintf("bind|%s|circ=%016x|pol=%s", dev, cfg.Circuit.Fingerprint(), polKey)
 		return s
 	}
+	s.keyWorkload = fmt.Sprintf("spec=%q/q%d/1q%d/2q%d", spec.Name, spec.Qubits, spec.OneQubitGates, spec.TwoQubitGates)
 	placerKey, ok := policyKey(cfg.Placer)
 	if !ok {
 		return s
 	}
-	workload := fmt.Sprintf("spec=%q/q%d/1q%d/2q%d", spec.Name, spec.Qubits, spec.OneQubitGates, spec.TwoQubitGates)
-	s.synthKey = fmt.Sprintf("synth|%s|%s|pol=%s|placer=%s", dev, workload, polKey, placerKey)
-	s.bindKey = fmt.Sprintf("bind|%s|%s|pol=%s|placer=%s", dev, workload, polKey, placerKey)
+	s.synthKey, s.bindKey = s.stageKeys(placerKey)
 	return s
+}
+
+// stageKeys builds the synth/bind key prefixes for one placer fingerprint
+// over the stages' device, workload, and placement-policy components.
+func (s *Stages) stageKeys(placerKey string) (synthKey, bindKey string) {
+	synthKey = fmt.Sprintf("synth|%s|%s|pol=%s|placer=%s", s.keyDev, s.keyWorkload, s.keyPol, placerKey)
+	bindKey = fmt.Sprintf("bind|%s|%s|pol=%s|placer=%s", s.keyDev, s.keyWorkload, s.keyPol, placerKey)
+	return synthKey, bindKey
 }
 
 // policyKey returns a policy's canonical fingerprint when it provides one.

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"velociti/internal/circuit"
+	"velociti/internal/perf"
+	"velociti/internal/schedule"
+)
+
+func sweepLats(alphas ...float64) []perf.Latencies {
+	lats := make([]perf.Latencies, len(alphas))
+	for i, a := range alphas {
+		lats[i] = perf.DefaultLatencies()
+		lats[i].WeakPenalty = a
+	}
+	return lats
+}
+
+func sameBinding(t *testing.T, label string, got, want *perf.Binding) {
+	t.Helper()
+	gc, wc := got.Classes(), want.Classes()
+	if len(gc) != len(wc) {
+		t.Fatalf("%s: %d classes, want %d", label, len(gc), len(wc))
+	}
+	for i := range gc {
+		if gc[i] != wc[i] {
+			t.Fatalf("%s: class %d = %v, want %v", label, i, gc[i], wc[i])
+		}
+	}
+	if got.WeakGates() != want.WeakGates() {
+		t.Fatalf("%s: weak gates %d, want %d", label, got.WeakGates(), want.WeakGates())
+	}
+}
+
+// TestBindAllMatchesPerLaneBind pins the batched binder's contract: lane j of
+// BindAll(seed, lats) equals Bind(seed) of a Stages whose placer is
+// At(lats[j]), for every built-in placer, with and without a pipeline.
+func TestBindAllMatchesPerLaneBind(t *testing.T) {
+	lats := sweepLats(3.0, 2.0, 1.0)
+	spec := circuit.Spec{Name: "ba", Qubits: 32, OneQubitGates: 30, TwoQubitGates: 120}
+	for _, pl := range []*Pipeline{nil, NewPipeline()} {
+		for _, p := range schedule.All(perf.DefaultLatencies()) {
+			cfg := Config{Spec: spec, ChainLength: 8, Placer: p, Pipeline: pl}
+			s, err := NewStages(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, seed := range []int64{2, 19} {
+				got, err := s.BindAll(seed, lats)
+				if err != nil {
+					t.Fatalf("%s: BindAll: %v", p.Name(), err)
+				}
+				for j, lat := range lats {
+					lane := cfg
+					lane.Placer = p.(schedule.SweepPlacer).At(lat)
+					lane.Pipeline = nil
+					ls, err := NewStages(lane)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, err := ls.Bind(seed)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sameBinding(t, p.Name(), got[j], want)
+				}
+				// Second call: with a pipeline this exercises the
+				// all-lanes-hit path; it must return the same artifacts.
+				again, err := s.BindAll(seed, lats)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for j := range lats {
+					if pl != nil && again[j] != got[j] {
+						t.Fatalf("%s: cached BindAll returned a different binding", p.Name())
+					}
+					sameBinding(t, p.Name()+" (again)", again[j], got[j])
+				}
+			}
+		}
+	}
+}
+
+// TestBindAllSharesBindingsAcrossAliasedLanes pins the aliasing optimization:
+// latency-free placers yield one binding shared by every lane.
+func TestBindAllSharesBindingsAcrossAliasedLanes(t *testing.T) {
+	spec := circuit.Spec{Name: "alias", Qubits: 16, OneQubitGates: 10, TwoQubitGates: 40}
+	s, err := NewStages(Config{Spec: spec, ChainLength: 8, Placer: schedule.Random{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.BindAll(4, sweepLats(2.0, 1.5, 1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != out[1] || out[1] != out[2] {
+		t.Fatal("latency-free lanes should share one binding")
+	}
+	lb, err := NewStages(Config{Spec: spec, ChainLength: 8, Placer: schedule.LoadBalanced{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err = lb.BindAll(4, sweepLats(2.0, 1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] == out[1] {
+		t.Fatal("load-balanced lanes must not share bindings")
+	}
+}
+
+// TestBindAllExplicitMode: a fixed circuit means one binding for all lanes.
+func TestBindAllExplicitMode(t *testing.T) {
+	c := circuit.New("fixed", 8)
+	c.CX(0, 5)
+	c.X(2)
+	s, err := NewStages(Config{Circuit: c, ChainLength: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.BindAll(1, sweepLats(2.0, 1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != out[1] {
+		t.Fatal("explicit mode lanes should share one binding")
+	}
+	want, err := s.Bind(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameBinding(t, "explicit", out[0], want)
+}
+
+func TestBindAllValidation(t *testing.T) {
+	spec := circuit.Spec{Name: "v", Qubits: 8, OneQubitGates: 2, TwoQubitGates: 2}
+	s, err := NewStages(Config{Spec: spec, ChainLength: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.BindAll(1, nil); err == nil || !strings.Contains(err.Error(), "at least one") {
+		t.Fatalf("empty lats: %v", err)
+	}
+}

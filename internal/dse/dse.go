@@ -8,12 +8,21 @@
 // The paper performs these sweeps by hand across figures; Explore runs the
 // grid and Pareto filters it, so "which configurations are worth building"
 // becomes one call.
+//
+// Exploration is plan-grouped: the grid is partitioned by latency-
+// independent plan — a (chain length, placer) pair — and each plan's whole
+// α axis is priced from ONE batched trial per seed (core.Stages.BindAll +
+// fidelity.Estimator.EstimateAll), since α enters only at the pricing
+// stage. ExplorePerCell keeps the cell-by-cell reference path; the two are
+// bit-identical (see the property tests) because every batched kernel
+// preserves the per-cell draw sequences and float operation order.
 package dse
 
 import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"velociti/internal/circuit"
 	"velociti/internal/core"
@@ -63,17 +72,22 @@ type Options struct {
 	Fidelity fidelity.Model
 	// Latencies is the base timing model (α is overridden per point).
 	Latencies perf.Latencies
-	// Workers bounds how many grid points are evaluated concurrently
+	// Workers bounds how many (plan, seed) jobs are evaluated concurrently
 	// (further capped at GOMAXPROCS by the shared pool runner). Zero or
-	// one evaluates the grid serially. Every point derives its trial
-	// seeds independently, so results are bit-identical at any worker
-	// count.
+	// one evaluates the grid serially. Every trial derives its own seed
+	// and the reduction preserves grid and run order, so results are
+	// bit-identical at any worker count.
 	Workers int
-	// Pipeline is the shared stage-artifact store. Every grid point runs
-	// through it, so cells that differ only in α share placement,
-	// synthesis, and gate-class binding and re-price just the timing
-	// model. Nil creates a fresh pipeline per Explore call; caching never
-	// changes results.
+	// Pipeline is the shared stage-artifact store. A non-nil pipeline
+	// retains each trial's placement, synthesis, and gate-class binding so
+	// later Explore calls with overlapping seeds skip recomputation. When
+	// nil, the grouped explorer runs cache-free instead: one coupled trial
+	// per (plan, seed) already covers the whole α axis, so within a single
+	// call there is nothing to share, and the transient circuits and
+	// evaluators are recycled through per-worker scratch pools to keep the
+	// batched loop allocation-flat. Caching never changes results.
+	// (ExplorePerCell, the reference path, always uses a pipeline — its
+	// cells re-derive the same trials and need the dedup.)
 	Pipeline *core.Pipeline
 }
 
@@ -140,16 +154,246 @@ func (o Options) grid(spec circuit.Spec) ([]gridCell, error) {
 	return cells, nil
 }
 
+// planGroup is one latency-independent slice of the grid: a (chain length,
+// placer) pair spanning the whole α axis. Its cells share every stage up to
+// Bind; only the α-dependent pricing differs per lane.
+type planGroup struct {
+	chainLength int
+	placerName  string
+	lats        []perf.Latencies // lane j prices Alphas[j]
+	cellIdx     []int            // output index of lane j's grid cell
+
+	// stages drives the batched path (placer implements
+	// schedule.SweepPlacer). laneStages is the per-lane fallback for
+	// placers that cannot synthesize a sweep in one pass.
+	stages     *core.Stages
+	laneStages []*core.Stages
+}
+
+// plans partitions the grid into plan groups in canonical order, preserving
+// the (ChainLength, Alpha, Placer) output indexing of the per-cell path.
+func (o Options) plans(spec circuit.Spec) ([]planGroup, error) {
+	nA, nP := len(o.Alphas), len(o.Placers)
+	out := make([]planGroup, 0, len(o.ChainLengths)*nP)
+	for li, L := range o.ChainLengths {
+		if _, err := ti.DeviceFor(spec.Qubits, L, ti.Ring); err != nil {
+			return nil, err
+		}
+		for pi, placerName := range o.Placers {
+			pg := planGroup{
+				chainLength: L,
+				placerName:  placerName,
+				lats:        make([]perf.Latencies, nA),
+				cellIdx:     make([]int, nA),
+			}
+			for ai, alpha := range o.Alphas {
+				lat := o.Latencies
+				lat.WeakPenalty = alpha
+				pg.lats[ai] = lat
+				pg.cellIdx[ai] = (li*nA+ai)*nP + pi
+			}
+			rep, err := schedule.ByName(placerName, pg.lats[0])
+			if err != nil {
+				return nil, err
+			}
+			if _, ok := rep.(schedule.SweepPlacer); ok {
+				st, err := core.NewStages(core.Config{
+					Spec:        spec,
+					ChainLength: L,
+					Latencies:   pg.lats[0],
+					Placer:      rep,
+					Runs:        o.Runs,
+					Seed:        o.Seed,
+					Pipeline:    o.Pipeline,
+				})
+				if err != nil {
+					return nil, err
+				}
+				pg.stages = st
+			} else {
+				// A placer outside the built-in suite that cannot batch:
+				// fall back to per-cell stages, still under (plan, seed)
+				// job granularity.
+				pg.laneStages = make([]*core.Stages, nA)
+				for ai := range o.Alphas {
+					placer, err := schedule.ByName(placerName, pg.lats[ai])
+					if err != nil {
+						return nil, err
+					}
+					st, err := core.NewStages(core.Config{
+						Spec:        spec,
+						ChainLength: L,
+						Latencies:   pg.lats[ai],
+						Placer:      placer,
+						Runs:        o.Runs,
+						Seed:        o.Seed,
+						Pipeline:    o.Pipeline,
+					})
+					if err != nil {
+						return nil, err
+					}
+					pg.laneStages[ai] = st
+				}
+			}
+			out = append(out, pg)
+		}
+	}
+	return out, nil
+}
+
+// trialVal is one (plan, seed, α lane) outcome awaiting the ordered
+// reduction.
+type trialVal struct {
+	par, log, weak float64
+}
+
 // Explore evaluates the full grid for the workload and returns every
-// point, ordered by (ChainLength, Alpha, Placer). Grid points run across
-// the worker pool when opt.Workers allows; each point derives its own
-// trial seeds, so the returned points are identical at any worker count.
+// point, ordered by (ChainLength, Alpha, Placer). Evaluation is
+// plan-grouped — see the package comment — and (plan, seed) jobs run
+// across the worker pool when opt.Workers allows; the returned points are
+// bit-identical at any worker count and to ExplorePerCell.
 func Explore(spec circuit.Spec, opt Options) ([]Point, error) {
 	return ExploreContext(context.Background(), spec, opt)
 }
 
 // ExploreContext is Explore with cancellation.
 func ExploreContext(ctx context.Context, spec circuit.Spec, opt Options) ([]Point, error) {
+	opt = opt.normalized()
+	// With no pipeline, nothing retains a trial's circuits or evaluators
+	// past its own pricing pass, so they are safe to recycle (see
+	// Options.Pipeline).
+	recycle := opt.Pipeline == nil
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	plans, err := opt.plans(spec)
+	if err != nil {
+		return nil, err
+	}
+	nA := len(opt.Alphas)
+	vals := make([]trialVal, len(plans)*opt.Runs*nA)
+
+	// Per-worker reusable estimators: the model is validated once up
+	// front so pooled construction cannot fail later.
+	if err := opt.Fidelity.Validate(); err != nil {
+		return nil, err
+	}
+	var estPool sync.Pool
+	getEstimator := func() (*fidelity.Estimator, error) {
+		if e, _ := estPool.Get().(*fidelity.Estimator); e != nil {
+			return e, nil
+		}
+		return fidelity.NewEstimator(opt.Fidelity)
+	}
+
+	err = pool.Run(ctx, opt.Workers, len(plans)*opt.Runs, func(idx int) error {
+		pi, ri := idx/opt.Runs, idx%opt.Runs
+		pg := &plans[pi]
+		seed := stats.SplitSeed(opt.Seed, ri)
+		est, err := getEstimator()
+		if err != nil {
+			return err
+		}
+		defer estPool.Put(est)
+		out := vals[(pi*opt.Runs+ri)*nA : (pi*opt.Runs+ri+1)*nA]
+		if pg.stages != nil {
+			return exploreTrialBatched(pg, seed, est, recycle, out)
+		}
+		return exploreTrialPerLane(pg, seed, est, out)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Ordered reduction: cells in canonical grid order, runs in seed
+	// order — the exact accumulation sequence of the per-cell path.
+	points := make([]Point, len(plans)*nA)
+	n := float64(opt.Runs)
+	for pi := range plans {
+		pg := &plans[pi]
+		for ai := 0; ai < nA; ai++ {
+			var parSum, logSum, weakSum float64
+			for ri := 0; ri < opt.Runs; ri++ {
+				v := vals[(pi*opt.Runs+ri)*nA+ai]
+				parSum += v.par
+				logSum += v.log
+				weakSum += v.weak
+			}
+			points[pg.cellIdx[ai]] = Point{
+				ChainLength:    pg.chainLength,
+				Alpha:          opt.Alphas[ai],
+				Placer:         pg.placerName,
+				ParallelMicros: parSum / n,
+				LogFidelity:    logSum / n,
+				WeakGates:      weakSum / n,
+			}
+		}
+	}
+	return points, nil
+}
+
+// exploreTrialBatched runs one (plan, seed) trial through the batched
+// path: one coupled BindAll, then the α axis priced in runs of lanes that
+// share a binding (latency-free placers alias one binding across all
+// lanes; latency-steered placers get one per lane). With recycle set the
+// trial's circuits and evaluators — which nothing retains, since the plan
+// stages carry no pipeline — return to their scratch pools after pricing.
+func exploreTrialBatched(pg *planGroup, seed int64, est *fidelity.Estimator, recycle bool, out []trialVal) error {
+	bs, err := pg.stages.BindAll(seed, pg.lats)
+	if err != nil {
+		return err
+	}
+	nA := len(pg.lats)
+	for a0 := 0; a0 < nA; {
+		a1 := a0 + 1
+		for a1 < nA && bs[a1] == bs[a0] {
+			a1++
+		}
+		ests, err := est.EstimateAll(bs[a0], pg.lats[a0:a1])
+		if err != nil {
+			return err
+		}
+		weak := float64(bs[a0].WeakGates())
+		for ai := a0; ai < a1; ai++ {
+			e := ests[ai-a0]
+			out[ai] = trialVal{par: e.MakespanMicros, log: e.LogTotal, weak: weak}
+		}
+		if recycle {
+			// Distinct bindings own distinct evaluators and circuits
+			// (aliased lanes were folded into one run above).
+			ev := bs[a0].Evaluator()
+			circuit.Recycle(ev.Circuit())
+			perf.RecycleEvaluator(ev)
+		}
+		a0 = a1
+	}
+	return nil
+}
+
+// exploreTrialPerLane is the fallback for non-batchable placers: each α
+// lane binds and prices independently, exactly as the per-cell path does.
+func exploreTrialPerLane(pg *planGroup, seed int64, est *fidelity.Estimator, out []trialVal) error {
+	for ai, lat := range pg.lats {
+		b, err := pg.laneStages[ai].Bind(seed)
+		if err != nil {
+			return err
+		}
+		e, err := est.EstimateOne(b, lat)
+		if err != nil {
+			return err
+		}
+		out[ai] = trialVal{par: e.MakespanMicros, log: e.LogTotal, weak: float64(b.WeakGates())}
+	}
+	return nil
+}
+
+// ExplorePerCell evaluates the grid cell by cell — the pre-plan-grouping
+// reference path, kept as the bit-exactness oracle for the batched
+// explorer and as the pinned legacy benchmark target
+// (BenchmarkLegacyDesignSpaceExploration). Cells run across the worker
+// pool; each derives its own trial seeds, so the returned points are
+// identical at any worker count — and, field for field, to ExploreContext.
+func ExplorePerCell(ctx context.Context, spec circuit.Spec, opt Options) ([]Point, error) {
 	opt = opt.normalized()
 	if opt.Pipeline == nil {
 		opt.Pipeline = core.NewPipeline()
@@ -221,7 +465,9 @@ func explorePoint(spec circuit.Spec, opt Options, cell gridCell) (Point, error) 
 }
 
 // Pareto filters points to the non-dominated frontier, sorted by parallel
-// time ascending. Input order is not modified.
+// time ascending. Input order is not modified; points tied on both axes
+// sort by their input position, so the frontier is deterministic for any
+// fixed input order.
 func Pareto(points []Point) []Point {
 	var frontier []Point
 	for i, p := range points {
@@ -239,7 +485,7 @@ func Pareto(points []Point) []Point {
 			frontier = append(frontier, p)
 		}
 	}
-	sort.Slice(frontier, func(i, j int) bool {
+	sort.SliceStable(frontier, func(i, j int) bool {
 		if frontier[i].ParallelMicros != frontier[j].ParallelMicros {
 			return frontier[i].ParallelMicros < frontier[j].ParallelMicros
 		}

@@ -1,0 +1,135 @@
+package dse
+
+import (
+	"context"
+	"testing"
+)
+
+// TestExploreMatchesPerCell is the tentpole's bit-exactness property test:
+// the plan-grouped explorer returns the same []Point, field for field, as
+// the per-cell reference path — across worker counts and grid shapes,
+// including every built-in placer. No tolerance: Point is comparable and
+// compared with ==.
+func TestExploreMatchesPerCell(t *testing.T) {
+	grids := []struct {
+		name string
+		opt  Options
+	}{
+		{
+			name: "default-placers",
+			opt: Options{
+				ChainLengths: []int{8, 16},
+				Alphas:       []float64{2.0, 1.5, 1.0},
+				Placers:      []string{"random", "load-balanced"},
+				Runs:         4,
+				Seed:         29,
+			},
+		},
+		{
+			name: "all-placers-narrow",
+			opt: Options{
+				ChainLengths: []int{16},
+				Alphas:       []float64{3.0, 1.0},
+				Placers: []string{
+					"random", "weak-avoiding", "edge-constrained", "load-balanced",
+				},
+				Runs: 3,
+				Seed: 101,
+			},
+		},
+	}
+	sp := spec()
+	for _, g := range grids {
+		want, err := ExplorePerCell(context.Background(), sp, g.opt)
+		if err != nil {
+			t.Fatalf("%s: per-cell: %v", g.name, err)
+		}
+		for _, workers := range []int{1, 4, 8} {
+			opt := g.opt
+			opt.Workers = workers
+			got, err := Explore(sp, opt)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", g.name, workers, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s workers=%d: %d points, want %d", g.name, workers, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s workers=%d point %d:\n grouped  %+v\n per-cell %+v",
+						g.name, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestExplorePerCellDeterministicAcrossWorkers pins the oracle itself: the
+// per-cell path is worker-count independent too.
+func TestExplorePerCellDeterministicAcrossWorkers(t *testing.T) {
+	opt := Options{
+		ChainLengths: []int{8},
+		Alphas:       []float64{2.0, 1.0},
+		Placers:      []string{"random", "load-balanced"},
+		Runs:         3,
+		Seed:         5,
+	}
+	base, err := ExplorePerCell(context.Background(), spec(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 8
+	again, err := ExplorePerCell(context.Background(), spec(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base {
+		if base[i] != again[i] {
+			t.Fatalf("point %d differs across worker counts", i)
+		}
+	}
+}
+
+// TestParetoTieOrderIsDeterministic pins the frontier's tie-breaking: points
+// tied on both axes keep their input order (stable sort), and ties on
+// parallel time alone order by descending log-fidelity.
+func TestParetoTieOrderIsDeterministic(t *testing.T) {
+	// Four mutually non-dominating points: two exact ties on both axes
+	// (distinguished by ChainLength) plus a faster/less-faithful pair.
+	pts := []Point{
+		{ChainLength: 8, Alpha: 2.0, Placer: "a", ParallelMicros: 100, LogFidelity: -1},
+		{ChainLength: 16, Alpha: 2.0, Placer: "b", ParallelMicros: 100, LogFidelity: -1},
+		{ChainLength: 24, Alpha: 1.0, Placer: "c", ParallelMicros: 50, LogFidelity: -2},
+		{ChainLength: 32, Alpha: 1.0, Placer: "d", ParallelMicros: 50, LogFidelity: -2},
+	}
+	front := Pareto(pts)
+	if len(front) != 4 {
+		t.Fatalf("frontier size = %d, want 4 (ties do not dominate)", len(front))
+	}
+	wantChains := []int{24, 32, 8, 16}
+	for i, w := range wantChains {
+		if front[i].ChainLength != w {
+			t.Fatalf("frontier[%d].ChainLength = %d, want %d (order %v)",
+				i, front[i].ChainLength, w, front)
+		}
+	}
+	// Same input, permuted tied pairs: the frontier must follow the new
+	// input order — stable, not value-dependent beyond the two axes.
+	perm := []Point{pts[1], pts[0], pts[3], pts[2]}
+	front = Pareto(perm)
+	wantChains = []int{32, 24, 16, 8}
+	for i, w := range wantChains {
+		if front[i].ChainLength != w {
+			t.Fatalf("permuted frontier[%d].ChainLength = %d, want %d", i, front[i].ChainLength, w)
+		}
+	}
+	// Distinct times tied on fidelity: ascending time still governs.
+	mixed := []Point{
+		{ParallelMicros: 70, LogFidelity: -3},
+		{ParallelMicros: 60, LogFidelity: -3},
+	}
+	front = Pareto(mixed)
+	if len(front) != 1 || front[0].ParallelMicros != 60 {
+		t.Fatalf("dominance on time tie-broken wrong: %v", front)
+	}
+}

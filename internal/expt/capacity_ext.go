@@ -50,7 +50,8 @@ func ExtControlCapacity(opt Options) (*CapacityResult, error) {
 // ExtControlCapacityContext is ExtControlCapacity with cancellation. The
 // constrained scheduler needs the explicit gate list per trial, which the
 // stage pipeline's bindings do not carry, so this driver keeps its own trial
-// loop (each trial is already shared across all capacity levels).
+// loop; pricing rides the batched kernel instead, which replays the list
+// scheduler once per capacity level over a single shared event-state build.
 func ExtControlCapacityContext(ctx context.Context, opt Options) (*CapacityResult, error) {
 	opt = opt.normalized()
 	res := &CapacityResult{Levels: CapacityLevels}
@@ -66,20 +67,24 @@ func ExtControlCapacityContext(ctx context.Context, opt Options) (*CapacityResul
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			r := stats.NewRand(stats.SplitSeed(opt.Seed, i))
+			r := stats.PooledRand(stats.SplitSeed(opt.Seed, i))
 			layout, err := placement.Random{}.Place(device, spec.Qubits, r)
 			if err != nil {
+				stats.RecycleRand(r)
 				return nil, err
 			}
 			c, err := schedule.Random{}.Place(spec, layout, r)
+			stats.RecycleRand(r)
 			if err != nil {
 				return nil, err
 			}
-			for k, capacity := range CapacityLevels {
-				t, err := perf.ParallelTimeConstrained(c, layout, opt.Latencies, capacity)
-				if err != nil {
-					return nil, err
-				}
+			// One batched call prices every level; entry k is pinned equal
+			// to ParallelTimeConstrained at CapacityLevels[k].
+			ts, err := perf.ParallelTimeConstrainedAll(c, layout, opt.Latencies, CapacityLevels)
+			if err != nil {
+				return nil, err
+			}
+			for k, t := range ts {
 				sums[k] += t
 			}
 		}

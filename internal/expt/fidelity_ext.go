@@ -48,11 +48,16 @@ func ExtFidelity(opt Options) (*FidelityResult, error) {
 // the stage pipeline: the (application × chain length) grid here is exactly
 // Figure 7's, so with a shared Options.Pipeline the layouts, circuits, and
 // bindings are reused rather than regenerated, and only the fidelity pricing
-// is new work. EstimateBinding is pinned bit-identical to Estimate on the
-// trial's (circuit, layout) pair, so the figures are unchanged.
+// is new work. Pricing rides the batched estimator: one Estimator tabulates
+// the per-class error terms for the whole study, and EstimateOne is pinned
+// bit-identical to Model.EstimateBinding (which is itself pinned to Estimate
+// on the trial's (circuit, layout) pair), so the figures are unchanged.
 func ExtFidelityContext(ctx context.Context, opt Options) (*FidelityResult, error) {
 	opt = opt.normalized()
-	model := fidelity.Default()
+	model, err := fidelity.NewEstimator(fidelity.Default())
+	if err != nil {
+		return nil, err
+	}
 	res := &FidelityResult{ChainLengths: Fig7ChainLengths}
 	var reductions []float64
 	for _, spec := range apps.PaperSpecs() {
@@ -71,7 +76,7 @@ func ExtFidelityContext(ctx context.Context, opt Options) (*FidelityResult, erro
 				if err != nil {
 					return nil, err
 				}
-				est, err := model.EstimateBinding(b, opt.Latencies)
+				est, err := model.EstimateOne(b, opt.Latencies)
 				if err != nil {
 					return nil, err
 				}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sync"
 
+	"velociti/internal/circuit"
 	"velociti/internal/ti"
 )
 
@@ -34,6 +35,11 @@ const (
 	ClassTwoQWeak
 	numClasses
 )
+
+// NumGateClasses is the number of distinct gate latency classes; per-class
+// tables (e.g. the fidelity estimator's error LUT) are indexed by GateClass
+// and sized by this constant.
+const NumGateClasses = int(numClasses)
 
 // Binding is the layout-dependent but latency-independent artifact of one
 // (circuit, layout) pair: per-gate latency classes over the evaluator's CSR
@@ -53,20 +59,135 @@ func (e *Evaluator) Bind(l *ti.Layout) (*Binding, error) {
 		return nil, fmt.Errorf("perf: circuit has %d qubits but layout places only %d", e.c.NumQubits(), l.NumQubits())
 	}
 	b := &Binding{ev: e, classes: make([]GateClass, e.n)}
+	// One walk both classifies gates and tallies Table I's w (distinct
+	// weak links used): the chain pair is resolved once per gate instead
+	// of re-deriving it in a second linksUsed pass. The pair→link table
+	// mirrors linksUsed exactly, so the counts agree.
+	s, pairLink, used, nc := newBindScratch(l)
+	// chainOf is indexed directly: qa/qb were range-checked when the gates
+	// were appended, and a fresh classes slice is already ClassOneQ (zero),
+	// so 1-qubit gates need no store at all.
+	chainOf := l.ChainAssignments()
 	for i := 0; i < e.n; i++ {
-		switch {
-		case !e.twoQ[i]:
-			b.classes[i] = ClassOneQ
-		case l.SameChain(int(e.qa[i]), int(e.qb[i])):
+		if !e.twoQ[i] {
+			continue
+		}
+		ca, cb := chainOf[e.qa[i]], chainOf[e.qb[i]]
+		if ca == cb {
 			b.classes[i] = ClassTwoQIntra
-		default:
-			b.classes[i] = ClassTwoQWeak
-			b.weak++
+			continue
+		}
+		b.classes[i] = ClassTwoQWeak
+		b.weak++
+		if id := pairLink[ca*nc+cb]; id != 0 && !used[id-1] {
+			used[id-1] = true
+			b.links++
 		}
 	}
-	b.links = e.linksUsed(l)
+	bindScratchPool.Put(s)
 	return b, nil
 }
+
+// newBindScratch readies the pooled pair→link table and usage bitmap for
+// one classification walk over layout l's device.
+func newBindScratch(l *ti.Layout) (s *bindScratch, pairLink []int32, used []bool, nc int) {
+	d := l.Device()
+	nc = d.NumChains()
+	s = bindScratchPool.Get().(*bindScratch)
+	if cap(s.pairLink) < nc*nc {
+		s.pairLink = make([]int32, nc*nc)
+	}
+	pairLink = s.pairLink[:nc*nc]
+	for i := range pairLink {
+		pairLink[i] = 0
+	}
+	for i := len(d.WeakLinks()) - 1; i >= 0; i-- {
+		wl := d.WeakLinks()[i]
+		pairLink[wl.A.Chain*nc+wl.B.Chain] = int32(wl.ID) + 1
+		pairLink[wl.B.Chain*nc+wl.A.Chain] = int32(wl.ID) + 1
+	}
+	if cap(s.used) < d.MaxWeakLinks()+1 {
+		s.used = make([]bool, d.MaxWeakLinks()+1)
+	}
+	used = s.used[:d.MaxWeakLinks()+1]
+	for i := range used {
+		used[i] = false
+	}
+	return s, pairLink, used, nc
+}
+
+// BindCircuitScratch builds a pooled evaluator for c and its binding under
+// l in ONE walk over the gate list — operand extraction and gate
+// classification share the pass, where NewEvaluatorScratch followed by
+// Bind would walk the gates twice. The result is indistinguishable from
+// that two-step sequence (the sweep property tests pin it against
+// Stages.Bind); the same recycling contract applies, via
+// RecycleEvaluator(b.Evaluator()).
+func BindCircuitScratch(c *circuit.Circuit, l *ti.Layout) (*Binding, error) {
+	if c.NumQubits() > l.NumQubits() {
+		return nil, fmt.Errorf("perf: circuit has %d qubits but layout places only %d", c.NumQubits(), l.NumQubits())
+	}
+	e, _ := evaluatorPool.Get().(*Evaluator)
+	if e == nil {
+		e = &Evaluator{}
+	}
+	n := c.NumGates()
+	e.c = c
+	e.n = n
+	e.oneQGates, e.twoQGates = 0, 0
+	e.once = new(evalOnce)
+	e.labels = nil
+	e.qa = growInt32(e.qa, n)
+	e.qb = growInt32(e.qb, n)
+	if cap(e.twoQ) < n {
+		e.twoQ = make([]bool, n)
+	}
+	e.twoQ = e.twoQ[:n]
+
+	b := &Binding{ev: e, classes: make([]GateClass, n)}
+	s, pairLink, used, nc := newBindScratch(l)
+	chainOf := l.ChainAssignments()
+	gs := c.Gates()
+	for i := range gs {
+		g := &gs[i]
+		id := int32(g.ID)
+		qa := int32(g.Qubits[0])
+		e.qa[id] = qa
+		e.qb[id] = -1
+		e.twoQ[id] = false
+		if !g.IsTwoQubit() {
+			if len(g.Qubits) == 1 {
+				e.oneQGates++
+			}
+			continue
+		}
+		qb := int32(g.Qubits[1])
+		e.twoQ[id] = true
+		e.qb[id] = qb
+		e.twoQGates++
+		ca, cb := chainOf[qa], chainOf[qb]
+		if ca == cb {
+			b.classes[id] = ClassTwoQIntra
+			continue
+		}
+		b.classes[id] = ClassTwoQWeak
+		b.weak++
+		if wid := pairLink[ca*nc+cb]; wid != 0 && !used[wid-1] {
+			used[wid-1] = true
+			b.links++
+		}
+	}
+	bindScratchPool.Put(s)
+	return b, nil
+}
+
+// bindScratch is the pooled pair→link table and usage bitmap of one Bind.
+type bindScratch struct {
+	pairLink []int32
+	used     []bool
+}
+
+var bindScratchPool = sync.Pool{New: func() any { return new(bindScratch) }}
 
 // Evaluator returns the evaluator the binding was built from.
 func (b *Binding) Evaluator() *Evaluator { return b.ev }
@@ -79,6 +200,10 @@ func (b *Binding) NumQubits() int { return b.ev.c.NumQubits() }
 
 // Class returns gate i's latency class.
 func (b *Binding) Class(i int) GateClass { return b.classes[i] }
+
+// Classes returns the per-gate latency classes in gate order. The returned
+// slice is the binding's backing store and must not be modified.
+func (b *Binding) Classes() []GateClass { return b.classes }
 
 // WeakGates returns the number of cross-chain 2-qubit gates.
 func (b *Binding) WeakGates() int { return b.weak }
@@ -104,9 +229,19 @@ type sweepScratch struct {
 	finish []float64
 	prev   []int32
 	last   []int32
+	luts   []float64 // flat per-lane class-latency tables (NumGateClasses × lanes)
 }
 
 var sweepPool = sync.Pool{New: func() any { return new(sweepScratch) }}
+
+// growLuts sizes the flat per-lane latency table for nl lanes.
+func (s *sweepScratch) growLuts(nl int) []float64 {
+	if cap(s.luts) < NumGateClasses*nl {
+		s.luts = make([]float64, NumGateClasses*nl)
+	}
+	s.luts = s.luts[:NumGateClasses*nl]
+	return s.luts
+}
 
 func (s *sweepScratch) grow(cells, qubits int) {
 	if cap(s.finish) < cells {
@@ -272,6 +407,83 @@ func (b *Binding) ParallelTime(lat Latencies) float64 {
 	}
 	sweepPool.Put(s)
 	return total
+}
+
+// ParallelTimeAll prices the makespan under every timing model in lats with
+// one pass over the gate list — the batched counterpart of ParallelTime,
+// sharing the dependency traversal and last-writer tracking across models
+// the way TimeAll does, but with none of the serial or critical-path
+// bookkeeping. dst is reused when it has capacity; the returned slice has
+// len(lats), and entry j equals ParallelTime(lats[j]) bit for bit (same
+// per-gate comparison order, same strict-> maximum tracking). Like
+// ParallelTime, it assumes already validated timing models.
+func (b *Binding) ParallelTimeAll(lats []Latencies, dst []float64) []float64 {
+	nl := len(lats)
+	if cap(dst) < nl {
+		dst = make([]float64, nl)
+	}
+	dst = dst[:nl]
+	if nl == 0 {
+		return dst
+	}
+	if nl == 1 {
+		dst[0] = b.ParallelTime(lats[0])
+		return dst
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	e := b.ev
+	if e.n == 0 {
+		return dst
+	}
+	s := sweepPool.Get().(*sweepScratch)
+	s.grow(e.n*nl, e.c.NumQubits())
+	luts := s.growLuts(nl)
+	for j, lat := range lats {
+		cl := classLatencies(lat)
+		copy(luts[j*NumGateClasses:], cl[:])
+	}
+	finish, last := s.finish, s.last
+	for i := 0; i < e.n; i++ {
+		p0 := last[e.qa[i]]
+		p1 := int32(-1)
+		if qb := e.qb[i]; qb >= 0 {
+			p1 = last[qb]
+		}
+		class := int(b.classes[i])
+		// Hoisted per-gate row views: one multiply per predecessor instead
+		// of one per (predecessor, lane). The lane loop's comparison order
+		// is unchanged, so results stay bit-identical to ParallelTime.
+		var f0, f1 []float64
+		if p0 >= 0 {
+			f0 = finish[int(p0)*nl : int(p0)*nl+nl]
+		}
+		if p1 >= 0 {
+			f1 = finish[int(p1)*nl : int(p1)*nl+nl]
+		}
+		row := finish[i*nl : i*nl+nl]
+		for j := 0; j < nl; j++ {
+			ready := 0.0
+			if f0 != nil && f0[j] > ready {
+				ready = f0[j]
+			}
+			if f1 != nil && f1[j] > ready {
+				ready = f1[j]
+			}
+			f := ready + luts[j*NumGateClasses+class]
+			row[j] = f
+			if f > dst[j] {
+				dst[j] = f
+			}
+		}
+		last[e.qa[i]] = int32(i)
+		if qb := e.qb[i]; qb >= 0 {
+			last[qb] = int32(i)
+		}
+	}
+	sweepPool.Put(s)
+	return dst
 }
 
 // EvaluateAll runs both performance models for one layout under every

@@ -31,15 +31,97 @@ func ParallelTimeConstrained(c *circuit.Circuit, l *ti.Layout, lat Latencies, ca
 	if capacity <= 0 {
 		return ParallelTime(c, l, lat), nil
 	}
-	n := c.NumGates()
-	if n == 0 {
+	if c.NumGates() == 0 {
 		return 0, nil
 	}
+	return newConstrainedSim(c, l, lat).run(capacity)
+}
 
-	// Dependency bookkeeping: preds[i] counts unfinished predecessors;
-	// succs[i] lists dependents.
-	preds := make([]int, n)
-	succs := make([][]int, n)
+// ParallelTimeConstrainedAll prices the constrained model at every capacity
+// level of one (circuit, layout, latencies) triple in a single call: the
+// dependency bookkeeping — the predecessor/successor scan and the per-gate
+// chain and latency tables — is built once and the event-driven schedule
+// replays per level over reused buffers. Entry j exactly equals
+// ParallelTimeConstrained(c, l, lat, capacities[j]): each replay is the
+// same deterministic greedy list scheduling over the same structure.
+func ParallelTimeConstrainedAll(c *circuit.Circuit, l *ti.Layout, lat Latencies, capacities []int) ([]float64, error) {
+	if err := lat.Validate(); err != nil {
+		return nil, err
+	}
+	if c.NumQubits() > l.NumQubits() {
+		return nil, fmt.Errorf("perf: circuit has %d qubits but layout places only %d", c.NumQubits(), l.NumQubits())
+	}
+	out := make([]float64, len(capacities))
+	if len(capacities) == 0 {
+		return out, nil
+	}
+	var sim *constrainedSim
+	for j, capacity := range capacities {
+		switch {
+		case capacity <= 0:
+			out[j] = ParallelTime(c, l, lat)
+		case c.NumGates() == 0:
+			out[j] = 0
+		default:
+			if sim == nil {
+				sim = newConstrainedSim(c, l, lat)
+			}
+			t, err := sim.run(capacity)
+			if err != nil {
+				return nil, err
+			}
+			out[j] = t
+		}
+	}
+	return out, nil
+}
+
+// constrainedSim holds the capacity-independent structure of one constrained
+// scheduling problem plus reusable per-run state, so several capacity levels
+// replay the event loop without rebuilding the dependency graph.
+type constrainedSim struct {
+	c   *circuit.Circuit
+	n   int
+	lat Latencies
+
+	preds0 []int   // pristine predecessor counts
+	succs  [][]int // dependents per gate
+	chainA []int   // first chain of each gate
+	chainB []int   // second chain, or -1 when the gate stays on one chain
+	gLat   []float64
+
+	numChains int
+
+	// Per-run buffers, reset by run.
+	preds   []int
+	inUse   []int
+	started []bool
+	ready   []int
+	active  []constrainedRunning
+}
+
+type constrainedRunning struct {
+	finish float64
+	id     int
+}
+
+func newConstrainedSim(c *circuit.Circuit, l *ti.Layout, lat Latencies) *constrainedSim {
+	n := c.NumGates()
+	s := &constrainedSim{
+		c:         c,
+		n:         n,
+		lat:       lat,
+		preds0:    make([]int, n),
+		succs:     make([][]int, n),
+		chainA:    make([]int, n),
+		chainB:    make([]int, n),
+		gLat:      make([]float64, n),
+		numChains: l.Device().NumChains(),
+		preds:     make([]int, n),
+		inUse:     make([]int, l.Device().NumChains()),
+		started:   make([]bool, n),
+		ready:     make([]int, 0, n),
+	}
 	last := make([]int, c.NumQubits())
 	for i := range last {
 		last[i] = -1
@@ -49,68 +131,67 @@ func ParallelTimeConstrained(c *circuit.Circuit, l *ti.Layout, lat Latencies, ca
 		for _, q := range g.Qubits {
 			if p := last[q]; p >= 0 && !seen[p] {
 				seen[p] = true
-				preds[g.ID]++
-				succs[p] = append(succs[p], g.ID)
+				s.preds0[g.ID]++
+				s.succs[p] = append(s.succs[p], g.ID)
 			}
 		}
 		for _, q := range g.Qubits {
 			last[q] = g.ID
 		}
-	}
-
-	chainsOf := func(g circuit.Gate) []int {
 		a := l.ChainOf(g.Qubits[0])
-		if len(g.Qubits) == 1 {
-			return []int{a}
+		b := -1
+		if len(g.Qubits) == 2 {
+			if cb := l.ChainOf(g.Qubits[1]); cb != a {
+				b = cb
+			}
 		}
-		b := l.ChainOf(g.Qubits[1])
-		if a == b {
-			return []int{a}
-		}
-		return []int{a, b}
+		s.chainA[g.ID] = a
+		s.chainB[g.ID] = b
+		s.gLat[g.ID] = lat.GateLatency(g, l)
 	}
+	return s
+}
 
-	inUse := make([]int, l.Device().NumChains())
-	type running struct {
-		finish float64
-		id     int
+// run replays the event-driven schedule for one capacity level.
+func (s *constrainedSim) run(capacity int) (float64, error) {
+	copy(s.preds, s.preds0)
+	for i := range s.inUse {
+		s.inUse[i] = 0
 	}
-	var active []running // kept sorted by (finish, id)
-	ready := make([]int, 0, n)
-	for id := 0; id < n; id++ {
-		if preds[id] == 0 {
+	for i := range s.started {
+		s.started[i] = false
+	}
+	ready := s.ready[:0]
+	for id := 0; id < s.n; id++ {
+		if s.preds[id] == 0 {
 			ready = append(ready, id)
 		}
 	}
-	started := make([]bool, n)
+	active := s.active[:0]
 	now := 0.0
 	makespan := 0.0
-	remaining := n
+	remaining := s.n
 
 	startEligible := func() {
 		// Attempt to start ready gates in id order.
 		sort.Ints(ready)
 		next := ready[:0]
 		for _, id := range ready {
-			g := c.Gate(id)
-			chs := chainsOf(g)
-			fits := true
-			for _, ch := range chs {
-				if inUse[ch] >= capacity {
-					fits = false
-					break
-				}
+			fits := s.inUse[s.chainA[id]] < capacity
+			if fits && s.chainB[id] >= 0 {
+				fits = s.inUse[s.chainB[id]] < capacity
 			}
 			if !fits {
 				next = append(next, id)
 				continue
 			}
-			for _, ch := range chs {
-				inUse[ch]++
+			s.inUse[s.chainA[id]]++
+			if s.chainB[id] >= 0 {
+				s.inUse[s.chainB[id]]++
 			}
-			started[id] = true
-			fin := now + lat.GateLatency(g, l)
-			active = append(active, running{finish: fin, id: id})
+			s.started[id] = true
+			fin := now + s.gLat[id]
+			active = append(active, constrainedRunning{finish: fin, id: id})
 			if fin > makespan {
 				makespan = fin
 			}
@@ -137,18 +218,20 @@ func ParallelTimeConstrained(c *circuit.Circuit, l *ti.Layout, lat Latencies, ca
 			done := active[0]
 			active = active[1:]
 			remaining--
-			g := c.Gate(done.id)
-			for _, ch := range chainsOf(g) {
-				inUse[ch]--
+			s.inUse[s.chainA[done.id]]--
+			if s.chainB[done.id] >= 0 {
+				s.inUse[s.chainB[done.id]]--
 			}
-			for _, s := range succs[done.id] {
-				preds[s]--
-				if preds[s] == 0 && !started[s] {
-					ready = append(ready, s)
+			for _, nx := range s.succs[done.id] {
+				s.preds[nx]--
+				if s.preds[nx] == 0 && !s.started[nx] {
+					ready = append(ready, nx)
 				}
 			}
 		}
 		startEligible()
 	}
+	s.ready = ready[:0]
+	s.active = active[:0]
 	return makespan, nil
 }

@@ -44,8 +44,26 @@ type Evaluator struct {
 
 	oneQGates, twoQGates int
 
-	labelsOnce sync.Once
-	labels     []string
+	// buildLast/buildCursor are construction temporaries kept on the
+	// struct so a recycled evaluator's rebuild is allocation-free. They
+	// are never read after construction returns.
+	buildLast, buildCursor []int32
+
+	// once guards the lazy stages: the CSR, because the sweep kernels
+	// (Binding.TimeAll and friends) price gates off the operand tables
+	// alone, so heads/targets/isStart are only materialized when a
+	// CSR-walking evaluation (ParallelTime, LongestPath, NumEdges) first
+	// asks for them; and the SSA labels. One heap object per build —
+	// build resets it by pointer swap, since copying a sync.Once would
+	// trip the copylocks vet.
+	once   *evalOnce
+	labels []string
+}
+
+// evalOnce bundles the evaluator's lazy-stage guards into one allocation.
+type evalOnce struct {
+	csr    sync.Once
+	labels sync.Once
 }
 
 // evalScratch is the pooled working memory of one evaluation.
@@ -86,29 +104,68 @@ func (s *evalScratch) growLast(numQubits int) []int32 {
 // NewEvaluator flattens the circuit's dependency structure. The circuit
 // must not be mutated while the evaluator is in use.
 func NewEvaluator(c *circuit.Circuit) *Evaluator {
+	return (&Evaluator{}).build(c)
+}
+
+// evaluatorPool holds retired evaluators whose flat arrays NewEvaluatorScratch
+// rebuilds in place. Only evaluators explicitly handed back through
+// RecycleEvaluator ever land here.
+var evaluatorPool sync.Pool
+
+// NewEvaluatorScratch is NewEvaluator, but reuses a recycled evaluator's
+// storage when one is available. The result is indistinguishable from a
+// fresh NewEvaluator.
+func NewEvaluatorScratch(c *circuit.Circuit) *Evaluator {
+	if e, _ := evaluatorPool.Get().(*Evaluator); e != nil {
+		return e.build(c)
+	}
+	return NewEvaluator(c)
+}
+
+// RecycleEvaluator retires e's storage for reuse by NewEvaluatorScratch.
+// The caller must own every live reference to e, including any Binding
+// built from it — a later NewEvaluatorScratch rebuilds the arrays in
+// place. Trial loops that evaluate and discard use this to stay
+// allocation-flat; cached evaluators must never be recycled.
+func RecycleEvaluator(e *Evaluator) {
+	if e == nil {
+		return
+	}
+	evaluatorPool.Put(e)
+}
+
+// growInt32 returns s resized to n without clearing retained elements.
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// build (re)constructs the evaluator for c, reusing whatever array capacity
+// the struct already carries. Only the operand tables and gate counts are
+// filled here; the dependency CSR is deferred to ensureCSR, since the
+// binding/pricing path never walks it.
+func (e *Evaluator) build(c *circuit.Circuit) *Evaluator {
 	n := c.NumGates()
-	e := &Evaluator{
-		c:       c,
-		n:       n,
-		heads:   make([]int32, n+1),
-		isStart: make([]bool, n),
-		twoQ:    make([]bool, n),
-		qa:      make([]int32, n),
-		qb:      make([]int32, n),
+	e.c = c
+	e.n = n
+	e.oneQGates, e.twoQGates = 0, 0
+	e.once = new(evalOnce)
+	e.labels = nil
+	e.qa = growInt32(e.qa, n)
+	e.qb = growInt32(e.qb, n)
+	if cap(e.twoQ) < n {
+		e.twoQ = make([]bool, n)
 	}
-	for i := range e.isStart {
-		e.isStart[i] = true
-	}
-	last := make([]int32, c.NumQubits())
-	for i := range last {
-		last[i] = -1
-	}
-	// First pass: operand tables, gate counts, and per-source out-degrees
-	// (into heads, shifted by one for the prefix sum).
-	for _, g := range c.Gates() {
+	e.twoQ = e.twoQ[:n]
+	gs := c.Gates()
+	for i := range gs {
+		g := &gs[i]
 		id := int32(g.ID)
 		e.qa[id] = int32(g.Qubits[0])
 		e.qb[id] = -1
+		e.twoQ[id] = false
 		if g.IsTwoQubit() {
 			e.twoQ[id] = true
 			e.qb[id] = int32(g.Qubits[1])
@@ -116,6 +173,36 @@ func NewEvaluator(c *circuit.Circuit) *Evaluator {
 		} else if len(g.Qubits) == 1 {
 			e.oneQGates++
 		}
+	}
+	return e
+}
+
+// ensureCSR materializes heads/targets/isStart on first use.
+func (e *Evaluator) ensureCSR() { e.once.csr.Do(e.buildCSR) }
+
+// buildCSR constructs the successor CSR and start-node flags from the
+// operand tables build filled.
+func (e *Evaluator) buildCSR() {
+	n := e.n
+	e.heads = growInt32(e.heads, n+1)
+	for i := range e.heads {
+		e.heads[i] = 0
+	}
+	if cap(e.isStart) < n {
+		e.isStart = make([]bool, n)
+	}
+	e.isStart = e.isStart[:n]
+	for i := range e.isStart {
+		e.isStart[i] = true
+	}
+	e.buildLast = growInt32(e.buildLast, e.c.NumQubits())
+	last := e.buildLast
+	for i := range last {
+		last[i] = -1
+	}
+	// First pass: per-source out-degrees (into heads, shifted by one for
+	// the prefix sum) and start flags.
+	for id := int32(0); id < int32(n); id++ {
 		p0 := last[e.qa[id]]
 		p1 := int32(-1)
 		if e.qb[id] >= 0 {
@@ -137,16 +224,19 @@ func NewEvaluator(c *circuit.Circuit) *Evaluator {
 	for u := 0; u < n; u++ {
 		e.heads[u+1] += e.heads[u]
 	}
-	e.targets = make([]int32, e.heads[n])
+	e.targets = growInt32(e.targets, int(e.heads[n]))
 	// Second pass: fill targets. Iterating gates in program order appends
 	// ascending targets to each source's slot range, so the CSR comes out
 	// sorted exactly like dag.Graph.Successors.
-	cursor := make([]int32, n)
+	e.buildCursor = growInt32(e.buildCursor, n)
+	cursor := e.buildCursor
+	for i := range cursor {
+		cursor[i] = 0
+	}
 	for i := range last {
 		last[i] = -1
 	}
-	for _, g := range c.Gates() {
-		id := int32(g.ID)
+	for id := int32(0); id < int32(n); id++ {
 		p0 := last[e.qa[id]]
 		p1 := int32(-1)
 		if e.qb[id] >= 0 {
@@ -165,14 +255,16 @@ func NewEvaluator(c *circuit.Circuit) *Evaluator {
 			last[e.qb[id]] = id
 		}
 	}
-	return e
 }
 
 // Circuit returns the circuit this evaluator was built for.
 func (e *Evaluator) Circuit() *circuit.Circuit { return e.c }
 
 // NumEdges returns the number of dependency edges in the cached graph.
-func (e *Evaluator) NumEdges() int { return len(e.targets) }
+func (e *Evaluator) NumEdges() int {
+	e.ensureCSR()
+	return len(e.targets)
+}
 
 // gateLatencies fills dst[i] with gate i's latency under (l, lat) and
 // returns the count of cross-chain 2-qubit gates.
@@ -200,6 +292,7 @@ func (e *Evaluator) ParallelTime(l *ti.Layout, lat Latencies) float64 {
 	if e.n == 0 {
 		return 0
 	}
+	e.ensureCSR()
 	s := evalPool.Get().(*evalScratch)
 	s.grow(e.n)
 	e.gateLatencies(s.latency, l, lat)
@@ -241,6 +334,7 @@ func (e *Evaluator) LongestPath(l *ti.Layout, lat Latencies) float64 {
 	if e.n == 0 {
 		return 0
 	}
+	e.ensureCSR()
 	s := evalPool.Get().(*evalScratch)
 	s.grow(e.n)
 	e.gateLatencies(s.latency, l, lat)
@@ -270,7 +364,7 @@ func (e *Evaluator) LongestPath(l *ti.Layout, lat Latencies) float64 {
 
 // Labels returns the circuit's SSA gate labels, computed once and cached.
 func (e *Evaluator) Labels() []string {
-	e.labelsOnce.Do(func() { e.labels = e.c.Labels() })
+	e.once.labels.Do(func() { e.labels = e.c.Labels() })
 	return e.labels
 }
 

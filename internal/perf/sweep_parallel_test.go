@@ -1,0 +1,121 @@
+package perf
+
+import (
+	"testing"
+
+	"velociti/internal/circuit"
+	"velociti/internal/placement"
+	"velociti/internal/stats"
+	"velociti/internal/ti"
+)
+
+// randCircuit builds a pseudo-random mixed circuit for kernel equivalence
+// tests.
+func randCircuit(t *testing.T, name string, qubits, oneQ, twoQ int, seed int64) *circuit.Circuit {
+	t.Helper()
+	r := stats.NewRand(seed)
+	c := circuit.New(name, qubits)
+	for i := 0; i < oneQ; i++ {
+		c.X(r.Intn(qubits))
+	}
+	for i := 0; i < twoQ; i++ {
+		a := r.Intn(qubits)
+		b := r.Intn(qubits - 1)
+		if b >= a {
+			b++
+		}
+		c.CX(a, b)
+	}
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func testLayout(t *testing.T, qubits, chainLength int) *ti.Layout {
+	t.Helper()
+	d, err := ti.DeviceFor(qubits, chainLength, ti.Ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := placement.Sequential{}.Place(d, qubits, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestParallelTimeAllMatchesParallelTime pins the batched makespan kernel:
+// lane j equals ParallelTime(lats[j]) bit for bit, for several lane counts
+// including the single-lane fast path.
+func TestParallelTimeAllMatchesParallelTime(t *testing.T) {
+	c := randCircuit(t, "pta", 48, 60, 240, 9)
+	l := testLayout(t, 48, 12)
+	b, err := NewEvaluator(c).Bind(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alphas := []float64{3.0, 2.0, 1.5, 1.2, 1.0}
+	for lanes := 1; lanes <= len(alphas); lanes++ {
+		lats := make([]Latencies, lanes)
+		for j := 0; j < lanes; j++ {
+			lats[j] = DefaultLatencies()
+			lats[j].WeakPenalty = alphas[j]
+		}
+		got := b.ParallelTimeAll(lats, nil)
+		for j, lat := range lats {
+			if want := b.ParallelTime(lat); got[j] != want {
+				t.Fatalf("lanes=%d lane %d: %v != ParallelTime %v", lanes, j, got[j], want)
+			}
+		}
+	}
+}
+
+// TestParallelTimeAllReusesDst verifies the destination-reuse contract.
+func TestParallelTimeAllReusesDst(t *testing.T) {
+	c := randCircuit(t, "pta-dst", 16, 10, 30, 2)
+	l := testLayout(t, 16, 8)
+	b, err := NewEvaluator(c).Bind(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lats := []Latencies{DefaultLatencies(), DefaultLatencies()}
+	lats[1].WeakPenalty = 1.0
+	dst := make([]float64, 0, 8)
+	out := b.ParallelTimeAll(lats, dst)
+	if len(out) != 2 {
+		t.Fatalf("len = %d, want 2", len(out))
+	}
+	if &out[0] != &dst[:1][0] {
+		t.Fatal("dst with sufficient capacity was not reused")
+	}
+	if empty := b.ParallelTimeAll(nil, nil); len(empty) != 0 {
+		t.Fatalf("empty lats: len = %d, want 0", len(empty))
+	}
+}
+
+// TestParallelTimeConstrainedAllMatchesPerLevel pins the batched constrained
+// kernel against the single-level entry point across capacity levels,
+// including the unlimited (<= 0) passthrough.
+func TestParallelTimeConstrainedAllMatchesPerLevel(t *testing.T) {
+	c := randCircuit(t, "ptc", 32, 40, 160, 17)
+	l := testLayout(t, 32, 8)
+	lat := DefaultLatencies()
+	capacities := []int{0, 1, 2, 4, 8, 32, -3}
+	got, err := ParallelTimeConstrainedAll(c, l, lat, capacities)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, capacity := range capacities {
+		want, err := ParallelTimeConstrained(c, l, lat, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[j] != want {
+			t.Fatalf("capacity %d: %v != %v", capacity, got[j], want)
+		}
+	}
+	if out, err := ParallelTimeConstrainedAll(c, l, lat, nil); err != nil || len(out) != 0 {
+		t.Fatalf("empty capacities: %v, %v", out, err)
+	}
+}

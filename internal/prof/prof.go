@@ -1,0 +1,83 @@
+// Package prof wires the standard pprof profile destinations into
+// VelociTI's CLIs as -cpuprofile/-memprofile flags, mirroring `go test`'s
+// flags of the same names. Profiles go to the named files only — nothing
+// is written to stdout or stderr — so enabling profiling never perturbs a
+// command's observable output.
+package prof
+
+import (
+	"flag"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"velociti/internal/verr"
+)
+
+// Flags holds the requested profile destinations. Zero values disable
+// profiling entirely.
+type Flags struct {
+	CPUPath string
+	MemPath string
+
+	cpuFile *os.File
+}
+
+// Register installs the -cpuprofile and -memprofile flags on fs.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.CPUPath, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.MemPath, "memprofile", "", "write an allocation profile to this file on exit")
+}
+
+// Start begins CPU profiling when requested. Callers must pair it with
+// Stop; on error nothing was started and Stop is a no-op.
+func (f *Flags) Start() error {
+	if f.CPUPath == "" {
+		return nil
+	}
+	file, err := os.Create(f.CPUPath)
+	if err != nil {
+		return verr.Inputf("-cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(file); err != nil {
+		if cerr := file.Close(); cerr != nil {
+			return verr.Inputf("-cpuprofile: %w (and closing the file: %v)", err, cerr)
+		}
+		return verr.Inputf("-cpuprofile: %w", err)
+	}
+	f.cpuFile = file
+	return nil
+}
+
+// Stop finalizes both profiles: it ends CPU profiling and, when a
+// -memprofile destination was given, collects garbage and writes the
+// allocation profile (the "allocs" profile, like `go test -memprofile`).
+// Safe to call when no profiling was requested; runs to the end through
+// partial failures and returns the first error.
+func (f *Flags) Stop() error {
+	var first error
+	if f.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := f.cpuFile.Close(); err != nil && first == nil {
+			first = err
+		}
+		f.cpuFile = nil
+	}
+	if f.MemPath != "" {
+		file, err := os.Create(f.MemPath)
+		if err != nil {
+			if first == nil {
+				first = verr.Inputf("-memprofile: %w", err)
+			}
+			return first
+		}
+		runtime.GC() // materialize the final live set before snapshotting
+		if err := pprof.Lookup("allocs").WriteTo(file, 0); err != nil && first == nil {
+			first = err
+		}
+		if err := file.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,90 @@
+package prof
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDisabledIsNoOp(t *testing.T) {
+	var f Flags
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterInstallsFlags(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	var f Flags
+	f.Register(fs)
+	if err := fs.Parse([]string{"-cpuprofile", "cpu.out", "-memprofile", "mem.out"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.CPUPath != "cpu.out" || f.MemPath != "mem.out" {
+		t.Fatalf("parsed = %+v", f)
+	}
+}
+
+func TestProfilesWritten(t *testing.T) {
+	dir := t.TempDir()
+	f := Flags{CPUPath: filepath.Join(dir, "cpu.pprof"), MemPath: filepath.Join(dir, "mem.pprof")}
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// A little work so the CPU profile has something to sample.
+	sink := 0
+	for i := 0; i < 1e6; i++ {
+		sink += i * i
+	}
+	_ = sink
+	if err := f.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{f.CPUPath, f.MemPath} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+}
+
+func TestStartRejectsBadPath(t *testing.T) {
+	f := Flags{CPUPath: filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof")}
+	if err := f.Start(); err == nil {
+		t.Fatal("want error for uncreatable cpu profile path")
+	}
+	if err := f.Stop(); err != nil {
+		t.Fatalf("Stop after failed Start must be a no-op: %v", err)
+	}
+}
+
+func TestStopReportsBadMemPath(t *testing.T) {
+	f := Flags{MemPath: filepath.Join(t.TempDir(), "no", "such", "dir", "mem.pprof")}
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Stop(); err == nil {
+		t.Fatal("want error for uncreatable mem profile path")
+	}
+}
+
+func TestStopIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	f := Flags{CPUPath: filepath.Join(dir, "cpu.pprof")}
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Stop(); err != nil {
+		t.Fatalf("second Stop: %v", err)
+	}
+}

@@ -61,7 +61,16 @@ func validate(spec circuit.Spec, l *ti.Layout) error {
 // opOrder returns a shuffled sequence of gate arities (1 or 2) realizing
 // the spec's gate counts.
 func opOrder(spec circuit.Spec, r *rand.Rand) []int {
-	ops := make([]int, 0, spec.TotalGates())
+	return opOrderInto(nil, spec, r)
+}
+
+// opOrderInto is opOrder over caller-provided storage, reused when its
+// capacity allows. The draw sequence is identical to opOrder's.
+func opOrderInto(dst []int, spec circuit.Spec, r *rand.Rand) []int {
+	if cap(dst) < spec.TotalGates() {
+		dst = make([]int, 0, spec.TotalGates())
+	}
+	ops := dst[:0]
 	for i := 0; i < spec.OneQubitGates; i++ {
 		ops = append(ops, 1)
 	}
@@ -97,7 +106,8 @@ func (Random) Place(spec circuit.Spec, l *ti.Layout, r *rand.Rand) (*circuit.Cir
 	if err := validate(spec, l); err != nil {
 		return nil, err
 	}
-	c := circuit.New(spec.Name, spec.Qubits)
+	c := circuit.NewScratch(spec.Name, spec.Qubits)
+	c.Grow(spec.TotalGates())
 	for _, arity := range opOrder(spec, r) {
 		if arity == 1 {
 			c.X(r.Intn(spec.Qubits))
@@ -134,7 +144,8 @@ func (WeakAvoiding) Place(spec circuit.Spec, l *ti.Layout, r *rand.Rand) (*circu
 			return nil, fmt.Errorf("schedule: weak-avoiding placer has no intra-chain pairs among %d qubits", spec.Qubits)
 		}
 	}
-	c := circuit.New(spec.Name, spec.Qubits)
+	c := circuit.NewScratch(spec.Name, spec.Qubits)
+	c.Grow(spec.TotalGates())
 	for _, arity := range opOrder(spec, r) {
 		if arity == 1 {
 			c.X(r.Intn(spec.Qubits))
@@ -174,7 +185,8 @@ func (EdgeConstrained) Place(spec circuit.Spec, l *ti.Layout, r *rand.Rand) (*ci
 			return nil, fmt.Errorf("schedule: no legal 2-qubit pairs among the first %d qubits", spec.Qubits)
 		}
 	}
-	c := circuit.New(spec.Name, spec.Qubits)
+	c := circuit.NewScratch(spec.Name, spec.Qubits)
+	c.Grow(spec.TotalGates())
 	for _, arity := range opOrder(spec, r) {
 		if arity == 1 {
 			c.X(r.Intn(spec.Qubits))
@@ -217,7 +229,7 @@ func (pl LoadBalanced) Place(spec circuit.Spec, l *ti.Layout, r *rand.Rand) (*ci
 		k = 8
 	}
 	busy := make([]float64, spec.Qubits)
-	c := circuit.New(spec.Name, spec.Qubits)
+	c := circuit.NewScratch(spec.Name, spec.Qubits)
 	latencyOf := func(a, b int) float64 {
 		if l.SameChain(a, b) {
 			return pl.Latencies.TwoQubit

@@ -1,0 +1,262 @@
+package schedule
+
+// This file adds the batched synthesis path behind plan-grouped design-space
+// exploration: a sweep over timing models that differ only in the weak-link
+// penalty α needs one synthesized circuit per model, but almost everything
+// about synthesis is latency-independent. PlaceAll exploits that:
+//
+//   - For the latency-free placers (Random, WeakAvoiding, EdgeConstrained)
+//     the gate sequence cannot depend on the timing model at all, so every
+//     lane shares ONE *circuit.Circuit — callers detect the pointer aliasing
+//     and share the downstream gate-class binding too.
+//   - LoadBalanced reads the timing model only when COMMITTING a gate, never
+//     when DRAWING candidates: the shuffled op order and the per-gate
+//     candidate samples consume the RNG stream identically for every α. The
+//     multi-lane kernel therefore draws each gate's candidates once and lets
+//     every lane pick its own winner against its own busy-until table.
+//
+// Bit-exactness contract: PlaceAll(spec, l, r, lats)[j] is identical — gate
+// for gate — to At(lats[j]).Place(spec, l, r2) where r2 is a fresh RNG in
+// the same state r was in, because every lane observes the same draw
+// sequence and applies the same commit rule. The schedule property tests pin
+// this for every placer.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"velociti/internal/circuit"
+	"velociti/internal/perf"
+	"velociti/internal/ti"
+)
+
+// SweepPlacer is implemented by placers that can synthesize a whole
+// timing-model sweep in one coupled pass over a single RNG stream.
+type SweepPlacer interface {
+	Placer
+	// At returns the placer reconfigured for one timing model. Placers
+	// whose synthesis never reads the timing model return the receiver.
+	At(lat perf.Latencies) Placer
+	// PlaceAll synthesizes one gate sequence per timing model in lats,
+	// consuming the RNG stream exactly once. Lane j equals what
+	// At(lats[j]).Place would build from the same stream state; lanes whose
+	// circuits must coincide may alias one *circuit.Circuit.
+	PlaceAll(spec circuit.Spec, l *ti.Layout, r *rand.Rand, lats []perf.Latencies) ([]*circuit.Circuit, error)
+}
+
+// sharedLanes runs a latency-free placer once and aliases the resulting
+// circuit across every lane.
+func sharedLanes(p Placer, spec circuit.Spec, l *ti.Layout, r *rand.Rand, lats []perf.Latencies) ([]*circuit.Circuit, error) {
+	if len(lats) == 0 {
+		return nil, fmt.Errorf("schedule: PlaceAll requires at least one timing model")
+	}
+	c, err := p.Place(spec, l, r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*circuit.Circuit, len(lats))
+	for i := range out {
+		out[i] = c
+	}
+	return out, nil
+}
+
+// At implements SweepPlacer: random synthesis ignores the timing model.
+func (p Random) At(perf.Latencies) Placer { return p }
+
+// PlaceAll implements SweepPlacer; every lane shares one circuit.
+func (p Random) PlaceAll(spec circuit.Spec, l *ti.Layout, r *rand.Rand, lats []perf.Latencies) ([]*circuit.Circuit, error) {
+	return sharedLanes(p, spec, l, r, lats)
+}
+
+// At implements SweepPlacer: weak-avoiding synthesis ignores the timing model.
+func (p WeakAvoiding) At(perf.Latencies) Placer { return p }
+
+// PlaceAll implements SweepPlacer; every lane shares one circuit.
+func (p WeakAvoiding) PlaceAll(spec circuit.Spec, l *ti.Layout, r *rand.Rand, lats []perf.Latencies) ([]*circuit.Circuit, error) {
+	return sharedLanes(p, spec, l, r, lats)
+}
+
+// At implements SweepPlacer: edge-constrained synthesis ignores the timing
+// model.
+func (p EdgeConstrained) At(perf.Latencies) Placer { return p }
+
+// PlaceAll implements SweepPlacer; every lane shares one circuit.
+func (p EdgeConstrained) PlaceAll(spec circuit.Spec, l *ti.Layout, r *rand.Rand, lats []perf.Latencies) ([]*circuit.Circuit, error) {
+	return sharedLanes(p, spec, l, r, lats)
+}
+
+// At implements SweepPlacer: the timing model steers LoadBalanced's commit
+// decisions, so each lane runs the greedy rule at its own latencies.
+func (pl LoadBalanced) At(lat perf.Latencies) Placer {
+	pl.Latencies = lat
+	return pl
+}
+
+// lbScratch is the pooled working memory of one multi-lane load-balanced
+// synthesis: the shuffled op order, the lane-major busy-until tables, the
+// per-lane latency tables, and the per-gate candidate draws shared by all
+// lanes. Ownership: a scratch is held by exactly one PlaceAll call; the
+// synthesized circuits never reference it.
+type lbScratch struct {
+	ops      []int
+	busy     []float64   // lane-major: lane j occupies [j*qubits, (j+1)*qubits)
+	laneBusy [][]float64 // precomputed per-lane views into busy
+	oneQLat  []float64
+	twoQLat  []float64
+	weakLat  []float64
+	drawQ    []int // 1-qubit candidate draws for the current gate
+	drawA    []int // 2-qubit candidate pairs for the current gate
+	drawB    []int
+	sameCh   []bool
+}
+
+var lbPool = sync.Pool{New: func() any { return new(lbScratch) }}
+
+func (s *lbScratch) grow(lanes, qubits, k int) {
+	if cap(s.busy) < lanes*qubits {
+		s.busy = make([]float64, lanes*qubits)
+	}
+	s.busy = s.busy[:lanes*qubits]
+	for i := range s.busy {
+		s.busy[i] = 0
+	}
+	if cap(s.laneBusy) < lanes {
+		s.laneBusy = make([][]float64, lanes)
+	}
+	s.laneBusy = s.laneBusy[:lanes]
+	for j := range s.laneBusy {
+		s.laneBusy[j] = s.busy[j*qubits : (j+1)*qubits]
+	}
+	if cap(s.oneQLat) < lanes {
+		s.oneQLat = make([]float64, lanes)
+		s.twoQLat = make([]float64, lanes)
+		s.weakLat = make([]float64, lanes)
+	}
+	s.oneQLat = s.oneQLat[:lanes]
+	s.twoQLat = s.twoQLat[:lanes]
+	s.weakLat = s.weakLat[:lanes]
+	if cap(s.drawQ) < k {
+		s.drawQ = make([]int, k)
+		s.drawA = make([]int, k)
+		s.drawB = make([]int, k)
+		s.sameCh = make([]bool, k)
+	}
+	s.drawQ = s.drawQ[:k]
+	s.drawA = s.drawA[:k]
+	s.drawB = s.drawB[:k]
+	s.sameCh = s.sameCh[:k]
+}
+
+// PlaceAll implements SweepPlacer: the greedy list scheduler runs for every
+// timing model at once. Per gate, the candidate samples are drawn once from
+// the shared RNG stream, then each lane evaluates them against its own
+// busy-until table and commits its own winner — the only α-dependent step.
+// Lane j is gate-for-gate identical to what LoadBalanced{Latencies: lats[j],
+// Candidates: pl.Candidates}.Place builds from the same stream state; the
+// receiver's own Latencies field is not consulted.
+func (pl LoadBalanced) PlaceAll(spec circuit.Spec, l *ti.Layout, r *rand.Rand, lats []perf.Latencies) ([]*circuit.Circuit, error) {
+	nl := len(lats)
+	if nl == 0 {
+		return nil, fmt.Errorf("schedule: PlaceAll requires at least one timing model")
+	}
+	if err := validate(spec, l); err != nil {
+		return nil, err
+	}
+	for _, lat := range lats {
+		if err := lat.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	k := pl.Candidates
+	if k <= 0 {
+		k = 8
+	}
+	nq := spec.Qubits
+
+	s := lbPool.Get().(*lbScratch)
+	s.grow(nl, nq, k)
+	for j, lat := range lats {
+		s.oneQLat[j] = lat.OneQubit
+		s.twoQLat[j] = lat.TwoQubit
+		// One multiply, exactly as Place's latencyOf computes it, so the
+		// committed finish times match bit for bit.
+		s.weakLat[j] = lat.WeakPenalty * lat.TwoQubit
+	}
+	circs := make([]*circuit.Circuit, nl)
+	for j := range circs {
+		circs[j] = circuit.NewScratch(spec.Name, nq)
+		circs[j].Grow(spec.TotalGates())
+	}
+
+	s.ops = opOrderInto(s.ops, spec, r)
+	drawQ, drawA, drawB, sameCh := s.drawQ[:k], s.drawA[:k], s.drawB[:k], s.sameCh[:k]
+	laneBusy := s.laneBusy
+	// Direct chain table: uniformPair's draws are in range by construction,
+	// so the kernel skips SameChain's per-call validation.
+	chainOf := l.ChainAssignments()
+	for _, arity := range s.ops {
+		if arity == 1 {
+			for i := range drawQ {
+				drawQ[i] = r.Intn(nq)
+			}
+			for j := 0; j < nl; j++ {
+				busy := laneBusy[j]
+				best := drawQ[0]
+				bb := busy[best]
+				for i := 1; i < len(drawQ); i++ {
+					if q := drawQ[i]; busy[q] < bb {
+						best, bb = q, busy[q]
+					}
+				}
+				busy[best] = bb + s.oneQLat[j]
+				circs[j].X(best)
+			}
+			continue
+		}
+		for i := range drawA {
+			a, b := uniformPair(r, nq)
+			drawA[i], drawB[i] = a, b
+			sameCh[i] = chainOf[a] == chainOf[b]
+		}
+		for j := 0; j < nl; j++ {
+			busy := laneBusy[j]
+			// Hoisted lane latencies; the candidate loop starts from
+			// candidate 0's finish so the scan is branch-light. The
+			// strict < keeps the first of tied candidates, exactly as
+			// Place's commit rule does.
+			tq, wk := s.twoQLat[j], s.weakLat[j]
+			bestA, bestB := drawA[0], drawB[0]
+			bestFinish := busy[bestA]
+			if f := busy[bestB]; f > bestFinish {
+				bestFinish = f
+			}
+			if sameCh[0] {
+				bestFinish += tq
+			} else {
+				bestFinish += wk
+			}
+			for i := 1; i < len(drawA); i++ {
+				a, b := drawA[i], drawB[i]
+				start := busy[a]
+				if busy[b] > start {
+					start = busy[b]
+				}
+				gl := tq
+				if !sameCh[i] {
+					gl = wk
+				}
+				if f := start + gl; f < bestFinish {
+					bestFinish = f
+					bestA, bestB = a, b
+				}
+			}
+			busy[bestA] = bestFinish
+			busy[bestB] = bestFinish
+			circs[j].CX(bestA, bestB)
+		}
+	}
+	lbPool.Put(s)
+	return circs, nil
+}

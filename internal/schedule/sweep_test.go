@@ -1,0 +1,136 @@
+package schedule
+
+import (
+	"testing"
+
+	"velociti/internal/circuit"
+	"velociti/internal/perf"
+	"velociti/internal/stats"
+)
+
+// sweepLats builds an α sweep over the default timing model.
+func sweepLats(alphas ...float64) []perf.Latencies {
+	lats := make([]perf.Latencies, len(alphas))
+	for i, a := range alphas {
+		lats[i] = perf.DefaultLatencies()
+		lats[i].WeakPenalty = a
+	}
+	return lats
+}
+
+// sameGates fails unless the two circuits are gate-for-gate identical.
+func sameGates(t *testing.T, label string, got, want *circuit.Circuit) {
+	t.Helper()
+	if got.NumGates() != want.NumGates() {
+		t.Fatalf("%s: %d gates, want %d", label, got.NumGates(), want.NumGates())
+	}
+	wg := want.Gates()
+	for i, g := range got.Gates() {
+		w := wg[i]
+		if g.Kind != w.Kind || len(g.Qubits) != len(w.Qubits) {
+			t.Fatalf("%s: gate %d = %v, want %v", label, i, g, w)
+		}
+		for k := range g.Qubits {
+			if g.Qubits[k] != w.Qubits[k] {
+				t.Fatalf("%s: gate %d = %v, want %v", label, i, g, w)
+			}
+		}
+	}
+}
+
+// TestPlaceAllLanesMatchPerLanePlace pins the SweepPlacer contract: lane j
+// of PlaceAll equals what At(lats[j]).Place builds from a fresh RNG in the
+// same state, for every placer in the suite.
+func TestPlaceAllLanesMatchPerLanePlace(t *testing.T) {
+	l := layout16x4(t)
+	lats := sweepLats(2.0, 1.5, 1.0, 3.5)
+	s := spec(64, 40, 200)
+	for _, p := range All(perf.DefaultLatencies()) {
+		sp, ok := p.(SweepPlacer)
+		if !ok {
+			t.Fatalf("%s: does not implement SweepPlacer", p.Name())
+		}
+		for _, seed := range []int64{1, 7, 42} {
+			circs, err := sp.PlaceAll(s, l, stats.NewRand(seed), lats)
+			if err != nil {
+				t.Fatalf("%s: PlaceAll: %v", p.Name(), err)
+			}
+			if len(circs) != len(lats) {
+				t.Fatalf("%s: %d lanes, want %d", p.Name(), len(circs), len(lats))
+			}
+			for j, lat := range lats {
+				want, err := sp.At(lat).Place(s, l, stats.NewRand(seed))
+				if err != nil {
+					t.Fatalf("%s: Place at lane %d: %v", p.Name(), j, err)
+				}
+				sameGates(t, p.Name(), circs[j], want)
+			}
+		}
+	}
+}
+
+// TestPlaceAllSharesCircuitsWhenLatencyFree pins the aliasing contract the
+// batched binder relies on: latency-free placers return one circuit for all
+// lanes, and LoadBalanced returns distinct per-lane circuits.
+func TestPlaceAllSharesCircuitsWhenLatencyFree(t *testing.T) {
+	l := layout16x4(t)
+	lats := sweepLats(2.0, 1.0)
+	s := spec(64, 10, 60)
+	for _, p := range []SweepPlacer{Random{}, WeakAvoiding{}, EdgeConstrained{}} {
+		circs, err := p.PlaceAll(s, l, stats.NewRand(3), lats)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if circs[0] != circs[1] {
+			t.Fatalf("%s: lanes should alias one circuit", p.Name())
+		}
+	}
+	circs, err := LoadBalanced{}.PlaceAll(s, l, stats.NewRand(3), lats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if circs[0] == circs[1] {
+		t.Fatal("load-balanced lanes must not alias: commits depend on α")
+	}
+}
+
+// TestPlaceAllConsumesStreamLikePlace pins the coupling invariant: after
+// PlaceAll, the shared RNG stream is in the same state as after one Place —
+// so downstream stream consumers see identical draws either way.
+func TestPlaceAllConsumesStreamLikePlace(t *testing.T) {
+	l := layout16x4(t)
+	lats := sweepLats(2.0, 1.5, 1.0)
+	s := spec(64, 15, 80)
+	for _, p := range All(perf.DefaultLatencies()) {
+		sp := p.(SweepPlacer)
+		rAll := stats.NewRand(11)
+		if _, err := sp.PlaceAll(s, l, rAll, lats); err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		rOne := stats.NewRand(11)
+		if _, err := sp.At(lats[0]).Place(s, l, rOne); err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		for i := 0; i < 8; i++ {
+			if a, b := rAll.Int63(), rOne.Int63(); a != b {
+				t.Fatalf("%s: stream diverged after synthesis (draw %d: %d vs %d)", p.Name(), i, a, b)
+			}
+		}
+	}
+}
+
+// TestPlaceAllValidation mirrors Place's error behavior.
+func TestPlaceAllValidation(t *testing.T) {
+	l := layout16x4(t)
+	if _, err := (LoadBalanced{}).PlaceAll(spec(64, 1, 1), l, stats.NewRand(1), nil); err == nil {
+		t.Fatal("want error for empty lats")
+	}
+	bad := sweepLats(2.0)
+	bad[0].TwoQubit = -1
+	if _, err := (LoadBalanced{}).PlaceAll(spec(64, 1, 1), l, stats.NewRand(1), bad); err == nil {
+		t.Fatal("want error for invalid lane latencies")
+	}
+	if _, err := (Random{}).PlaceAll(spec(128, 1, 1), l, stats.NewRand(1), sweepLats(2.0)); err == nil {
+		t.Fatal("want error for spec wider than layout")
+	}
+}

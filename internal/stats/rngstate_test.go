@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestSeedMemoEnabledOnThisRuntime pins that the layout verification
+// passes on the toolchain the repo builds with. If this fails after a Go
+// upgrade the memo path has disabled itself (PooledRand stays correct via
+// the Seed fallback) — but the perf baseline should then be re-measured.
+func TestSeedMemoEnabledOnThisRuntime(t *testing.T) {
+	if !seedMemoEnabled {
+		t.Fatalf("seed memoization disabled: math/rand internals no longer match; PooledRand falls back to plain Seed")
+	}
+}
+
+// TestPooledRandMatchesNewRandRepeatedSeeds drives PooledRand through the
+// grid shape that motivates the memo — few distinct seeds, many trials —
+// and checks every stream against a fresh NewRand bit for bit, covering
+// both the miss (capture) and hit (restore) paths.
+func TestPooledRandMatchesNewRandRepeatedSeeds(t *testing.T) {
+	seeds := []int64{42, -7, 0, 1 << 40, 42} // repeat 42: hit path
+	for round := 0; round < 3; round++ {
+		for _, seed := range seeds {
+			r := PooledRand(seed)
+			ref := NewRand(seed)
+			for i := 0; i < 200; i++ {
+				if got, want := r.Int63(), ref.Int63(); got != want {
+					t.Fatalf("round %d seed %d draw %d: PooledRand %d != NewRand %d", round, seed, i, got, want)
+				}
+			}
+			// Float64 and Intn exercise different Source entry points.
+			if got, want := r.Float64(), ref.Float64(); got != want {
+				t.Fatalf("seed %d: Float64 %v != %v", seed, got, want)
+			}
+			if got, want := r.Intn(63), ref.Intn(63); got != want {
+				t.Fatalf("seed %d: Intn %d != %d", seed, got, want)
+			}
+			RecycleRand(r)
+		}
+	}
+}
+
+// TestPooledRandReadAfterRestore checks the Read bookkeeping is reset on
+// the restore path: a generator recycled mid-Read must not leak buffered
+// bytes into the next seed's stream.
+func TestPooledRandReadAfterRestore(t *testing.T) {
+	r := PooledRand(11)
+	var buf [3]byte
+	if _, err := r.Read(buf[:]); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	RecycleRand(r)
+
+	r = PooledRand(11) // same seed: restore path on a dirty generator
+	ref := NewRand(11)
+	var got, want [16]byte
+	if _, err := r.Read(got[:]); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if _, err := ref.Read(want[:]); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got != want {
+		t.Fatalf("post-restore Read diverged from fresh stream: %x != %x", got, want)
+	}
+	RecycleRand(r)
+}
+
+// TestSeedMemoEviction cycles through more seeds than the ring holds and
+// re-checks every stream, so restores that survive eviction and recycled
+// snapshot storage both stay bit-exact.
+func TestSeedMemoEviction(t *testing.T) {
+	const n = seedMemoSize*2 + 5
+	for round := 0; round < 2; round++ {
+		for i := 0; i < n; i++ {
+			seed := int64(1000 + i)
+			r := PooledRand(seed)
+			ref := NewRand(seed)
+			for d := 0; d < 20; d++ {
+				if got, want := r.Int63(), ref.Int63(); got != want {
+					t.Fatalf("round %d seed %d draw %d: %d != %d", round, seed, d, got, want)
+				}
+			}
+			RecycleRand(r)
+		}
+	}
+}
+
+// TestSeedMemoConcurrent hammers one hot seed and a spread of cold seeds
+// from many goroutines; under -race this doubles as the locking proof for
+// the recycled-snapshot design.
+func TestSeedMemoConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				seed := int64(77) // hot seed shared by all goroutines
+				if i%3 == 0 {
+					seed = int64(g*1000 + i)
+				}
+				r := PooledRand(seed)
+				ref := NewRand(seed)
+				for d := 0; d < 10; d++ {
+					if got, want := r.Int63(), ref.Int63(); got != want {
+						t.Errorf("seed %d draw %d: %d != %d", seed, d, got, want)
+						break
+					}
+				}
+				RecycleRand(r)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestSeedFromMemoRejectsForeignSource checks the guard that keeps the
+// unsafe restore away from generators whose source is not a plain
+// rngSource shared between the src and s64 fields.
+func TestSeedFromMemoRejectsForeignSource(t *testing.T) {
+	if !seedMemoEnabled {
+		t.Skip("memo disabled on this runtime")
+	}
+	r := rand.New(constSource{})
+	if sourceState(r) != nil {
+		t.Fatalf("sourceState accepted a non-rngSource generator")
+	}
+	if seedFromMemo(r, 5) {
+		t.Fatalf("seedFromMemo claimed the fast path for a non-rngSource generator")
+	}
+}
+
+// constSource is a Source that is not a Source64, so rand.New leaves the
+// Rand's s64 field nil and the restore guard must reject it.
+type constSource struct{}
+
+func (constSource) Int63() int64 { return 1 }
+func (constSource) Seed(int64)   {}

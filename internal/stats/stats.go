@@ -13,6 +13,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"velociti/internal/verr"
 )
@@ -152,6 +153,34 @@ func (s Summary) String() string {
 // accepts one of these so that whole experiments replay bit-for-bit.
 func NewRand(seed int64) *rand.Rand {
 	return rand.New(rand.NewSource(seed))
+}
+
+// randPool holds retired generators for hot trial loops; only generators
+// handed back through RecycleRand ever land here.
+var randPool sync.Pool
+
+// PooledRand returns a PRNG seeded like NewRand(seed), reusing a recycled
+// generator's state storage when one is available. Seeding goes through the
+// snapshot cache in rngstate.go when the seed was used recently; either way
+// the stream is bit-identical to NewRand's, so the two are interchangeable.
+func PooledRand(seed int64) *rand.Rand {
+	if r, _ := randPool.Get().(*rand.Rand); r != nil {
+		if !seedFromMemo(r, seed) {
+			r.Seed(seed)
+		}
+		return r
+	}
+	r := NewRand(seed)
+	memoizeSeed(r, seed) // the fresh state is exactly the snapshot to cache
+	return r
+}
+
+// RecycleRand retires r for reuse by PooledRand. The caller must not use r
+// afterwards.
+func RecycleRand(r *rand.Rand) {
+	if r != nil {
+		randPool.Put(r)
+	}
 }
 
 // SplitSeed derives the seed for the i-th independent run of an experiment

@@ -73,6 +73,12 @@ func (l *Layout) ChainOf(q int) int {
 	return l.chainOf[q]
 }
 
+// ChainAssignments returns the per-qubit chain table: entry q is ChainOf(q).
+// The returned slice is the layout's backing store and must not be modified;
+// hot classification kernels index it directly instead of paying ChainOf's
+// per-call validation.
+func (l *Layout) ChainAssignments() []int { return l.chainOf }
+
 // SlotOf returns qubit q's position within its chain.
 func (l *Layout) SlotOf(q int) int {
 	l.check(q)
