@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestMain turns this test binary into the real CLI when the re-exec
+// marker is set, so the exit-status tests below observe main()'s true
+// exit code and stderr.
+func TestMain(m *testing.M) {
+	if os.Getenv("VELOCITI_CLI_EXIT_TEST") == "1" {
+		args := []string{os.Args[0]}
+		if raw := os.Getenv("VELOCITI_CLI_EXIT_ARGS"); raw != "" {
+			args = append(args, strings.Split(raw, "\x1f")...)
+		}
+		os.Args = args
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func execMain(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		"VELOCITI_CLI_EXIT_TEST=1",
+		"VELOCITI_CLI_EXIT_ARGS="+strings.Join(args, "\x1f"))
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	cmd.Stdout = io.Discard
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("re-exec failed: %v", err)
+		}
+		code = ee.ExitCode()
+	}
+	return code, stderr.String()
+}
+
+func checkDiagnostic(t *testing.T, code int, stderr, prefix, substr string) {
+	t.Helper()
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %q)", code, stderr)
+	}
+	if strings.Contains(stderr, "goroutine ") || strings.Contains(stderr, "panic:") {
+		t.Fatalf("stderr contains a stack trace:\n%s", stderr)
+	}
+	line := strings.TrimSuffix(stderr, "\n")
+	if line == "" || strings.Contains(line, "\n") {
+		t.Errorf("stderr should be exactly one diagnostic line, got %q", stderr)
+	}
+	if !strings.HasPrefix(line, prefix) {
+		t.Errorf("stderr = %q, want prefix %q", line, prefix)
+	}
+	if !strings.Contains(line, substr) {
+		t.Errorf("stderr = %q, want it to mention %q", line, substr)
+	}
+}
+
+func TestMalformedInputExitStatus(t *testing.T) {
+	cases := []struct {
+		name   string
+		args   []string
+		substr string
+	}{
+		{"positional argument", []string{"leftover"}, "unexpected argument"},
+		{"unresolvable address", []string{"-addr", "256.256.256.256:1"}, "listen"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, stderr := execMain(t, tc.args...)
+			checkDiagnostic(t, code, stderr, "velociti-serve:", tc.substr)
+		})
+	}
+}

@@ -1,0 +1,117 @@
+// Command velociti-serve runs the VelociTI evaluation pipelines as a
+// long-lived HTTP service (internal/serve): POST /v1/evaluate, /v1/sweep,
+// and /v1/explore answer the same questions as the velociti,
+// velociti-sweep, and velociti-dse CLIs — with byte-identical bodies —
+// while sharing one artifact cache across requests, coalescing identical
+// in-flight plans, and applying bounded admission (429 + Retry-After past
+// the queue). GET /metrics reports cache, pool, admission, and
+// per-endpoint counters; GET /healthz answers liveness.
+//
+//	velociti-serve -addr 127.0.0.1:8080
+//	velociti-serve -addr :0 -max-inflight 4 -max-queue 8 -request-timeout 30s
+//
+// On SIGTERM/SIGINT the listener closes, in-flight requests drain for up
+// to -shutdown-grace, and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"velociti/internal/serve"
+	"velociti/internal/verr"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		if verr.IsInput(err) {
+			fmt.Fprintln(os.Stderr, "velociti-serve: invalid input:", err)
+		} else {
+			fmt.Fprintln(os.Stderr, "velociti-serve:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run boots the service and blocks until ctx is cancelled (a signal) or
+// the listener fails. Diagnostics — including the "listening on" banner
+// that reports the bound address — go to diag, never stdout.
+func run(ctx context.Context, args []string, diag io.Writer) error {
+	fs := flag.NewFlagSet("velociti-serve", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		maxInFlight = fs.Int("max-inflight", 0, "concurrent evaluation slots (0 = GOMAXPROCS)")
+		maxQueue    = fs.Int("max-queue", 0, "admission queue depth (0 = 2x max-inflight, negative = no queue)")
+		reqTimeout  = fs.Duration("request-timeout", 60*time.Second, "per-request evaluation deadline and timeout_ms cap")
+		maxBody     = fs.Int64("max-body-bytes", 1<<20, "request body size cap (413 beyond)")
+		cacheCap    = fs.Int("cache-capacity", 0, "per-stage artifact cache bound (0 = default, negative = unbounded)")
+		workers     = fs.Int("workers", 0, "default trial parallelism per evaluation (0 = GOMAXPROCS)")
+		retryAfter  = fs.Duration("retry-after", time.Second, "Retry-After hint attached to 429 responses")
+		grace       = fs.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight requests on SIGTERM/SIGINT")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return verr.Inputf("unexpected argument %q", fs.Arg(0))
+	}
+
+	s := serve.New(serve.Options{
+		MaxInFlight:    *maxInFlight,
+		MaxQueue:       *maxQueue,
+		RequestTimeout: *reqTimeout,
+		MaxBodyBytes:   *maxBody,
+		CacheCapacity:  *cacheCap,
+		Workers:        *workers,
+		RetryAfter:     *retryAfter,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	fmt.Fprintf(diag, "velociti-serve: listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		// Serve only returns on listener failure here; ErrServerClosed
+		// can't happen before Shutdown is called.
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight requests for up
+	// to the grace window, and only then cancel whatever is still running
+	// (Close before Shutdown would turn the drain into an abort).
+	fmt.Fprintf(diag, "velociti-serve: shutting down, draining for up to %s\n", *grace)
+	sctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	shutdownErr := httpSrv.Shutdown(sctx)
+	s.Close()
+	if shutdownErr != nil {
+		if errors.Is(shutdownErr, context.DeadlineExceeded) {
+			fmt.Fprintln(diag, "velociti-serve: drain window elapsed, aborting remaining requests")
+		} else {
+			return shutdownErr
+		}
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(diag, "velociti-serve: stopped")
+	return nil
+}

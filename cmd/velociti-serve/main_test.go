@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the test read diagnostics while run writes them from
+// another goroutine.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenLine = regexp.MustCompile(`velociti-serve: listening on (\S+)`)
+
+// waitForAddr polls the diagnostics for the listen banner and returns the
+// bound address.
+func waitForAddr(t *testing.T, out *syncBuffer) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := listenLine.FindStringSubmatch(out.String()); m != nil {
+			return m[1]
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("no listen banner in diagnostics: %q", out.String())
+	return ""
+}
+
+// TestServeAndGracefulShutdown boots the service on a free port, checks
+// liveness and one real evaluation, then cancels the context (the signal
+// path) and expects a clean nil return.
+func TestServeAndGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-shutdown-grace", "5s"}, &out)
+	}()
+	base := "http://" + waitForAddr(t, &out)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("healthz = %d %q, want 200 %q", resp.StatusCode, body, "ok\n")
+	}
+
+	resp, err = http.Post(base+"/v1/evaluate", "application/json",
+		strings.NewReader(`{"workload": {"name": "smoke", "qubits": 8, "two_qubit_gates": 4}, "runs": 2}`))
+	if err != nil {
+		t.Fatalf("evaluate: %v", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evaluate = %d: %s", resp.StatusCode, body)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v, want nil on graceful shutdown", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not return after context cancellation")
+	}
+	if !strings.Contains(out.String(), "velociti-serve: stopped") {
+		t.Errorf("diagnostics missing stop line: %q", out.String())
+	}
+}
+
+func TestRunRejectsPositionalArgs(t *testing.T) {
+	err := run(context.Background(), []string{"extra"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "unexpected argument") {
+		t.Fatalf("err = %v, want unexpected-argument input error", err)
+	}
+}
+
+func TestRunBadListenAddress(t *testing.T) {
+	err := run(context.Background(), []string{"-addr", "256.256.256.256:1"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "listen") {
+		t.Fatalf("err = %v, want listen error", err)
+	}
+}

@@ -25,14 +25,9 @@ import (
 	"syscall"
 	"time"
 
-	"velociti/internal/apps"
 	"velociti/internal/cache"
-	"velociti/internal/circuit"
 	"velociti/internal/core"
-	"velociti/internal/perf"
-	"velociti/internal/pool"
 	"velociti/internal/prof"
-	"velociti/internal/schedule"
 	"velociti/internal/ti"
 	"velociti/internal/verr"
 	"velociti/internal/workload"
@@ -88,7 +83,16 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		}
 	}()
 
-	specs, err := buildSpecs(*app, *qv, *ratio, *qubits, *oneQ, *twoQ, *qubitRange)
+	// Workload resolution and grid evaluation are shared with the sweep
+	// service (internal/serve): both front ends lower onto
+	// workload.Selector and core.RunGrid, which is what makes the
+	// service's CLI-equivalence guarantee hold by construction.
+	sel := workload.Selector{
+		App: *app, QV: *qv, Ratio: *ratio,
+		Qubits: *qubits, OneQubitGates: *oneQ, TwoQubitGates: *twoQ,
+		QubitRange: *qubitRange,
+	}
+	specs, err := sel.Specs()
 	if err != nil {
 		return err
 	}
@@ -100,33 +104,9 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	if err != nil {
 		return verr.Inputf("-alphas: %w", err)
 	}
-	placerNames := splitList(*placers)
 	topo, err := ti.ParseTopology(*topology)
 	if err != nil {
 		return err
-	}
-
-	// Flatten the grid into cells so one bad configuration degrades into
-	// one failed data point (a stderr diagnostic and a skipped CSV row)
-	// instead of aborting the whole sweep.
-	type cell struct {
-		spec       circuit.Spec
-		chainLen   int
-		alpha      float64
-		placerName string
-	}
-	var cells []cell
-	for _, spec := range specs {
-		for _, L := range lengths {
-			for _, alpha := range alphaVals {
-				for _, placerName := range placerNames {
-					cells = append(cells, cell{spec, L, alpha, placerName})
-				}
-			}
-		}
-	}
-	if len(cells) == 0 {
-		return verr.Inputf("empty sweep grid")
 	}
 
 	// One artifact store across the whole grid: cells that differ only in α
@@ -134,61 +114,37 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	// work. Content-keyed artifacts keep the CSV byte-identical either way.
 	pipeline := core.NewPipeline()
 	evalStart := time.Now()
-	// Trials parallelize inside each cell (cfg.Workers); cells run one at a
-	// time so CSV row order — and every trial's derived seed — matches the
-	// serial sweep exactly. RunAll gives per-cell error isolation either way.
-	reports := make([]*core.Report, len(cells))
-	errs := pool.RunAll(ctx, 1, len(cells), func(i int) error {
-		c := cells[i]
-		lat := perf.DefaultLatencies()
-		lat.WeakPenalty = c.alpha
-		placer, err := schedule.ByName(c.placerName, lat)
-		if err != nil {
-			return err
-		}
-		cfg := core.Config{
-			Spec:        c.spec,
-			ChainLength: c.chainLen,
-			Topology:    topo,
-			Latencies:   lat,
-			Placer:      placer,
-			Runs:        *runs,
-			Seed:        *seed,
-			Workers:     *workers,
-			Pipeline:    pipeline,
-		}
-		rep, err := core.RunContext(ctx, cfg)
-		if err != nil {
-			return err
-		}
-		reports[i] = rep
-		return nil
-	})
+	grid := core.Grid{
+		Specs:        specs,
+		ChainLengths: lengths,
+		Alphas:       alphaVals,
+		Placers:      splitList(*placers),
+		Topology:     topo,
+		Runs:         *runs,
+		Seed:         *seed,
+		Workers:      *workers,
+		Pipeline:     pipeline,
+	}
+	res, err := core.RunGrid(ctx, grid)
+	if err != nil {
+		return err
+	}
 
 	renderStart := time.Now()
-	fmt.Fprintln(out, "workload,qubits,two_qubit_gates,chain_length,chains,weak_links,alpha,placer,serial_us,parallel_us,parallel_min_us,parallel_max_us,speedup,weak_gates")
-	failed := 0
-	for i, c := range cells {
-		if errs != nil && errs[i] != nil {
-			failed++
-			fmt.Fprintf(os.Stderr, "velociti-sweep: skipping %s L=%d α=%g %s: %v\n",
-				c.spec.Name, c.chainLen, c.alpha, c.placerName, errs[i])
-			continue
-		}
-		rep := reports[i]
-		fmt.Fprintf(out, "%s,%d,%d,%d,%d,%d,%g,%s,%.3f,%.3f,%.3f,%.3f,%.3f,%.1f\n",
-			c.spec.Name, c.spec.Qubits, c.spec.TwoQubitGates,
-			c.chainLen, rep.Device.NumChains, rep.Device.MaxWeakLinks, c.alpha, c.placerName,
-			rep.Serial.Mean, rep.Parallel.Mean, rep.Parallel.Min, rep.Parallel.Max,
-			rep.MeanSpeedup(), rep.WeakGates.Mean)
+	res.EachSkip(func(c core.GridCell, err error) {
+		fmt.Fprintf(os.Stderr, "velociti-sweep: skipping %s L=%d α=%g %s: %v\n",
+			c.Spec.Name, c.ChainLength, c.Alpha, c.Placer, err)
+	})
+	if err := res.WriteCSV(out); err != nil {
+		return err
 	}
-	if failed == len(cells) {
-		return fmt.Errorf("all %d sweep configurations failed; first: %w", failed, errs[0])
+	if err := res.Err(); err != nil {
+		return err
 	}
 	if *cacheStats {
 		st := pipeline.Stats()
 		fmt.Fprintf(os.Stderr, "velociti-sweep: %d cells evaluated in %s, rendered in %s\n",
-			len(cells)-failed, renderStart.Sub(evalStart).Round(time.Millisecond), time.Since(renderStart).Round(time.Millisecond))
+			len(res.Cells)-res.Failed(), renderStart.Sub(evalStart).Round(time.Millisecond), time.Since(renderStart).Round(time.Millisecond))
 		for _, stage := range []struct {
 			name string
 			s    cache.Stats
@@ -198,46 +154,6 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		}
 	}
 	return nil
-}
-
-func buildSpecs(app string, qv bool, ratio float64, qubits, oneQ, twoQ int, qubitRange string) ([]circuit.Spec, error) {
-	switch {
-	case app != "":
-		a, err := apps.ByName(app)
-		if err != nil {
-			return nil, err
-		}
-		return []circuit.Spec{a.Spec}, nil
-	case qv || ratio > 0:
-		from, to, step := 8, 128, 20
-		if qubitRange != "" {
-			parts := strings.Split(qubitRange, ":")
-			if len(parts) != 3 {
-				return nil, verr.Inputf("-qubit-range wants from:to:step, got %q", qubitRange)
-			}
-			vals := make([]int, 3)
-			for i, p := range parts {
-				v, err := strconv.Atoi(p)
-				if err != nil {
-					return nil, verr.Inputf("-qubit-range: %w", err)
-				}
-				vals[i] = v
-			}
-			from, to, step = vals[0], vals[1], vals[2]
-			if step <= 0 {
-				return nil, verr.Inputf("-qubit-range step must be positive")
-			}
-		}
-		if qv {
-			return workload.QVSweep(from, to, step)
-		}
-		return workload.RatioSweep(from, to, step, ratio)
-	case qubits > 0:
-		spec := circuit.Spec{Name: "sweep", Qubits: qubits, OneQubitGates: oneQ, TwoQubitGates: twoQ}
-		return []circuit.Spec{spec}, spec.Validate()
-	default:
-		return nil, verr.Inputf("no workload: pass -app, -qv, -ratio, or -qubits (see -h)")
-	}
 }
 
 func splitList(s string) []string {

@@ -1,0 +1,354 @@
+//go:build e2e
+
+// Package e2e drives the compiled binaries end to end: it builds
+// velociti, velociti-sweep, and velociti-serve with the local toolchain,
+// boots the service on a free port as a real child process, and checks
+// the service-level contracts no unit test can — CLI byte-equivalence
+// across process boundaries, saturation backpressure on a live listener,
+// and graceful SIGTERM shutdown with in-flight work draining.
+//
+// The build tag keeps this out of plain `go test ./...`; CI runs it as
+// the service-e2e job with `go test -tags e2e ./e2e/`.
+package e2e
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+var bins = struct {
+	serve, velociti, sweep string
+}{}
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "velociti-e2e-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "e2e: mktemp:", err)
+		os.Exit(1)
+	}
+	build := func(name string) string {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "velociti/cmd/"+name)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			fmt.Fprintf(os.Stderr, "e2e: building %s: %v\n", name, err)
+			os.RemoveAll(dir)
+			os.Exit(1)
+		}
+		return out
+	}
+	bins.serve = build("velociti-serve")
+	bins.velociti = build("velociti")
+	bins.sweep = build("velociti-sweep")
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// syncBuffer collects a child's stderr while the test reads it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// server is one velociti-serve child process.
+type server struct {
+	cmd    *exec.Cmd
+	base   string // http://host:port
+	stderr *syncBuffer
+	done   chan error
+}
+
+var listenLine = regexp.MustCompile(`velociti-serve: listening on (\S+)`)
+
+// startServer boots velociti-serve on a free port and waits for the
+// listen banner. The process is killed at test cleanup if still alive.
+func startServer(t *testing.T, extraArgs ...string) *server {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	s := &server{
+		cmd:    exec.Command(bins.serve, args...),
+		stderr: &syncBuffer{},
+		done:   make(chan error, 1),
+	}
+	s.cmd.Stderr = s.stderr
+	s.cmd.Stdout = io.Discard
+	if err := s.cmd.Start(); err != nil {
+		t.Fatalf("start velociti-serve: %v", err)
+	}
+	// done is closed after the exit status is delivered, so every receive
+	// past the first returns immediately (the cleanup below must not hang
+	// when a test already consumed the status).
+	go func() { s.done <- s.cmd.Wait(); close(s.done) }()
+	t.Cleanup(func() {
+		s.cmd.Process.Kill()
+		<-s.done
+	})
+
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := listenLine.FindStringSubmatch(s.stderr.String()); m != nil {
+			s.base = "http://" + m[1]
+			return s
+		}
+		select {
+		case err := <-s.done:
+			t.Fatalf("velociti-serve exited before listening: %v\n%s", err, s.stderr.String())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	t.Fatalf("no listen banner from velociti-serve:\n%s", s.stderr.String())
+	return nil
+}
+
+// post sends a JSON request and returns the status, headers, and body.
+func post(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, b
+}
+
+// cliStdout runs a compiled CLI and returns its stdout, failing the test
+// on a nonzero exit.
+func cliStdout(t *testing.T, bin string, args ...string) []byte {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, stderr.String())
+	}
+	return stdout.Bytes()
+}
+
+// TestEvaluateMatchesVelocitiCLI pins the service guarantee across real
+// process boundaries: POST /v1/evaluate answers with the exact bytes
+// `velociti -json` prints for the same parameters.
+func TestEvaluateMatchesVelocitiCLI(t *testing.T) {
+	s := startServer(t)
+	resp, got := post(t, s.base+"/v1/evaluate",
+		`{"workload": {"name": "cli", "qubits": 24, "one_qubit_gates": 10, "two_qubit_gates": 16}, "seed": 7, "runs": 5}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evaluate = %d\n%s", resp.StatusCode, got)
+	}
+	want := cliStdout(t, bins.velociti,
+		"-qubits", "24", "-one-qubit-gates", "10", "-two-qubit-gates", "16",
+		"-seed", "7", "-runs", "5", "-json")
+	if !bytes.Equal(got, want) {
+		t.Errorf("service body differs from velociti -json stdout:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestSweepMatchesVelocitiSweepCLI does the same for /v1/sweep against
+// velociti-sweep's CSV stdout.
+func TestSweepMatchesVelocitiSweepCLI(t *testing.T) {
+	s := startServer(t)
+	resp, got := post(t, s.base+"/v1/sweep",
+		`{"qv": true, "qubit_range": "8:48:20", "chain_lengths": [8, 16], "alphas": [2.0, 1.0],
+		  "placers": ["random", "load-balanced"], "runs": 4, "seed": 3}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep = %d\n%s", resp.StatusCode, got)
+	}
+	want := cliStdout(t, bins.sweep,
+		"-qv", "-qubit-range", "8:48:20", "-chain-lengths", "8,16", "-alphas", "2.0,1.0",
+		"-placers", "random,load-balanced", "-runs", "4", "-seed", "3")
+	if !bytes.Equal(got, want) {
+		t.Errorf("service body differs from velociti-sweep stdout:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestExploreReturnsGridAndPareto drives /v1/explore and checks the
+// response shape: a full grid with a non-empty Pareto subset.
+func TestExploreReturnsGridAndPareto(t *testing.T) {
+	s := startServer(t)
+	resp, got := post(t, s.base+"/v1/explore",
+		`{"spec": {"name": "e2e", "qubits": 16, "two_qubit_gates": 10}, "chain_lengths": [8, 16],
+		  "alphas": [2.0, 1.0], "runs": 3, "seed": 2}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explore = %d\n%s", resp.StatusCode, got)
+	}
+	var out struct {
+		Points []json.RawMessage `json:"points"`
+		Pareto []json.RawMessage `json:"pareto"`
+	}
+	if err := json.Unmarshal(got, &out); err != nil {
+		t.Fatalf("explore body does not parse: %v\n%s", err, got)
+	}
+	// 2 chain lengths x 2 alphas x 2 default placers.
+	if len(out.Points) != 8 {
+		t.Errorf("points = %d, want 8", len(out.Points))
+	}
+	if len(out.Pareto) == 0 || len(out.Pareto) > len(out.Points) {
+		t.Errorf("pareto = %d points, want 1..%d", len(out.Pareto), len(out.Points))
+	}
+}
+
+// metricsSnapshot fetches and decodes /metrics.
+func metricsSnapshot(t *testing.T, base string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	var snap map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decode /metrics: %v", err)
+	}
+	return snap
+}
+
+// TestSaturationReturns429 boots a one-slot, no-queue server, occupies
+// the slot with a deliberately slow sweep, and checks a second request is
+// rejected with 429 + Retry-After while the first still completes.
+func TestSaturationReturns429(t *testing.T) {
+	s := startServer(t, "-max-inflight", "1", "-max-queue", "-1", "-retry-after", "2s",
+		"-request-timeout", "180s")
+
+	// Several seconds of single-threaded work (about 15k trials), well
+	// under the raised request timeout.
+	heavyDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(s.base+"/v1/sweep", "application/json", strings.NewReader(
+			`{"qv": true, "qubit_range": "64:512:32", "runs": 1000, "workers": 1}`))
+		if err != nil {
+			heavyDone <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		heavyDone <- resp.StatusCode
+	}()
+
+	// Wait until the heavy sweep holds the only slot.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("heavy sweep never showed up in /metrics in_flight")
+		}
+		if inFlight, ok := metricsSnapshot(t, s.base)["in_flight"].(float64); ok && inFlight >= 1 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, body := post(t, s.base+"/v1/evaluate",
+		`{"workload": {"name": "probe", "qubits": 8, "two_qubit_gates": 4}, "runs": 2}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("probe = %d, want 429\n%s", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Errorf("Retry-After = %q, want %q", ra, "2")
+	}
+	var envelope struct {
+		Error struct {
+			Kind string `json:"kind"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &envelope); err != nil || envelope.Error.Kind != "overloaded" {
+		t.Errorf("429 body = %s, want typed overloaded envelope (err=%v)", body, err)
+	}
+
+	select {
+	case status := <-heavyDone:
+		if status != http.StatusOK {
+			t.Fatalf("heavy sweep = %d, want 200", status)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("heavy sweep never completed")
+	}
+}
+
+// TestGracefulShutdown SIGTERMs the server while a request is in flight:
+// the request must complete, the process must exit 0, and the drain
+// must be visible in the logs.
+func TestGracefulShutdown(t *testing.T) {
+	s := startServer(t, "-shutdown-grace", "180s", "-request-timeout", "180s")
+
+	inflightDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(s.base+"/v1/sweep", "application/json", strings.NewReader(
+			`{"qv": true, "qubit_range": "64:512:32", "runs": 1000, "workers": 1}`))
+		if err != nil {
+			inflightDone <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		inflightDone <- resp.StatusCode
+	}()
+
+	// Give the request time to be admitted, then ask the server to stop.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("in-flight sweep never showed up in /metrics")
+		}
+		if inFlight, ok := metricsSnapshot(t, s.base)["in_flight"].(float64); ok && inFlight >= 1 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := s.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+
+	select {
+	case status := <-inflightDone:
+		if status != http.StatusOK {
+			t.Fatalf("in-flight sweep = %d, want 200 (drained before exit)", status)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("in-flight sweep never completed after SIGTERM")
+	}
+	select {
+	case err := <-s.done:
+		if err != nil {
+			t.Fatalf("velociti-serve exit = %v, want 0\n%s", err, s.stderr.String())
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("velociti-serve did not exit after SIGTERM")
+	}
+	logs := s.stderr.String()
+	if !strings.Contains(logs, "shutting down") || !strings.Contains(logs, "velociti-serve: stopped") {
+		t.Errorf("logs missing shutdown trace:\n%s", logs)
+	}
+
+	// New connections must be refused once the listener is down.
+	if _, err := http.Get(s.base + "/healthz"); err == nil {
+		t.Errorf("healthz still reachable after shutdown")
+	}
+}

@@ -41,18 +41,20 @@ type Keyer interface {
 	CacheKey() string
 }
 
-// Stats is a point-in-time snapshot of a cache's counters.
+// Stats is a point-in-time snapshot of a cache's counters. The JSON field
+// names are part of the velociti-serve /metrics schema.
 type Stats struct {
 	// Hits and Misses count Get/GetOrCompute lookups.
-	Hits, Misses uint64
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
 	// Evictions counts entries displaced by lower-ranked keys.
-	Evictions uint64
+	Evictions uint64 `json:"evictions"`
 	// Rejected counts inserts declined because the shard was full and the
 	// new key ranked above every resident (the value was still returned to
 	// the caller, just not retained).
-	Rejected uint64
+	Rejected uint64 `json:"rejected"`
 	// Entries is the number of currently retained artifacts.
-	Entries int
+	Entries int `json:"entries"`
 }
 
 // numShards spreads lock contention across the worker pool; must be a

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"velociti/internal/circuit"
+	"velociti/internal/verr"
+)
+
+func testGrid() Grid {
+	return Grid{
+		Specs:        []circuit.Spec{{Name: "g", Qubits: 12, OneQubitGates: 12, TwoQubitGates: 24}},
+		ChainLengths: []int{4, 6},
+		Alphas:       []float64{2.0, 1.0},
+		Placers:      []string{"random"},
+		Runs:         3,
+		Seed:         7,
+	}
+}
+
+// The grid renderer must produce exactly the per-cell rendering the sweep
+// CLI inlined before RunGrid existed: one header, then canonical-order
+// rows computed from RunContext reports.
+func TestRunGridCSVMatchesPerCellRuns(t *testing.T) {
+	g := testGrid()
+	res, err := RunGrid(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := res.WriteCSV(&got); err != nil {
+		t.Fatal(err)
+	}
+
+	var want bytes.Buffer
+	fmt.Fprintln(&want, CSVHeader)
+	for _, c := range res.Cells {
+		lat := g.baseLatencies()
+		lat.WeakPenalty = c.Alpha
+		cfg := Config{
+			Spec: c.Spec, ChainLength: c.ChainLength, Latencies: lat,
+			Runs: g.Runs, Seed: g.Seed,
+		}
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&want, "%s,%d,%d,%d,%d,%d,%g,%s,%.3f,%.3f,%.3f,%.3f,%.3f,%.1f\n",
+			c.Spec.Name, c.Spec.Qubits, c.Spec.TwoQubitGates,
+			c.ChainLength, rep.Device.NumChains, rep.Device.MaxWeakLinks, c.Alpha, c.Placer,
+			rep.Serial.Mean, rep.Parallel.Mean, rep.Parallel.Min, rep.Parallel.Max,
+			rep.MeanSpeedup(), rep.WeakGates.Mean)
+	}
+	if got.String() != want.String() {
+		t.Errorf("grid CSV diverges from per-cell runs:\ngot:\n%s\nwant:\n%s", got.String(), want.String())
+	}
+	if res.Failed() != 0 || res.Err() != nil {
+		t.Errorf("Failed() = %d, Err() = %v on an all-good grid", res.Failed(), res.Err())
+	}
+}
+
+// One bad cell must degrade into one skipped row, not abort the sweep.
+func TestRunGridCellIsolation(t *testing.T) {
+	g := testGrid()
+	g.Placers = []string{"random", "no-such-placer"}
+	res, err := RunGrid(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(res.Cells) / 2; res.Failed() != want {
+		t.Fatalf("Failed() = %d, want %d", res.Failed(), want)
+	}
+	if res.Err() != nil {
+		t.Errorf("Err() = %v with surviving cells", res.Err())
+	}
+	skips := 0
+	res.EachSkip(func(c GridCell, err error) {
+		skips++
+		if c.Placer != "no-such-placer" {
+			t.Errorf("skip on cell %+v", c)
+		}
+		if !verr.IsInput(err) {
+			t.Errorf("skip error not input-kind: %v", err)
+		}
+	})
+	if skips != res.Failed() {
+		t.Errorf("EachSkip visited %d cells, Failed() = %d", skips, res.Failed())
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if rows := strings.Count(buf.String(), "\n") - 1; rows != len(res.Cells)-res.Failed() {
+		t.Errorf("CSV rows = %d, want %d", rows, len(res.Cells)-res.Failed())
+	}
+}
+
+func TestRunGridAllFailedAndEmpty(t *testing.T) {
+	g := testGrid()
+	g.Placers = []string{"no-such-placer"}
+	res, err := RunGrid(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err == nil || !strings.Contains(err.Error(), "all 4 sweep configurations failed") {
+		t.Errorf("Err() = %v, want all-failed diagnostic", err)
+	}
+
+	if _, err := RunGrid(context.Background(), Grid{}); !verr.IsInput(err) {
+		t.Errorf("empty grid error = %v, want input-kind", err)
+	}
+}
+
+// A shared pipeline must not change a single output byte.
+func TestRunGridPipelineByteIdentical(t *testing.T) {
+	g := testGrid()
+	plain, err := RunGrid(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Pipeline = NewPipeline()
+	g.Workers = 4
+	cached, err := RunGrid(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := plain.WriteCSV(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := cached.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("pipeline/workers changed CSV bytes:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}

@@ -1,0 +1,69 @@
+package dse
+
+// This file gives the explorer a request-shaped entry point for callers
+// that arrive as data rather than code — the exploration service
+// (internal/serve) and any future batch front end. A Request carries the
+// grid knobs with JSON tags, Run resolves defaults exactly as
+// Options.normalized does, and the Response pairs the full grid with its
+// Pareto frontier so one round trip answers the paper's Case Study 2
+// question ("which configurations are worth building").
+
+import (
+	"context"
+
+	"velociti/internal/circuit"
+	"velociti/internal/core"
+)
+
+// Request describes one exploration over a workload. Zero-valued knobs
+// select the same defaults as Options: chain lengths 8/16/24/32, alphas
+// 2.0/1.5/1.0, random + load-balanced placers, 10 runs.
+type Request struct {
+	// Spec is the workload's boundary conditions.
+	Spec circuit.Spec `json:"spec"`
+	// ChainLengths, Alphas, and Placers define the grid.
+	ChainLengths []int     `json:"chain_lengths,omitempty"`
+	Alphas       []float64 `json:"alphas,omitempty"`
+	Placers      []string  `json:"placers,omitempty"`
+	// Runs per configuration and the master seed.
+	Runs int   `json:"runs,omitempty"`
+	Seed int64 `json:"seed,omitempty"`
+	// Workers bounds concurrent (plan, seed) jobs; results are
+	// bit-identical at any value.
+	Workers int `json:"workers,omitempty"`
+}
+
+// Response is an exploration's outcome: every evaluated point in
+// canonical (ChainLength, Alpha, Placer) order plus the Pareto frontier
+// over (time, log-fidelity).
+type Response struct {
+	Points []Point `json:"points"`
+	Pareto []Point `json:"pareto"`
+}
+
+// options lowers the request onto the exploration Options; pipeline may
+// be nil (the grouped explorer then recycles trial scratch internally).
+func (r Request) options(pipeline *core.Pipeline) Options {
+	return Options{
+		ChainLengths: r.ChainLengths,
+		Alphas:       r.Alphas,
+		Placers:      r.Placers,
+		Runs:         r.Runs,
+		Seed:         r.Seed,
+		Workers:      r.Workers,
+		Pipeline:     pipeline,
+	}
+}
+
+// Run evaluates the request's grid and Pareto-filters it. A non-nil
+// pipeline shares latency-independent stage artifacts with other requests
+// (and other entry points) without changing any result. The returned
+// points are bit-identical to Explore with the equivalent Options — Run
+// is a lowering, not a second implementation.
+func (r Request) Run(ctx context.Context, pipeline *core.Pipeline) (*Response, error) {
+	points, err := ExploreContext(ctx, r.Spec, r.options(pipeline))
+	if err != nil {
+		return nil, err
+	}
+	return &Response{Points: points, Pareto: Pareto(points)}, nil
+}

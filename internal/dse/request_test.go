@@ -1,0 +1,63 @@
+package dse
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"velociti/internal/circuit"
+	"velociti/internal/core"
+	"velociti/internal/verr"
+)
+
+// Request.Run is a lowering onto ExploreContext + Pareto — field for
+// field, including when a shared pipeline and workers are in play.
+func TestRequestRunMatchesExplore(t *testing.T) {
+	spec := circuit.Spec{Name: "req", Qubits: 12, OneQubitGates: 12, TwoQubitGates: 24}
+	req := Request{
+		Spec:         spec,
+		ChainLengths: []int{4, 6},
+		Alphas:       []float64{2.0, 1.0},
+		Placers:      []string{"random"},
+		Runs:         3,
+		Seed:         5,
+		Workers:      4,
+	}
+	resp, err := req.Run(context.Background(), core.NewPipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Explore(spec, Options{
+		ChainLengths: req.ChainLengths,
+		Alphas:       req.Alphas,
+		Placers:      req.Placers,
+		Runs:         req.Runs,
+		Seed:         req.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resp.Points, want) {
+		t.Errorf("request points diverge from Explore:\n%v\nvs\n%v", resp.Points, want)
+	}
+	if !reflect.DeepEqual(resp.Pareto, Pareto(want)) {
+		t.Errorf("request pareto diverges from Pareto(points)")
+	}
+	if len(resp.Pareto) == 0 || len(resp.Pareto) > len(resp.Points) {
+		t.Errorf("pareto size %d out of range for %d points", len(resp.Pareto), len(resp.Points))
+	}
+}
+
+func TestRequestRunRejectsBadInput(t *testing.T) {
+	_, err := Request{Spec: circuit.Spec{Name: "bad", Qubits: -1}}.Run(context.Background(), nil)
+	if !verr.IsInput(err) {
+		t.Fatalf("err = %v, want input-kind", err)
+	}
+	_, err = Request{
+		Spec:    circuit.Spec{Name: "p", Qubits: 8, TwoQubitGates: 8},
+		Placers: []string{"no-such-placer"},
+	}.Run(context.Background(), nil)
+	if !verr.IsInput(err) {
+		t.Fatalf("placer err = %v, want input-kind", err)
+	}
+}

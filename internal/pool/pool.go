@@ -25,6 +25,36 @@ import (
 	"sync/atomic"
 )
 
+// Package-level counters behind Stats. They are monotonic process-wide
+// totals (the pool is a function API — there is no per-pool object to hang
+// them on) and exist for observability surfaces like velociti-serve's
+// /metrics endpoint; they never influence scheduling or results.
+var (
+	batchCount atomic.Uint64
+	jobCount   atomic.Uint64
+	panicCount atomic.Uint64
+)
+
+// Counters is a point-in-time snapshot of the pool's process-wide
+// totals.
+type Counters struct {
+	// Batches counts Run/RunAll invocations that had work to do.
+	Batches uint64 `json:"batches"`
+	// Jobs counts individual job executions across all batches.
+	Jobs uint64 `json:"jobs"`
+	// Panics counts jobs whose panic was recovered into a *PanicError.
+	Panics uint64 `json:"panics"`
+}
+
+// Stats snapshots the counters.
+func Stats() Counters {
+	return Counters{
+		Batches: batchCount.Load(),
+		Jobs:    jobCount.Load(),
+		Panics:  panicCount.Load(),
+	}
+}
+
 // PanicError is the error produced when a job passed to Run or RunAll
 // panics. It records which job crashed, the recovered value, and the stack
 // captured at the panic site, so the report points at the bug rather than
@@ -43,8 +73,10 @@ func (e *PanicError) Error() string {
 // happens here — inside the same goroutine frame as the panic — so the
 // captured stack includes the panic site.
 func safeCall(fn func(i int) error, i int) (err error) {
+	jobCount.Add(1)
 	defer func() {
 		if v := recover(); v != nil {
+			panicCount.Add(1)
 			err = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
 		}
 	}()
@@ -67,6 +99,7 @@ func Run(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
+	batchCount.Add(1)
 	if workers > n {
 		workers = n
 	}
@@ -142,6 +175,7 @@ func RunAll(ctx context.Context, workers, n int, fn func(i int) error) []error {
 	if n <= 0 {
 		return nil
 	}
+	batchCount.Add(1)
 	errs := make([]error, n)
 	any := false
 	if workers > n {

@@ -1,0 +1,63 @@
+package serve
+
+// Bounded admission with backpressure. Evaluations are CPU-bound, so
+// letting every request run concurrently only trades throughput for
+// scheduling noise and memory; instead a fixed number of evaluation slots
+// admit work, a small bounded queue absorbs bursts, and everything beyond
+// that is rejected immediately with 429 + Retry-After so clients back off
+// instead of piling up. Coalesced joiners never consume a slot — only
+// flight leaders are admitted — so N identical requests cost one slot.
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errSaturated is returned by acquire when both the slots and the wait
+// queue are full; handlers map it to 429.
+var errSaturated = errors.New("serve: all evaluation slots busy and the queue is full")
+
+// admission is a counting semaphore with a bounded wait queue.
+type admission struct {
+	slots    chan struct{} // buffered; a held token is an in-flight evaluation
+	queued   atomic.Int64
+	maxQueue int64
+}
+
+func newAdmission(maxInFlight, maxQueue int) *admission {
+	return &admission{
+		slots:    make(chan struct{}, maxInFlight),
+		maxQueue: int64(maxQueue),
+	}
+}
+
+// acquire claims an evaluation slot, waiting in the bounded queue when all
+// slots are busy. It returns a release func on success; errSaturated when
+// the queue is full; or ctx's error when the deadline fires while queued.
+func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case a.slots <- struct{}{}:
+		return a.release, nil
+	default:
+	}
+	if q := a.queued.Add(1); q > a.maxQueue {
+		a.queued.Add(-1)
+		return nil, errSaturated
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return a.release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// inFlight is the number of currently held slots (a gauge for /metrics).
+func (a *admission) inFlight() int { return len(a.slots) }
+
+// waiting is the number of queued acquirers (a gauge for /metrics).
+func (a *admission) waiting() int64 { return a.queued.Load() }

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestAdmissionAcquireRelease(t *testing.T) {
+	a := newAdmission(2, 0)
+	r1, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire 1: %v", err)
+	}
+	r2, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire 2: %v", err)
+	}
+	if got := a.inFlight(); got != 2 {
+		t.Fatalf("inFlight = %d, want 2", got)
+	}
+	r1()
+	r2()
+	if got := a.inFlight(); got != 0 {
+		t.Fatalf("inFlight after release = %d, want 0", got)
+	}
+}
+
+func TestAdmissionSaturation(t *testing.T) {
+	a := newAdmission(1, 0) // one slot, no queue
+	release, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	if _, err := a.acquire(context.Background()); !errors.Is(err, errSaturated) {
+		t.Fatalf("second acquire err = %v, want errSaturated", err)
+	}
+	release()
+	release2, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	release2()
+}
+
+func TestAdmissionQueueAdmitsWhenSlotFrees(t *testing.T) {
+	a := newAdmission(1, 1)
+	release, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	acquired := make(chan func(), 1)
+	go func() {
+		r, err := a.acquire(context.Background())
+		if err != nil {
+			t.Errorf("queued acquire: %v", err)
+			return
+		}
+		acquired <- r
+	}()
+	// The queued acquirer must be visible before the slot frees.
+	deadline := time.Now().Add(10 * time.Second)
+	for a.waiting() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := a.waiting(); got != 1 {
+		t.Fatalf("waiting = %d, want 1", got)
+	}
+	release()
+	select {
+	case r := <-acquired:
+		r()
+	case <-time.After(10 * time.Second):
+		t.Fatal("queued acquirer never admitted")
+	}
+}
+
+func TestAdmissionQueueOverflowRejected(t *testing.T) {
+	a := newAdmission(1, 1)
+	release, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	defer release()
+	// Fill the single queue position.
+	queuedCtx, cancelQueued := context.WithCancel(context.Background())
+	defer cancelQueued()
+	queuedDone := make(chan error, 1)
+	go func() {
+		_, err := a.acquire(queuedCtx)
+		queuedDone <- err
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for a.waiting() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	// Slot busy + queue full: immediate rejection.
+	if _, err := a.acquire(context.Background()); !errors.Is(err, errSaturated) {
+		t.Fatalf("overflow acquire err = %v, want errSaturated", err)
+	}
+	cancelQueued()
+	if err := <-queuedDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued acquire err = %v, want context.Canceled", err)
+	}
+}
+
+func TestAdmissionDeadlineWhileQueued(t *testing.T) {
+	a := newAdmission(1, 4)
+	release, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := a.acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued acquire err = %v, want deadline exceeded", err)
+	}
+	if got := a.waiting(); got != 0 {
+		t.Fatalf("waiting after deadline = %d, want 0", got)
+	}
+}

@@ -1,0 +1,90 @@
+package serve
+
+// Single-flight request coalescing. Identical plans are the common case of
+// a shared sweep service — many clients asking for the same grid under the
+// same seed — and every evaluation is deterministic, so concurrent
+// duplicates can share one synthesis and receive bit-identical bodies.
+//
+// A coalescer deduplicates only *concurrent* work: the leader computes,
+// joiners wait on the flight, and the flight is forgotten once it
+// completes. Completed responses are deliberately not cached — the stage
+// pipeline (internal/cache) already memoizes the expensive artifacts under
+// content keys, and replaying the cheap pricing pass keeps /metrics an
+// honest record of what each request cost.
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// flight is one in-progress computation. resp is written exactly once,
+// before done is closed; the channel close publishes it to every joiner.
+type flight struct {
+	done    chan struct{}
+	resp    *response
+	waiters atomic.Int64
+}
+
+// coalescer tracks in-flight computations by canonical request key.
+type coalescer struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+func newCoalescer() *coalescer {
+	return &coalescer{flights: make(map[string]*flight)}
+}
+
+// do returns the response for key. The first caller (the leader) computes
+// it via fn; callers arriving while the flight is open join it and wait
+// for the leader's response or their own context, whichever comes first.
+// joined reports whether this caller shared another request's computation.
+//
+// fn runs on the leader's goroutine but must not depend on the leader's
+// request context: a flight is shared property, so its lifetime is owned
+// by the server (see Server.serveRequest), and a joiner whose deadline
+// fires gets its own timeout error while the flight runs on for the rest.
+func (c *coalescer) do(ctx context.Context, key string, fn func() *response) (resp *response, joined bool, err error) {
+	c.mu.Lock()
+	if f, ok := c.flights[key]; ok {
+		f.waiters.Add(1)
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.resp, true, nil
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	defer func() {
+		if f.resp == nil {
+			// fn panicked out of the leader. Joiners still need an
+			// answer; the leader's own connection is handled by
+			// net/http's per-connection recovery.
+			f.resp = errorResponseInternal("internal error: request computation panicked")
+		}
+		c.mu.Lock()
+		delete(c.flights, key)
+		c.mu.Unlock()
+		close(f.done)
+	}()
+	f.resp = fn()
+	return f.resp, false, nil
+}
+
+// waiting reports how many callers are currently joined to key's flight
+// (zero when no flight is open). It exists for tests and the saturation
+// metrics; the answer is advisory the moment it is returned.
+func (c *coalescer) waiting(key string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.flights[key]; ok {
+		return f.waiters.Load()
+	}
+	return 0
+}

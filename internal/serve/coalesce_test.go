@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCoalesceSharesOneComputation holds the leader open until every
+// joiner has joined, then checks one compute served all callers with the
+// same response value.
+func TestCoalesceSharesOneComputation(t *testing.T) {
+	const joiners = 8
+	c := newCoalescer()
+	var computes atomic.Int64
+	resp := &response{status: 200, body: []byte("shared")}
+
+	fn := func() *response {
+		computes.Add(1)
+		// Wait for every joiner before finishing the flight.
+		deadline := time.Now().Add(10 * time.Second)
+		for c.waiting("k") < joiners {
+			if time.Now().After(deadline) {
+				t.Error("joiners never arrived")
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return resp
+	}
+
+	var wg sync.WaitGroup
+	results := make([]*response, joiners+1)
+	joinedFlags := make([]bool, joiners+1)
+	leaderReady := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(leaderReady)
+		r, joined, err := c.do(context.Background(), "k", fn)
+		if err != nil {
+			t.Errorf("leader: %v", err)
+		}
+		results[0], joinedFlags[0] = r, joined
+	}()
+	<-leaderReady
+	// Wait until the flight is registered so the joiners actually join.
+	for c.waiting("k") == 0 {
+		c.mu.Lock()
+		_, open := c.flights["k"]
+		c.mu.Unlock()
+		if open {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 1; i <= joiners; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, joined, err := c.do(context.Background(), "k", func() *response {
+				computes.Add(1)
+				return &response{status: 200, body: []byte("wrong")}
+			})
+			if err != nil {
+				t.Errorf("joiner %d: %v", i, err)
+			}
+			results[i], joinedFlags[i] = r, joined
+		}(i)
+	}
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("computes = %d, want 1", got)
+	}
+	leaders := 0
+	for i, r := range results {
+		if r != resp {
+			t.Errorf("caller %d got response %p, want the shared %p", i, r, resp)
+		}
+		if !joinedFlags[i] {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Errorf("leaders = %d, want exactly 1", leaders)
+	}
+}
+
+// TestCoalesceDistinctKeysComputeIndependently checks no cross-key
+// sharing happens.
+func TestCoalesceDistinctKeysComputeIndependently(t *testing.T) {
+	c := newCoalescer()
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	for _, key := range []string{"a", "b", "c"} {
+		wg.Add(1)
+		go func(key string) {
+			defer wg.Done()
+			r, _, err := c.do(context.Background(), key, func() *response {
+				computes.Add(1)
+				return &response{body: []byte(key)}
+			})
+			if err != nil {
+				t.Errorf("%s: %v", key, err)
+			}
+			if string(r.body) != key {
+				t.Errorf("key %s got body %q", key, r.body)
+			}
+		}(key)
+	}
+	wg.Wait()
+	if got := computes.Load(); got != 3 {
+		t.Fatalf("computes = %d, want 3", got)
+	}
+}
+
+// TestCoalesceJoinerDeadlineDoesNotKillFlight cancels a joiner's context
+// and checks the joiner gets its own error while the flight still
+// completes for the leader.
+func TestCoalesceJoinerDeadlineDoesNotKillFlight(t *testing.T) {
+	c := newCoalescer()
+	release := make(chan struct{})
+	leaderDone := make(chan *response, 1)
+	go func() {
+		r, _, _ := c.do(context.Background(), "k", func() *response {
+			<-release
+			return &response{status: 200, body: []byte("late")}
+		})
+		leaderDone <- r
+	}()
+	// Wait for the flight to open.
+	for {
+		c.mu.Lock()
+		_, open := c.flights["k"]
+		c.mu.Unlock()
+		if open {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, joined, err := c.do(ctx, "k", func() *response { t.Error("joiner computed"); return nil })
+	if !joined {
+		t.Error("second caller should have joined the open flight")
+	}
+	if err != context.Canceled {
+		t.Errorf("joiner err = %v, want context.Canceled", err)
+	}
+
+	close(release)
+	select {
+	case r := <-leaderDone:
+		if string(r.body) != "late" {
+			t.Errorf("leader body = %q, want %q", r.body, "late")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("leader never completed")
+	}
+}
+
+// TestCoalescePanicFeedsJoinersAnError checks a panicking leader still
+// answers its joiners with the internal-error response instead of hanging
+// them.
+func TestCoalescePanicFeedsJoinersAnError(t *testing.T) {
+	c := newCoalescer()
+	joinerDone := make(chan *response, 1)
+	entered := make(chan struct{})
+	go func() {
+		defer func() { recover() }() // the panic under test must not fail the harness goroutine
+		_, _, _ = c.do(context.Background(), "k", func() *response {
+			close(entered)
+			// Give the joiner time to join before panicking.
+			deadline := time.Now().Add(10 * time.Second)
+			for c.waiting("k") == 0 && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+			panic("boom")
+		})
+	}()
+	<-entered
+	go func() {
+		r, _, err := c.do(context.Background(), "k", func() *response { return nil })
+		if err != nil {
+			t.Errorf("joiner err = %v", err)
+		}
+		joinerDone <- r
+	}()
+	select {
+	case r := <-joinerDone:
+		if r == nil || r.status != 500 {
+			t.Fatalf("joiner response = %+v, want the 500 internal response", r)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("joiner hung after leader panic")
+	}
+}
+
+// TestCoalesceFlightForgottenAfterCompletion checks completed responses
+// are not cached: a later identical request computes again.
+func TestCoalesceFlightForgottenAfterCompletion(t *testing.T) {
+	c := newCoalescer()
+	var computes atomic.Int64
+	for i := 0; i < 2; i++ {
+		_, joined, err := c.do(context.Background(), "k", func() *response {
+			computes.Add(1)
+			return &response{}
+		})
+		if err != nil || joined {
+			t.Fatalf("call %d: joined=%v err=%v, want fresh leader", i, joined, err)
+		}
+	}
+	if got := computes.Load(); got != 2 {
+		t.Fatalf("computes = %d, want 2 (no response caching)", got)
+	}
+}

@@ -1,0 +1,161 @@
+package serve
+
+// CLI-equivalence golden tests: a service response body must be
+// byte-identical to what the corresponding CLI writes for the same
+// request. Expected bytes are produced the way the CLIs produce them —
+// config.Params -> core.RunContext -> indented JSON for velociti -json,
+// workload.Selector -> core.RunGrid -> WriteCSV for velociti-sweep — with
+// a fresh pipeline, so the comparison also pins that the server's shared
+// cache never changes a byte. The end-to-end variant against the real
+// compiled binaries lives in e2e/.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"velociti/internal/circuit"
+	"velociti/internal/config"
+	"velociti/internal/core"
+	"velociti/internal/dse"
+	"velociti/internal/ti"
+	"velociti/internal/workload"
+)
+
+func TestEvaluateMatchesCLIBytes(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	body := `{"workload": {"name": "eq", "qubits": 12, "one_qubit_gates": 6, "two_qubit_gates": 8}, "seed": 7, "runs": 5}`
+	resp, got := doJSON(t, ts, http.MethodPost, "/v1/evaluate", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evaluate = %d\n%s", resp.StatusCode, got)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+
+	// The velociti CLI path: flag defaults -> Params -> core.RunContext ->
+	// json.Encoder with two-space indent.
+	p := config.Default()
+	p.Workload = circuit.Spec{Name: "eq", Qubits: 12, OneQubitGates: 6, TwoQubitGates: 8}
+	p.Seed = 7
+	p.Runs = 5
+	cfg, err := p.ToCoreConfig()
+	if err != nil {
+		t.Fatalf("ToCoreConfig: %v", err)
+	}
+	report, err := core.RunContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	var want bytes.Buffer
+	enc := json.NewEncoder(&want)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Errorf("response differs from CLI bytes:\n got: %s\nwant: %s", got, want.Bytes())
+	}
+}
+
+func TestSweepMatchesCLIBytes(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	body := `{"qv": true, "qubit_range": "8:48:20", "chain_lengths": [8, 16], "alphas": [2.0, 1.0],
+		"placers": ["random", "load-balanced"], "runs": 4, "seed": 3}`
+	resp, got := doJSON(t, ts, http.MethodPost, "/v1/sweep", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep = %d\n%s", resp.StatusCode, got)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/csv; charset=utf-8" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+
+	// The velociti-sweep CLI path: Selector -> RunGrid -> WriteCSV, on a
+	// fresh pipeline (byte-identity must not depend on cache state).
+	sel := workload.Selector{QV: true, QubitRange: "8:48:20"}
+	specs, err := sel.Specs()
+	if err != nil {
+		t.Fatalf("Specs: %v", err)
+	}
+	res, err := core.RunGrid(context.Background(), core.Grid{
+		Specs:        specs,
+		ChainLengths: []int{8, 16},
+		Alphas:       []float64{2.0, 1.0},
+		Placers:      []string{"random", "load-balanced"},
+		Topology:     ti.Ring,
+		Runs:         4,
+		Seed:         3,
+		Workers:      1,
+		Pipeline:     core.NewPipeline(),
+	})
+	if err != nil {
+		t.Fatalf("RunGrid: %v", err)
+	}
+	var want bytes.Buffer
+	if err := res.WriteCSV(&want); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Errorf("response differs from CLI bytes:\n got: %s\nwant: %s", got, want.Bytes())
+	}
+}
+
+func TestExploreMatchesRequestRunBytes(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	body := `{"spec": {"name": "eq", "qubits": 10, "two_qubit_gates": 5}, "chain_lengths": [8, 16],
+		"alphas": [2.0, 1.0], "runs": 3, "seed": 2}`
+	resp, got := doJSON(t, ts, http.MethodPost, "/v1/explore", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explore = %d\n%s", resp.StatusCode, got)
+	}
+
+	out, err := dse.Request{
+		Spec:         circuit.Spec{Name: "eq", Qubits: 10, TwoQubitGates: 5},
+		ChainLengths: []int{8, 16},
+		Alphas:       []float64{2.0, 1.0},
+		Placers:      []string{"random", "load-balanced"},
+		Runs:         3,
+		Seed:         2,
+		Workers:      1,
+	}.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	want = append(want, '\n')
+	if !bytes.Equal(got, want) {
+		t.Errorf("response differs from dse.Request bytes:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestWorkerKnobNeverChangesBytes pins the execution-knob contract: the
+// same plan at different worker counts returns identical bodies (and
+// coalesces under the same key).
+func TestWorkerKnobNeverChangesBytes(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	base := `{"qubits": 16, "two_qubit_gates": 8, "runs": 3, "seed": 5`
+	resp1, b1 := doJSON(t, ts, http.MethodPost, "/v1/sweep", base+`}`)
+	resp2, b2 := doJSON(t, ts, http.MethodPost, "/v1/sweep", base+`, "workers": 4}`)
+	if resp1.StatusCode != http.StatusOK || resp2.StatusCode != http.StatusOK {
+		t.Fatalf("sweeps = %d, %d", resp1.StatusCode, resp2.StatusCode)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("worker count changed response bytes")
+	}
+
+	var r1, r2 SweepRequest
+	if err := json.Unmarshal([]byte(base+`}`), &r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(base+`, "workers": 4}`), &r2); err != nil {
+		t.Fatal(err)
+	}
+	if r1.normalize().key() != r2.normalize().key() {
+		t.Errorf("worker count changed the coalescing key")
+	}
+}

@@ -1,0 +1,274 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newTestServer boots a Server behind httptest and tears both down with
+// the test.
+func newTestServer(t *testing.T, opt Options) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(opt)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// doJSON posts body to path and returns the response with its bytes read.
+func doJSON(t *testing.T, ts *httptest.Server, method, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, ts.URL+path, strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("new request: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, path, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, b
+}
+
+// readErrorBody decodes the typed error envelope.
+func readErrorBody(t *testing.T, body []byte) errorDetail {
+	t.Helper()
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatalf("error body is not the typed envelope: %v\n%s", err, body)
+	}
+	if eb.Error.Kind == "" || eb.Error.Message == "" {
+		t.Fatalf("error envelope missing kind or message: %s", body)
+	}
+	return eb.Error
+}
+
+const validEvaluateBody = `{"workload": {"name": "w", "qubits": 8, "two_qubit_gates": 4}, "runs": 2}`
+
+// TestHandlersRejectBadRequestsTyped drives every endpoint with the
+// malformed-input table: each case must produce a typed 4xx JSON error —
+// never a 500, never a crash.
+func TestHandlersRejectBadRequestsTyped(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxBodyBytes: 4096})
+	endpoints := []string{"/v1/evaluate", "/v1/sweep", "/v1/explore"}
+
+	type tc struct {
+		name       string
+		method     string
+		body       string
+		wantStatus int
+		wantKind   string
+		wantSubstr string
+	}
+	cases := []tc{
+		{"malformed json", http.MethodPost, `{"workload": `, http.StatusBadRequest, "input", "invalid request body"},
+		{"unknown field", http.MethodPost, `{"bogus_knob": 1}`, http.StatusBadRequest, "input", "bogus_knob"},
+		{"wrong field type", http.MethodPost, `{"runs": "many"}`, http.StatusBadRequest, "input", "invalid request body"},
+		{"trailing data", http.MethodPost, `{} {}`, http.StatusBadRequest, "input", "trailing data"},
+		{"array body", http.MethodPost, `[1, 2]`, http.StatusBadRequest, "input", "invalid request body"},
+		{"oversized body", http.MethodPost, `{"pad": "` + strings.Repeat("x", 8192) + `"}`, http.StatusRequestEntityTooLarge, "input", "exceeds"},
+		{"wrong method", http.MethodGet, ``, http.StatusMethodNotAllowed, "input", "POST"},
+		{"deleted method", http.MethodDelete, ``, http.StatusMethodNotAllowed, "input", "POST"},
+	}
+	for _, ep := range endpoints {
+		for _, c := range cases {
+			t.Run(ep+"/"+c.name, func(t *testing.T) {
+				resp, body := doJSON(t, ts, c.method, ep, c.body)
+				if resp.StatusCode != c.wantStatus {
+					t.Fatalf("status = %d, want %d\n%s", resp.StatusCode, c.wantStatus, body)
+				}
+				if resp.StatusCode >= 500 {
+					t.Fatalf("bad input produced a server error: %d\n%s", resp.StatusCode, body)
+				}
+				det := readErrorBody(t, body)
+				if det.Kind != c.wantKind {
+					t.Errorf("kind = %q, want %q (%s)", det.Kind, c.wantKind, det.Message)
+				}
+				if !strings.Contains(det.Message, c.wantSubstr) {
+					t.Errorf("message = %q, want it to mention %q", det.Message, c.wantSubstr)
+				}
+				if c.wantStatus == http.StatusMethodNotAllowed {
+					if allow := resp.Header.Get("Allow"); allow != http.MethodPost {
+						t.Errorf("Allow = %q, want POST", allow)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestHandlersRejectSemanticInputTyped checks domain-level validation
+// failures (not JSON shape) also map to 400 input errors.
+func TestHandlersRejectSemanticInputTyped(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	cases := []struct {
+		path       string
+		body       string
+		wantSubstr string
+	}{
+		{"/v1/evaluate", `{"workload": {"name": "w", "qubits": -2}}`, "qubits"},
+		{"/v1/evaluate", `{"workload": {"name": "w", "qubits": 8}, "placer": "nope"}`, "nope"},
+		{"/v1/sweep", `{}`, "no workload"},
+		{"/v1/sweep", `{"qv": true, "qubit_range": "banana"}`, "qubit-range"},
+		{"/v1/sweep", `{"qubits": 8, "topology": "torus"}`, "torus"},
+		{"/v1/explore", `{"spec": {"name": "w", "qubits": 0}}`, "qubits"},
+	}
+	for _, c := range cases {
+		t.Run(c.path+"/"+c.wantSubstr, func(t *testing.T) {
+			resp, body := doJSON(t, ts, http.MethodPost, c.path, c.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400\n%s", resp.StatusCode, body)
+			}
+			det := readErrorBody(t, body)
+			if det.Kind != "input" {
+				t.Errorf("kind = %q, want input", det.Kind)
+			}
+			if !strings.Contains(det.Message, c.wantSubstr) {
+				t.Errorf("message = %q, want it to mention %q", det.Message, c.wantSubstr)
+			}
+		})
+	}
+}
+
+// TestHandlerDeadlineExceeded caps a deliberately heavy sweep at 1ms and
+// expects the typed 408.
+func TestHandlerDeadlineExceeded(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	body := `{"qv": true, "qubit_range": "8:128:8", "runs": 200, "timeout_ms": 1}`
+	resp, b := doJSON(t, ts, http.MethodPost, "/v1/sweep", body)
+	if resp.StatusCode != http.StatusRequestTimeout {
+		t.Fatalf("status = %d, want 408\n%s", resp.StatusCode, b)
+	}
+	det := readErrorBody(t, b)
+	if det.Kind != "timeout" {
+		t.Errorf("kind = %q, want timeout", det.Kind)
+	}
+}
+
+// TestHandlerSaturationReturns429 fills the only evaluation slot (no
+// queue) and expects the typed 429 with a Retry-After hint.
+func TestHandlerSaturationReturns429(t *testing.T) {
+	s, ts := newTestServer(t, Options{MaxInFlight: 1, MaxQueue: -1, RetryAfter: 3 * time.Second})
+	release, err := s.adm.acquire(context.Background())
+	if err != nil {
+		t.Fatalf("prefill slot: %v", err)
+	}
+	defer release()
+
+	resp, body := doJSON(t, ts, http.MethodPost, "/v1/evaluate", validEvaluateBody)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429\n%s", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Errorf("Retry-After = %q, want %q", ra, "3")
+	}
+	det := readErrorBody(t, body)
+	if det.Kind != "overloaded" {
+		t.Errorf("kind = %q, want overloaded", det.Kind)
+	}
+	snap := s.MetricsSnapshot()
+	if snap.Endpoints.Evaluate.Rejected != 1 {
+		t.Errorf("rejected counter = %d, want 1", snap.Endpoints.Evaluate.Rejected)
+	}
+}
+
+// TestHandlerAfterCloseReturns503 checks requests arriving after Close
+// get the shutting-down answer, not a hang or a 500-with-stack.
+func TestHandlerAfterCloseReturns503(t *testing.T) {
+	s := New(Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	s.Close()
+	resp, body := doJSON(t, ts, http.MethodPost, "/v1/evaluate", validEvaluateBody)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503\n%s", resp.StatusCode, body)
+	}
+	det := readErrorBody(t, body)
+	if !strings.Contains(det.Message, "shutting down") {
+		t.Errorf("message = %q, want shutdown notice", det.Message)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, body := doJSON(t, ts, http.MethodGet, "/healthz", "")
+	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("healthz = %d %q, want 200 %q", resp.StatusCode, body, "ok\n")
+	}
+}
+
+// TestMetricsEndpoint checks the snapshot parses, counts requests, and
+// rejects non-GET methods.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	if resp, body := doJSON(t, ts, http.MethodPost, "/v1/evaluate", validEvaluateBody); resp.StatusCode != http.StatusOK {
+		t.Fatalf("evaluate = %d\n%s", resp.StatusCode, body)
+	}
+	if resp, body := doJSON(t, ts, http.MethodPost, "/v1/evaluate", `{"runs": "x"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad evaluate = %d\n%s", resp.StatusCode, body)
+	}
+
+	resp, body := doJSON(t, ts, http.MethodGet, "/metrics", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics = %d\n%s", resp.StatusCode, body)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("metrics body does not parse as Snapshot: %v\n%s", err, body)
+	}
+	ep := snap.Endpoints.Evaluate
+	if ep.Requests != 2 || ep.ClientErrors != 1 {
+		t.Errorf("evaluate counters = %+v, want 2 requests / 1 client error", ep)
+	}
+	if snap.Pool.Jobs == 0 {
+		t.Errorf("pool jobs = 0, want > 0 after an evaluation")
+	}
+	if snap.Cache.Bind.Misses == 0 {
+		t.Errorf("bind cache misses = 0, want > 0 after an evaluation")
+	}
+	if snap.UptimeSeconds < 0 {
+		t.Errorf("uptime = %v, want >= 0", snap.UptimeSeconds)
+	}
+
+	if resp, _ := doJSON(t, ts, http.MethodPost, "/metrics", "{}"); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /metrics = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestCrossRequestCacheSharing checks the second identical-plan request
+// (sequential, so not coalesced) hits the stage cache the first one
+// populated.
+func TestCrossRequestCacheSharing(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	body := `{"app": "QAOA", "runs": 3}`
+	resp1, b1 := doJSON(t, ts, http.MethodPost, "/v1/sweep", body)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first sweep = %d\n%s", resp1.StatusCode, b1)
+	}
+	hitsAfterFirst := s.MetricsSnapshot().Cache.Bind.Hits
+	resp2, b2 := doJSON(t, ts, http.MethodPost, "/v1/sweep", body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second sweep = %d\n%s", resp2.StatusCode, b2)
+	}
+	if string(b1) != string(b2) {
+		t.Fatalf("identical sequential requests returned different bodies")
+	}
+	hitsAfterSecond := s.MetricsSnapshot().Cache.Bind.Hits
+	if hitsAfterSecond <= hitsAfterFirst {
+		t.Errorf("bind hits did not grow across requests: %d -> %d", hitsAfterFirst, hitsAfterSecond)
+	}
+}

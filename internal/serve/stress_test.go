@@ -1,0 +1,116 @@
+package serve
+
+// The coalescing stress test the race CI job runs with -race: N identical
+// and M distinct concurrent requests, with the identical flight's leader
+// gated (via the hookComputeStarted seam) until every duplicate has
+// joined. Asserts exactly one computation per distinct plan and
+// bit-identical bodies across the coalesced set.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCoalescingStressSingleComputePerPlan(t *testing.T) {
+	const (
+		identical = 6
+		distinct  = 4
+	)
+	identicalBody := `{"qubits": 16, "two_qubit_gates": 8, "runs": 2, "seed": 5}`
+	var idReq SweepRequest
+	if err := json.Unmarshal([]byte(identicalBody), &idReq); err != nil {
+		t.Fatal(err)
+	}
+	idKey := idReq.normalize().key()
+
+	s, ts := newTestServer(t, Options{MaxInFlight: 8, MaxQueue: 64})
+	var mu sync.Mutex
+	computes := make(map[string]int)
+	s.hookComputeStarted = func(key string) {
+		mu.Lock()
+		computes[key]++
+		mu.Unlock()
+		if key == idKey {
+			// Hold the shared flight open until every duplicate request
+			// has joined it, so coalescing is exercised deterministically
+			// rather than by lucky timing.
+			deadline := time.Now().Add(30 * time.Second)
+			for s.flights.waiting(idKey) < identical-1 && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+
+	type result struct {
+		status int
+		body   []byte
+	}
+	idResults := make([]result, identical)
+	dsResults := make([]result, distinct)
+	var wg sync.WaitGroup
+	for i := 0; i < identical; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := doJSON(t, ts, http.MethodPost, "/v1/sweep", identicalBody)
+			idResults[i] = result{resp.StatusCode, body}
+		}(i)
+	}
+	for i := 0; i < distinct; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct requests differ structurally (workload size), not
+			// just by seed: some grids are seed-invariant (a single chain
+			// has no placement freedom), and the test needs bodies that
+			// provably differ.
+			body := fmt.Sprintf(`{"qubits": %d, "two_qubit_gates": %d, "runs": 2, "seed": 5}`, 24+8*i, 12+4*i)
+			resp, b := doJSON(t, ts, http.MethodPost, "/v1/sweep", body)
+			dsResults[i] = result{resp.StatusCode, b}
+		}(i)
+	}
+	wg.Wait()
+
+	for i, r := range idResults {
+		if r.status != http.StatusOK {
+			t.Fatalf("identical request %d = %d: %s", i, r.status, r.body)
+		}
+		if !bytes.Equal(r.body, idResults[0].body) {
+			t.Errorf("identical request %d body differs from request 0", i)
+		}
+	}
+	distinctBodies := make(map[string]bool)
+	for i, r := range dsResults {
+		if r.status != http.StatusOK {
+			t.Fatalf("distinct request %d = %d: %s", i, r.status, r.body)
+		}
+		distinctBodies[string(r.body)] = true
+	}
+	if len(distinctBodies) != distinct {
+		t.Errorf("distinct seeds produced %d unique bodies, want %d", len(distinctBodies), distinct)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if got := computes[idKey]; got != 1 {
+		t.Errorf("identical plan computed %d times, want 1", got)
+	}
+	if len(computes) != 1+distinct {
+		t.Errorf("computed %d plans, want %d", len(computes), 1+distinct)
+	}
+	for key, n := range computes {
+		if n != 1 {
+			t.Errorf("plan %q computed %d times, want 1", key, n)
+		}
+	}
+
+	snap := s.MetricsSnapshot()
+	if snap.Endpoints.Sweep.Coalesced != identical-1 {
+		t.Errorf("coalesced counter = %d, want %d", snap.Endpoints.Sweep.Coalesced, identical-1)
+	}
+}

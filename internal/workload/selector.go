@@ -1,0 +1,91 @@
+package workload
+
+// Selector is the request-shaped workload description shared by the sweep
+// CLI (cmd/velociti-sweep flags) and the sweep service (internal/serve
+// JSON requests): exactly one source — a Table II application, a
+// quantum-volume sweep, a fixed-ratio sweep, or explicit gate counts —
+// resolved into the circuit.Spec list a grid evaluates. Keeping the
+// resolution here is what lets the service guarantee byte-identical
+// responses to the CLI: both front ends hand the same Selector to the
+// same code.
+
+import (
+	"strconv"
+	"strings"
+
+	"velociti/internal/apps"
+	"velociti/internal/circuit"
+	"velociti/internal/verr"
+)
+
+// Selector names one workload source. Fields mirror the velociti-sweep
+// flags of the same names; exactly one of App, QV, Ratio > 0, or
+// Qubits > 0 must be set.
+type Selector struct {
+	// App selects a Table II application by name.
+	App string `json:"app,omitempty"`
+	// QV selects the quantum-volume sweep (N qubits, N/2 2-qubit gates).
+	QV bool `json:"qv,omitempty"`
+	// Ratio, when positive, selects the fixed-ratio sweep (N qubits,
+	// Ratio·N 2-qubit gates).
+	Ratio float64 `json:"ratio,omitempty"`
+	// Qubits/OneQubitGates/TwoQubitGates describe an explicit workload.
+	Qubits        int `json:"qubits,omitempty"`
+	OneQubitGates int `json:"one_qubit_gates,omitempty"`
+	TwoQubitGates int `json:"two_qubit_gates,omitempty"`
+	// QubitRange is the "from:to:step" qubit sweep used with QV or Ratio;
+	// empty selects the paper's 8:128:20.
+	QubitRange string `json:"qubit_range,omitempty"`
+}
+
+// Specs resolves the selector into the workload spec list. All failures
+// are input-kind: a Selector is assembled from CLI flags or request JSON.
+func (s Selector) Specs() ([]circuit.Spec, error) {
+	switch {
+	case s.App != "":
+		a, err := apps.ByName(s.App)
+		if err != nil {
+			return nil, err
+		}
+		return []circuit.Spec{a.Spec}, nil
+	case s.QV || s.Ratio > 0:
+		from, to, step, err := s.qubitRange()
+		if err != nil {
+			return nil, err
+		}
+		if s.QV {
+			return QVSweep(from, to, step)
+		}
+		return RatioSweep(from, to, step, s.Ratio)
+	case s.Qubits > 0:
+		spec := circuit.Spec{Name: "sweep", Qubits: s.Qubits, OneQubitGates: s.OneQubitGates, TwoQubitGates: s.TwoQubitGates}
+		return []circuit.Spec{spec}, spec.Validate()
+	default:
+		return nil, verr.Inputf("no workload: pass -app, -qv, -ratio, or -qubits (see -h)")
+	}
+}
+
+// qubitRange parses QubitRange, defaulting to the paper's 8:128:20.
+func (s Selector) qubitRange() (from, to, step int, err error) {
+	from, to, step = 8, 128, 20
+	if s.QubitRange == "" {
+		return from, to, step, nil
+	}
+	parts := strings.Split(s.QubitRange, ":")
+	if len(parts) != 3 {
+		return 0, 0, 0, verr.Inputf("-qubit-range wants from:to:step, got %q", s.QubitRange)
+	}
+	vals := make([]int, 3)
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return 0, 0, 0, verr.Inputf("-qubit-range: %w", err)
+		}
+		vals[i] = v
+	}
+	from, to, step = vals[0], vals[1], vals[2]
+	if step <= 0 {
+		return 0, 0, 0, verr.Inputf("-qubit-range step must be positive")
+	}
+	return from, to, step, nil
+}

@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"velociti/internal/verr"
+)
+
+func TestSelectorApp(t *testing.T) {
+	specs, err := Selector{App: "BV"}.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 || specs[0].Name != "BV" {
+		t.Fatalf("specs = %+v", specs)
+	}
+}
+
+func TestSelectorQVDefaultRange(t *testing.T) {
+	specs, err := Selector{QV: true}.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's default sweep: N = 8, 28, ..., 128.
+	if len(specs) != 7 || specs[0].Qubits != 8 || specs[6].Qubits != 128 {
+		t.Fatalf("qv specs = %+v", specs)
+	}
+}
+
+func TestSelectorRatioRange(t *testing.T) {
+	specs, err := Selector{Ratio: 2, QubitRange: "8:28:20"}.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[1].TwoQubitGates != 56 {
+		t.Fatalf("ratio specs = %+v", specs)
+	}
+}
+
+func TestSelectorExplicit(t *testing.T) {
+	specs, err := Selector{Qubits: 16, TwoQubitGates: 32}.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 || specs[0].Qubits != 16 || specs[0].Name != "sweep" {
+		t.Fatalf("explicit specs = %+v", specs)
+	}
+}
+
+func TestSelectorErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		sel    Selector
+		substr string
+	}{
+		{"empty", Selector{}, "no workload"},
+		{"unknown app", Selector{App: "Nope"}, "unknown application"},
+		{"bad range", Selector{QV: true, QubitRange: "banana"}, "-qubit-range"},
+		{"bad range number", Selector{QV: true, QubitRange: "a:b:c"}, "-qubit-range"},
+		{"zero step", Selector{QV: true, QubitRange: "8:32:0"}, "step must be positive"},
+		{"odd qv qubits", Selector{QV: true, QubitRange: "9:9:1"}, "even qubit count"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.sel.Specs()
+			if err == nil || !strings.Contains(err.Error(), tc.substr) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.substr)
+			}
+			if !verr.IsInput(err) {
+				t.Errorf("err = %v, want input-kind", err)
+			}
+		})
+	}
+}
