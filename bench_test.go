@@ -22,6 +22,7 @@ import (
 	"velociti/internal/qasm"
 	"velociti/internal/route"
 	"velociti/internal/schedule"
+	"velociti/internal/shuttle"
 	"velociti/internal/statevec"
 	"velociti/internal/stats"
 	"velociti/internal/ti"
@@ -392,6 +393,27 @@ func scalingSweepBench(b *testing.B) (core.Config, []perf.Latencies) {
 // one-run-per-α cost, so benchdiff gates the sweep engine's advantage.
 func BenchmarkScalingAlphaSweep(b *testing.B) {
 	cfg, lats := scalingSweepBench(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Pipeline = core.NewPipeline()
+		reports, err := core.RunSweep(cfg, lats)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(reports) != len(lats) {
+			b.Fatal("short sweep")
+		}
+	}
+}
+
+// BenchmarkShuttleAlphaSweep prices the same α panel through the shuttle
+// timing backend: the batched transport kernel (split + move + merge +
+// recool per hop, junction contention included) replaces the weak-link α
+// scaling while reusing the one-bind-per-trial sweep shape.
+func BenchmarkShuttleAlphaSweep(b *testing.B) {
+	cfg, lats := scalingSweepBench(b)
+	cfg.Backend = shuttle.Backend{Params: shuttle.Default()}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -29,6 +29,7 @@ import (
 	"velociti/internal/expt"
 	"velociti/internal/perf"
 	"velociti/internal/prof"
+	"velociti/internal/shuttle"
 )
 
 // experiment names in execution order.
@@ -57,6 +58,7 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		profile    prof.Flags
 		runs       = fs.Int("runs", core.DefaultRuns, "randomized trials per data point")
 		seed       = fs.Int64("seed", 1, "master random seed")
+		backendF   = fs.String("backend", "weaklink", "timing backend: weaklink (the paper's) or shuttle (explicit ion transport)")
 		only       = fs.String("only", "", "comma-separated subset of: "+strings.Join(order, ","))
 		csvDir     = fs.String("csv", "", "directory to write per-experiment CSV files into")
 		workers    = fs.Int("workers", 1, "concurrent trials per data point")
@@ -114,7 +116,11 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	// layouts, circuits, and bindings. Content keying guarantees the tables
 	// and figures are byte-identical with or without it.
 	pipeline := core.NewPipeline()
-	opt := expt.Options{Runs: *runs, Seed: *seed, Workers: *workers, Pipeline: pipeline}
+	backend, err := shuttle.ByName(*backendF, shuttle.Default())
+	if err != nil {
+		return err
+	}
+	opt := expt.Options{Runs: *runs, Seed: *seed, Workers: *workers, Pipeline: pipeline, Backend: backend}
 	var md strings.Builder
 	if *mdPath != "" {
 		fmt.Fprintf(&md, "# VelociTI reproduction report\n\n%d randomized trials per data point, master seed %d.\n", *runs, *seed)

@@ -28,6 +28,7 @@ import (
 	"velociti/internal/cache"
 	"velociti/internal/core"
 	"velociti/internal/prof"
+	"velociti/internal/shuttle"
 	"velociti/internal/ti"
 	"velociti/internal/verr"
 	"velociti/internal/workload"
@@ -62,7 +63,8 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		chainLens  = fs.String("chain-lengths", "16", "comma-separated chain lengths")
 		alphas     = fs.String("alphas", "2.0", "comma-separated weak-link penalties")
 		placers    = fs.String("placers", "random", "comma-separated gate placers")
-		topology   = fs.String("topology", "ring", "weak-link topology: ring or line")
+		topology   = fs.String("topology", "ring", "weak-link topology: ring, line, or tape")
+		backendF   = fs.String("backend", "weaklink", "timing backend: weaklink or shuttle (explicit ion transport)")
 		runs       = fs.Int("runs", core.DefaultRuns, "randomized trials per configuration")
 		seed       = fs.Int64("seed", 1, "master random seed")
 		workers    = fs.Int("workers", 1, "trials to run concurrently per configuration")
@@ -108,6 +110,10 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	if err != nil {
 		return err
 	}
+	backend, err := shuttle.ByName(*backendF, shuttle.Default())
+	if err != nil {
+		return err
+	}
 
 	// One artifact store across the whole grid: cells that differ only in α
 	// (or any other Time-stage knob) share placement, synthesis, and binding
@@ -124,6 +130,7 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		Seed:         *seed,
 		Workers:      *workers,
 		Pipeline:     pipeline,
+		Backend:      backend,
 	}
 	res, err := core.RunGrid(ctx, grid)
 	if err != nil {

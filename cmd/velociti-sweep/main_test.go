@@ -173,3 +173,35 @@ func TestProfilingFlagsKeepStdoutByteIdentical(t *testing.T) {
 		}
 	}
 }
+
+func TestBackendFlagShuttle(t *testing.T) {
+	base := []string{"-qubits", "32", "-two-qubit-gates", "100", "-chain-lengths", "8,16", "-runs", "3"}
+	weak := sweep(t, base...)
+	shut := sweep(t, append([]string{"-backend", "shuttle"}, base...)...)
+	if len(weak) != len(shut) {
+		t.Fatalf("row counts differ: %d vs %d", len(weak), len(shut))
+	}
+	if weak[0] != shut[0] {
+		t.Fatalf("headers differ:\n%s\n%s", weak[0], shut[0])
+	}
+	same := true
+	for i := 1; i < len(weak); i++ {
+		if weak[i] != shut[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("shuttle backend produced identical rows to weak link")
+	}
+	// Explicit weaklink is the default spelled out.
+	explicit := sweep(t, append([]string{"-backend", "weaklink"}, base...)...)
+	for i := range weak {
+		if weak[i] != explicit[i] {
+			t.Fatalf("row %d differs between default and explicit weaklink", i)
+		}
+	}
+	var buf bytes.Buffer
+	if err := run(context.Background(), append([]string{"-backend", "bogus"}, base...), &buf); err == nil {
+		t.Fatalf("unknown backend should error")
+	}
+}

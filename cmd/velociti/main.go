@@ -73,6 +73,7 @@ func run(args []string, out io.Writer) error {
 		timelineJS = fs.String("timeline-json", "", "write one trial's full schedule as JSON to this file")
 		fidelityF  = fs.Bool("fidelity", false, "print one trial's success-probability estimate")
 		shuttleF   = fs.Bool("shuttle", false, "compare weak-link vs ion-shuttling communication on one trial")
+		backendF   = fs.String("backend", "", "timing backend: weaklink (default) or shuttle (explicit ion transport)")
 		workers    = fs.Int("workers", 1, "trials to run concurrently")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -95,6 +96,11 @@ func run(args []string, out io.Writer) error {
 	params.Placer = *placer
 	params.Runs = *runs
 	params.Seed = *seed
+	// Unlike the flags above, -backend only overrides the config file when
+	// given: its empty default would otherwise stomp a configured backend.
+	if *backendF != "" {
+		params.Backend = *backendF
+	}
 
 	// A workload comes from exactly one source. Silently ignoring a
 	// conflicting flag (e.g. -app QFT -qubits 32 dropping -qubits) would
@@ -223,7 +229,12 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintln(out, est)
 		}
 		if *shuttleF {
-			cmp, err := shuttle.Compare(c, layout, cfg.Latencies, shuttle.Default())
+			sp := params.ShuttleParams()
+			cmp, err := shuttle.Compare(c, layout, cfg.Latencies, sp)
+			if err != nil {
+				return err
+			}
+			breakEven, err := sp.BreakEvenAlpha(cfg.Latencies)
 			if err != nil {
 				return err
 			}
@@ -233,7 +244,7 @@ func run(args []string, out io.Writer) error {
 			}
 			fmt.Fprintf(out, "weak-link parallel %.1f µs vs shuttling %.1f µs over %d cross-chain gates → %s wins (break-even α = %.2f)\n",
 				cmp.WeakLinkMicros, cmp.ShuttleMicros, cmp.CrossGates, winner,
-				shuttle.Default().BreakEvenAlpha(cfg.Latencies))
+				breakEven)
 		}
 		if *dotPath != "" {
 			g := perf.BuildGateGraph(c, layout, cfg.Latencies)

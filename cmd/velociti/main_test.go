@@ -185,3 +185,23 @@ func TestTimelineJSONFlag(t *testing.T) {
 		t.Fatalf("timeline content wrong: %d intervals, makespan %v", len(tl.Intervals), tl.Makespan)
 	}
 }
+
+func TestBackendFlagShuttle(t *testing.T) {
+	base := []string{"-qubits", "16", "-two-qubit-gates", "20", "-chain-length", "8", "-runs", "2", "-json"}
+	var weak, shut core.Report
+	if err := json.Unmarshal([]byte(runCLI(t, base...)), &weak); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(runCLI(t, append([]string{"-backend", "shuttle"}, base...)...)), &shut); err != nil {
+		t.Fatal(err)
+	}
+	if weak.Parallel.Mean == shut.Parallel.Mean {
+		t.Fatalf("shuttle backend should change the parallel time, both %v", weak.Parallel.Mean)
+	}
+	if weak.WeakGates.Mean != shut.WeakGates.Mean {
+		t.Fatalf("weak-gate counts are timing-independent")
+	}
+	if err := runCLIErr(t, append([]string{"-backend", "bogus"}, base...)...); err == nil {
+		t.Fatalf("unknown backend should error")
+	}
+}

@@ -52,8 +52,11 @@ func main() {
 		}
 		fmt.Printf("%-8.1f %16.2f %16.2f %10s\n", alpha, weak, shut, winner)
 	}
-	fmt.Printf("analytic single-hop break-even: α = %.2f\n\n",
-		shuttleParams.BreakEvenAlpha(velociti.DefaultLatencies()))
+	breakEven, err := shuttleParams.BreakEvenAlpha(velociti.DefaultLatencies())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analytic single-hop break-even: α = %.2f\n\n", breakEven)
 
 	// Fidelity view: even when the weak link is fast, its error rate may
 	// dominate the success probability.

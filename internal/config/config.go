@@ -19,6 +19,7 @@ import (
 	"velociti/internal/perf"
 	"velociti/internal/placement"
 	"velociti/internal/schedule"
+	"velociti/internal/shuttle"
 	"velociti/internal/ti"
 	"velociti/internal/verr"
 )
@@ -44,6 +45,15 @@ type Params struct {
 	Runs int `json:"runs,omitempty"`
 	// Seed is the master random seed.
 	Seed int64 `json:"seed,omitempty"`
+	// Backend names the timing backend: "weaklink" (default; cross-chain
+	// gates at α·γ) or "shuttle" (explicit ion transport: split +
+	// per-hop move + merge + recool + local γ).
+	Backend string `json:"backend,omitempty"`
+	// Shuttle prices the shuttle backend's transport primitives; nil
+	// selects shuttle.Default(). It is validated whenever present, even
+	// under the weaklink backend, so a config that carries bad costs is
+	// rejected regardless of which backend is selected.
+	Shuttle *shuttle.Params `json:"shuttle,omitempty"`
 }
 
 // Default returns the paper's evaluation configuration: Table III
@@ -71,6 +81,15 @@ func placementByName(name string) (placement.Policy, error) {
 	default:
 		return nil, verr.Inputf("config: unknown placement policy %q (want random, round-robin, or sequential)", name)
 	}
+}
+
+// ShuttleParams resolves the effective shuttle transport costs: the
+// configured ones when present, shuttle.Default() otherwise.
+func (p Params) ShuttleParams() shuttle.Params {
+	if p.Shuttle != nil {
+		return *p.Shuttle
+	}
+	return shuttle.Default()
 }
 
 // ToCoreConfig resolves the named policies and returns an executable
@@ -107,6 +126,15 @@ func (p Params) ToCoreConfigWithCircuit(c *circuit.Circuit) (core.Config, error)
 	if err != nil {
 		return core.Config{}, err
 	}
+	if p.Shuttle != nil {
+		if err := p.Shuttle.Validate(); err != nil {
+			return core.Config{}, err
+		}
+	}
+	backend, err := shuttle.ByName(p.Backend, p.ShuttleParams())
+	if err != nil {
+		return core.Config{}, err
+	}
 	cfg := core.Config{
 		Spec:        p.Workload,
 		Circuit:     c,
@@ -117,6 +145,7 @@ func (p Params) ToCoreConfigWithCircuit(c *circuit.Circuit) (core.Config, error)
 		Placer:      placer,
 		Runs:        p.Runs,
 		Seed:        p.Seed,
+		Backend:     backend,
 	}
 	return cfg, cfg.Validate()
 }

@@ -9,6 +9,8 @@ import (
 	"velociti/internal/apps"
 	"velociti/internal/circuit"
 	"velociti/internal/core"
+	"velociti/internal/shuttle"
+	"velociti/internal/verr"
 )
 
 func TestDefaultParamsAreValidOnceWorkloadSet(t *testing.T) {
@@ -185,5 +187,57 @@ func TestParamsExecuteEndToEnd(t *testing.T) {
 	}
 	if len(rep.Trials) != 3 || rep.Parallel.Mean <= 0 {
 		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestParamsBackendRoundTrip(t *testing.T) {
+	p := Default()
+	p.Workload = circuit.Spec{Name: "be", Qubits: 16, TwoQubitGates: 12}
+	p.Backend = "shuttle"
+	p.Shuttle = &shuttle.Params{SplitMicros: 5, MergeMicros: 6, MovePerHopMicros: 7, RecoolMicros: 8}
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadParams(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Backend != "shuttle" || got.Shuttle == nil || *got.Shuttle != *p.Shuttle {
+		t.Fatalf("round trip mismatch: %+v (shuttle %+v)", got, got.Shuttle)
+	}
+	cfg, err := got.ToCoreConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, ok := cfg.Backend.(shuttle.Backend)
+	if !ok || sb.Params != *p.Shuttle {
+		t.Fatalf("core backend = %#v", cfg.Backend)
+	}
+}
+
+func TestToCoreConfigRejectsBadBackend(t *testing.T) {
+	base := Default()
+	base.Workload = circuit.Spec{Name: "bad", Qubits: 16, TwoQubitGates: 12}
+
+	p := base
+	p.Backend = "bogus"
+	if _, err := p.ToCoreConfig(); !verr.IsInput(err) {
+		t.Errorf("unknown backend: err = %v, want input-kind", err)
+	}
+
+	p = base
+	p.Backend = "shuttle"
+	p.Shuttle = &shuttle.Params{SplitMicros: -1}
+	if _, err := p.ToCoreConfig(); !verr.IsInput(err) {
+		t.Errorf("negative shuttle cost: err = %v, want input-kind", err)
+	}
+
+	// A shuttle block under the default weak-link backend is still
+	// validated — bad costs never load silently.
+	p = base
+	p.Shuttle = &shuttle.Params{RecoolMicros: -3}
+	if _, err := p.ToCoreConfig(); !verr.IsInput(err) {
+		t.Errorf("bad costs under weak-link backend: err = %v, want input-kind", err)
 	}
 }

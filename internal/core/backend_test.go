@@ -1,0 +1,159 @@
+package core_test
+
+// Backend-seam tests: the shuttle timing backend threaded through Run /
+// RunSweep / shared pipelines must degenerate exactly to the weak-link
+// model at zero transport cost, stay bit-identical between batched and
+// per-cell pricing at any worker count, and never share cached bindings
+// with another backend.
+
+import (
+	"reflect"
+	"testing"
+
+	"velociti/internal/circuit"
+	"velociti/internal/core"
+	"velociti/internal/perf"
+	"velociti/internal/shuttle"
+)
+
+func backendSpec() circuit.Spec {
+	return circuit.Spec{Name: "be", Qubits: 40, OneQubitGates: 60, TwoQubitGates: 180}
+}
+
+// TestZeroCostShuttleRunEqualsWeakLinkAlphaOne: with free transport a
+// cross-chain gate costs exactly the local γ, so the whole Report — every
+// trial, every critical path — must match the weak-link model at α = 1,
+// whatever α the shuttle run's timing model carries.
+func TestZeroCostShuttleRunEqualsWeakLinkAlphaOne(t *testing.T) {
+	shuttleCfg := core.Config{
+		Spec:        backendSpec(),
+		ChainLength: 8,
+		Runs:        6,
+		Seed:        17,
+		Backend:     shuttle.Backend{}, // zero-cost transport
+	}
+	shuttleCfg.Latencies = perf.DefaultLatencies()
+	shuttleCfg.Latencies.WeakPenalty = 2.0 // must be ignored: transport replaces α
+	weakCfg := shuttleCfg
+	weakCfg.Backend = nil // weak-link default
+	weakCfg.Latencies.WeakPenalty = 1.0
+	got, err := core.Run(shuttleCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Run(weakCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("zero-cost shuttle report != weak-link α=1 report\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestRunSweepShuttleMatchesPerCellRuns pins the batched shuttle kernel
+// through the full stage pipeline: RunSweep lane j equals an independent
+// Run with that lane's timing model, bit for bit, at several worker
+// counts.
+func TestRunSweepShuttleMatchesPerCellRuns(t *testing.T) {
+	base := core.Config{
+		Spec:        backendSpec(),
+		ChainLength: 8,
+		Runs:        5,
+		Seed:        29,
+		Backend:     shuttle.Backend{Params: shuttle.Default()},
+	}
+	lats := sweepLats([]float64{2.0, 1.5, 1.0})
+	want := make([]*core.Report, len(lats))
+	for j, lat := range lats {
+		cfg := base
+		cfg.Latencies = lat
+		rep, err := core.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[j] = rep
+	}
+	for _, workers := range []int{1, 4} {
+		cfg := base
+		cfg.Latencies = lats[0]
+		cfg.Workers = workers
+		got, err := core.RunSweep(cfg, lats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range lats {
+			if !reflect.DeepEqual(got[j], want[j]) {
+				t.Fatalf("workers=%d lane %d: sweep report != per-cell report\ngot  %+v\nwant %+v",
+					workers, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestPipelineSeparatesBackends: a pipeline shared between a weak-link run
+// and a shuttle run must key their bindings apart — the shuttle run's
+// results have to match a cache-free shuttle run exactly, and the
+// weak-link run must be unaffected by warm shuttle artifacts (and vice
+// versa, in both orders).
+func TestPipelineSeparatesBackends(t *testing.T) {
+	mk := func(backend perf.TimingBackend, pipeline *core.Pipeline) *core.Report {
+		t.Helper()
+		cfg := core.Config{
+			Spec:        backendSpec(),
+			ChainLength: 8,
+			Runs:        5,
+			Seed:        7,
+			Backend:     backend,
+			Pipeline:    pipeline,
+		}
+		rep, err := core.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	sb := shuttle.Backend{Params: shuttle.Default()}
+	wantWeak := mk(nil, nil)
+	wantShuttle := mk(sb, nil)
+	for _, order := range []string{"weak-first", "shuttle-first"} {
+		pipeline := core.NewPipeline()
+		var gotWeak, gotShuttle *core.Report
+		if order == "weak-first" {
+			gotWeak = mk(nil, pipeline)
+			gotShuttle = mk(sb, pipeline)
+		} else {
+			gotShuttle = mk(sb, pipeline)
+			gotWeak = mk(nil, pipeline)
+		}
+		if !reflect.DeepEqual(gotWeak, wantWeak) {
+			t.Fatalf("%s: weak-link report changed under shared pipeline", order)
+		}
+		if !reflect.DeepEqual(gotShuttle, wantShuttle) {
+			t.Fatalf("%s: shuttle report changed under shared pipeline", order)
+		}
+	}
+}
+
+// TestShuttleBackendChangesResults is the sanity complement of the
+// equivalence tests: with real (non-zero) transport costs the shuttle
+// backend must actually produce different timings than the weak-link
+// model — the backend axis is not decorative.
+func TestShuttleBackendChangesResults(t *testing.T) {
+	cfg := core.Config{Spec: backendSpec(), ChainLength: 8, Runs: 4, Seed: 3}
+	weak, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Backend = shuttle.Backend{Params: shuttle.Default()}
+	shut, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weak.Parallel.Mean == shut.Parallel.Mean {
+		t.Fatalf("expected different parallel means, both %v", weak.Parallel.Mean)
+	}
+	if weak.WeakGates.Mean != shut.WeakGates.Mean {
+		t.Fatalf("weak-gate counts are timing-independent: %v vs %v",
+			weak.WeakGates.Mean, shut.WeakGates.Mean)
+	}
+}

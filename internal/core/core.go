@@ -71,6 +71,14 @@ type Config struct {
 	// everything that influences them — it only skips recomputation; see
 	// stages.go.
 	Pipeline *Pipeline
+	// Backend selects the timing backend that prices bound circuits at
+	// the Bind/Time seam: nil selects the paper's weak-link parallel
+	// model (perf.WeakLink). Alternate backends (internal/shuttle) price
+	// cross-chain gates as explicit ion transport; the Bind stage runs
+	// the backend's Prepare hook before a binding is cached or shared,
+	// and bind cache keys embed the backend fingerprint so bindings from
+	// different backends never collide in a shared Pipeline.
+	Backend perf.TimingBackend
 }
 
 // normalized returns a copy of the config with defaults filled in.
@@ -86,6 +94,9 @@ func (c Config) normalized() Config {
 	}
 	if c.Runs <= 0 {
 		c.Runs = DefaultRuns
+	}
+	if c.Backend == nil {
+		c.Backend = perf.WeakLink{}
 	}
 	return c
 }
@@ -117,6 +128,9 @@ func (c Config) Validate() error {
 		return verr.Inputf("core: chain length must be positive, got %d", n.ChainLength)
 	}
 	if err := n.Latencies.Validate(); err != nil {
+		return err
+	}
+	if err := n.Backend.Validate(); err != nil {
 		return err
 	}
 	return nil
@@ -282,7 +296,21 @@ func RunOnce(cfg Config, seed int64) (*circuit.Circuit, *ti.Layout, perf.Result,
 			return nil, nil, perf.Result{}, err
 		}
 	}
-	res, err := perf.Evaluate(c, layout, cfg.Latencies)
+	var res perf.Result
+	if _, weak := cfg.Backend.(perf.WeakLink); weak {
+		// The classic path: bind-and-price in one call.
+		res, err = perf.Evaluate(c, layout, cfg.Latencies)
+	} else {
+		var b *perf.Binding
+		ev := perf.NewEvaluator(c)
+		b, err = ev.Bind(layout)
+		if err == nil {
+			err = cfg.Backend.Prepare(b, layout)
+		}
+		if err == nil {
+			res, err = cfg.Backend.Time(b, cfg.Latencies)
+		}
+	}
 	if err != nil {
 		return nil, nil, perf.Result{}, err
 	}

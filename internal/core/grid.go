@@ -51,6 +51,11 @@ type Grid struct {
 	// Cells that differ only in α share placement, synthesis, and binding
 	// work through it without changing any byte of the output.
 	Pipeline *Pipeline
+	// Backend is the timing backend shared by every cell; nil selects the
+	// weak-link model (perf.WeakLink). It is not a grid axis — a sweep
+	// prices one backend, and callers comparing backends run one grid per
+	// backend (the DSE explorer has a proper backend axis).
+	Backend perf.TimingBackend
 }
 
 // GridCell is one fully resolved configuration of a Grid.
@@ -134,6 +139,7 @@ func RunGrid(ctx context.Context, g Grid) (*GridResult, error) {
 			Seed:        g.Seed,
 			Workers:     g.Workers,
 			Pipeline:    g.Pipeline,
+			Backend:     g.Backend,
 		}
 		rep, err := RunContext(ctx, cfg)
 		if err != nil {

@@ -110,10 +110,15 @@ type Stages struct {
 	// Key components retained for BindAll, which rebuilds synth/bind
 	// prefixes per sweep lane (the placer fingerprint varies with the
 	// lane's timing model). keyPol is "" when the placement policy cannot
-	// fingerprint itself, which disables caching everywhere.
+	// fingerprint itself, which disables caching everywhere. keyBackend
+	// ("|be=<fingerprint>") is appended to every bind key: a binding
+	// carries backend-prepared annotations (the shuttle transport plan),
+	// so bindings prepared for different timing backends must never
+	// collide in a shared Pipeline.
 	keyDev      string
 	keyWorkload string
 	keyPol      string
+	keyBackend  string
 }
 
 // NewStages validates cfg, derives the area-optimal device, and returns the
@@ -149,11 +154,13 @@ func newStages(cfg Config, spec circuit.Spec, device *ti.Device) *Stages {
 	dev := fmt.Sprintf("dev=%s/L%d/c%d", device.Topology(), device.ChainLength(), device.NumChains())
 	s.keyDev = dev
 	s.keyPol = polKey
+	s.keyBackend = "|be=" + cfg.Backend.CacheKey()
 	s.placeKey = fmt.Sprintf("place|%s|q%d|pol=%s", dev, spec.Qubits, polKey)
 	if cfg.Circuit != nil {
 		// Explicit mode: the circuit is fixed, so Synthesize needs no cache
-		// and Bind depends only on the layout inputs plus circuit content.
-		s.bindKey = fmt.Sprintf("bind|%s|circ=%016x|pol=%s", dev, cfg.Circuit.Fingerprint(), polKey)
+		// and Bind depends only on the layout inputs plus circuit content
+		// (and the backend, whose Prepare annotates the binding).
+		s.bindKey = fmt.Sprintf("bind|%s|circ=%016x|pol=%s", dev, cfg.Circuit.Fingerprint(), polKey) + s.keyBackend
 		return s
 	}
 	s.keyWorkload = fmt.Sprintf("spec=%q/q%d/1q%d/2q%d", spec.Name, spec.Qubits, spec.OneQubitGates, spec.TwoQubitGates)
@@ -169,7 +176,7 @@ func newStages(cfg Config, spec circuit.Spec, device *ti.Device) *Stages {
 // over the stages' device, workload, and placement-policy components.
 func (s *Stages) stageKeys(placerKey string) (synthKey, bindKey string) {
 	synthKey = fmt.Sprintf("synth|%s|%s|pol=%s|placer=%s", s.keyDev, s.keyWorkload, s.keyPol, placerKey)
-	bindKey = fmt.Sprintf("bind|%s|%s|pol=%s|placer=%s", s.keyDev, s.keyWorkload, s.keyPol, placerKey)
+	bindKey = fmt.Sprintf("bind|%s|%s|pol=%s|placer=%s", s.keyDev, s.keyWorkload, s.keyPol, placerKey) + s.keyBackend
 	return synthKey, bindKey
 }
 
@@ -284,19 +291,32 @@ func (s *Stages) bindCompute(seed int64) (*perf.Binding, error) {
 			s.pl.synth.Put(seedKey(s.synthKey, seed), ev)
 		}
 	}
-	return ev.Bind(layout)
+	b, err := ev.Bind(layout)
+	if err != nil {
+		return nil, err
+	}
+	// The backend's Prepare hook runs here, before the binding escapes to
+	// the bind cache or to other goroutines: a published binding is fully
+	// annotated (e.g. the shuttle transport plan) and immutable.
+	if err := s.cfg.Backend.Prepare(b, layout); err != nil {
+		return nil, err
+	}
+	return b, nil
 }
 
 // Time prices a binding under one timing model (stage 4) — the only stage
-// where α enters, and the only one re-run across an α sweep.
+// where the timing model enters, and the only one re-run across an α
+// sweep. Pricing is delegated to the configured timing backend; the
+// default perf.WeakLink is the paper's model.
 func (s *Stages) Time(b *perf.Binding, lat perf.Latencies) (perf.Result, error) {
-	return b.Time(lat)
+	return s.cfg.Backend.Time(b, lat)
 }
 
 // TimeAll prices a binding under every timing model in lats with the
-// one-pass parametric kernel; lane j equals Time(b, lats[j]) bit for bit.
+// backend's one-pass parametric kernel; lane j equals Time(b, lats[j])
+// bit for bit — every backend owes that contract.
 func (s *Stages) TimeAll(b *perf.Binding, lats []perf.Latencies) ([]perf.Result, error) {
-	return b.TimeAll(lats)
+	return s.cfg.Backend.TimeAll(b, lats)
 }
 
 func seedKey(prefix string, seed int64) string {

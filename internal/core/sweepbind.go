@@ -110,6 +110,11 @@ func (s *Stages) BindAll(seed int64, lats []perf.Latencies) ([]*perf.Binding, er
 		if err != nil {
 			return nil, err
 		}
+		// Backend annotation happens before the binding reaches the cache
+		// or any aliasing lane, matching bindCompute's publish contract.
+		if err := s.cfg.Backend.Prepare(b, layout); err != nil {
+			return nil, err
+		}
 		out[j] = b
 		if s.pl != nil {
 			if synthKeys[j] != "" {

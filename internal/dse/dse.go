@@ -30,6 +30,7 @@ import (
 	"velociti/internal/perf"
 	"velociti/internal/pool"
 	"velociti/internal/schedule"
+	"velociti/internal/shuttle"
 	"velociti/internal/stats"
 	"velociti/internal/ti"
 )
@@ -40,6 +41,7 @@ type Point struct {
 	ChainLength int     `json:"chain_length"`
 	Alpha       float64 `json:"alpha"`
 	Placer      string  `json:"placer"`
+	Backend     string  `json:"backend"`
 	// Outcomes (means over the configured runs).
 	ParallelMicros float64 `json:"parallel_us"`
 	LogFidelity    float64 `json:"log_fidelity"`
@@ -63,6 +65,14 @@ type Options struct {
 	Alphas []float64
 	// Placers to sweep by name; nil selects {"random", "load-balanced"}.
 	Placers []string
+	// Backends to sweep by name ("weaklink", "shuttle"); nil selects
+	// {"weaklink"}. The backend is the innermost grid axis, so plan
+	// groups batch per backend and a single-backend exploration keeps
+	// the historical point ordering.
+	Backends []string
+	// Shuttle prices the shuttle backend's transport primitives; nil
+	// selects shuttle.Default(). Validated whenever present.
+	Shuttle *shuttle.Params
 	// Runs per configuration; zero selects 10 (exploration favours grid
 	// breadth over per-point precision).
 	Runs int
@@ -101,6 +111,9 @@ func (o Options) normalized() Options {
 	if len(o.Placers) == 0 {
 		o.Placers = []string{"random", "load-balanced"}
 	}
+	if len(o.Backends) == 0 {
+		o.Backends = []string{perf.WeakLink{}.Name()}
+	}
 	if o.Runs <= 0 {
 		o.Runs = 10
 	}
@@ -113,20 +126,45 @@ func (o Options) normalized() Options {
 	return o
 }
 
+// shuttleParams resolves the effective transport costs for the shuttle
+// backend axis.
+func (o Options) shuttleParams() shuttle.Params {
+	if o.Shuttle != nil {
+		return *o.Shuttle
+	}
+	return shuttle.Default()
+}
+
+// validateShuttle rejects configured transport costs that are unusable,
+// even when no grid cell selects the shuttle backend — mirroring
+// config.Params, which validates the shuttle block whenever present.
+func (o Options) validateShuttle() error {
+	if o.Shuttle != nil {
+		return o.Shuttle.Validate()
+	}
+	return nil
+}
+
 // gridCell is one fully resolved configuration of the exploration grid.
 type gridCell struct {
 	chainLength int
 	alpha       float64
 	placerName  string
+	backendName string
 	device      *ti.Device
 	lat         perf.Latencies
 	placer      schedule.Placer
+	backend     perf.TimingBackend
 }
 
-// grid resolves the full (ChainLength × Alpha × Placer) product up front,
-// surfacing device and placer-name errors before any trial runs.
+// grid resolves the full (ChainLength × Alpha × Placer × Backend) product
+// up front, surfacing device, placer-name, and backend-name errors before
+// any trial runs.
 func (o Options) grid(spec circuit.Spec) ([]gridCell, error) {
-	cells := make([]gridCell, 0, len(o.ChainLengths)*len(o.Alphas)*len(o.Placers))
+	if err := o.validateShuttle(); err != nil {
+		return nil, err
+	}
+	cells := make([]gridCell, 0, len(o.ChainLengths)*len(o.Alphas)*len(o.Placers)*len(o.Backends))
 	for _, L := range o.ChainLengths {
 		device, err := ti.DeviceFor(spec.Qubits, L, ti.Ring)
 		if err != nil {
@@ -140,14 +178,22 @@ func (o Options) grid(spec circuit.Spec) ([]gridCell, error) {
 				if err != nil {
 					return nil, err
 				}
-				cells = append(cells, gridCell{
-					chainLength: L,
-					alpha:       alpha,
-					placerName:  placerName,
-					device:      device,
-					lat:         lat,
-					placer:      placer,
-				})
+				for _, backendName := range o.Backends {
+					backend, err := shuttle.ByName(backendName, o.shuttleParams())
+					if err != nil {
+						return nil, err
+					}
+					cells = append(cells, gridCell{
+						chainLength: L,
+						alpha:       alpha,
+						placerName:  placerName,
+						backendName: backendName,
+						device:      device,
+						lat:         lat,
+						placer:      placer,
+						backend:     backend,
+					})
+				}
 			}
 		}
 	}
@@ -155,11 +201,16 @@ func (o Options) grid(spec circuit.Spec) ([]gridCell, error) {
 }
 
 // planGroup is one latency-independent slice of the grid: a (chain length,
-// placer) pair spanning the whole α axis. Its cells share every stage up to
-// Bind; only the α-dependent pricing differs per lane.
+// placer, backend) triple spanning the whole α axis. Its cells share every
+// stage up to Bind; only the α-dependent pricing differs per lane. The
+// backend is part of the plan, not a lane: its Prepare hook annotates the
+// binding at bind time, so bindings are backend-specific artifacts.
 type planGroup struct {
 	chainLength int
 	placerName  string
+	backendName string
+	backend     perf.TimingBackend
+	isWeak      bool             // backend is the weak-link model
 	lats        []perf.Latencies // lane j prices Alphas[j]
 	cellIdx     []int            // output index of lane j's grid cell
 
@@ -171,71 +222,87 @@ type planGroup struct {
 }
 
 // plans partitions the grid into plan groups in canonical order, preserving
-// the (ChainLength, Alpha, Placer) output indexing of the per-cell path.
+// the (ChainLength, Alpha, Placer, Backend) output indexing of the
+// per-cell path.
 func (o Options) plans(spec circuit.Spec) ([]planGroup, error) {
-	nA, nP := len(o.Alphas), len(o.Placers)
-	out := make([]planGroup, 0, len(o.ChainLengths)*nP)
+	if err := o.validateShuttle(); err != nil {
+		return nil, err
+	}
+	nA, nP, nB := len(o.Alphas), len(o.Placers), len(o.Backends)
+	out := make([]planGroup, 0, len(o.ChainLengths)*nP*nB)
 	for li, L := range o.ChainLengths {
 		if _, err := ti.DeviceFor(spec.Qubits, L, ti.Ring); err != nil {
 			return nil, err
 		}
 		for pi, placerName := range o.Placers {
-			pg := planGroup{
-				chainLength: L,
-				placerName:  placerName,
-				lats:        make([]perf.Latencies, nA),
-				cellIdx:     make([]int, nA),
-			}
-			for ai, alpha := range o.Alphas {
-				lat := o.Latencies
-				lat.WeakPenalty = alpha
-				pg.lats[ai] = lat
-				pg.cellIdx[ai] = (li*nA+ai)*nP + pi
-			}
-			rep, err := schedule.ByName(placerName, pg.lats[0])
-			if err != nil {
-				return nil, err
-			}
-			if _, ok := rep.(schedule.SweepPlacer); ok {
-				st, err := core.NewStages(core.Config{
-					Spec:        spec,
-					ChainLength: L,
-					Latencies:   pg.lats[0],
-					Placer:      rep,
-					Runs:        o.Runs,
-					Seed:        o.Seed,
-					Pipeline:    o.Pipeline,
-				})
+			for bi, backendName := range o.Backends {
+				backend, err := shuttle.ByName(backendName, o.shuttleParams())
 				if err != nil {
 					return nil, err
 				}
-				pg.stages = st
-			} else {
-				// A placer outside the built-in suite that cannot batch:
-				// fall back to per-cell stages, still under (plan, seed)
-				// job granularity.
-				pg.laneStages = make([]*core.Stages, nA)
-				for ai := range o.Alphas {
-					placer, err := schedule.ByName(placerName, pg.lats[ai])
-					if err != nil {
-						return nil, err
-					}
+				_, isWeak := backend.(perf.WeakLink)
+				pg := planGroup{
+					chainLength: L,
+					placerName:  placerName,
+					backendName: backendName,
+					backend:     backend,
+					isWeak:      isWeak,
+					lats:        make([]perf.Latencies, nA),
+					cellIdx:     make([]int, nA),
+				}
+				for ai, alpha := range o.Alphas {
+					lat := o.Latencies
+					lat.WeakPenalty = alpha
+					pg.lats[ai] = lat
+					pg.cellIdx[ai] = ((li*nA+ai)*nP+pi)*nB + bi
+				}
+				rep, err := schedule.ByName(placerName, pg.lats[0])
+				if err != nil {
+					return nil, err
+				}
+				if _, ok := rep.(schedule.SweepPlacer); ok {
 					st, err := core.NewStages(core.Config{
 						Spec:        spec,
 						ChainLength: L,
-						Latencies:   pg.lats[ai],
-						Placer:      placer,
+						Latencies:   pg.lats[0],
+						Placer:      rep,
 						Runs:        o.Runs,
 						Seed:        o.Seed,
 						Pipeline:    o.Pipeline,
+						Backend:     backend,
 					})
 					if err != nil {
 						return nil, err
 					}
-					pg.laneStages[ai] = st
+					pg.stages = st
+				} else {
+					// A placer outside the built-in suite that cannot batch:
+					// fall back to per-cell stages, still under (plan, seed)
+					// job granularity.
+					pg.laneStages = make([]*core.Stages, nA)
+					for ai := range o.Alphas {
+						placer, err := schedule.ByName(placerName, pg.lats[ai])
+						if err != nil {
+							return nil, err
+						}
+						st, err := core.NewStages(core.Config{
+							Spec:        spec,
+							ChainLength: L,
+							Latencies:   pg.lats[ai],
+							Placer:      placer,
+							Runs:        o.Runs,
+							Seed:        o.Seed,
+							Pipeline:    o.Pipeline,
+							Backend:     backend,
+						})
+						if err != nil {
+							return nil, err
+						}
+						pg.laneStages[ai] = st
+					}
 				}
+				out = append(out, pg)
 			}
-			out = append(out, pg)
 		}
 	}
 	return out, nil
@@ -323,6 +390,7 @@ func ExploreContext(ctx context.Context, spec circuit.Spec, opt Options) ([]Poin
 				ChainLength:    pg.chainLength,
 				Alpha:          opt.Alphas[ai],
 				Placer:         pg.placerName,
+				Backend:        pg.backendName,
 				ParallelMicros: parSum / n,
 				LogFidelity:    logSum / n,
 				WeakGates:      weakSum / n,
@@ -344,14 +412,37 @@ func exploreTrialBatched(pg *planGroup, seed int64, est *fidelity.Estimator, rec
 		return err
 	}
 	nA := len(pg.lats)
+	var times []float64 // shuttle-path makespan scratch
 	for a0 := 0; a0 < nA; {
 		a1 := a0 + 1
 		for a1 < nA && bs[a1] == bs[a0] {
 			a1++
 		}
-		ests, err := est.EstimateAll(bs[a0], pg.lats[a0:a1])
-		if err != nil {
-			return err
+		var ests []fidelity.Estimate
+		if pg.isWeak {
+			ests, err = est.EstimateAll(bs[a0], pg.lats[a0:a1])
+			if err != nil {
+				return err
+			}
+		} else {
+			// Alternate backends own the makespan: price the lane run
+			// through the backend's batched kernel, then feed the windows
+			// into the latency-independent fidelity terms.
+			rs, err := pg.stages.TimeAll(bs[a0], pg.lats[a0:a1])
+			if err != nil {
+				return err
+			}
+			if cap(times) < len(rs) {
+				times = make([]float64, len(rs))
+			}
+			times = times[:len(rs)]
+			for k, r := range rs {
+				times[k] = r.ParallelMicros
+			}
+			ests, err = est.EstimateTimes(bs[a0], times)
+			if err != nil {
+				return err
+			}
 		}
 		weak := float64(bs[a0].WeakGates())
 		for ai := a0; ai < a1; ai++ {
@@ -378,7 +469,16 @@ func exploreTrialPerLane(pg *planGroup, seed int64, est *fidelity.Estimator, out
 		if err != nil {
 			return err
 		}
-		e, err := est.EstimateOne(b, lat)
+		var e fidelity.Estimate
+		if pg.isWeak {
+			e, err = est.EstimateOne(b, lat)
+		} else {
+			var res perf.Result
+			res, err = pg.laneStages[ai].Time(b, lat)
+			if err == nil {
+				e, err = est.EstimateTime(b, res.ParallelMicros)
+			}
+		}
 		if err != nil {
 			return err
 		}
@@ -435,17 +535,28 @@ func explorePoint(spec circuit.Spec, opt Options, cell gridCell) (Point, error) 
 		Runs:        opt.Runs,
 		Seed:        opt.Seed,
 		Pipeline:    opt.Pipeline,
+		Backend:     cell.backend,
 	})
 	if err != nil {
 		return Point{}, err
 	}
+	_, isWeak := cell.backend.(perf.WeakLink)
 	var parSum, logSum, weakSum float64
 	for i := 0; i < opt.Runs; i++ {
 		b, err := st.Bind(stats.SplitSeed(opt.Seed, i))
 		if err != nil {
 			return Point{}, err
 		}
-		est, err := opt.Fidelity.EstimateBinding(b, cell.lat)
+		var est fidelity.Estimate
+		if isWeak {
+			est, err = opt.Fidelity.EstimateBinding(b, cell.lat)
+		} else {
+			var res perf.Result
+			res, err = st.Time(b, cell.lat)
+			if err == nil {
+				est, err = opt.Fidelity.EstimateBindingMakespan(b, res.ParallelMicros)
+			}
+		}
 		if err != nil {
 			return Point{}, err
 		}
@@ -458,6 +569,7 @@ func explorePoint(spec circuit.Spec, opt Options, cell gridCell) (Point, error) 
 		ChainLength:    cell.chainLength,
 		Alpha:          cell.alpha,
 		Placer:         cell.placerName,
+		Backend:        cell.backendName,
 		ParallelMicros: parSum / n,
 		LogFidelity:    logSum / n,
 		WeakGates:      weakSum / n,

@@ -181,6 +181,7 @@ func TestExploreMatchesLegacyTrialPath(t *testing.T) {
 			ChainLength:    cell.chainLength,
 			Alpha:          cell.alpha,
 			Placer:         cell.placerName,
+			Backend:        cell.backendName,
 			ParallelMicros: parSum / n,
 			LogFidelity:    logSum / n,
 			WeakGates:      weakSum / n,

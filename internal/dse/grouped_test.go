@@ -37,6 +37,17 @@ func TestExploreMatchesPerCell(t *testing.T) {
 				Seed: 101,
 			},
 		},
+		{
+			name: "two-backends",
+			opt: Options{
+				ChainLengths: []int{8, 16},
+				Alphas:       []float64{2.0, 1.0},
+				Placers:      []string{"random", "load-balanced"},
+				Backends:     []string{"weaklink", "shuttle"},
+				Runs:         3,
+				Seed:         41,
+			},
+		},
 	}
 	sp := spec()
 	for _, g := range grids {
@@ -87,6 +98,36 @@ func TestExplorePerCellDeterministicAcrossWorkers(t *testing.T) {
 		if base[i] != again[i] {
 			t.Fatalf("point %d differs across worker counts", i)
 		}
+	}
+}
+
+// TestExploreBackendAxis: a two-backend grid tags every point with its
+// backend, interleaves the axis innermost (so single-backend grids keep
+// the historical point order), and actually prices the two models
+// differently when transport is not free.
+func TestExploreBackendAxis(t *testing.T) {
+	opt := Options{
+		ChainLengths: []int{8},
+		Alphas:       []float64{2.0},
+		Placers:      []string{"random"},
+		Backends:     []string{"weaklink", "shuttle"},
+		Runs:         4,
+		Seed:         11,
+	}
+	pts := explore(t, opt)
+	if len(pts) != 2 {
+		t.Fatalf("points = %d, want 2", len(pts))
+	}
+	if pts[0].Backend != "weaklink" || pts[1].Backend != "shuttle" {
+		t.Fatalf("backend order: %q, %q", pts[0].Backend, pts[1].Backend)
+	}
+	if pts[0].ParallelMicros == pts[1].ParallelMicros {
+		t.Fatalf("weak-link and shuttle priced identically: %v", pts[0].ParallelMicros)
+	}
+	// The backend changes timing only — placement and weak-gate counts are
+	// shared per trial seed.
+	if pts[0].WeakGates != pts[1].WeakGates {
+		t.Fatalf("weak gates differ across backends: %v vs %v", pts[0].WeakGates, pts[1].WeakGates)
 	}
 }
 

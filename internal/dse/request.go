@@ -13,6 +13,7 @@ import (
 
 	"velociti/internal/circuit"
 	"velociti/internal/core"
+	"velociti/internal/shuttle"
 )
 
 // Request describes one exploration over a workload. Zero-valued knobs
@@ -25,6 +26,13 @@ type Request struct {
 	ChainLengths []int     `json:"chain_lengths,omitempty"`
 	Alphas       []float64 `json:"alphas,omitempty"`
 	Placers      []string  `json:"placers,omitempty"`
+	// Backends names the timing backends to sweep ("weaklink",
+	// "shuttle"); empty selects {"weaklink"}. The backend is the
+	// innermost grid axis.
+	Backends []string `json:"backends,omitempty"`
+	// Shuttle prices the shuttle backend's transport primitives; nil
+	// selects shuttle.Default(). Validated whenever present.
+	Shuttle *shuttle.Params `json:"shuttle,omitempty"`
 	// Runs per configuration and the master seed.
 	Runs int   `json:"runs,omitempty"`
 	Seed int64 `json:"seed,omitempty"`
@@ -48,6 +56,8 @@ func (r Request) options(pipeline *core.Pipeline) Options {
 		ChainLengths: r.ChainLengths,
 		Alphas:       r.Alphas,
 		Placers:      r.Placers,
+		Backends:     r.Backends,
+		Shuttle:      r.Shuttle,
 		Runs:         r.Runs,
 		Seed:         r.Seed,
 		Workers:      r.Workers,

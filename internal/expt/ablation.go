@@ -129,6 +129,7 @@ func AblationPlacementContext(ctx context.Context, opt Options) (*AblationResult
 			Runs:        opt.Runs,
 			Seed:        opt.Seed,
 			Pipeline:    opt.Pipeline,
+			Backend:     opt.Backend,
 		}
 		row, err := ablationRow(ctx, v.name, cfg)
 		if err != nil {
@@ -201,9 +202,13 @@ func AblationCommContext(ctx context.Context, opt Options) (*CommResult, error) 
 	opt = opt.normalized()
 	spec := apps.PaperSpecs()[1] // QAOA
 	params := shuttle.Default()
+	breakEven, err := params.BreakEvenAlpha(opt.Latencies)
+	if err != nil {
+		return nil, err
+	}
 	res := &CommResult{
 		Name:           "Ablation: cross-chain communication mechanism (QAOA, 16-ion chains)",
-		BreakEvenAlpha: params.BreakEvenAlpha(opt.Latencies),
+		BreakEvenAlpha: breakEven,
 	}
 	// The per-trial circuit and placement depend only on the seed, never on
 	// α, so synthesize each trial once and re-price it under every α —

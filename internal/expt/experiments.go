@@ -38,6 +38,11 @@ type Options struct {
 	// layouts, synthesized circuits, and gate-class bindings that repeat
 	// across cells.
 	Pipeline *core.Pipeline
+	// Backend is the timing backend every driver prices with; nil selects
+	// the weak-link model (the paper's). Alternate backends reproduce the
+	// same tables under their own timing semantics — figures are then
+	// comparable across backends, not to the paper.
+	Backend perf.TimingBackend
 }
 
 func (o Options) normalized() Options {
@@ -62,6 +67,7 @@ func (o Options) baseConfig(spec circuit.Spec, chainLength int) core.Config {
 		Seed:        o.Seed,
 		Workers:     o.Workers,
 		Pipeline:    o.Pipeline,
+		Backend:     o.Backend,
 	}
 }
 

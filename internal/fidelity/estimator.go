@@ -29,9 +29,10 @@ type Estimator struct {
 	eps [perf.NumGateClasses]float64 // per-class expected-error contribution
 	lg  [perf.NumGateClasses]float64 // per-class log1p(−ε) contribution
 
-	times []float64
-	ests  []Estimate
-	one   [1]perf.Latencies
+	times   []float64
+	ests    []Estimate
+	one     [1]perf.Latencies
+	oneTime [1]float64
 }
 
 // NewEstimator validates m and tabulates its per-class terms.
@@ -81,20 +82,39 @@ func (e *Estimator) EstimateAll(b *perf.Binding, lats []perf.Latencies) ([]Estim
 			return nil, err
 		}
 	}
+	e.times = b.ParallelTimeAll(lats, e.times)
+	return e.estimate(b, e.times), nil
+}
+
+// EstimateTimes prices the binding's fidelity with externally supplied
+// dephasing windows — the hook for alternate timing backends (the
+// shuttle backend's makespans are not the weak-link parallel model's).
+// Entry j uses times[j] µs as the dephasing window; the gate-error sums
+// are the same latency-independent terms EstimateAll computes, so for
+// equal windows the two agree bit for bit. The returned slice is owned
+// by the estimator and valid until its next call.
+func (e *Estimator) EstimateTimes(b *perf.Binding, times []float64) ([]Estimate, error) {
+	if len(times) == 0 {
+		return nil, fmt.Errorf("fidelity: EstimateTimes requires at least one makespan")
+	}
+	return e.estimate(b, times), nil
+}
+
+// estimate combines the binding's latency-independent gate-error terms
+// with one dephasing window per entry of times.
+func (e *Estimator) estimate(b *perf.Binding, times []float64) []Estimate {
 	logGate, logWeak, expected := e.gateTerms(b)
 	gateFid := math.Exp(logGate)
 	var weakShare float64
 	if logGate != 0 {
 		weakShare = logWeak / logGate
 	}
-	e.times = b.ParallelTimeAll(lats, e.times)
-	if cap(e.ests) < len(lats) {
-		e.ests = make([]Estimate, len(lats))
+	if cap(e.ests) < len(times) {
+		e.ests = make([]Estimate, len(times))
 	}
-	e.ests = e.ests[:len(lats)]
+	e.ests = e.ests[:len(times)]
 	nq := float64(b.NumQubits())
-	for j := range lats {
-		makespan := e.times[j]
+	for j, makespan := range times {
 		// Every qubit dephases for the full window; busy time is not
 		// protected, which errs conservative.
 		logCoherence := -nq * makespan / e.m.T2Micros
@@ -109,7 +129,7 @@ func (e *Estimator) EstimateAll(b *perf.Binding, lats []perf.Latencies) ([]Estim
 		est.Total = math.Exp(est.LogTotal)
 		e.ests[j] = est
 	}
-	return e.ests, nil
+	return e.ests
 }
 
 // EstimateOne is EstimateAll for a single timing model, returning the
@@ -117,6 +137,18 @@ func (e *Estimator) EstimateAll(b *perf.Binding, lats []perf.Latencies) ([]Estim
 func (e *Estimator) EstimateOne(b *perf.Binding, lat perf.Latencies) (Estimate, error) {
 	e.one[0] = lat
 	ests, err := e.EstimateAll(b, e.one[:])
+	if err != nil {
+		return Estimate{}, err
+	}
+	return ests[0], nil
+}
+
+// EstimateTime is EstimateTimes for a single dephasing window, returning
+// the estimate by value. It equals Model.EstimateBindingMakespan(b,
+// makespanMicros) bit for bit.
+func (e *Estimator) EstimateTime(b *perf.Binding, makespanMicros float64) (Estimate, error) {
+	e.oneTime[0] = makespanMicros
+	ests, err := e.EstimateTimes(b, e.oneTime[:])
 	if err != nil {
 		return Estimate{}, err
 	}

@@ -158,6 +158,22 @@ func (m Model) EstimateBinding(b *perf.Binding, lat perf.Latencies) (Estimate, e
 	if err := lat.Validate(); err != nil {
 		return Estimate{}, err
 	}
+	return m.estimateBindingMakespan(b, b.ParallelTime(lat)), nil
+}
+
+// EstimateBindingMakespan is EstimateBinding with the dephasing window
+// supplied by the caller instead of derived from the weak-link parallel
+// model — the per-cell hook for alternate timing backends, which compute
+// their own makespans. EstimateBinding(b, lat) equals
+// EstimateBindingMakespan(b, b.ParallelTime(lat)) exactly.
+func (m Model) EstimateBindingMakespan(b *perf.Binding, makespanMicros float64) (Estimate, error) {
+	if err := m.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	return m.estimateBindingMakespan(b, makespanMicros), nil
+}
+
+func (m Model) estimateBindingMakespan(b *perf.Binding, makespan float64) Estimate {
 	var logGate, logWeak, expected float64
 	for i := 0; i < b.NumGates(); i++ {
 		var eps float64
@@ -178,7 +194,6 @@ func (m Model) EstimateBinding(b *perf.Binding, lat perf.Latencies) (Estimate, e
 			logWeak += lg
 		}
 	}
-	makespan := b.ParallelTime(lat)
 	// Every qubit dephases for the full window; busy time is not
 	// protected, which errs conservative.
 	logCoherence := -float64(b.NumQubits()) * makespan / m.T2Micros
@@ -193,7 +208,7 @@ func (m Model) EstimateBinding(b *perf.Binding, lat perf.Latencies) (Estimate, e
 	if logGate != 0 {
 		est.WeakGateErrorShare = logWeak / logGate
 	}
-	return est, nil
+	return est
 }
 
 // Sample performs one Monte-Carlo execution of the placed circuit: each

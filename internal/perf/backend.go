@@ -1,0 +1,70 @@
+package perf
+
+// This file names the seam between gate binding and gate pricing as an
+// interface. core.Stages binds a circuit to a layout once (Bind) and then
+// asks a TimingBackend to price the binding (Time/TimeAll); everything
+// upstream of the seam — synthesis, placement, classification — is shared
+// between backends, and everything downstream is backend-owned. The
+// weak-link parallel model (WeakLink, the paper's Eq. 1–2 + ASAP DP) is
+// the default and the oracle; internal/shuttle adapts its explicit
+// ion-transport pricing into a second backend.
+
+import "velociti/internal/ti"
+
+// TimingBackend prices bound circuits under the latency models of a
+// sweep. Implementations must be immutable values: the backend
+// participates in cache keys (CacheKey) and in the serve layer's request
+// coalescing, so two backends with equal keys must price identically.
+type TimingBackend interface {
+	// Name is the backend's selector name as it appears in flags and
+	// request schemas ("weaklink", "shuttle").
+	Name() string
+	// CacheKey fingerprints the backend and every pricing parameter it
+	// carries. Stage-pipeline bind keys embed it so bindings prepared for
+	// different backends never collide in a shared artifact cache.
+	CacheKey() string
+	// Validate rejects unusable pricing parameters with a typed input
+	// error (verr).
+	Validate() error
+	// Prepare attaches whatever layout-dependent, latency-independent
+	// annotations the backend needs to price b — e.g. the shuttle
+	// backend's per-gate transport paths. It runs at Bind time, before
+	// the binding is published to caches or shared across goroutines,
+	// and must be idempotent. The weak-link backend needs nothing.
+	Prepare(b *Binding, l *ti.Layout) error
+	// Time prices the binding under one timing model.
+	Time(b *Binding, lat Latencies) (Result, error)
+	// TimeAll prices the binding under every timing model in lats in one
+	// pass; entry j must equal Time(lats[j]) bit for bit. This is the
+	// parametric kernel contract behind α sweeps: batched and per-cell
+	// pricing are interchangeable at any worker count.
+	TimeAll(b *Binding, lats []Latencies) ([]Result, error)
+}
+
+// WeakLink is the paper's timing model as a backend: cross-chain gates
+// cost α·γ on a weak link, and the parallel model is the ASAP finish-time
+// dynamic program. It is the zero value of backend selection — a nil
+// backend in core.Config normalizes to WeakLink{}.
+type WeakLink struct{}
+
+// Name returns "weaklink".
+func (WeakLink) Name() string { return "weaklink" }
+
+// CacheKey returns "weaklink"; the backend carries no parameters beyond
+// the Latencies every backend receives per call.
+func (WeakLink) CacheKey() string { return "weaklink" }
+
+// Validate always succeeds.
+func (WeakLink) Validate() error { return nil }
+
+// Prepare is a no-op: the weak-link model prices straight off the gate
+// classes.
+func (WeakLink) Prepare(*Binding, *ti.Layout) error { return nil }
+
+// Time prices the binding under one timing model via Binding.Time.
+func (WeakLink) Time(b *Binding, lat Latencies) (Result, error) { return b.Time(lat) }
+
+// TimeAll prices every timing model in one pass via Binding.TimeAll.
+func (WeakLink) TimeAll(b *Binding, lats []Latencies) ([]Result, error) { return b.TimeAll(lats) }
+
+var _ TimingBackend = WeakLink{}

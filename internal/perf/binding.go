@@ -51,6 +51,10 @@ type Binding struct {
 	classes []GateClass
 	weak    int
 	links   int
+	// transport is the shuttle timing backend's per-gate path plan,
+	// attached once by AttachTransport (the backend's Prepare hook) before
+	// the binding is shared; nil under the weak-link backend.
+	transport *transportPlan
 }
 
 // Bind classifies every gate of the evaluator's circuit under layout l.
@@ -230,6 +234,7 @@ type sweepScratch struct {
 	prev   []int32
 	last   []int32
 	luts   []float64 // flat per-lane class-latency tables (NumGateClasses × lanes)
+	busy   []float64 // per-(segment, lane) busy-until times for transport contention
 }
 
 var sweepPool = sync.Pool{New: func() any { return new(sweepScratch) }}

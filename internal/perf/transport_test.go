@@ -1,0 +1,209 @@
+package perf
+
+// Tests for the shuttle transport pricing kernel: the zero-cost
+// equivalence with the weak-link model at α = 1, the batched-lane
+// bit-exactness contract, the junction-contention hand case, and the
+// input-error boundaries (missing plan, bad costs, disconnected chains).
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"velociti/internal/circuit"
+	"velociti/internal/placement"
+	"velociti/internal/ti"
+	"velociti/internal/verr"
+)
+
+func transportBinding(t *testing.T, c *circuit.Circuit, l *ti.Layout) *Binding {
+	t.Helper()
+	b, err := NewEvaluator(c).Bind(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AttachTransport(l); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestZeroCostTransportEqualsWeakLinkAlphaOne pins the degenerate-shuttle
+// equivalence the backend seam relies on: with every transport cost at
+// zero, a cross-chain gate costs exactly the local γ — the weak-link
+// model at α = 1 — and the kernel must reproduce that model bit for bit,
+// critical path included, whatever α the input lats carry (transport
+// replaces α, so it must never be read).
+func TestZeroCostTransportEqualsWeakLinkAlphaOne(t *testing.T) {
+	c := randCircuit(t, "zero-cost", 48, 60, 240, 11)
+	l := testLayout(t, 48, 12)
+	b := transportBinding(t, c, l)
+	alphas := []float64{3.0, 2.0, 1.5, 1.0}
+	lats := make([]Latencies, len(alphas))
+	ones := make([]Latencies, len(alphas))
+	for j, a := range alphas {
+		lats[j] = DefaultLatencies()
+		lats[j].WeakPenalty = a
+		ones[j] = lats[j]
+		ones[j].WeakPenalty = 1
+	}
+	got, err := b.TimeTransportAll(TransportCosts{}, lats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := b.TimeAll(ones)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range got {
+		if !reflect.DeepEqual(got[j], want[j]) {
+			t.Fatalf("lane %d (α=%g): zero-cost transport %+v != weak-link α=1 %+v", j, alphas[j], got[j], want[j])
+		}
+	}
+}
+
+// TestTimeTransportAllMatchesTimeTransport pins the batched contract:
+// lane j of TimeTransportAll equals the single-model TimeTransport bit
+// for bit at every lane count, including the busy-table interleaving.
+func TestTimeTransportAllMatchesTimeTransport(t *testing.T) {
+	c := randCircuit(t, "lanes", 40, 30, 200, 5)
+	l := testLayout(t, 40, 8)
+	b := transportBinding(t, c, l)
+	costs := TransportCosts{SplitMicros: 80, MovePerHopMicros: 10, MergeMicros: 80, RecoolMicros: 100}
+	alphas := []float64{2.0, 1.6, 1.2, 1.0}
+	for lanes := 1; lanes <= len(alphas); lanes++ {
+		lats := make([]Latencies, lanes)
+		for j := 0; j < lanes; j++ {
+			lats[j] = DefaultLatencies()
+			lats[j].WeakPenalty = alphas[j]
+			lats[j].TwoQubit = 100 + 10*float64(j) // vary γ so lanes truly differ
+		}
+		all, err := b.TimeTransportAll(costs, lats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, lat := range lats {
+			one, err := b.TimeTransport(costs, lat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(all[j], one) {
+				t.Fatalf("lanes=%d lane %d: %+v != %+v", lanes, j, all[j], one)
+			}
+		}
+	}
+}
+
+// TestTransportContentionHandCase checks the junction serialization on a
+// device with a single weak-link segment: two data-independent cross-chain
+// gates cannot move ions through the one segment concurrently, so the
+// second transport waits for the first to clear.
+func TestTransportContentionHandCase(t *testing.T) {
+	d, err := ti.NewDevice(4, 2, ti.Line) // one segment between the two chains
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := placement.Sequential{}.Place(d, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := circuit.New("contend", 8)
+	c.CX(0, 4) // chain 0 ↔ chain 1
+	c.CX(1, 5) // disjoint qubits, same segment
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	b := transportBinding(t, c, l)
+	costs := TransportCosts{SplitMicros: 50, MovePerHopMicros: 10, MergeMicros: 40, RecoolMicros: 100}
+	over := 200.0 // 50+10+40+100
+	lat := DefaultLatencies()
+	res, err := b.TimeTransport(costs, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gate 0: transport [0,200], gate ends 300. Gate 1: data-ready at 0
+	// but the segment is busy until 200; transport [200,400], ends 500.
+	if want := 2*over + lat.TwoQubit; res.ParallelMicros != want {
+		t.Fatalf("contended parallel = %v, want %v", res.ParallelMicros, want)
+	}
+	// With free transport the two gates overlap fully.
+	free, err := b.TimeTransport(TransportCosts{}, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.ParallelMicros != lat.TwoQubit {
+		t.Fatalf("uncontended parallel = %v, want %v", free.ParallelMicros, lat.TwoQubit)
+	}
+}
+
+// TestTimeTransportRequiresPlan: pricing without Prepare is a contract
+// violation, reported as an error rather than a fabricated result.
+func TestTimeTransportRequiresPlan(t *testing.T) {
+	c := randCircuit(t, "no-plan", 16, 10, 30, 3)
+	l := testLayout(t, 16, 8)
+	b, err := NewEvaluator(c).Bind(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.TimeTransport(TransportCosts{}, DefaultLatencies()); err == nil {
+		t.Fatal("pricing without an attached transport plan should fail")
+	}
+}
+
+// TestTransportCostsValidate rejects negative and NaN costs as typed
+// input errors.
+func TestTransportCostsValidate(t *testing.T) {
+	bad := []TransportCosts{
+		{SplitMicros: -1},
+		{MovePerHopMicros: -0.5},
+		{MergeMicros: math.NaN()},
+		{RecoolMicros: math.Inf(-1)},
+	}
+	for i, costs := range bad {
+		err := costs.Validate()
+		if err == nil {
+			t.Errorf("costs %d should be invalid", i)
+			continue
+		}
+		if !verr.IsInput(err) {
+			t.Errorf("costs %d: error should be input-kind, got %v", i, err)
+		}
+	}
+	if err := (TransportCosts{}).Validate(); err != nil {
+		t.Errorf("zero costs should be valid: %v", err)
+	}
+}
+
+// TestAttachTransportDisconnected: a weak gate across disconnected chain
+// groups has no shuttle path; AttachTransport must surface a typed input
+// error, not invent a finite cost (the regression the linear-tape work
+// fixed in Layout.Hops).
+func TestAttachTransportDisconnected(t *testing.T) {
+	// Chains {0,1} linked, chain 2 isolated.
+	d, err := ti.NewDeviceLinks(4, 3, []ti.WeakLink{
+		{A: ti.Port{Chain: 0, Side: ti.Right}, B: ti.Port{Chain: 1, Side: ti.Left}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := placement.Sequential{}.Place(d, 12, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := circuit.New("disc", 12)
+	c.CX(0, 8) // chain 0 ↔ chain 2: no path
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewEvaluator(c).Bind(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = b.AttachTransport(l)
+	if err == nil {
+		t.Fatal("disconnected chains should fail AttachTransport")
+	}
+	if !verr.IsInput(err) {
+		t.Fatalf("error should be input-kind, got %v", err)
+	}
+}

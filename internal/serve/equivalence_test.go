@@ -20,6 +20,7 @@ import (
 	"velociti/internal/config"
 	"velociti/internal/core"
 	"velociti/internal/dse"
+	"velociti/internal/shuttle"
 	"velociti/internal/ti"
 	"velociti/internal/workload"
 )
@@ -130,6 +131,115 @@ func TestExploreMatchesRequestRunBytes(t *testing.T) {
 	want = append(want, '\n')
 	if !bytes.Equal(got, want) {
 		t.Errorf("response differs from dse.Request bytes:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestSweepShuttleMatchesCLIBytes is the shuttle-backend variant of the
+// sweep golden test: a sweep with "backend": "shuttle" must be
+// byte-identical to velociti-sweep -backend shuttle, i.e. RunGrid with the
+// shuttle backend on a fresh pipeline.
+func TestSweepShuttleMatchesCLIBytes(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	body := `{"qubits": 24, "two_qubit_gates": 60, "chain_lengths": [8, 12], "alphas": [2.0, 1.0],
+		"backend": "shuttle", "runs": 4, "seed": 9}`
+	resp, got := doJSON(t, ts, http.MethodPost, "/v1/sweep", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep = %d\n%s", resp.StatusCode, got)
+	}
+
+	sel := workload.Selector{Qubits: 24, TwoQubitGates: 60}
+	specs, err := sel.Specs()
+	if err != nil {
+		t.Fatalf("Specs: %v", err)
+	}
+	res, err := core.RunGrid(context.Background(), core.Grid{
+		Specs:        specs,
+		ChainLengths: []int{8, 12},
+		Alphas:       []float64{2.0, 1.0},
+		Placers:      []string{"random"},
+		Topology:     ti.Ring,
+		Runs:         4,
+		Seed:         9,
+		Workers:      1,
+		Pipeline:     core.NewPipeline(),
+		Backend:      shuttle.Backend{Params: shuttle.Default()},
+	})
+	if err != nil {
+		t.Fatalf("RunGrid: %v", err)
+	}
+	var want bytes.Buffer
+	if err := res.WriteCSV(&want); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Errorf("response differs from CLI bytes:\n got: %s\nwant: %s", got, want.Bytes())
+	}
+
+	// And the backend must matter: the weak-link body for the same grid
+	// differs.
+	respW, gotW := doJSON(t, ts, http.MethodPost, "/v1/sweep",
+		`{"qubits": 24, "two_qubit_gates": 60, "chain_lengths": [8, 12], "alphas": [2.0, 1.0], "runs": 4, "seed": 9}`)
+	if respW.StatusCode != http.StatusOK {
+		t.Fatalf("weak-link sweep = %d", respW.StatusCode)
+	}
+	if bytes.Equal(got, gotW) {
+		t.Errorf("shuttle and weak-link sweeps returned identical bytes")
+	}
+}
+
+// TestBackendCoalescingKeys pins the flight-sharing rules for the backend
+// axis: implicit and explicit weak-link defaults share a key, shuttle with
+// implicit and explicit default costs share a key, weak-link and shuttle
+// never do, and altered shuttle costs key separately from the default.
+func TestBackendCoalescingKeys(t *testing.T) {
+	sweepKey := func(t *testing.T, body string) string {
+		t.Helper()
+		var r SweepRequest
+		if err := json.Unmarshal([]byte(body), &r); err != nil {
+			t.Fatal(err)
+		}
+		return r.normalize().key()
+	}
+	base := `{"qubits": 16, "two_qubit_gates": 8, "runs": 3, "seed": 5`
+	weakImplicit := sweepKey(t, base+`}`)
+	weakExplicit := sweepKey(t, base+`, "backend": "weaklink"}`)
+	shuttleImplicit := sweepKey(t, base+`, "backend": "shuttle"}`)
+	shuttleExplicit := sweepKey(t, base+`, "backend": "shuttle",
+		"shuttle": {"split_us": 80, "move_per_hop_us": 10, "merge_us": 80, "recool_us": 100}}`)
+	shuttleAltered := sweepKey(t, base+`, "backend": "shuttle", "shuttle": {"split_us": 1}}`)
+	if weakImplicit != weakExplicit {
+		t.Errorf("implicit and explicit weak-link requests should share a flight")
+	}
+	if shuttleImplicit != shuttleExplicit {
+		t.Errorf("implicit and explicit default shuttle costs should share a flight")
+	}
+	if weakImplicit == shuttleImplicit {
+		t.Errorf("weak-link and shuttle requests must never share a flight")
+	}
+	if shuttleImplicit == shuttleAltered {
+		t.Errorf("altered shuttle costs must key separately from the default")
+	}
+
+	// Same rules through the evaluate and explore schemas.
+	var e1, e2 EvaluateRequest
+	if err := json.Unmarshal([]byte(`{"workload": {"qubits": 8, "two_qubit_gates": 4}}`), &e1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(`{"workload": {"qubits": 8, "two_qubit_gates": 4}, "backend": "shuttle"}`), &e2); err != nil {
+		t.Fatal(err)
+	}
+	if e1.normalize().key() == e2.normalize().key() {
+		t.Errorf("evaluate: weak-link and shuttle requests must never share a flight")
+	}
+	var x1, x2 ExploreRequest
+	if err := json.Unmarshal([]byte(`{"spec": {"qubits": 8, "two_qubit_gates": 4}}`), &x1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(`{"spec": {"qubits": 8, "two_qubit_gates": 4}, "backends": ["weaklink", "shuttle"]}`), &x2); err != nil {
+		t.Fatal(err)
+	}
+	if x1.normalize().key() == x2.normalize().key() {
+		t.Errorf("explore: backend axes must key separately")
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"velociti/internal/core"
 	"velociti/internal/dse"
 	"velociti/internal/perf"
+	"velociti/internal/shuttle"
 	"velociti/internal/ti"
 	"velociti/internal/verr"
 	"velociti/internal/workload"
@@ -94,7 +95,27 @@ func (r EvaluateRequest) normalize() EvaluateRequest {
 	if r.Seed == 0 {
 		r.Seed = 1
 	}
+	r.Backend, r.Shuttle = normalizeBackend(r.Backend, r.Shuttle)
 	return r
+}
+
+// normalizeBackend canonicalizes a (backend name, shuttle params) pair: the
+// empty name becomes the explicit weak-link default, and a shuttle
+// selection with no configured costs gets shuttle.Default() spelled out.
+// Backend participates in coalescing keys through the normalized request,
+// so weak-link and shuttle requests can never share a flight, while
+// implicit and explicit defaults always do. A shuttle block present under
+// the weak-link backend is kept (it is still validated, and keeping it
+// keys conservatively).
+func normalizeBackend(name string, p *shuttle.Params) (string, *shuttle.Params) {
+	if name == "" {
+		name = perf.WeakLink{}.Name()
+	}
+	if name == "shuttle" && p == nil {
+		def := shuttle.Default()
+		p = &def
+	}
+	return name, p
 }
 
 // key is the canonical coalescing key: the normalized request minus the
@@ -117,6 +138,11 @@ type SweepRequest struct {
 	Placers      []string  `json:"placers,omitempty"`
 	// Topology is ring (default) or line.
 	Topology string `json:"topology,omitempty"`
+	// Backend names the timing backend shared by every cell: "weaklink"
+	// (default) or "shuttle". Shuttle prices the transport primitives;
+	// nil selects shuttle.Default().
+	Backend string          `json:"backend,omitempty"`
+	Shuttle *shuttle.Params `json:"shuttle,omitempty"`
 	// Runs per cell (default 35) and the master seed (default 1).
 	Runs int   `json:"runs,omitempty"`
 	Seed int64 `json:"seed,omitempty"`
@@ -136,6 +162,7 @@ func (r SweepRequest) normalize() SweepRequest {
 	if r.Topology == "" {
 		r.Topology = ti.Ring.String()
 	}
+	r.Backend, r.Shuttle = normalizeBackend(r.Backend, r.Shuttle)
 	if r.Runs == 0 {
 		r.Runs = core.DefaultRuns
 	}
@@ -162,6 +189,19 @@ func (r SweepRequest) grid(workers int, pipeline *core.Pipeline) (core.Grid, err
 	if err != nil {
 		return core.Grid{}, err
 	}
+	if r.Shuttle != nil {
+		if err := r.Shuttle.Validate(); err != nil {
+			return core.Grid{}, err
+		}
+	}
+	sp := shuttle.Default()
+	if r.Shuttle != nil {
+		sp = *r.Shuttle
+	}
+	backend, err := shuttle.ByName(r.Backend, sp)
+	if err != nil {
+		return core.Grid{}, err
+	}
 	return core.Grid{
 		Specs:        specs,
 		ChainLengths: r.ChainLengths,
@@ -172,6 +212,7 @@ func (r SweepRequest) grid(workers int, pipeline *core.Pipeline) (core.Grid, err
 		Seed:         r.Seed,
 		Workers:      workers,
 		Pipeline:     pipeline,
+		Backend:      backend,
 	}, nil
 }
 
@@ -188,6 +229,11 @@ type ExploreRequest struct {
 	ChainLengths []int     `json:"chain_lengths,omitempty"`
 	Alphas       []float64 `json:"alphas,omitempty"`
 	Placers      []string  `json:"placers,omitempty"`
+	// Backends names the timing-backend axis ("weaklink", "shuttle");
+	// empty selects {"weaklink"}. Shuttle prices the shuttle backend's
+	// transport primitives; nil selects shuttle.Default().
+	Backends []string        `json:"backends,omitempty"`
+	Shuttle  *shuttle.Params `json:"shuttle,omitempty"`
 	// Runs per configuration (default 10) and the master seed.
 	Runs int   `json:"runs,omitempty"`
 	Seed int64 `json:"seed,omitempty"`
@@ -203,6 +249,16 @@ func (r ExploreRequest) normalize() ExploreRequest {
 	}
 	if len(r.Placers) == 0 {
 		r.Placers = []string{"random", "load-balanced"}
+	}
+	if len(r.Backends) == 0 {
+		r.Backends = []string{perf.WeakLink{}.Name()}
+	}
+	for _, name := range r.Backends {
+		if name == "shuttle" && r.Shuttle == nil {
+			def := shuttle.Default()
+			r.Shuttle = &def
+			break
+		}
 	}
 	if r.Runs == 0 {
 		r.Runs = 10
@@ -223,6 +279,8 @@ func (r ExploreRequest) request(workers int) dse.Request {
 		ChainLengths: r.ChainLengths,
 		Alphas:       r.Alphas,
 		Placers:      r.Placers,
+		Backends:     r.Backends,
+		Shuttle:      r.Shuttle,
 		Runs:         r.Runs,
 		Seed:         r.Seed,
 		Workers:      workers,

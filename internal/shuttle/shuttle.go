@@ -23,6 +23,7 @@ import (
 	"velociti/internal/circuit"
 	"velociti/internal/perf"
 	"velociti/internal/ti"
+	"velociti/internal/verr"
 )
 
 // Params prices the primitive shuttling operations, in µs.
@@ -48,7 +49,10 @@ func Default() Params {
 	}
 }
 
-// Validate reports an error for negative costs.
+// Validate reports a typed input error (verr) for negative or NaN costs.
+// Config loading and the serve layer call it at the input boundary, so a
+// bad cost in a params file or request body surfaces as an "invalid
+// input" diagnostic rather than a computed garbage result.
 func (p Params) Validate() error {
 	for _, f := range []struct {
 		name string
@@ -59,8 +63,8 @@ func (p Params) Validate() error {
 		{"move per hop", p.MovePerHopMicros},
 		{"recool", p.RecoolMicros},
 	} {
-		if f.v < 0 {
-			return fmt.Errorf("shuttle: %s cost must be non-negative, got %g", f.name, f.v)
+		if !(f.v >= 0) {
+			return verr.Inputf("shuttle: %s cost must be a non-negative number, got %g", f.name, f.v)
 		}
 	}
 	return nil
@@ -78,13 +82,19 @@ func (p Params) CrossChainOverhead(hops int) float64 {
 
 // GateLatency prices gate g under layout l: 1-qubit gates cost δ,
 // intra-chain 2-qubit gates cost γ, and cross-chain gates cost the
-// transport overhead plus a local γ gate.
-func (p Params) GateLatency(g circuit.Gate, l *ti.Layout, lat perf.Latencies) float64 {
+// transport overhead plus a local γ gate. A cross-chain gate whose
+// operand chains are disconnected is an impossible gate for this device
+// and returns a typed input error — an earlier revision silently priced
+// it with a fabricated finite hop count.
+func (p Params) GateLatency(g circuit.Gate, l *ti.Layout, lat perf.Latencies) (float64, error) {
 	if !g.IsTwoQubit() {
-		return lat.OneQubit
+		return lat.OneQubit, nil
 	}
-	hops := l.Hops(g.Qubits[0], g.Qubits[1])
-	return p.CrossChainOverhead(hops) + lat.TwoQubit
+	hops, err := l.PathHops(g.Qubits[0], g.Qubits[1])
+	if err != nil {
+		return 0, err
+	}
+	return p.CrossChainOverhead(hops) + lat.TwoQubit, nil
 }
 
 // Result compares the weak-link and shuttling mechanisms on one placed
@@ -118,22 +128,39 @@ func Compare(c *circuit.Circuit, l *ti.Layout, lat perf.Latencies, p Params) (Re
 	if c.NumQubits() > l.NumQubits() {
 		return Result{}, fmt.Errorf("shuttle: circuit has %d qubits but layout places only %d", c.NumQubits(), l.NumQubits())
 	}
+	// Per-gate shuttle latencies are priced once up front so a
+	// disconnected operand pair surfaces as an input error instead of
+	// being silently folded into a timing sum.
+	gates := c.Gates()
+	shuttleLat := make([]float64, len(gates))
+	for i := range gates {
+		v, err := p.GateLatency(gates[i], l, lat)
+		if err != nil {
+			return Result{}, err
+		}
+		shuttleLat[gates[i].ID] = v
+	}
+	byID := func(g circuit.Gate) float64 { return shuttleLat[g.ID] }
 	res := Result{
-		WeakLinkMicros: perf.ParallelTime(c, l, lat),
-		ShuttleMicros: perf.ParallelTimeFunc(c, func(g circuit.Gate) float64 {
-			return p.GateLatency(g, l, lat)
-		}),
-		ShuttleSerialMicros: perf.SerialTimeFunc(c, func(g circuit.Gate) float64 {
-			return p.GateLatency(g, l, lat)
-		}),
-		CrossGates: perf.WeakGates(c, l),
+		WeakLinkMicros:      perf.ParallelTime(c, l, lat),
+		ShuttleMicros:       perf.ParallelTimeFunc(c, byID),
+		ShuttleSerialMicros: perf.SerialTimeFunc(c, byID),
+		CrossGates:          perf.WeakGates(c, l),
 	}
 	return res, nil
 }
 
 // BreakEvenAlpha returns the weak-link penalty α at which a single-hop
 // cross-chain gate costs the same under both mechanisms:
-// α·γ = overhead(1) + γ. Above this α, shuttling wins on adjacent chains.
-func (p Params) BreakEvenAlpha(lat perf.Latencies) float64 {
-	return (p.CrossChainOverhead(1) + lat.TwoQubit) / lat.TwoQubit
+// α·γ = overhead(1) + γ. Above this α, shuttling wins on adjacent
+// chains. The latencies are validated first: an earlier revision divided
+// by γ unchecked and returned ±Inf/NaN for γ ≤ 0.
+func (p Params) BreakEvenAlpha(lat perf.Latencies) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if err := lat.Validate(); err != nil {
+		return 0, err
+	}
+	return (p.CrossChainOverhead(1) + lat.TwoQubit) / lat.TwoQubit, nil
 }

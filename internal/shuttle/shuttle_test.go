@@ -66,15 +66,15 @@ func TestGateLatencyClasses(t *testing.T) {
 	oneQ := c.H(0)
 	intra := c.CX(0, 1)
 	cross := c.CX(3, 4)
-	if got := p.GateLatency(c.Gate(oneQ), l, lat); got != 1 {
-		t.Errorf("1q = %v", got)
+	if got, err := p.GateLatency(c.Gate(oneQ), l, lat); err != nil || got != 1 {
+		t.Errorf("1q = %v, %v", got, err)
 	}
-	if got := p.GateLatency(c.Gate(intra), l, lat); got != 100 {
-		t.Errorf("intra = %v", got)
+	if got, err := p.GateLatency(c.Gate(intra), l, lat); err != nil || got != 100 {
+		t.Errorf("intra = %v, %v", got, err)
 	}
 	want := 80 + 10 + 80 + 100 + 100 // split+move+merge+recool+gate
-	if got := p.GateLatency(c.Gate(cross), l, lat); got != float64(want) {
-		t.Errorf("cross = %v, want %d", got, want)
+	if got, err := p.GateLatency(c.Gate(cross), l, lat); err != nil || got != float64(want) {
+		t.Errorf("cross = %v (%v), want %d", got, err, want)
 	}
 }
 
@@ -119,14 +119,18 @@ func TestBreakEvenAlpha(t *testing.T) {
 	p := Default()
 	lat := perf.DefaultLatencies()
 	// overhead(1) = 270, so break-even α = (270+100)/100 = 3.7.
-	if got := p.BreakEvenAlpha(lat); math.Abs(got-3.7) > 1e-12 {
+	got, err := p.BreakEvenAlpha(lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-3.7) > 1e-12 {
 		t.Fatalf("break-even α = %v, want 3.7", got)
 	}
 	// At exactly break-even the two mechanisms tie on a 1-hop gate.
 	l := layout(t, 4, 2)
 	c := circuit.New("t", 4)
 	c.CX(1, 2)
-	lat.WeakPenalty = p.BreakEvenAlpha(lat)
+	lat.WeakPenalty = got
 	res, err := Compare(c, l, lat, p)
 	if err != nil {
 		t.Fatal(err)

@@ -32,6 +32,18 @@ const (
 	Ring Topology = iota
 	// Line joins chain i to chain i+1 only, giving c−1 weak links.
 	Line
+	// Tape is the linear-tape arrangement of the TILT architecture: the
+	// chains sit along one physical tape and chain i connects to chain
+	// i+1 only, giving c−1 inter-chain segments. The link structure
+	// equals Line; the distinct name exists because the tape is the
+	// natural geometry for the shuttle timing backend — a cross-chain
+	// interaction between chains i and j must traverse every segment in
+	// between, and hop counts grow linearly instead of wrapping around.
+	Tape
+	// Custom marks a device built from an explicit weak-link list
+	// (NewDeviceLinks) rather than a named arrangement. It is not
+	// parseable from configuration.
+	Custom
 )
 
 // String returns the topology name.
@@ -41,20 +53,26 @@ func (t Topology) String() string {
 		return "ring"
 	case Line:
 		return "line"
+	case Tape:
+		return "tape"
+	case Custom:
+		return "custom"
 	default:
 		return fmt.Sprintf("topology(%d)", int(t))
 	}
 }
 
-// ParseTopology converts a name ("ring" or "line") to a Topology.
+// ParseTopology converts a name ("ring", "line", or "tape") to a Topology.
 func ParseTopology(s string) (Topology, error) {
 	switch s {
 	case "ring":
 		return Ring, nil
 	case "line":
 		return Line, nil
+	case "tape":
+		return Tape, nil
 	default:
-		return 0, verr.Inputf("ti: unknown topology %q (want \"ring\" or \"line\")", s)
+		return 0, verr.Inputf("ti: unknown topology %q (want \"ring\", \"line\", or \"tape\")", s)
 	}
 }
 
@@ -112,11 +130,42 @@ func NewDevice(chainLength, numChains int, topo Topology) (*Device, error) {
 	if numChains <= 0 {
 		return nil, verr.Inputf("ti: number of chains must be positive, got %d", numChains)
 	}
-	if topo != Ring && topo != Line {
+	if topo != Ring && topo != Line && topo != Tape {
 		return nil, verr.Inputf("ti: invalid topology %d", topo)
 	}
 	d := &Device{chainLength: chainLength, numChains: numChains, topology: topo}
 	d.links = buildLinks(numChains, topo)
+	return d, nil
+}
+
+// NewDeviceLinks constructs a device from an explicit weak-link list
+// instead of a named topology — the hook for modeling irregular QCCD
+// interconnects. Link IDs are renumbered 0..len(links)-1 in input order;
+// every port must name a valid chain. Unlike the named topologies the
+// link set is allowed to leave chain groups disconnected; consumers that
+// need a transport path between every chain pair (the shuttle timing
+// backend) surface that as an input error at pricing time.
+func NewDeviceLinks(chainLength, numChains int, links []WeakLink) (*Device, error) {
+	if chainLength <= 0 {
+		return nil, verr.Inputf("ti: chain length must be positive, got %d", chainLength)
+	}
+	if numChains <= 0 {
+		return nil, verr.Inputf("ti: number of chains must be positive, got %d", numChains)
+	}
+	d := &Device{chainLength: chainLength, numChains: numChains, topology: Custom}
+	d.links = make([]WeakLink, len(links))
+	for i, l := range links {
+		for _, p := range [2]Port{l.A, l.B} {
+			if p.Chain < 0 || p.Chain >= numChains {
+				return nil, verr.Inputf("ti: weak link %d names chain %d, out of range [0,%d)", i, p.Chain, numChains)
+			}
+			if p.Side != Left && p.Side != Right {
+				return nil, verr.Inputf("ti: weak link %d has invalid side %d", i, p.Side)
+			}
+		}
+		l.ID = i
+		d.links[i] = l
+	}
 	return d, nil
 }
 
@@ -139,7 +188,7 @@ func buildLinks(c int, topo Topology) []WeakLink {
 	switch {
 	case c == 1:
 		// A single chain has no weak links.
-	case topo == Line:
+	case topo == Line || topo == Tape:
 		for i := 0; i+1 < c; i++ {
 			links = append(links, WeakLink{
 				ID: i,

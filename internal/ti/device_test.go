@@ -245,3 +245,76 @@ func TestPathLinksRingTakesShortSide(t *testing.T) {
 		}
 	}
 }
+
+func TestTapeTopology(t *testing.T) {
+	// A linear tape has the Line's link structure: c−1 links, no
+	// wraparound — but names the ion-transport interconnect.
+	d := mustDevice(t, 4, 5, Tape)
+	if got := d.MaxWeakLinks(); got != 4 {
+		t.Errorf("tape links = %d, want 4", got)
+	}
+	if d.String() == "" || d.Topology().String() != "tape" {
+		t.Errorf("tape String = %q", d.Topology().String())
+	}
+	// Hop counts are the defining difference from the ring: the tape has
+	// no short way around, so end-to-end distance is c−1, not 1.
+	ring := mustDevice(t, 4, 5, Ring)
+	if got := d.ChainDistance(0, 4); got != 4 {
+		t.Errorf("tape end-to-end distance = %d, want 4", got)
+	}
+	if got := ring.ChainDistance(0, 4); got != 1 {
+		t.Errorf("ring wraparound distance = %d, want 1", got)
+	}
+	if got := len(d.PathLinks(0, 4)); got != 4 {
+		t.Errorf("tape end-to-end path = %d links, want 4", got)
+	}
+	if got := len(ring.PathLinks(0, 4)); got != 1 {
+		t.Errorf("ring end-to-end path = %d links, want 1", got)
+	}
+}
+
+func TestParseTopologyTape(t *testing.T) {
+	topo, err := ParseTopology("tape")
+	if err != nil || topo != Tape {
+		t.Fatalf("ParseTopology(tape) = %v, %v", topo, err)
+	}
+	// "custom" is a constructor-only topology, not a parseable name.
+	if _, err := ParseTopology("custom"); err == nil {
+		t.Fatal("custom should not parse")
+	}
+}
+
+func TestNewDeviceLinksValidation(t *testing.T) {
+	if _, err := NewDeviceLinks(0, 2, nil); err == nil {
+		t.Error("zero chain length should fail")
+	}
+	if _, err := NewDeviceLinks(4, 0, nil); err == nil {
+		t.Error("zero chains should fail")
+	}
+	if _, err := NewDeviceLinks(4, 2, []WeakLink{
+		{A: Port{Chain: 5, Side: Right}, B: Port{Chain: 1, Side: Left}},
+	}); err == nil {
+		t.Error("out-of-range chain should fail")
+	}
+	if _, err := NewDeviceLinks(4, 2, []WeakLink{
+		{A: Port{Chain: 0, Side: 7}, B: Port{Chain: 1, Side: Left}},
+	}); err == nil {
+		t.Error("invalid side should fail")
+	}
+	d, err := NewDeviceLinks(4, 3, []WeakLink{
+		{ID: 99, A: Port{Chain: 0, Side: Right}, B: Port{Chain: 1, Side: Left}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Topology() != Custom {
+		t.Errorf("topology = %v, want Custom", d.Topology())
+	}
+	if d.WeakLinks()[0].ID != 0 {
+		t.Errorf("link ID should be renumbered in input order, got %d", d.WeakLinks()[0].ID)
+	}
+	// Disconnected chain pairs are permitted and report distance −1.
+	if got := d.ChainDistance(0, 2); got != -1 {
+		t.Errorf("disconnected distance = %d, want -1", got)
+	}
+}

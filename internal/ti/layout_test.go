@@ -256,3 +256,29 @@ func TestLayoutPanicsOnBadQubit(t *testing.T) {
 	}()
 	l.ChainOf(5)
 }
+
+func TestHopsDisconnected(t *testing.T) {
+	// Chains {0,1} linked, chain 2 isolated: Hops must report the
+	// disconnect as −1, never a fabricated finite cost (an earlier
+	// revision returned NumChains() here, silently under-pricing
+	// impossible transports).
+	d, err := NewDeviceLinks(2, 3, []WeakLink{
+		{A: Port{Chain: 0, Side: Right}, B: Port{Chain: 1, Side: Left}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := mustLayout(t, d, [][]int{{0, 1}, {2, 3}, {4, 5}})
+	if got := l.Hops(0, 2); got != 1 {
+		t.Errorf("connected hops = %d, want 1", got)
+	}
+	if got := l.Hops(0, 4); got != -1 {
+		t.Errorf("disconnected hops = %d, want -1", got)
+	}
+	if _, err := l.PathHops(0, 2); err != nil {
+		t.Errorf("connected PathHops: %v", err)
+	}
+	if _, err := l.PathHops(0, 4); err == nil {
+		t.Error("disconnected PathHops should fail")
+	}
+}
