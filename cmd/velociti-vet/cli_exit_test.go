@@ -141,6 +141,90 @@ func F(p string) {
 	}
 }
 
+// TestOutputFormatsGolden pins both renderings byte-for-byte: the text
+// format scripts parse and the GitHub annotation format PR checks
+// render inline.
+func TestOutputFormatsGolden(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module scratch\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "internal", "m", "m.go"), `package m
+
+import "os"
+
+func F(p string) {
+	os.Remove(p)
+}
+`)
+	const msg = "error result of os.Remove is dropped; handle it (or assign and check it)"
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{
+			name: "text",
+			args: []string{"./..."},
+			want: "internal/m/m.go:6:2: [errcheck-lite] " + msg + "\n" +
+				"velociti-vet: 1 finding(s)\n",
+		},
+		{
+			name: "github",
+			args: []string{"-format", "github", "./..."},
+			want: "::error file=internal/m/m.go,line=6,col=2::[errcheck-lite] " + msg + "\n" +
+				"velociti-vet: 1 finding(s)\n",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, stdout, stderr := execMain(t, dir, tc.args...)
+			if code != 2 {
+				t.Fatalf("exit code = %d, want 2 (stderr: %q)", code, stderr)
+			}
+			if stdout != tc.want {
+				t.Errorf("stdout golden mismatch:\ngot:\n%s\nwant:\n%s", stdout, tc.want)
+			}
+		})
+	}
+}
+
+func TestUnknownFormatIsInvalidInput(t *testing.T) {
+	code, _, stderr := execMain(t, moduleRoot(t), "-format", "xml", "./...")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %q)", code, stderr)
+	}
+	if !strings.Contains(stderr, `unknown -format "xml"`) {
+		t.Errorf("stderr = %q, want it to name the bad format", stderr)
+	}
+}
+
+// TestKeyCoverGateBlocksThroughCLI proves the PR-7 regression shape
+// fails the real gate end to end: a Keyer struct with a field its
+// CacheKey never reads exits 2 with a keycover finding.
+func TestKeyCoverGateBlocksThroughCLI(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module scratch\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "internal", "k", "k.go"), `package k
+
+import "strconv"
+
+type BindKey struct {
+	Alpha   float64
+	Backend string
+}
+
+func (k BindKey) CacheKey() string {
+	return strconv.FormatFloat(k.Alpha, 'g', -1, 64)
+}
+`)
+	code, stdout, stderr := execMain(t, dir, "./...")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "[keycover] field Backend of BindKey is not read by CacheKey") {
+		t.Errorf("stdout missing the keycover finding:\n%s", stdout)
+	}
+}
+
 func TestBrokenTreeIsInvalidInput(t *testing.T) {
 	dir := t.TempDir()
 	writeFile(t, filepath.Join(dir, "go.mod"), "module scratch\n\ngo 1.22\n")

@@ -1,17 +1,21 @@
 // Command velociti-vet is the repository's contract checker: it loads
 // every package in the module with the stdlib toolchain, type-checks
-// it, and runs the four static contract passes from internal/analysis
-// (panicguard, errcheck-lite, determinism, floatsum) that enforce the
-// invariants DESIGN.md §"Static contracts" documents.
+// it, and runs the seven static contract passes from internal/analysis
+// (panicguard, errcheck-lite, determinism, floatsum, keycover, ctxflow,
+// lockguard) that enforce the invariants DESIGN.md §"Static contracts"
+// documents. The summary-based passes always reason over whole-module
+// call graphs, even when a package subset is selected.
 //
 //	velociti-vet ./...                        # whole module (CI gate)
 //	velociti-vet ./internal/perf ./internal/pool
+//	velociti-vet -format github ./...         # PR annotation lines
 //	velociti-vet -allowlist analysis/panic_allowlist.txt ./...
 //
 // Exit status follows the repo-wide CLI contract: 0 clean, 1 invalid
 // input or usage (one-line "velociti-vet: invalid input: ..."
 // diagnostic), 2 findings (one "file:line:col: [pass] message" line
-// each, deterministically ordered).
+// each — or one "::error file=..." GitHub annotation under
+// -format github — deterministically ordered).
 package main
 
 import (
@@ -50,8 +54,12 @@ func run(args []string, out io.Writer) (int, error) {
 	fs := flag.NewFlagSet("velociti-vet", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
 	allowPath := fs.String("allowlist", "", "panic allowlist file (default "+defaultAllowlist+" at the module root, if present)")
+	format := fs.String("format", "text", `output format: "text" (file:line:col lines) or "github" (::error annotations)`)
 	if err := fs.Parse(args); err != nil {
-		return 0, verr.Inputf("%w (usage: velociti-vet [-allowlist file] [packages])", err)
+		return 0, verr.Inputf("%w (usage: velociti-vet [-allowlist file] [-format text|github] [packages])", err)
+	}
+	if *format != "text" && *format != "github" {
+		return 0, verr.Inputf("unknown -format %q (want text or github)", *format)
 	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
@@ -89,12 +97,20 @@ func run(args []string, out io.Writer) (int, error) {
 	// legitimately leaves entries for unselected packages unmatched.
 	complete := len(pkgs) == len(mod.Packages)
 	runner := analysis.NewDefaultRunner(mod.Path, root, allowlist, complete)
+	// The engine-backed passes reason over the whole module regardless
+	// of the selection, so a hot-path subset run sees the same call
+	// graph as the CI gate.
+	runner.Module = mod.Packages
 	diags := runner.Run(pkgs)
 	if len(diags) == 0 {
 		return 0, nil
 	}
 	for _, d := range diags {
-		fmt.Fprintln(out, d.String(root))
+		if *format == "github" {
+			fmt.Fprintln(out, d.GitHub(root))
+		} else {
+			fmt.Fprintln(out, d.String(root))
+		}
 	}
 	fmt.Fprintf(out, "velociti-vet: %d finding(s)\n", len(diags))
 	return 2, nil

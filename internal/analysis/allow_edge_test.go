@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The //vet:allow grammar edge cases: comma lists spanning passes,
+// same-line vs line-above placement, and the malformed shapes that must
+// themselves become findings.
+
+// twoPassSrc trips errcheck-lite and determinism on the same line.
+const twoPassHeader = `package edge
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+)
+
+// Referencing the helpers keeps the imports used in bodies that only
+// exercise one pass.
+var (
+	_ = rand.Int
+	_ = strconv.Itoa
+)
+
+func F(p string) {
+`
+
+func runTwoPasses(t *testing.T, body string) []Diagnostic {
+	t.Helper()
+	pkg := loadSrc(t, "edge", twoPassHeader+body+"\n}\n")
+	runner := &Runner{Passes: []Pass{&ErrCheck{}, &Determinism{}}}
+	return runner.Run([]*Package{pkg})
+}
+
+func TestVetAllowCommaListSuppressesEveryNamedPass(t *testing.T) {
+	diags := runTwoPasses(t, `	//vet:allow errcheck-lite,determinism -- fixture: both findings justified
+	os.Remove(strconv.Itoa(rand.Int()))`)
+	if len(diags) != 0 {
+		t.Fatalf("comma list must silence both passes, got:\n%s", render(diags))
+	}
+}
+
+func TestVetAllowSuppressesOnlyNamedPasses(t *testing.T) {
+	diags := runTwoPasses(t, `	//vet:allow errcheck-lite -- fixture: only the drop is justified
+	os.Remove(strconv.Itoa(rand.Int()))`)
+	if len(diags) != 1 || diags[0].Pass != "determinism" {
+		t.Fatalf("want the determinism finding to survive, got:\n%s", render(diags))
+	}
+}
+
+func TestVetAllowOnDeclarationLineAndLineAbove(t *testing.T) {
+	// Same line, trailing the statement.
+	diags := runTwoPasses(t, `	os.Remove(p) //vet:allow errcheck-lite -- fixture: same-line marker`)
+	if len(diags) != 0 {
+		t.Fatalf("same-line marker must suppress, got:\n%s", render(diags))
+	}
+	// Line directly above.
+	diags = runTwoPasses(t, `	//vet:allow errcheck-lite -- fixture: line-above marker
+	os.Remove(p)`)
+	if len(diags) != 0 {
+		t.Fatalf("line-above marker must suppress, got:\n%s", render(diags))
+	}
+	// Two lines above is out of range: the finding survives.
+	diags = runTwoPasses(t, `	//vet:allow errcheck-lite -- fixture: too far away
+
+	os.Remove(p)`)
+	if len(diags) != 1 {
+		t.Fatalf("marker two lines above must not suppress, got:\n%s", render(diags))
+	}
+}
+
+func TestVetAllowMalformedShapesAreFindings(t *testing.T) {
+	cases := []struct {
+		name   string
+		marker string
+	}{
+		{"missing reason", `//vet:allow errcheck-lite`},
+		{"empty reason", `//vet:allow errcheck-lite -- `},
+		{"trailing comma", `//vet:allow errcheck-lite, -- reason`},
+		{"uppercase pass name", `//vet:allow ErrCheck -- reason`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			diags := runTwoPasses(t, "\t"+c.marker+"\n\tos.Remove(p)")
+			var sawMalformed, sawDrop bool
+			for _, d := range diags {
+				if d.Pass == "vet" && strings.Contains(d.Message, "malformed //vet:allow") {
+					sawMalformed = true
+				}
+				if d.Pass == "errcheck-lite" {
+					sawDrop = true
+				}
+			}
+			if !sawMalformed {
+				t.Errorf("marker %q: missing malformed finding:\n%s", c.marker, render(diags))
+			}
+			if !sawDrop {
+				t.Errorf("marker %q must not suppress the finding:\n%s", c.marker, render(diags))
+			}
+		})
+	}
+}
+
+// TestOrderingStableAcrossRepeatedModuleLoads re-loads the fixture
+// packages from disk (fresh Fset, fresh type-checker, fresh engine) and
+// demands byte-identical diagnostic output — the property CI diffs and
+// golden tests rest on. Map-keyed internals (summaries, suppression
+// tables) must never leak iteration order into results.
+func TestOrderingStableAcrossRepeatedModuleLoads(t *testing.T) {
+	load := func() string {
+		var pkgs []*Package
+		for _, name := range []string{"ctxflowfix", "keycoverfix", "lockguardfix"} {
+			pkg, err := LoadDir(filepath.Join("testdata", "src", name), name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkgs = append(pkgs, pkg)
+		}
+		runner := &Runner{Passes: []Pass{&KeyCover{}, &CtxFlow{}, &LockGuard{}}}
+		var sb strings.Builder
+		for _, d := range runner.Run(pkgs) {
+			// Strip the TempDir-independent absolute prefix down to the
+			// base name so runs compare content, not allocation order of
+			// identical paths.
+			sb.WriteString(filepath.Base(d.Pos.Filename) + ": " + d.Pass + ": " + d.Message + "\n")
+		}
+		return sb.String()
+	}
+	first := load()
+	if first == "" {
+		t.Fatal("fixtures produced no findings; the comparison is vacuous")
+	}
+	for i := 0; i < 3; i++ {
+		if got := load(); got != first {
+			t.Fatalf("load %d produced different output:\n%s\nvs\n%s", i+1, got, first)
+		}
+	}
+}

@@ -31,6 +31,31 @@ func (d Diagnostic) String(base string) string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", filepath.ToSlash(name), d.Pos.Line, d.Pos.Column, d.Pass, d.Message)
 }
 
+// GitHub renders the finding as a GitHub Actions workflow annotation
+// (::error file=...,line=...,col=...::message) so it shows inline on the
+// PR diff. The message body carries the same "[pass] message" text as
+// String; data characters %, CR, and LF are escaped per the workflow
+// command grammar.
+func (d Diagnostic) GitHub(base string) string {
+	name := d.Pos.Filename
+	if base != "" {
+		if rel, err := filepath.Rel(base, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+	}
+	msg := fmt.Sprintf("[%s] %s", d.Pass, d.Message)
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d::%s",
+		githubEscape(filepath.ToSlash(name)), d.Pos.Line, d.Pos.Column, githubEscape(msg))
+}
+
+// githubEscape applies the workflow-command data escaping rules.
+func githubEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
 // SortDiagnostics orders findings by file, line, column, pass, message.
 func SortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
@@ -63,17 +88,45 @@ type Finisher interface {
 	Finish() []Diagnostic
 }
 
+// EnginePass is implemented by passes that need the interprocedural
+// engine (call graph + summaries). The Runner builds one engine per Run
+// and hands it to every such pass before visiting packages.
+type EnginePass interface {
+	Pass
+	SetEngine(*Engine)
+}
+
 // Runner applies a set of passes to a set of packages, honors
 // //vet:allow suppressions, and returns the sorted findings.
 type Runner struct {
 	Passes []Pass
 	// Scope, when non-nil, reports whether a pass applies to a package.
 	Scope func(pass Pass, pkg *Package) bool
+	// Module, when non-nil, is the full module package list used to
+	// build the interprocedural engine, so engine-backed passes see
+	// whole-module summaries even when Run receives a subset. Nil means
+	// the engine is built from the packages passed to Run.
+	Module []*Package
 }
 
 // Run executes every in-scope pass over every package.
 func (r *Runner) Run(pkgs []*Package) []Diagnostic {
 	var diags []Diagnostic
+	var engine *Engine
+	for _, pass := range r.Passes {
+		ep, ok := pass.(EnginePass)
+		if !ok {
+			continue
+		}
+		if engine == nil {
+			modPkgs := r.Module
+			if modPkgs == nil {
+				modPkgs = pkgs
+			}
+			engine = NewEngine(modPkgs)
+		}
+		ep.SetEngine(engine)
+	}
 	for _, pkg := range pkgs {
 		sup, malformed := suppressions(pkg)
 		diags = append(diags, malformed...)

@@ -1,0 +1,195 @@
+package analysis
+
+// The interprocedural engine: a deterministic call graph over every
+// function declared in the loaded module, with per-function summaries
+// (summary.go) and derived facts — transitive blocking, cache-key field
+// coverage, context-variant lookup. Built once per Runner.Run and shared
+// by every EnginePass, so module-wide reasoning costs one extra AST walk
+// rather than one per pass per query.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Engine holds the module-wide call graph and summaries.
+type Engine struct {
+	// funcs lists every summarized function in deterministic order:
+	// packages sorted by import path (the loader's order), files and
+	// declarations in source order within each package.
+	funcs     []*types.Func
+	summaries map[*types.Func]*FuncSummary
+}
+
+// NewEngine builds summaries for every function declaration in pkgs and
+// runs the blocking fixpoint. pkgs should be the full module (the
+// loader's sorted order makes the result deterministic); a subset
+// degrades gracefully — callees outside the subset are treated like
+// external functions.
+func NewEngine(pkgs []*Package) *Engine {
+	e := &Engine{summaries: map[*types.Func]*FuncSummary{}}
+
+	// Phase 1: collect declarations so isModuleFunc is total before any
+	// summary is built.
+	type declSite struct {
+		pkg  *Package
+		decl *ast.FuncDecl
+		fn   *types.Func
+	}
+	var sites []declSite
+	inModule := map[*types.Func]bool{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				sites = append(sites, declSite{pkg, fd, fn})
+				inModule[fn] = true
+			}
+		}
+	}
+	isModuleFunc := func(f *types.Func) bool { return inModule[f] }
+
+	// Phase 2: summarize each body.
+	for _, site := range sites {
+		s := buildSummary(site.pkg, site.decl, site.fn, isModuleFunc)
+		e.funcs = append(e.funcs, site.fn)
+		e.summaries[site.fn] = s
+	}
+
+	// Phase 3: transitive blocking as an iterative fixpoint. A fixpoint
+	// (rather than memoized DFS) makes the result independent of visit
+	// order in the presence of call cycles.
+	for _, f := range e.funcs {
+		e.summaries[f].blocking = e.summaries[f].blocksDirect
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range e.funcs {
+			s := e.summaries[f]
+			if s.blocking {
+				continue
+			}
+			for _, callee := range s.Callees {
+				if cs := e.summaries[callee]; cs != nil && cs.blocking {
+					s.blocking = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return e
+}
+
+// Summary returns the summary for a module function, or nil for
+// functions declared outside the analyzed packages.
+func (e *Engine) Summary(f *types.Func) *FuncSummary {
+	return e.summaries[f]
+}
+
+// Blocking reports whether calling f can park the goroutine: for module
+// functions, the fixpoint answer; for external functions, membership in
+// the known-blocker table.
+func (e *Engine) Blocking(f *types.Func) bool {
+	if f == nil {
+		return false
+	}
+	if s := e.summaries[f]; s != nil {
+		return s.blocking
+	}
+	return blockingCallees[f.FullName()]
+}
+
+// ContextVariant returns the sibling of f named <Name>Context — same
+// package, same receiver type, taking a context.Context — when f itself
+// does not take one. This is the convenience-wrapper idiom the module
+// uses (Run → RunContext): the ctxflow pass flags calls to f from
+// context-holding functions when such a variant exists.
+func (e *Engine) ContextVariant(f *types.Func) *types.Func {
+	if f == nil || f.Pkg() == nil {
+		return nil
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || hasContextParam(sig) {
+		return nil
+	}
+	want := f.Name() + "Context"
+	for _, cand := range e.funcs {
+		if cand.Name() != want || cand.Pkg() != f.Pkg() {
+			continue
+		}
+		csig, ok := cand.Type().(*types.Signature)
+		if !ok || !hasContextParam(csig) {
+			continue
+		}
+		if recvNamed(sig) == recvNamed(csig) {
+			return cand
+		}
+	}
+	return nil
+}
+
+// recvNamed returns the named receiver type of a signature (pointer
+// receivers unwrapped), or nil for package-level functions.
+func recvNamed(sig *types.Signature) *types.Named {
+	recv := sig.Recv()
+	if recv == nil {
+		return nil
+	}
+	return namedStructOfAny(recv.Type())
+}
+
+// namedStructOfAny unwraps pointers to the named type without requiring
+// a struct underlying (receivers may be defined on any named type).
+func namedStructOfAny(t types.Type) *types.Named {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// Coverage walks the synchronous call closure of root and reports which
+// fields of the named struct recv the closure reads — the keycover
+// question "which fields does this CacheKey computation depend on?".
+// all is true when some function in the closure lets recv values escape
+// whole (passed to an interface parameter, an external callee, or a
+// function value): reflection or unseen code may then read every field.
+func (e *Engine) Coverage(root *types.Func, recv *types.Named) (covered map[*types.Var]bool, all bool) {
+	covered = map[*types.Var]bool{}
+	seen := map[*types.Func]bool{}
+	queue := []*types.Func{root}
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		if seen[f] {
+			continue
+		}
+		seen[f] = true
+		s := e.summaries[f]
+		if s == nil {
+			continue
+		}
+		if s.escapesNamed(recv) {
+			all = true
+		}
+		st, ok := recv.Underlying().(*types.Struct)
+		if ok {
+			for i := 0; i < st.NumFields(); i++ {
+				fv := st.Field(i)
+				if s.FieldsRead[fv] {
+					covered[fv] = true
+				}
+			}
+		}
+		queue = append(queue, s.Callees...)
+	}
+	return covered, all
+}

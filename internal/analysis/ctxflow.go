@@ -1,0 +1,143 @@
+package analysis
+
+// ctxflow enforces context propagation: once a function holds a
+// context.Context, cancellation must flow through it, not be severed
+// mid-call-chain. Two clauses:
+//
+//   - a function must not mint a fresh root via context.Background() or
+//     context.TODO(): with a context parameter in scope that severs the
+//     caller's deadline; without one it creates an uncancellable root.
+//     Roots are legitimate only in package main, in tests (which the
+//     loader never feeds to passes), in explicitly sanctioned roots
+//     (the serve listener's lifecycle context), and in the module's
+//     convenience-wrapper idiom — a body that is exactly
+//     `return <Name>Context(context.Background(), ...)`, the documented
+//     bridge for context-free callers;
+//
+//   - a function holding a context must not call the context-free
+//     convenience wrapper of an operation whose <Name>Context variant
+//     exists: that silently drops the deadline PR 4/6 threaded by hand.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+type CtxFlow struct {
+	engine *Engine
+	// AllowBackground lists sanctioned context roots as
+	// "pkgpath.FuncName" (e.g. "velociti/internal/serve.New"): the
+	// places a fresh lifecycle context is the design.
+	AllowBackground map[string]bool
+}
+
+func (*CtxFlow) Name() string { return "ctxflow" }
+
+// SetEngine satisfies EnginePass.
+func (c *CtxFlow) SetEngine(e *Engine) { c.engine = e }
+
+// Run applies both clauses to every function declared in pkg.
+func (c *CtxFlow) Run(pkg *Package) []Diagnostic {
+	if c.engine == nil || pkg.Types == nil {
+		return nil
+	}
+	if pkg.Types.Name() == "main" {
+		// Process entry points are where roots belong.
+		return nil
+	}
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			diags = append(diags, c.checkFunc(pkg, fd, fn)...)
+		}
+	}
+	return diags
+}
+
+func (c *CtxFlow) checkFunc(pkg *Package, fd *ast.FuncDecl, fn *types.Func) []Diagnostic {
+	s := c.engine.Summary(fn)
+	if s == nil {
+		return nil
+	}
+	sanctionedRoot := c.AllowBackground[pkg.Path+"."+fn.Name()]
+	isWrapper := isContextWrapper(pkg, fd)
+	var diags []Diagnostic
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := calleeFunc(pkg, call)
+		if f == nil {
+			return true
+		}
+		if pkgFunc(f, "context", "Background") || pkgFunc(f, "context", "TODO") {
+			switch {
+			case isWrapper, sanctionedRoot:
+			case s.TakesContext:
+				diags = append(diags, Diagnostic{
+					Pos:  pkg.Fset.Position(call.Pos()),
+					Pass: c.Name(),
+					Message: fmt.Sprintf("%s already has a context.Context parameter but mints a fresh root via context.%s; "+
+						"pass the parameter through so cancellation propagates", fn.Name(), f.Name()),
+				})
+			default:
+				diags = append(diags, Diagnostic{
+					Pos:  pkg.Fset.Position(call.Pos()),
+					Pass: c.Name(),
+					Message: fmt.Sprintf("context.%s outside main, tests, and sanctioned roots creates an uncancellable context; "+
+						"accept a context.Context parameter (or add a %sContext variant and make this the single-return wrapper)",
+						f.Name(), fn.Name()),
+				})
+			}
+			return true
+		}
+		if s.TakesContext {
+			if v := c.engine.ContextVariant(f); v != nil {
+				diags = append(diags, Diagnostic{
+					Pos:  pkg.Fset.Position(call.Pos()),
+					Pass: c.Name(),
+					Message: fmt.Sprintf("%s holds a context.Context but calls %s, which drops it; call %s and forward the context",
+						fn.Name(), f.Name(), v.Name()),
+				})
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// isContextWrapper reports whether fd is the sanctioned convenience
+// wrapper: a body consisting of exactly one statement — a return (or
+// bare call, for void functions) of <Name>Context(...) — so callers
+// without a context get the documented Background bridge and nothing
+// else.
+func isContextWrapper(pkg *Package, fd *ast.FuncDecl) bool {
+	if fd.Body == nil || len(fd.Body.List) != 1 {
+		return false
+	}
+	var call *ast.CallExpr
+	switch stmt := fd.Body.List[0].(type) {
+	case *ast.ReturnStmt:
+		if len(stmt.Results) != 1 {
+			return false
+		}
+		call, _ = ast.Unparen(stmt.Results[0]).(*ast.CallExpr)
+	case *ast.ExprStmt:
+		call, _ = ast.Unparen(stmt.X).(*ast.CallExpr)
+	}
+	if call == nil {
+		return false
+	}
+	f := calleeFunc(pkg, call)
+	return f != nil && f.Name() == fd.Name.Name+"Context"
+}

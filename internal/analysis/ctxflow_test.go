@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCtxFlowFixture(t *testing.T) {
+	checkFixture(t, loadFixture(t, "ctxflowfix"), &CtxFlow{})
+}
+
+func TestCtxFlowSanctionedRootIsExempt(t *testing.T) {
+	src := `package serveish
+
+import "context"
+
+type Server struct {
+	cancel context.CancelFunc
+}
+
+func New() *Server {
+	_, stop := context.WithCancel(context.Background())
+	return &Server{cancel: stop}
+}
+`
+	pkg := loadSrc(t, "serveish", src)
+
+	strict := &Runner{Passes: []Pass{&CtxFlow{}}}
+	if diags := strict.Run([]*Package{pkg}); len(diags) != 1 {
+		t.Fatalf("without an exemption the root must be flagged, got:\n%s", render(diags))
+	}
+
+	exempt := &Runner{Passes: []Pass{&CtxFlow{AllowBackground: map[string]bool{"serveish.New": true}}}}
+	if diags := exempt.Run([]*Package{pkg}); len(diags) != 0 {
+		t.Fatalf("sanctioned root still flagged:\n%s", render(diags))
+	}
+}
+
+func TestCtxFlowMainPackageIsExempt(t *testing.T) {
+	pkg := loadSrc(t, "mainprog", `package main
+
+import "context"
+
+func run() context.Context { return context.Background() }
+
+func main() { _ = run() }
+`)
+	runner := &Runner{Passes: []Pass{&CtxFlow{}}}
+	if diags := runner.Run([]*Package{pkg}); len(diags) != 0 {
+		t.Fatalf("package main must be exempt:\n%s", render(diags))
+	}
+}
+
+// TestCtxFlowWrapperBodyMustBeMinimal pins the wrapper idiom boundary:
+// a Background root next to other statements is not the sanctioned
+// single-return bridge.
+func TestCtxFlowWrapperBodyMustBeMinimal(t *testing.T) {
+	diags := runCtxFlow(t, `package cf
+
+import "context"
+
+func DoContext(ctx context.Context, n int) int { return n }
+
+func Do(n int) int {
+	n++
+	return DoContext(context.Background(), n)
+}
+`)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "uncancellable") {
+		t.Fatalf("non-minimal wrapper must be flagged, got:\n%s", render(diags))
+	}
+}
+
+func runCtxFlow(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	pkg := loadSrc(t, "cf", src)
+	runner := &Runner{Passes: []Pass{&CtxFlow{}}}
+	return runner.Run([]*Package{pkg})
+}

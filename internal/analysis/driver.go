@@ -18,15 +18,21 @@ func IsModelPackage(modPath, pkgPath string) bool {
 	return ok && modelPackages[rest]
 }
 
-// NewDefaultRunner assembles the four contract passes with the
+// NewDefaultRunner assembles the seven contract passes with the
 // production scoping policy:
 //
-//   - panicguard and floatsum run on every package;
-//   - errcheck-lite runs under internal/... and cmd/... (the facade and
-//     examples print freely);
+//   - panicguard, floatsum, keycover, and lockguard run on every
+//     package;
+//   - errcheck-lite and ctxflow run under internal/... and cmd/... (the
+//     facade and examples print freely and may root their own
+//     contexts);
 //   - determinism runs everywhere, but its randomness/clock/environment
 //     clauses bind only in the model packages — the map-iteration-order
 //     clause binds everywhere.
+//
+// The engine-backed passes (keycover, ctxflow, lockguard) reason over
+// whole-module summaries; callers selecting a package subset should set
+// Runner.Module so cross-package call chains stay visible.
 //
 // complete states that the caller will run the checker over every
 // package of the module; only then can an unused panic-allowlist entry
@@ -39,9 +45,17 @@ func NewDefaultRunner(modPath, moduleRoot string, allowlist *Allowlist, complete
 			&ErrCheck{},
 			&Determinism{ModelPackage: func(p string) bool { return IsModelPackage(modPath, p) }},
 			&FloatSum{},
+			&KeyCover{},
+			&CtxFlow{AllowBackground: map[string]bool{
+				// The serve listener's lifecycle context is the one
+				// sanctioned non-main root: the server IS the process
+				// boundary, and its context must outlive any request.
+				modPath + "/internal/serve.New": true,
+			}},
+			&LockGuard{},
 		},
 		Scope: func(pass Pass, pkg *Package) bool {
-			if pass.Name() == "errcheck-lite" {
+			if pass.Name() == "errcheck-lite" || pass.Name() == "ctxflow" {
 				return strings.HasPrefix(pkg.Path, modPath+"/internal/") ||
 					strings.HasPrefix(pkg.Path, modPath+"/cmd/")
 			}

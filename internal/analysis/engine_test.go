@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// loadSrc type-checks one source string as a standalone package.
+func loadSrc(t *testing.T, pkgPath, src string) *Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "src.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(dir, pkgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("source does not type-check: %v", pkg.TypeErrors)
+	}
+	return pkg
+}
+
+// lookupFunc resolves a package-level function or "Type.Method" name.
+func lookupFunc(t *testing.T, pkg *Package, name string) *types.Func {
+	t.Helper()
+	scope := pkg.Types.Scope()
+	if tname, mname, ok := splitMethodName(name); ok {
+		obj := scope.Lookup(tname)
+		if obj == nil {
+			t.Fatalf("type %s not found", tname)
+		}
+		named, ok := obj.Type().(*types.Named)
+		if !ok {
+			t.Fatalf("%s is not a named type", tname)
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			if named.Method(i).Name() == mname {
+				return named.Method(i)
+			}
+		}
+		t.Fatalf("method %s not found on %s", mname, tname)
+	}
+	f, ok := scope.Lookup(name).(*types.Func)
+	if !ok {
+		t.Fatalf("function %s not found", name)
+	}
+	return f
+}
+
+func splitMethodName(name string) (typeName, methodName string, ok bool) {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '.' {
+			return name[:i], name[i+1:], true
+		}
+	}
+	return "", "", false
+}
+
+func TestEngineBlockingFixpointWithCycle(t *testing.T) {
+	pkg := loadSrc(t, "eng", `package eng
+
+import "time"
+
+func A(n int) {
+	if n > 0 {
+		B(n - 1)
+	}
+}
+
+func B(n int) {
+	A(n)
+	X()
+}
+
+func X() {
+	time.Sleep(time.Millisecond)
+}
+
+func Y() int { return 1 }
+
+func Spawn() {
+	go X()
+}
+
+func ChanWait(ch chan int) int { return <-ch }
+
+func PollOnly(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+`)
+	e := NewEngine([]*Package{pkg})
+	cases := []struct {
+		fn   string
+		want bool
+	}{
+		{"A", true}, // via cycle through B -> X
+		{"B", true},
+		{"X", true},
+		{"Y", false},
+		{"Spawn", false},    // go-statement targets don't block the spawner
+		{"ChanWait", true},  // bare receive parks
+		{"PollOnly", false}, // select with default falls through
+	}
+	for _, c := range cases {
+		if got := e.Blocking(lookupFunc(t, pkg, c.fn)); got != c.want {
+			t.Errorf("Blocking(%s) = %v, want %v", c.fn, got, c.want)
+		}
+	}
+}
+
+func TestEngineCoverageTransitiveAndEscape(t *testing.T) {
+	pkg := loadSrc(t, "eng", `package eng
+
+import "fmt"
+
+type K struct {
+	A int
+	B int
+	C int
+}
+
+func (k K) Key() int { return k.A + k.helper() }
+
+func (k K) helper() int { return k.B }
+
+type E struct {
+	A int
+	B int
+}
+
+func (e E) Key() string { return fmt.Sprint(e) }
+`)
+	e := NewEngine([]*Package{pkg})
+
+	kNamed := pkg.Types.Scope().Lookup("K").Type().(*types.Named)
+	covered, all := e.Coverage(lookupFunc(t, pkg, "K.Key"), kNamed)
+	if all {
+		t.Fatalf("K never escapes whole; all = true")
+	}
+	st := kNamed.Underlying().(*types.Struct)
+	want := map[string]bool{"A": true, "B": true, "C": false}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if covered[f] != want[f.Name()] {
+			t.Errorf("coverage of K.%s = %v, want %v", f.Name(), covered[f], want[f.Name()])
+		}
+	}
+
+	eNamed := pkg.Types.Scope().Lookup("E").Type().(*types.Named)
+	if _, all := e.Coverage(lookupFunc(t, pkg, "E.Key"), eNamed); !all {
+		t.Fatalf("fmt.Sprint(e) hands the value to reflection; all = false")
+	}
+}
+
+func TestEngineContextVariantLookup(t *testing.T) {
+	pkg := loadSrc(t, "eng", `package eng
+
+import "context"
+
+func Fetch(n int) int { return FetchContext(context.Background(), n) }
+
+func FetchContext(ctx context.Context, n int) int { return n }
+
+func Lone(n int) int { return n }
+
+type J struct{ n int }
+
+func (j *J) Run() int { return j.RunContext(context.Background()) }
+
+func (j *J) RunContext(ctx context.Context) int { return j.n }
+`)
+	e := NewEngine([]*Package{pkg})
+	if v := e.ContextVariant(lookupFunc(t, pkg, "Fetch")); v == nil || v.Name() != "FetchContext" {
+		t.Errorf("ContextVariant(Fetch) = %v, want FetchContext", v)
+	}
+	if v := e.ContextVariant(lookupFunc(t, pkg, "FetchContext")); v != nil {
+		t.Errorf("ContextVariant(FetchContext) = %v, want nil (already takes a context)", v)
+	}
+	if v := e.ContextVariant(lookupFunc(t, pkg, "Lone")); v != nil {
+		t.Errorf("ContextVariant(Lone) = %v, want nil", v)
+	}
+	if v := e.ContextVariant(lookupFunc(t, pkg, "J.Run")); v == nil || v.Name() != "RunContext" {
+		t.Errorf("ContextVariant(J.Run) = %v, want RunContext", v)
+	}
+}

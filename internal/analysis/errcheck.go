@@ -10,8 +10,11 @@ import (
 // opened: a call whose error result is silently discarded defeats the
 // errors-not-panics boundary. It flags
 //
-//   - expression statements whose call returns an error, and
-//   - assignments that send an error result to the blank identifier,
+//   - expression statements whose call returns an error,
+//   - assignments that send an error result to the blank identifier, and
+//   - go statements whose spawned call returns an error — the goroutine
+//     evaporates and its error with it; nothing can ever observe the
+//     failure,
 //
 // except for callees on the never-fails list below. Deferred calls
 // (defer f.Close() on read paths) are deliberately out of scope — the
@@ -63,6 +66,19 @@ func (c *ErrCheck) Run(pkg *Package) []Diagnostic {
 				}
 			case *ast.AssignStmt:
 				diags = append(diags, c.checkAssign(pkg, stmt)...)
+			case *ast.GoStmt:
+				// A goroutine's return values are discarded by the
+				// runtime; an error result silently vanishes. (The
+				// spawned body is still inspected for its own drops.)
+				if idx := errorResultIndex(pkg, stmt.Call); idx >= 0 && !c.droppable(pkg, stmt.Call) {
+					diags = append(diags, Diagnostic{
+						Pos:  pkg.Fset.Position(stmt.Call.Pos()),
+						Pass: c.Name(),
+						Message: fmt.Sprintf("error result of %s is dropped by the go statement; "+
+							"wrap the call in a closure that sends the error somewhere it is checked",
+							calleeName(pkg, stmt.Call)),
+					})
+				}
 			}
 			return true
 		})

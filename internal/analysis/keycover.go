@@ -1,0 +1,234 @@
+package analysis
+
+// keycover enforces cache-key completeness: every struct field of a type
+// that computes a content key (a CacheKey, Fingerprint, or coalescing
+// key method) must be transitively read by that computation, or carry an
+// explicit exemption marker naming it:
+//
+//	//vet:keyexempt <field> -- <reason>
+//
+// placed inside the struct declaration. The bug class this closes is the
+// PR-7 retrofit: a new behavior-relevant field (the timing backend) that
+// two artifacts could differ on while sharing one cache entry, because
+// the key never read it. "Transitively read" is answered by the
+// interprocedural engine: the coverage walk follows the key method's
+// synchronous call closure, expands promoted-field selections, and
+// treats a receiver handed whole to reflection (json.Marshal, fmt) or to
+// code outside the module as reading every field.
+//
+// Like //vet:allow and the panic allowlist, markers cannot rot silently:
+// a marker naming a field the key computation does read, naming no field
+// of the struct, sitting outside any key-bearing struct, or failing to
+// parse is itself a finding.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// keyMethodNames are the method names keycover treats as key
+// computations when they take no parameters and return one value:
+// cache.Keyer's CacheKey() string, circuit's Fingerprint() uint64, and
+// the serve layer's coalescing key() string.
+var keyMethodNames = map[string]bool{
+	"CacheKey":    true,
+	"Fingerprint": true,
+	"key":         true,
+}
+
+var keyexemptRE = regexp.MustCompile(`^//vet:keyexempt ([A-Za-z_][A-Za-z0-9_]*) -- \S`)
+
+// KeyCover is the cache-key completeness pass.
+type KeyCover struct {
+	engine *Engine
+}
+
+func (*KeyCover) Name() string { return "keycover" }
+
+// SetEngine satisfies EnginePass.
+func (k *KeyCover) SetEngine(e *Engine) { k.engine = e }
+
+// keyexemptMarker is one parsed //vet:keyexempt comment.
+type keyexemptMarker struct {
+	field   string
+	pos     token.Position
+	claimed bool // sat inside some key-bearing struct declaration
+	stale   bool // the named field is covered anyway
+}
+
+// Run checks every key-bearing struct type declared in pkg.
+func (k *KeyCover) Run(pkg *Package) []Diagnostic {
+	if k.engine == nil {
+		return nil
+	}
+	var diags []Diagnostic
+
+	// Parse every keyexempt marker in the package up front; struct spans
+	// claim them below.
+	var markers []*keyexemptMarker
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				if !strings.HasPrefix(c.Text, "//vet:keyexempt") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				m := keyexemptRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					diags = append(diags, Diagnostic{
+						Pos:     pos,
+						Pass:    k.Name(),
+						Message: `malformed //vet:keyexempt comment: want "//vet:keyexempt <field> -- <reason>"`,
+					})
+					continue
+				}
+				markers = append(markers, &keyexemptMarker{field: m[1], pos: pos})
+			}
+		}
+	}
+
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				diags = append(diags, k.checkType(pkg, ts, markers)...)
+			}
+		}
+	}
+
+	// Markers no key-bearing struct claimed are dead weight; markers
+	// whose field the key computation reads anyway are stale.
+	for _, m := range markers {
+		switch {
+		case !m.claimed:
+			diags = append(diags, Diagnostic{
+				Pos:     m.pos,
+				Pass:    k.Name(),
+				Message: fmt.Sprintf("//vet:keyexempt %s is not inside a struct with a key method (CacheKey/Fingerprint/key); remove it", m.field),
+			})
+		case m.stale:
+			diags = append(diags, Diagnostic{
+				Pos:     m.pos,
+				Pass:    k.Name(),
+				Message: fmt.Sprintf("stale //vet:keyexempt marker: field %s is read by the key computation; remove the exemption", m.field),
+			})
+		}
+	}
+	return diags
+}
+
+// checkType reports uncovered fields of one type declaration when it is
+// a struct with a key method.
+func (k *KeyCover) checkType(pkg *Package, ts *ast.TypeSpec, markers []*keyexemptMarker) []Diagnostic {
+	tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	// An alias (type Circuit = circuit.Circuit in the facade) is not a
+	// declaration of the named type; checking it would duplicate the
+	// declaring package's findings.
+	if tn.IsAlias() || named.Obj() != tn {
+		return nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	keyFn := keyMethod(named)
+	if keyFn == nil || k.engine.Summary(keyFn) == nil {
+		return nil
+	}
+
+	// Claim the markers sitting inside this struct's declaration span.
+	structStart := pkg.Fset.Position(ts.Pos())
+	structEnd := pkg.Fset.Position(ts.End())
+	exempt := map[string]*keyexemptMarker{}
+	for _, m := range markers {
+		if m.pos.Filename != structStart.Filename ||
+			m.pos.Line < structStart.Line || m.pos.Line > structEnd.Line {
+			continue
+		}
+		m.claimed = true
+		exempt[m.field] = m
+	}
+
+	covered, all := k.engine.Coverage(keyFn, named)
+	var diags []Diagnostic
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		isCovered := all || covered[f]
+		if m := exempt[f.Name()]; m != nil {
+			if isCovered {
+				m.stale = true
+			}
+			delete(exempt, f.Name())
+			continue
+		}
+		if isCovered {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:  pkg.Fset.Position(f.Pos()),
+			Pass: k.Name(),
+			Message: fmt.Sprintf("field %s of %s is not read by %s; cached artifacts keyed without it can collide — "+
+				"fold it into the key or exempt it with //vet:keyexempt %s -- <reason>",
+				f.Name(), named.Obj().Name(), keyFn.Name(), f.Name()),
+		})
+	}
+	// Markers left over name no field of the struct.
+	for i := 0; i < st.NumFields(); i++ {
+		delete(exempt, st.Field(i).Name())
+	}
+	names := make([]string, 0, len(exempt))
+	for name := range exempt {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := exempt[name]
+		diags = append(diags, Diagnostic{
+			Pos:     m.pos,
+			Pass:    k.Name(),
+			Message: fmt.Sprintf("//vet:keyexempt %s names no field of %s", name, named.Obj().Name()),
+		})
+	}
+	return diags
+}
+
+// keyMethod returns the explicit key-computation method of named: a
+// method whose name is in keyMethodNames, taking no parameters and
+// returning exactly one value. CacheKey wins over Fingerprint and key
+// when several exist.
+func keyMethod(named *types.Named) *types.Func {
+	var found *types.Func
+	for i := 0; i < named.NumMethods(); i++ {
+		m := named.Method(i)
+		if !keyMethodNames[m.Name()] {
+			continue
+		}
+		sig, ok := m.Type().(*types.Signature)
+		if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+			continue
+		}
+		if found == nil || m.Name() == "CacheKey" {
+			found = m
+		}
+	}
+	return found
+}

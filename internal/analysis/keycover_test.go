@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKeyCoverFixture(t *testing.T) {
+	checkFixture(t, loadFixture(t, "keycoverfix"), &KeyCover{})
+}
+
+// runKeyCover runs only the keycover pass over one source string.
+func runKeyCover(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	pkg := loadSrc(t, "kc", src)
+	runner := &Runner{Passes: []Pass{&KeyCover{}}}
+	return runner.Run([]*Package{pkg})
+}
+
+// TestKeyCoverCatchesSeededMissingField is the acceptance gate: adding a
+// behavior-relevant field to a Keyer struct without folding it into
+// CacheKey (the PR-7 |be= bug shape) must fail.
+func TestKeyCoverCatchesSeededMissingField(t *testing.T) {
+	clean := `package kc
+
+import "strconv"
+
+type BindKey struct {
+	Alpha   float64
+	Backend string
+}
+
+func (k BindKey) CacheKey() string {
+	return strconv.FormatFloat(k.Alpha, 'g', -1, 64) + "|be=" + k.Backend
+}
+`
+	if diags := runKeyCover(t, clean); len(diags) != 0 {
+		t.Fatalf("complete key flagged:\n%s", render(diags))
+	}
+
+	// Seed the regression: a new semantic field, key unchanged.
+	seeded := strings.Replace(clean, "Backend string",
+		"Backend string\n\tTimingModel string", 1)
+	diags := runKeyCover(t, seeded)
+	if len(diags) != 1 {
+		t.Fatalf("findings = %d, want exactly the missing field:\n%s", len(diags), render(diags))
+	}
+	if !strings.Contains(diags[0].Message, "field TimingModel of BindKey is not read by CacheKey") {
+		t.Fatalf("finding does not name the seeded field: %s", diags[0].Message)
+	}
+}
+
+func TestKeyCoverStaleExemptMarker(t *testing.T) {
+	diags := runKeyCover(t, `package kc
+
+import "strconv"
+
+type K struct {
+	//vet:keyexempt Alpha -- pretend this is not part of the key
+	Alpha float64
+}
+
+func (k K) CacheKey() string {
+	return strconv.FormatFloat(k.Alpha, 'g', -1, 64)
+}
+`)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "stale //vet:keyexempt marker: field Alpha is read") {
+		t.Fatalf("want one stale-marker finding, got:\n%s", render(diags))
+	}
+	if diags[0].Pos.Line != 6 {
+		t.Errorf("stale marker anchored at line %d, want 6 (the marker comment)", diags[0].Pos.Line)
+	}
+}
+
+func TestKeyCoverUnclaimedMarker(t *testing.T) {
+	diags := runKeyCover(t, `package kc
+
+type Plain struct {
+	//vet:keyexempt A -- this struct has no key method
+	A int
+}
+`)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "not inside a struct with a key method") {
+		t.Fatalf("want one unclaimed-marker finding, got:\n%s", render(diags))
+	}
+}
+
+func TestKeyCoverMarkerNamesNoField(t *testing.T) {
+	diags := runKeyCover(t, `package kc
+
+import "strconv"
+
+type K struct {
+	Alpha float64
+	//vet:keyexempt Nosuch -- typo'd field name
+	Beta float64
+}
+
+func (k K) CacheKey() string {
+	return strconv.FormatFloat(k.Alpha+k.Beta, 'g', -1, 64)
+}
+`)
+	var sawNoField bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "//vet:keyexempt Nosuch names no field of K") {
+			sawNoField = true
+		}
+	}
+	if !sawNoField {
+		t.Fatalf("want a names-no-field finding, got:\n%s", render(diags))
+	}
+}
+
+func TestKeyCoverMalformedMarker(t *testing.T) {
+	diags := runKeyCover(t, `package kc
+
+import "strconv"
+
+type K struct {
+	Alpha float64
+	//vet:keyexempt Beta
+	Beta float64
+}
+
+func (k K) CacheKey() string {
+	return strconv.FormatFloat(k.Alpha, 'g', -1, 64)
+}
+`)
+	var sawMalformed, sawUncovered bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "malformed //vet:keyexempt") {
+			sawMalformed = true
+		}
+		if strings.Contains(d.Message, "field Beta of K is not read") {
+			sawUncovered = true
+		}
+	}
+	if !sawMalformed {
+		t.Errorf("missing malformed-marker finding:\n%s", render(diags))
+	}
+	if !sawUncovered {
+		t.Errorf("a reason-less marker must not exempt the field:\n%s", render(diags))
+	}
+}
+
+// TestKeyCoverModuleScopeViaRunner proves Runner.Module lets the engine
+// see a helper package outside the checked selection: the key method
+// delegates to a function in another package, and coverage follows it.
+func TestKeyCoverModuleScopeViaRunner(t *testing.T) {
+	mod := loadRepoModule(t)
+	var analysisPkg *Package
+	for _, p := range mod.Packages {
+		if strings.HasSuffix(p.Path, "internal/circuit") {
+			analysisPkg = p
+		}
+	}
+	if analysisPkg == nil {
+		t.Fatal("internal/circuit not in module")
+	}
+	runner := &Runner{Passes: []Pass{&KeyCover{}}, Module: mod.Packages}
+	if diags := runner.Run([]*Package{analysisPkg}); len(diags) != 0 {
+		t.Fatalf("circuit package (with keyexempt markers) must be clean:\n%s", render(diags))
+	}
+}

@@ -1,0 +1,547 @@
+package analysis
+
+// lockguard enforces the module's lock discipline across three clauses:
+//
+//   - no by-value copies of structs containing sync primitives (value
+//     receivers, value parameters, assignments that load an existing
+//     variable, range values) — a copied mutex guards nothing;
+//
+//   - no mutex held across a blocking callee: channel operations,
+//     select without default, or any function the interprocedural
+//     engine's fixpoint marks blocking (pool.RunAll via WaitGroup.Wait,
+//     net/http writes, time.Sleep, ...). Holding a lock across a park
+//     turns a shared-cache hiccup into a pile-up of every goroutine
+//     that touches the lock;
+//
+//   - unlock pairing on all paths: a lock acquired in a function must
+//     be released (directly or by defer) on every path out of it.
+//
+// The walker is statement-structured: it threads a held-lock state
+// through each statement list, clones the state into branches
+// (if/switch/select arms), and treats return as a path exit where
+// pairing is checked. Loop bodies are analyzed with a cloned state and
+// assumed lock-balanced — precise loop-carried lock tracking is out of
+// scope for a lite checker.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockGuard is the lock-discipline pass.
+type LockGuard struct {
+	engine *Engine
+}
+
+func (*LockGuard) Name() string { return "lockguard" }
+
+// SetEngine satisfies EnginePass.
+func (g *LockGuard) SetEngine(e *Engine) { g.engine = e }
+
+// lockMethods classifies the sync locking API. RLock/RUnlock pair with
+// each other; the walker keys held entries by receiver expression plus
+// read/write mode.
+var lockAcquire = map[string]bool{
+	"(*sync.Mutex).Lock":    true,
+	"(*sync.RWMutex).Lock":  true,
+	"(*sync.RWMutex).RLock": true,
+}
+
+var lockRelease = map[string]string{
+	"(*sync.Mutex).Unlock":    "(*sync.Mutex).Lock",
+	"(*sync.RWMutex).Unlock":  "(*sync.RWMutex).Lock",
+	"(*sync.RWMutex).RUnlock": "(*sync.RWMutex).RLock",
+}
+
+// heldLock is one acquired-and-not-yet-released lock.
+type heldLock struct {
+	key      string // receiver expression + acquire method
+	expr     string // receiver expression, for messages
+	pos      token.Pos
+	deferred bool // a deferred release is registered
+}
+
+// lockState threads through a statement list.
+type lockState struct {
+	held       []heldLock
+	terminated bool // the path ended (return / panic-free exit not modeled)
+}
+
+func (st *lockState) clone() *lockState {
+	c := &lockState{terminated: st.terminated}
+	c.held = append(c.held, st.held...)
+	return c
+}
+
+func (st *lockState) acquire(key, expr string, pos token.Pos) {
+	st.held = append(st.held, heldLock{key: key, expr: expr, pos: pos})
+}
+
+// release drops the most recent matching entry; unmatched releases are
+// ignored (helpers releasing caller-held locks are out of scope).
+func (st *lockState) release(key string) {
+	for i := len(st.held) - 1; i >= 0; i-- {
+		if st.held[i].key == key {
+			st.held = append(st.held[:i], st.held[i+1:]...)
+			return
+		}
+	}
+}
+
+func (st *lockState) markDeferred(key string) {
+	for i := len(st.held) - 1; i >= 0; i-- {
+		if st.held[i].key == key && !st.held[i].deferred {
+			st.held[i].deferred = true
+			return
+		}
+	}
+}
+
+// liveLocks returns the held locks with no deferred release.
+func (st *lockState) liveLocks() []heldLock {
+	var live []heldLock
+	for _, h := range st.held {
+		if !h.deferred {
+			live = append(live, h)
+		}
+	}
+	return live
+}
+
+// Run applies the three clauses to every function declared in pkg.
+func (g *LockGuard) Run(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			diags = append(diags, g.checkCopies(pkg, fd)...)
+			if fd.Body != nil && g.engine != nil {
+				w := &lockWalker{pkg: pkg, engine: g.engine, pass: g.Name()}
+				st := &lockState{}
+				w.walkStmts(fd.Body.List, st)
+				w.checkExit(st, "function end")
+				diags = append(diags, w.diags...)
+			}
+		}
+	}
+	return diags
+}
+
+// ---- clause 1: by-value copies of sync-bearing structs ----
+
+// checkCopies flags value receivers, value parameters, copying
+// assignments, and range values whose type contains a sync primitive.
+func (g *LockGuard) checkCopies(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
+	var diags []Diagnostic
+	flag := func(pos token.Pos, what string, t types.Type) {
+		diags = append(diags, Diagnostic{
+			Pos:  pkg.Fset.Position(pos),
+			Pass: g.Name(),
+			Message: fmt.Sprintf("%s copies %s, which contains a sync primitive; a copied lock guards nothing — use a pointer",
+				what, types.TypeString(t, types.RelativeTo(pkg.Types))),
+		})
+	}
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		if t := declaredType(pkg, fd.Recv.List[0].Type); t != nil && containsSync(t) {
+			flag(fd.Recv.List[0].Type.Pos(), "value receiver", t)
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			if t := declaredType(pkg, field.Type); t != nil && containsSync(t) {
+				flag(field.Type.Pos(), "value parameter", t)
+			}
+		}
+	}
+	if fd.Body == nil {
+		return diags
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range node.Rhs {
+				if i >= len(node.Lhs) || !isVariableLoad(rhs) {
+					continue
+				}
+				if tv, ok := pkg.Info.Types[rhs]; ok && tv.Type != nil && containsSync(tv.Type) {
+					flag(rhs.Pos(), "assignment", tv.Type)
+				}
+			}
+		case *ast.RangeStmt:
+			if node.Value == nil || isBlank(node.Value) {
+				return true
+			}
+			if tv, ok := pkg.Info.Types[node.X]; ok && tv.Type != nil {
+				if et := rangeElemType(tv.Type); et != nil && containsSync(et) {
+					flag(node.Value.Pos(), "range value", et)
+				}
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// declaredType resolves the type a field/receiver expression denotes.
+func declaredType(pkg *Package, expr ast.Expr) types.Type {
+	tv, ok := pkg.Info.Types[expr]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+// isVariableLoad reports whether copying expr duplicates an existing
+// variable's storage: identifiers, field selections, dereferences, and
+// index expressions. Composite literals and call results are fresh
+// values — copying them is construction, not aliasing a live lock.
+func isVariableLoad(expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return e.Name != "_"
+	case *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		return true
+	}
+	return false
+}
+
+// rangeElemType returns the per-iteration value type of ranging over t,
+// or nil when there is no second range variable worth checking.
+func rangeElemType(t types.Type) types.Type {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return u.Elem()
+	case *types.Array:
+		return u.Elem()
+	case *types.Map:
+		return u.Elem()
+	case *types.Pointer:
+		if arr, ok := u.Elem().Underlying().(*types.Array); ok {
+			return arr.Elem()
+		}
+	}
+	return nil
+}
+
+// syncTypes are the sync package's copy-sensitive primitives.
+var syncTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Cond": true,
+	"Once": true, "Map": true, "Pool": true,
+}
+
+// containsSync reports whether t embeds a sync primitive by value,
+// recursing through named types, struct fields, and arrays. Pointers
+// stop the recursion: copying a pointer shares the lock correctly.
+func containsSync(t types.Type) bool {
+	return containsSyncSeen(t, map[types.Type]bool{})
+}
+
+func containsSyncSeen(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if n, ok := t.(*types.Named); ok {
+		obj := n.Obj()
+		if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncTypes[obj.Name()] {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsSyncSeen(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsSyncSeen(u.Elem(), seen)
+	}
+	return false
+}
+
+// ---- clauses 2 and 3: held-across-blocking and unlock pairing ----
+
+// lockWalker threads lockState through one function body.
+type lockWalker struct {
+	pkg    *Package
+	engine *Engine
+	pass   string
+	diags  []Diagnostic
+}
+
+func (w *lockWalker) report(pos token.Pos, format string, args ...any) {
+	w.diags = append(w.diags, Diagnostic{
+		Pos:     w.pkg.Fset.Position(pos),
+		Pass:    w.pass,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// checkExit flags locks still live when a path leaves the function.
+func (w *lockWalker) checkExit(st *lockState, where string) {
+	if st.terminated {
+		return
+	}
+	for _, h := range st.liveLocks() {
+		w.report(h.pos, "%s.Lock() is not released on the path reaching %s; unlock on every path (or defer the unlock)", h.expr, where)
+	}
+}
+
+func (w *lockWalker) walkStmts(stmts []ast.Stmt, st *lockState) {
+	for _, stmt := range stmts {
+		if st.terminated {
+			return
+		}
+		w.walkStmt(stmt, st)
+	}
+}
+
+func (w *lockWalker) walkStmt(stmt ast.Stmt, st *lockState) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		w.walkStmts(s.List, st)
+	case *ast.ExprStmt:
+		w.walkExpr(s.X, st)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			w.walkExpr(rhs, st)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.walkExpr(v, st)
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		if key, _, kind := w.lockCall(s.Call); kind == lockOpRelease {
+			st.markDeferred(key)
+		}
+		// Other deferred calls run at return, outside the held window
+		// the walker models; their own bodies are summarized separately.
+	case *ast.GoStmt:
+		// The spawned goroutine runs concurrently; the spawner neither
+		// blocks nor holds its locks there.
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			w.walkExpr(res, st)
+		}
+		for _, h := range st.liveLocks() {
+			w.report(h.pos, "%s.Lock() is still held at return; unlock before returning or defer the unlock", h.expr)
+		}
+		st.terminated = true
+	case *ast.SendStmt:
+		w.blockingOp(s.Pos(), "channel send", st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		w.walkExpr(s.Cond, st)
+		thenSt := st.clone()
+		w.walkStmts(s.Body.List, thenSt)
+		if s.Else != nil {
+			elseSt := st.clone()
+			w.walkStmt(s.Else, elseSt)
+			w.mergeBranches(st, thenSt, elseSt)
+		} else {
+			w.mergeBranches(st, thenSt, nil)
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			w.walkExpr(s.Tag, st)
+		}
+		w.walkCaseBodies(s.Body, st)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		w.walkCaseBodies(s.Body, st)
+	case *ast.SelectStmt:
+		if !selectHasDefault(s) {
+			w.blockingOp(s.Pos(), "select", st)
+		}
+		for _, clause := range s.Body.List {
+			cc, ok := clause.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			branch := st.clone()
+			w.walkStmts(cc.Body, branch)
+			w.checkBalanced(st, branch, cc.Pos())
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.walkExpr(s.Cond, st)
+		}
+		body := st.clone()
+		w.walkStmts(s.Body.List, body)
+		w.checkBalanced(st, body, s.Pos())
+	case *ast.RangeStmt:
+		w.walkExpr(s.X, st)
+		if tv, ok := w.pkg.Info.Types[s.X]; ok && tv.Type != nil {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				w.blockingOp(s.Pos(), "range over channel", st)
+			}
+		}
+		body := st.clone()
+		w.walkStmts(s.Body.List, body)
+		w.checkBalanced(st, body, s.Pos())
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt, st)
+	}
+}
+
+// walkCaseBodies analyzes each case arm with a cloned state and keeps
+// the entry state afterwards (conservative: the arms must be
+// lock-balanced, which checkBalanced enforces).
+func (w *lockWalker) walkCaseBodies(body *ast.BlockStmt, st *lockState) {
+	for _, clause := range body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			w.walkExpr(e, st)
+		}
+		branch := st.clone()
+		w.walkStmts(cc.Body, branch)
+		w.checkBalanced(st, branch, cc.Pos())
+	}
+}
+
+// mergeBranches folds branch outcomes back into st. A path that
+// terminated (returned) already had its pairing checked; among
+// non-terminated outcomes the walker keeps the intersection-by-count —
+// in this module's patterns (lock; if hit { unlock; return }; unlock)
+// branches either preserve or symmetrically release, so keeping the
+// shorter held-set is both safe and precise enough.
+func (w *lockWalker) mergeBranches(st, thenSt, elseSt *lockState) {
+	outcomes := []*lockState{}
+	if !thenSt.terminated {
+		outcomes = append(outcomes, thenSt)
+	}
+	if elseSt == nil {
+		outcomes = append(outcomes, st.clone())
+	} else if !elseSt.terminated {
+		outcomes = append(outcomes, elseSt)
+	}
+	if len(outcomes) == 0 {
+		st.terminated = true
+		return
+	}
+	min := outcomes[0]
+	for _, o := range outcomes[1:] {
+		if len(o.held) < len(min.held) {
+			min = o
+		}
+	}
+	st.held = min.held
+}
+
+// checkBalanced flags a sub-body (loop iteration, case arm) that exits
+// with a different live-lock set than it entered with, unless the arm
+// terminated (return paths are checked at the return).
+func (w *lockWalker) checkBalanced(entry, exit *lockState, pos token.Pos) {
+	if exit.terminated {
+		return
+	}
+	if len(exit.liveLocks()) > len(entry.liveLocks()) {
+		for _, h := range exit.liveLocks()[len(entry.liveLocks()):] {
+			w.report(h.pos, "%s.Lock() acquired in this branch/loop body is not released before the body ends", h.expr)
+		}
+	}
+}
+
+// walkExpr processes one expression: lock-state transitions for
+// Lock/Unlock calls, blocking checks for receives and blocking callees,
+// all in source order.
+func (w *lockWalker) walkExpr(expr ast.Expr, st *lockState) {
+	w.scanExprOps(expr, st)
+}
+
+// scanExprOps walks an expression subtree in source order, updating
+// lock state and reporting blocking operations under held locks.
+// Function literals are skipped: their bodies run at some other time,
+// under whatever locks their caller then holds.
+func (w *lockWalker) scanExprOps(expr ast.Expr, st *lockState) {
+	if expr == nil {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW {
+				w.blockingOp(node.Pos(), "channel receive", st)
+			}
+		case *ast.CallExpr:
+			key, lockExpr, kind := w.lockCall(node)
+			switch kind {
+			case lockOpAcquire:
+				st.acquire(key, lockExpr, node.Pos())
+				return false
+			case lockOpRelease:
+				st.release(key)
+				return false
+			}
+			if f := calleeFunc(w.pkg, node); f != nil && w.engine.Blocking(f) {
+				w.blockingOp(node.Pos(), "blocking call to "+f.Name(), st)
+			}
+		}
+		return true
+	})
+}
+
+// blockingOp reports every held lock at a blocking operation.
+func (w *lockWalker) blockingOp(pos token.Pos, what string, st *lockState) {
+	for _, h := range st.held {
+		w.report(pos, "%s is held across a %s; release the lock before parking the goroutine (coalesce/cache idiom: unlock, then wait)",
+			h.expr, what)
+	}
+}
+
+type lockOp int
+
+const (
+	lockOpNone lockOp = iota
+	lockOpAcquire
+	lockOpRelease
+)
+
+// lockCall classifies a call as a lock acquire/release and returns the
+// state key (receiver + acquire method) and the receiver's source text.
+func (w *lockWalker) lockCall(call *ast.CallExpr) (key, recv string, kind lockOp) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", "", lockOpNone
+	}
+	f := calleeFunc(w.pkg, call)
+	if f == nil {
+		return "", "", lockOpNone
+	}
+	full := f.FullName()
+	recv = types.ExprString(sel.X)
+	if lockAcquire[full] {
+		return recv + " " + full, recv, lockOpAcquire
+	}
+	if acq, ok := lockRelease[full]; ok {
+		return recv + " " + acq, recv, lockOpRelease
+	}
+	return "", "", lockOpNone
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLockGuardFixture(t *testing.T) {
+	checkFixture(t, loadFixture(t, "lockguardfix"), &LockGuard{})
+}
+
+// TestLockGuardCatchesSeededHeldAcrossPoolWait seeds the bug class the
+// pass exists for: taking the cache lock across a WaitGroup-backed
+// fan-out, which would serialize every request behind one computation.
+func TestLockGuardCatchesSeededHeldAcrossPoolWait(t *testing.T) {
+	src := `package lg
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+func fanOut(fns []func()) {
+	var wg sync.WaitGroup
+	for _, fn := range fns {
+		wg.Add(1)
+		go func(f func()) { defer wg.Done(); f() }(fn)
+	}
+	wg.Wait()
+}
+
+func (s *store) FillLocked(fns []func()) {
+	s.mu.Lock()
+	fanOut(fns)
+	s.mu.Unlock()
+}
+
+func (s *store) FillUnlocked(fns []func()) {
+	fanOut(fns)
+	s.mu.Lock()
+	s.m["done"] = 1
+	s.mu.Unlock()
+}
+`
+	pkg := loadSrc(t, "lg", src)
+	runner := &Runner{Passes: []Pass{&LockGuard{}}}
+	diags := runner.Run([]*Package{pkg})
+	if len(diags) != 1 {
+		t.Fatalf("findings = %d, want exactly the held-across-wait site:\n%s", len(diags), render(diags))
+	}
+	if !strings.Contains(diags[0].Message, "s.mu is held across a blocking call to fanOut") {
+		t.Fatalf("finding does not name the blocking callee: %s", diags[0].Message)
+	}
+}
+
+// TestLockGuardUnlockOnAllPaths pins the pairing clause against the
+// early-return shapes the cache and coalescer use.
+func TestLockGuardUnlockOnAllPaths(t *testing.T) {
+	src := `package lg
+
+import "sync"
+
+type c struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+func (x *c) Get(k string) (int, bool) {
+	x.mu.Lock()
+	if v, ok := x.m[k]; ok {
+		x.mu.Unlock()
+		return v, true
+	}
+	x.mu.Unlock()
+	return 0, false
+}
+
+func (x *c) Leak(k string) int {
+	x.mu.Lock()
+	return x.m[k]
+}
+`
+	pkg := loadSrc(t, "lg", src)
+	runner := &Runner{Passes: []Pass{&LockGuard{}}}
+	diags := runner.Run([]*Package{pkg})
+	if len(diags) != 1 {
+		t.Fatalf("findings = %d, want only the Leak site:\n%s", len(diags), render(diags))
+	}
+	if !strings.Contains(diags[0].Message, "still held at return") {
+		t.Fatalf("wrong clause: %s", diags[0].Message)
+	}
+}

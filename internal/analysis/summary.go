@@ -1,0 +1,319 @@
+package analysis
+
+// Per-function summaries: the facts the interprocedural passes need about
+// a function body, computed once per module load so that keycover,
+// ctxflow, and lockguard can reason across function boundaries without
+// re-walking every AST per query.
+//
+// A summary is a deliberate over/under-approximation tuned for a lite
+// checker: field reads and escapes over-approximate (a field counted as
+// read may be read on a dead path), while blocking under-approximates
+// for unknown callees (calls through function values and interfaces are
+// assumed non-blocking — the engine cannot see their bodies). The
+// fixtures pin the cases the approximations must get right.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FuncSummary is the per-function fact sheet the engine computes for
+// every declared function and method of the module.
+type FuncSummary struct {
+	// Func is the type-checker object; Decl its declaration; Pkg the
+	// declaring package.
+	Func *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+
+	// FieldsRead holds every struct field object the body reads through
+	// a selector, with promoted selections expanded to every field on
+	// the selection path (reading r.ChainLength through an embedded
+	// config.Params marks both Params and ChainLength read).
+	FieldsRead map[*types.Var]bool
+
+	// escapes holds named struct types whose values the body hands
+	// whole to code the engine cannot see through: interface-typed
+	// parameters (fmt, encoding/json — reflection reads every field),
+	// non-module callees, and calls through function values.
+	escapes map[*types.Named]bool
+
+	// Callees lists the statically resolved synchronous callees in
+	// source order, deduplicated. Targets of `go` statements are
+	// excluded (the caller does not block on them, and their effects
+	// happen on another goroutine); deferred calls are included (they
+	// run before the caller returns).
+	Callees []*types.Func
+
+	// TakesContext reports whether the signature has a context.Context
+	// parameter.
+	TakesContext bool
+
+	// blocksDirect records an intrinsic blocking point in the body: a
+	// channel send/receive/select outside `go` statements, or a call to
+	// a known-blocking stdlib function (time.Sleep, WaitGroup.Wait,
+	// net/http serving and writing, ...). The transitive answer is
+	// Engine.Blocking.
+	blocksDirect bool
+	// blocking is the fixpoint result: the function blocks directly or
+	// through some synchronous module callee.
+	blocking bool
+
+	calleeSet map[*types.Func]bool
+}
+
+// blockingCallees names non-module functions the engine treats as
+// blocking: operations that park the goroutine on a channel, timer,
+// socket, or child process. Interface entries use the
+// "(pkg.Interface).Method" full-name form go/types produces.
+var blockingCallees = map[string]bool{
+	"time.Sleep":                        true,
+	"(*sync.WaitGroup).Wait":            true,
+	"(*sync.Cond).Wait":                 true,
+	"net/http.ListenAndServe":           true,
+	"net/http.Serve":                    true,
+	"net/http.Error":                    true,
+	"net/http.Get":                      true,
+	"net/http.Head":                     true,
+	"net/http.Post":                     true,
+	"net/http.PostForm":                 true,
+	"(*net/http.Server).ListenAndServe": true,
+	"(*net/http.Server).Serve":          true,
+	"(*net/http.Server).Shutdown":       true,
+	"(*net/http.Client).Do":             true,
+	"(net/http.ResponseWriter).Write":   true,
+	"(net.Listener).Accept":             true,
+	"(net.Conn).Read":                   true,
+	"(net.Conn).Write":                  true,
+	"(*os/exec.Cmd).Run":                true,
+	"(*os/exec.Cmd).Wait":               true,
+	"(*os/exec.Cmd).Output":             true,
+	"(*os/exec.Cmd).CombinedOutput":     true,
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// hasContextParam reports whether sig has a context.Context parameter.
+func hasContextParam(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// namedStructOf unwraps pointers and reports the named struct type of t,
+// or nil when t is not a (pointer to a) named struct.
+func namedStructOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, ok := n.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return n
+}
+
+// buildSummary walks one function declaration. isModuleFunc reports
+// whether a callee is declared in the loaded module (its body will have
+// its own summary).
+func buildSummary(pkg *Package, decl *ast.FuncDecl, fn *types.Func, isModuleFunc func(*types.Func) bool) *FuncSummary {
+	s := &FuncSummary{
+		Func:       fn,
+		Decl:       decl,
+		Pkg:        pkg,
+		FieldsRead: map[*types.Var]bool{},
+		escapes:    map[*types.Named]bool{},
+		calleeSet:  map[*types.Func]bool{},
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok {
+		s.TakesContext = hasContextParam(sig)
+	}
+	if decl.Body == nil {
+		return s
+	}
+	// Channel operations inside the comm clauses of a select WITH a
+	// default case never park the goroutine: the select falls through.
+	// Pre-collect those nodes so the main walk skips them.
+	nonBlockingComm := map[ast.Node]bool{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok || !selectHasDefault(sel) {
+			return true
+		}
+		for _, clause := range sel.Body.List {
+			cc, ok := clause.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			ast.Inspect(cc.Comm, func(m ast.Node) bool {
+				switch m.(type) {
+				case *ast.SendStmt, *ast.UnaryExpr:
+					nonBlockingComm[m] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.GoStmt:
+			// The spawned call runs on another goroutine: the caller
+			// neither blocks on it nor reads fields through it
+			// synchronously. Skip the whole subtree.
+			return false
+		case *ast.SelectStmt:
+			if !selectHasDefault(node) {
+				s.blocksDirect = true
+			}
+		case *ast.SendStmt:
+			if !nonBlockingComm[node] {
+				s.blocksDirect = true
+			}
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW && !nonBlockingComm[node] {
+				s.blocksDirect = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[node.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					s.blocksDirect = true
+				}
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := pkg.Info.Selections[node]; ok {
+				s.recordSelectionFields(sel)
+			}
+		case *ast.CallExpr:
+			s.recordCall(pkg, node, isModuleFunc)
+		}
+		return true
+	}
+	ast.Inspect(decl.Body, walk)
+	return s
+}
+
+// recordSelectionFields marks every struct field on a selection's path
+// as read: all indices for a field selection, all but the final (method)
+// index for a method selection through embedded fields.
+func (s *FuncSummary) recordSelectionFields(sel *types.Selection) {
+	idx := sel.Index()
+	if sel.Kind() != types.FieldVal {
+		if len(idx) == 0 {
+			return
+		}
+		idx = idx[:len(idx)-1]
+	}
+	t := sel.Recv()
+	for _, i := range idx {
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok || i >= st.NumFields() {
+			return
+		}
+		f := st.Field(i)
+		s.FieldsRead[f] = true
+		t = f.Type()
+	}
+}
+
+// recordCall registers the callee and the escape effects of one call.
+func (s *FuncSummary) recordCall(pkg *Package, call *ast.CallExpr, isModuleFunc func(*types.Func) bool) {
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		return // type conversion, not a call
+	}
+	f := calleeFunc(pkg, call)
+	if f != nil {
+		if !s.calleeSet[f] {
+			s.calleeSet[f] = true
+			s.Callees = append(s.Callees, f)
+		}
+		if blockingCallees[f.FullName()] {
+			s.blocksDirect = true
+		}
+	}
+	var sig *types.Signature
+	if f != nil {
+		sig, _ = f.Type().(*types.Signature)
+	}
+	for i, arg := range call.Args {
+		tv, ok := pkg.Info.Types[arg]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		named := namedStructOf(tv.Type)
+		if named == nil {
+			continue
+		}
+		if escapesThroughCall(f, sig, i, isModuleFunc) {
+			s.escapes[named] = true
+		}
+	}
+}
+
+// escapesThroughCall decides whether argument i of a call hands its
+// value to code the coverage walk cannot follow: unknown callees,
+// non-module callees, and interface-typed parameters (reflection reads
+// every field, as encoding/json and fmt do).
+func escapesThroughCall(f *types.Func, sig *types.Signature, i int, isModuleFunc func(*types.Func) bool) bool {
+	if f == nil || sig == nil {
+		return true // call through a function value
+	}
+	params := sig.Params()
+	var pt types.Type
+	switch {
+	case i < params.Len()-1 || (i < params.Len() && !sig.Variadic()):
+		pt = params.At(i).Type()
+	case params.Len() > 0:
+		pt = params.At(params.Len() - 1).Type()
+		if sig.Variadic() {
+			if sl, ok := pt.Underlying().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		}
+	default:
+		return true
+	}
+	if _, ok := pt.Underlying().(*types.Interface); ok {
+		return true
+	}
+	return !isModuleFunc(f)
+}
+
+// escapesNamed reports whether values of named type n escape whole from
+// this function.
+func (s *FuncSummary) escapesNamed(n *types.Named) bool {
+	return s.escapes[n]
+}
+
+// selectHasDefault reports whether a select statement has a default
+// clause (and therefore never blocks).
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

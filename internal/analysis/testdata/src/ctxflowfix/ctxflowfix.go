@@ -1,0 +1,75 @@
+// Package ctxflowfix exercises the ctxflow pass: context roots outside
+// sanctioned places and context-dropping calls to convenience wrappers
+// are findings; the single-return wrapper idiom and proper forwarding
+// are not.
+package ctxflowfix
+
+import "context"
+
+// DoContext is the cancellable variant.
+func DoContext(ctx context.Context, n int) int {
+	select {
+	case <-ctx.Done():
+		return 0
+	default:
+	}
+	return n
+}
+
+// Do is the sanctioned convenience wrapper: a single return bridging
+// context-free callers.
+func Do(n int) int {
+	return DoContext(context.Background(), n)
+}
+
+// BadHolder severs its caller's deadline by minting a fresh root.
+func BadHolder(ctx context.Context) int {
+	return DoContext(context.Background(), 1) // want `\[ctxflow\] BadHolder already has a context.Context parameter but mints a fresh root via context.Background`
+}
+
+// Dropper holds a context but calls the context-free wrapper.
+func Dropper(ctx context.Context) int {
+	return Do(1) // want `\[ctxflow\] Dropper holds a context.Context but calls Do, which drops it; call DoContext and forward the context`
+}
+
+// Rootless mints a root with no context parameter and is not the
+// wrapper idiom (the root is not the single return).
+func Rootless() int {
+	ctx := context.TODO() // want `\[ctxflow\] context.TODO outside main, tests, and sanctioned roots creates an uncancellable context`
+	return DoContext(ctx, 1)
+}
+
+// Good forwards the parameter it holds.
+func Good(ctx context.Context) int {
+	return DoContext(ctx, 1)
+}
+
+// Job carries the method-shaped variant pair.
+type Job struct {
+	n int
+}
+
+// RunContext is the cancellable method.
+func (j *Job) RunContext(ctx context.Context) int {
+	select {
+	case <-ctx.Done():
+		return 0
+	default:
+	}
+	return j.n
+}
+
+// Run is the method-shaped wrapper.
+func (j *Job) Run() int {
+	return j.RunContext(context.Background())
+}
+
+// UseJob drops its context by calling the wrapper.
+func UseJob(ctx context.Context, j *Job) int {
+	return j.Run() // want `\[ctxflow\] UseJob holds a context.Context but calls Run, which drops it; call RunContext and forward the context`
+}
+
+// UseJobWell forwards it.
+func UseJobWell(ctx context.Context, j *Job) int {
+	return j.RunContext(ctx)
+}

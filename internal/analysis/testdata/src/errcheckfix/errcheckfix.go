@@ -44,3 +44,20 @@ func Justified(path string) {
 	//vet:allow errcheck-lite -- fixture: demonstrates justified suppression
 	os.Remove(path)
 }
+
+// Goroutines demonstrates the go-statement clause: a spawned call whose
+// error result nothing can observe is a finding; closures that route
+// the error to a channel, and deferred closes, are not.
+func Goroutines(path string) error {
+	go os.Remove(path) // want `\[errcheck-lite\] error result of os.Remove is dropped by the go statement`
+
+	errc := make(chan error, 1)
+	go func() { errc <- os.Remove(path) }()
+
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // documented exemption: deferred close on a read path
+	return <-errc
+}

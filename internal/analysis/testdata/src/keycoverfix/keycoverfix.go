@@ -1,0 +1,94 @@
+// Package keycoverfix exercises the keycover pass: a struct field a key
+// computation never reads (directly, through helpers, or via a
+// whole-value escape into reflection) is a finding unless exempted.
+package keycoverfix
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// Incomplete is the PR-7 bug shape: a behavior-relevant field the key
+// does not cover.
+type Incomplete struct {
+	Alpha float64
+	Beta  float64 // want `\[keycover\] field Beta of Incomplete is not read by CacheKey`
+}
+
+func (k Incomplete) CacheKey() string {
+	return strconv.FormatFloat(k.Alpha, 'g', -1, 64)
+}
+
+// Complete reads one field directly and one through a helper; coverage
+// is transitive over the call closure.
+type Complete struct {
+	Alpha float64
+	Beta  float64
+}
+
+func (k Complete) CacheKey() string {
+	return k.alphaPart() + "|" + strconv.FormatFloat(k.Beta, 'g', -1, 64)
+}
+
+func (k Complete) alphaPart() string {
+	return strconv.FormatFloat(k.Alpha, 'g', -1, 64)
+}
+
+// Escaped hands the whole receiver to reflection (json.Marshal), which
+// reads every field: all fields count as covered.
+type Escaped struct {
+	Alpha float64
+	Beta  float64
+}
+
+func (k Escaped) CacheKey() string {
+	b, err := json.Marshal(k)
+	if err != nil {
+		return fmt.Sprintf("%v", k)
+	}
+	return string(b)
+}
+
+// Exempt carries a marker naming the uncovered field, with a reason.
+type Exempt struct {
+	Alpha float64
+	//vet:keyexempt scratch -- derived scratch space recomputed per run; never influences a cached artifact
+	scratch []float64
+}
+
+func (k Exempt) CacheKey() string {
+	return strconv.FormatFloat(k.Alpha, 'g', -1, 64)
+}
+
+// base supplies a promoted field.
+type base struct {
+	Gamma float64
+}
+
+// Promoted reads the promoted Gamma, which covers the embedded base
+// field on the selection path; Other stays uncovered.
+type Promoted struct {
+	base
+	Other float64 // want `\[keycover\] field Other of Promoted is not read by CacheKey`
+}
+
+func (k Promoted) CacheKey() string {
+	return strconv.FormatFloat(k.Gamma, 'g', -1, 64)
+}
+
+// Printed uses the Fingerprint spelling of a key method.
+type Printed struct {
+	Name string
+	seen map[string]bool // want `\[keycover\] field seen of Printed is not read by Fingerprint`
+}
+
+func (c *Printed) Fingerprint() uint64 {
+	return uint64(len(c.Name))
+}
+
+// Plain has no key method; its fields are nobody's business.
+type Plain struct {
+	A int
+	B int
+}

@@ -1,0 +1,154 @@
+// Package lockguardfix exercises the lockguard pass: sync-bearing
+// structs copied by value, locks held across blocking operations, and
+// locks not released on every path are findings; the repo's
+// unlock-then-wait and defer idioms are not.
+package lockguardfix
+
+import (
+	"sync"
+	"time"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// HeldAcrossSleep parks the goroutine while holding the lock.
+func (c *counter) HeldAcrossSleep() {
+	c.mu.Lock()
+	time.Sleep(time.Millisecond) // want `\[lockguard\] c.mu is held across a blocking call to Sleep`
+	c.mu.Unlock()
+}
+
+// HeldAcrossChannel blocks on a receive while holding the lock.
+func (c *counter) HeldAcrossChannel(ch chan int) int {
+	c.mu.Lock()
+	v := <-ch // want `\[lockguard\] c.mu is held across a channel receive`
+	c.mu.Unlock()
+	return v
+}
+
+// HeldTransitive blocks through a module callee the engine's fixpoint
+// marks blocking.
+func (c *counter) HeldTransitive(ch chan int) {
+	c.mu.Lock()
+	drain(ch) // want `\[lockguard\] c.mu is held across a blocking call to drain`
+	c.mu.Unlock()
+}
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+// LeakOnEarlyReturn misses the unlock on the early path.
+func (c *counter) LeakOnEarlyReturn(cond bool) int {
+	c.mu.Lock() // want `\[lockguard\] c.mu.Lock\(\) is still held at return`
+	if cond {
+		return 0
+	}
+	c.mu.Unlock()
+	return c.n
+}
+
+// Balanced releases on both paths: clean.
+func (c *counter) Balanced(cond bool) int {
+	c.mu.Lock()
+	if cond {
+		c.mu.Unlock()
+		return 0
+	}
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+// DeferBalanced is the defer idiom: clean.
+func (c *counter) DeferBalanced() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// DeferButBlocking defers the unlock but still parks while holding.
+func (c *counter) DeferButBlocking(ch chan int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return <-ch // want `\[lockguard\] c.mu is held across a channel receive`
+}
+
+// UnlockThenWait is the sanctioned coalesce idiom: release, then park.
+func (c *counter) UnlockThenWait(ch chan int) int {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	return n + <-ch
+}
+
+// PollNonBlocking uses select-with-default under the lock: the select
+// falls through instead of parking, so holding the lock is fine.
+func (c *counter) PollNonBlocking(ch chan int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case v := <-ch:
+		return c.n + v
+	default:
+		return c.n
+	}
+}
+
+// ValueReceiver copies the mutex with every call.
+func (c counter) ValueReceiver() int { // want `\[lockguard\] value receiver copies counter`
+	return c.n
+}
+
+// CopyParam takes the sync-bearing struct by value.
+func CopyParam(c counter) int { // want `\[lockguard\] value parameter copies counter`
+	return c.n
+}
+
+// CopyAssign duplicates a live lock into a local.
+func CopyAssign(c *counter) int {
+	local := *c // want `\[lockguard\] assignment copies counter`
+	return local.n
+}
+
+// CopyRange copies sync-bearing elements per iteration.
+func CopyRange(cs []counter) int {
+	total := 0
+	for _, c := range cs { // want `\[lockguard\] range value copies counter`
+		total += c.n
+	}
+	return total
+}
+
+// PointerRange shares the locks correctly: clean.
+func PointerRange(cs []*counter) int {
+	total := 0
+	for _, c := range cs {
+		total += c.n
+	}
+	return total
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// ReadLocked pairs RLock with a deferred RUnlock: clean.
+func (t *table) ReadLocked(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+// ReadHeldAcrossBlocking parks under a read lock.
+func (t *table) ReadHeldAcrossBlocking(k string, ch chan int) int {
+	t.mu.RLock()
+	v := t.m[k] + <-ch // want `\[lockguard\] t.mu is held across a channel receive`
+	t.mu.RUnlock()
+	return v
+}

@@ -215,8 +215,10 @@ type Circuit struct {
 	// don't allocate per gate. Gates receive disjoint capacity-clipped
 	// windows; when a block fills, a fresh one is started and earlier gates
 	// keep referencing the old block.
+	//vet:keyexempt arena -- allocation backing store; its contents are exactly the gates' operand slices, which Fingerprint already hashes
 	arena []int
-	err   error
+	//vet:keyexempt err -- sticky construction error; a poisoned circuit is rejected by Validate before any keyed artifact is built
+	err error
 }
 
 // New returns an empty circuit over numQubits qubits. A non-positive width
