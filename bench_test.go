@@ -19,6 +19,7 @@ import (
 	"velociti/internal/dse"
 	"velociti/internal/expt"
 	"velociti/internal/perf"
+	"velociti/internal/placement"
 	"velociti/internal/qasm"
 	"velociti/internal/route"
 	"velociti/internal/schedule"
@@ -531,6 +532,95 @@ func BenchmarkLegacyDesignSpaceExploration(b *testing.B) {
 		}
 	}
 }
+
+// annealBenchInstance builds the large search instance shared by the
+// delta-evaluation and annealing benchmarks: the 576-qubit Supremacy grid
+// (24×24, depth 40, ~23k gates) on 8-ion chains — the regular,
+// layered workload class that motivates search-based placement. Regularity
+// matters for the measurement: a swap's dirty cone stays local to the
+// touched layers, which is exactly the structure the delta path exploits
+// (a uniformly random circuit of the same size entangles every qubit with
+// the whole DAG and the cone degenerates to a full recompute).
+func annealBenchInstance(b *testing.B) (*perf.Evaluator, *ti.Layout) {
+	b.Helper()
+	c, err := apps.Supremacy(24, 24, 40, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qubits := c.NumQubits()
+	d, err := ti.DeviceFor(qubits, 8, ti.Ring)
+	if err != nil {
+		b.Fatal(err)
+	}
+	layout, err := RandomPlacement.Place(d, qubits, stats.NewRand(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return perf.NewEvaluator(c), layout
+}
+
+// BenchmarkDeltaEval measures the incremental rebind kernel: one qubit
+// swap plus one objective refresh per op on the 96-qubit search instance.
+// This is the annealer's inner loop — per-op cost scales with the swapped
+// qubits' gate incidence and the dirty cone, not the DAG size.
+func BenchmarkDeltaEval(b *testing.B) {
+	ev, layout := annealBenchInstance(b)
+	de, err := perf.NewDeltaEval(ev, layout, perf.WeakLink{}, perf.DefaultLatencies())
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := stats.NewRand(9)
+	n := de.NumQubits()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q1 := r.Intn(n)
+		q2 := r.Intn(n - 1)
+		if q2 >= q1 {
+			q2++
+		}
+		if _, err := de.Swap(q1, q2); err != nil {
+			b.Fatal(err)
+		}
+		if de.Cost() <= 0 {
+			b.Fatal("bad cost")
+		}
+	}
+}
+
+// benchAnnealedPlacer runs one full annealing search per op at a fixed
+// move budget; full selects the place-then-full-evaluate scoring path.
+func benchAnnealedPlacer(b *testing.B, full bool) {
+	b.Helper()
+	ev, layout := annealBenchInstance(b)
+	lat := perf.DefaultLatencies()
+	opt := placement.AnnealOptions{Moves: 2000, FullEval: full}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, cost, err := placement.AnnealLayout(ev, layout, perf.WeakLink{}, lat, stats.NewRand(int64(i)), opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cost <= 0 {
+			b.Fatal("bad cost")
+		}
+	}
+}
+
+// BenchmarkAnnealedPlacer measures the delta-scored annealing search —
+// the layouts/sec figure the ≥10× baseline gate tracks. The committed
+// baseline pins the place-then-full-evaluate cost of the identical search
+// (BenchmarkLegacyAnnealedPlacer, same moves, same accept sequence) at
+// least 10× above this entry, so benchdiff surfaces any erosion of the
+// delta path's advantage.
+func BenchmarkAnnealedPlacer(b *testing.B) { benchAnnealedPlacer(b, false) }
+
+// BenchmarkLegacyAnnealedPlacer pins the pre-refactor cost model: every
+// candidate layout priced from scratch (perf.DeltaEval.FullCost — the
+// bit-exactness oracle doubles as the performance reference, exactly like
+// the legacy DSE and alpha-sweep pins).
+func BenchmarkLegacyAnnealedPlacer(b *testing.B) { benchAnnealedPlacer(b, true) }
 
 // bc unwraps a circuit-generator result, failing the benchmark on error.
 func bc(b *testing.B) func(*circuit.Circuit, error) *circuit.Circuit {

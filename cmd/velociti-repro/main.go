@@ -310,6 +310,7 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		}{
 			{"ablation-schedulers", expt.AblationSchedulersContext},
 			{"ablation-placement", expt.AblationPlacementContext},
+			{"ablation-annealed", expt.AblationAnnealedPlacementContext},
 			{"ablation-topology", expt.AblationTopologyContext},
 		} {
 			res, err := ab.f(ctx, opt)

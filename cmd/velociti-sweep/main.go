@@ -62,7 +62,7 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		qubitRange = fs.String("qubit-range", "", "qubit sweep as from:to:step (with -qv or -ratio)")
 		chainLens  = fs.String("chain-lengths", "16", "comma-separated chain lengths")
 		alphas     = fs.String("alphas", "2.0", "comma-separated weak-link penalties")
-		placers    = fs.String("placers", "random", "comma-separated gate placers")
+		placers    = fs.String("placers", "random", "comma-separated gate placers (random, weak-avoiding, load-balanced, edge-constrained, annealed)")
 		topology   = fs.String("topology", "ring", "weak-link topology: ring, line, or tape")
 		backendF   = fs.String("backend", "weaklink", "timing backend: weaklink or shuttle (explicit ion transport)")
 		runs       = fs.Int("runs", core.DefaultRuns, "randomized trials per configuration")
@@ -155,7 +155,7 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		for _, stage := range []struct {
 			name string
 			s    cache.Stats
-		}{{"place", st.Place}, {"synth", st.Synthesize}, {"bind", st.Bind}} {
+		}{{"place", st.Place}, {"synth", st.Synthesize}, {"search", st.Search}, {"bind", st.Bind}} {
 			fmt.Fprintf(os.Stderr, "velociti-sweep: cache %-5s %d hit / %d miss / %d evict / %d resident\n",
 				stage.name, stage.s.Hits, stage.s.Misses, stage.s.Evictions, stage.s.Entries)
 		}

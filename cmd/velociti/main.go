@@ -63,7 +63,7 @@ func run(args []string, out io.Writer) error {
 		gamma      = fs.Float64("gamma", 100, "2-qubit gate latency in microseconds")
 		alpha      = fs.Float64("alpha", 2, "weak-link penalty factor (>= 1)")
 		placementF = fs.String("placement", "random", "qubit placement: random, round-robin, or sequential")
-		placer     = fs.String("placer", "random", "gate placement: random, weak-avoiding, load-balanced, or edge-constrained")
+		placer     = fs.String("placer", "random", "gate placement: random, weak-avoiding, load-balanced, edge-constrained, or annealed")
 		runs       = fs.Int("runs", core.DefaultRuns, "randomized trials to average over")
 		seed       = fs.Int64("seed", 1, "master random seed")
 		jsonOut    = fs.Bool("json", false, "emit the full report as JSON")

@@ -87,6 +87,34 @@ func (c *Printed) Fingerprint() uint64 {
 	return uint64(len(c.Name))
 }
 
+// SearchKey mirrors the stage pipeline's search-artifact key (PR 9): a
+// component-per-field struct whose CacheKey reads every field through one
+// Sprintf call site. All five fields count as covered via the argument
+// reads.
+type SearchKey struct {
+	Dev      string
+	Workload string
+	Pol      string
+	Placer   string
+	Backend  string
+}
+
+func (k SearchKey) CacheKey() string {
+	return fmt.Sprintf("search|%s|%s|pol=%s|placer=%s|be=%s", k.Dev, k.Workload, k.Pol, k.Placer, k.Backend)
+}
+
+// SearchKeyDrift is the same shape after a refactor drops a component
+// from the format string — the cache-collision regression the pass
+// exists to catch.
+type SearchKeyDrift struct {
+	Dev    string
+	Placer string // want `\[keycover\] field Placer of SearchKeyDrift is not read by CacheKey`
+}
+
+func (k SearchKeyDrift) CacheKey() string {
+	return "search|" + k.Dev
+}
+
 // Plain has no key method; its fields are nobody's business.
 type Plain struct {
 	A int

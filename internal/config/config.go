@@ -39,7 +39,8 @@ type Params struct {
 	// "round-robin", or "sequential".
 	Placement string `json:"placement,omitempty"`
 	// Placer names the gate-placement policy: "random" (default),
-	// "weak-avoiding", or "load-balanced".
+	// "weak-avoiding", "load-balanced", "edge-constrained", or the
+	// search-based "annealed".
 	Placer string `json:"placer,omitempty"`
 	// Runs is the number of randomized trials (default 35).
 	Runs int `json:"runs,omitempty"`

@@ -295,6 +295,16 @@ func RunOnce(cfg Config, seed int64) (*circuit.Circuit, *ti.Layout, perf.Result,
 		if err != nil {
 			return nil, nil, perf.Result{}, err
 		}
+		// Search-capable placers re-place the layout against the
+		// synthesized circuit, exactly like the stage pipeline's search
+		// stage: the search seed is split off the trial seed, so the
+		// trial's own stream stays untouched.
+		if searcher, ok := cfg.Placer.(schedule.LayoutSearcher); ok {
+			layout, err = searcher.SearchLayout(perf.NewEvaluator(c), layout, cfg.Backend, stats.SplitSeed(seed, searchSeedTag))
+			if err != nil {
+				return nil, nil, perf.Result{}, err
+			}
+		}
 	}
 	var res perf.Result
 	if _, weak := cfg.Backend.(perf.WeakLink); weak {

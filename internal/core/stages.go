@@ -6,6 +6,8 @@ package core
 //
 //	Place      device+spec+seed      → *ti.Layout
 //	Synthesize spec+layout+seed      → *perf.Evaluator (explicit mode: fixed)
+//	Search     evaluator+layout+seed → *ti.Layout (placers implementing
+//	           schedule.LayoutSearcher only; all others skip the stage)
 //	Bind       circuit+layout        → *perf.Binding (per-gate latency classes)
 //	Time       binding + Latencies   → perf.Result
 //
@@ -32,6 +34,7 @@ import (
 	"velociti/internal/circuit"
 	"velociti/internal/perf"
 	"velociti/internal/pool"
+	"velociti/internal/schedule"
 	"velociti/internal/stats"
 	"velociti/internal/ti"
 	"velociti/internal/verr"
@@ -50,9 +53,10 @@ const DefaultStageCapacity = 1 << 14
 // sweep (attach it via Config.Pipeline); artifacts are content-keyed, so
 // configs that disagree on any behavior-relevant input never share them.
 type Pipeline struct {
-	synth *cache.Cache
-	place *cache.Cache
-	bind  *cache.Cache
+	synth  *cache.Cache
+	place  *cache.Cache
+	search *cache.Cache
+	bind   *cache.Cache
 }
 
 // NewPipeline returns a Pipeline with DefaultStageCapacity per stage.
@@ -64,9 +68,10 @@ func NewPipeline() *Pipeline {
 // perStage entries; perStage <= 0 disables the bound.
 func NewPipelineCapacity(perStage int) *Pipeline {
 	return &Pipeline{
-		synth: cache.New(perStage),
-		place: cache.New(perStage),
-		bind:  cache.New(perStage),
+		synth:  cache.New(perStage),
+		place:  cache.New(perStage),
+		search: cache.New(perStage),
+		bind:   cache.New(perStage),
 	}
 }
 
@@ -76,6 +81,7 @@ func NewPipelineCapacity(perStage int) *Pipeline {
 type StageStats struct {
 	Synthesize cache.Stats
 	Place      cache.Stats
+	Search     cache.Stats
 	Bind       cache.Stats
 }
 
@@ -84,6 +90,7 @@ func (p *Pipeline) Stats() StageStats {
 	return StageStats{
 		Synthesize: p.synth.Stats(),
 		Place:      p.place.Stats(),
+		Search:     p.search.Stats(),
 		Bind:       p.bind.Stats(),
 	}
 }
@@ -102,10 +109,13 @@ type Stages struct {
 	shared *perf.Evaluator
 
 	// placeKey/synthKey are canonical key prefixes ("" = stage not
-	// cacheable); the trial seed is appended per artifact.
-	placeKey string
-	synthKey string
-	bindKey  string
+	// cacheable); the trial seed is appended per artifact. searchKey is
+	// non-empty only when the placer implements schedule.LayoutSearcher
+	// and can fingerprint itself.
+	placeKey  string
+	synthKey  string
+	searchKey string
+	bindKey   string
 
 	// Key components retained for BindAll, which rebuilds synth/bind
 	// prefixes per sweep lane (the placer fingerprint varies with the
@@ -169,7 +179,34 @@ func newStages(cfg Config, spec circuit.Spec, device *ti.Device) *Stages {
 		return s
 	}
 	s.synthKey, s.bindKey = s.stageKeys(placerKey)
+	if _, ok := cfg.Placer.(schedule.LayoutSearcher); ok {
+		s.searchKey = searchKey{
+			dev:      s.keyDev,
+			workload: s.keyWorkload,
+			pol:      s.keyPol,
+			placer:   placerKey,
+			backend:  cfg.Backend.CacheKey(),
+		}.CacheKey()
+	}
 	return s
+}
+
+// searchKey fingerprints a search-stage artifact: the searched layout is a
+// function of the device, the workload, the placement policy (it seeds the
+// starting layout), the placer (whose fingerprint covers the search
+// objective and budget), and the timing backend (whose delta weights score
+// the moves). The trial seed is appended per artifact via seedKey.
+type searchKey struct {
+	dev      string
+	workload string
+	pol      string
+	placer   string
+	backend  string
+}
+
+// CacheKey implements cache.Keyer.
+func (k searchKey) CacheKey() string {
+	return fmt.Sprintf("search|%s|%s|pol=%s|placer=%s|be=%s", k.dev, k.workload, k.pol, k.placer, k.backend)
 }
 
 // stageKeys builds the synth/bind key prefixes for one placer fingerprint
@@ -181,12 +218,16 @@ func (s *Stages) stageKeys(placerKey string) (synthKey, bindKey string) {
 }
 
 // policyKey returns a policy's canonical fingerprint when it provides one.
+// An empty fingerprint means the policy's behavior cannot be canonically
+// described (e.g. placement.Annealed over an unfingerprintable Base) and is
+// treated the same as providing none: no key ⇒ no caching.
 func policyKey(v any) (string, bool) {
 	k, ok := v.(cache.Keyer)
 	if !ok {
 		return "", false
 	}
-	return k.CacheKey(), true
+	key := k.CacheKey()
+	return key, key != ""
 }
 
 // Device returns the derived machine.
@@ -216,14 +257,28 @@ func (s *Stages) Place(seed int64) (*ti.Layout, error) {
 	return v.(*ti.Layout), nil
 }
 
+// searchSeedTag derives the layout-search seed from the trial seed via
+// stats.SplitSeed: the search draws from its own stream, so adding (or
+// re-running) the search stage never perturbs the trial's placement and
+// synthesis draws.
+const searchSeedTag = 0x5ea2c4
+
 // trial runs the coupled place+synthesize path exactly as one randomized
 // trial does: one RNG stream, placement first, then the gate placer over
-// whatever stream state placement left behind. It returns both artifacts.
+// whatever stream state placement left behind, then — for placers that
+// implement schedule.LayoutSearcher — the layout search over the
+// synthesized circuit. It returns the evaluator and the layout the trial
+// binds against (the searched one when the stage applies). The pre-search
+// layout is stored into the Place cache as a side effect: that cache holds
+// stage-1 artifacts, and the searched layout lives in the search cache.
 func (s *Stages) trial(seed int64) (*ti.Layout, *perf.Evaluator, error) {
 	r := stats.NewRand(seed)
 	layout, err := s.cfg.Placement.Place(s.device, s.spec.Qubits, r)
 	if err != nil {
 		return nil, nil, err
+	}
+	if s.pl != nil && s.placeKey != "" {
+		s.pl.place.Put(seedKey(s.placeKey, seed), layout)
 	}
 	if s.shared != nil {
 		return layout, s.shared, nil
@@ -232,14 +287,42 @@ func (s *Stages) trial(seed int64) (*ti.Layout, *perf.Evaluator, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return layout, perf.NewEvaluator(c), nil
+	ev := perf.NewEvaluator(c)
+	layout, err = s.searchLayout(ev, layout, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return layout, ev, nil
+}
+
+// searchLayout runs the optional search stage: placers that implement
+// schedule.LayoutSearcher re-place the trial's layout against the
+// synthesized circuit; all others pass the layout through unchanged. The
+// result is content-keyed in the pipeline's search cache when the placer
+// can fingerprint itself.
+func (s *Stages) searchLayout(ev *perf.Evaluator, l *ti.Layout, seed int64) (*ti.Layout, error) {
+	searcher, ok := s.cfg.Placer.(schedule.LayoutSearcher)
+	if !ok {
+		return l, nil
+	}
+	searchSeed := stats.SplitSeed(seed, searchSeedTag)
+	if s.pl == nil || s.searchKey == "" {
+		return searcher.SearchLayout(ev, l, s.cfg.Backend, searchSeed)
+	}
+	v, err := s.pl.search.GetOrCompute(seedKey(s.searchKey, seed), func() (any, error) {
+		return searcher.SearchLayout(ev, l, s.cfg.Backend, searchSeed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*ti.Layout), nil
 }
 
 // Synthesize produces the trial's evaluator-wrapped circuit (stage 2). In
 // explicit mode the fixed circuit's shared evaluator is returned. In spec
 // mode the compute must replay placement first — the gate placer consumes
-// the RNG stream where the placement policy left it — and the replayed
-// layout is stored into the Place cache as a side effect.
+// the RNG stream where the placement policy left it — and trial feeds the
+// Place (and, when applicable, search) caches as a side effect.
 func (s *Stages) Synthesize(seed int64) (*perf.Evaluator, error) {
 	if s.shared != nil {
 		return s.shared, nil
@@ -249,11 +332,10 @@ func (s *Stages) Synthesize(seed int64) (*perf.Evaluator, error) {
 		return ev, err
 	}
 	v, err := s.pl.synth.GetOrCompute(seedKey(s.synthKey, seed), func() (any, error) {
-		layout, ev, err := s.trial(seed)
+		_, ev, err := s.trial(seed)
 		if err != nil {
 			return nil, err
 		}
-		s.pl.place.Put(seedKey(s.placeKey, seed), layout)
 		return ev, nil
 	})
 	if err != nil {
@@ -279,17 +361,14 @@ func (s *Stages) Bind(seed int64) (*perf.Binding, error) {
 }
 
 // bindCompute runs the coupled trial once and feeds the earlier stage
-// caches on the way.
+// caches on the way (trial itself stores the place and search artifacts).
 func (s *Stages) bindCompute(seed int64) (*perf.Binding, error) {
 	layout, ev, err := s.trial(seed)
 	if err != nil {
 		return nil, err
 	}
-	if s.pl != nil && s.placeKey != "" {
-		s.pl.place.Put(seedKey(s.placeKey, seed), layout)
-		if s.synthKey != "" {
-			s.pl.synth.Put(seedKey(s.synthKey, seed), ev)
-		}
+	if s.pl != nil && s.synthKey != "" {
+		s.pl.synth.Put(seedKey(s.synthKey, seed), ev)
 	}
 	b, err := ev.Bind(layout)
 	if err != nil {

@@ -38,6 +38,7 @@ func stageConfigs(t *testing.T) []core.Config {
 		{Spec: workload.Random(20, 80), ChainLength: 8, Runs: 6, Seed: 11},
 		{Spec: qv, ChainLength: 8, Runs: 5, Seed: 23, Placer: schedule.WeakAvoiding{}},
 		{Spec: qv, ChainLength: 8, Runs: 5, Seed: 23, Placer: schedule.LoadBalanced{Latencies: lat}},
+		{Spec: qv, ChainLength: 8, Runs: 5, Seed: 23, Placer: schedule.Annealed{Moves: 300}},
 		{Circuit: qft, ChainLength: 4, Runs: 6, Seed: 42},
 	}
 }
@@ -204,6 +205,44 @@ func TestUnkeyablePolicyBypassesCache(t *testing.T) {
 	}
 	if st := pl.Stats(); st.Place.Entries+st.Synthesize.Entries+st.Bind.Entries != 0 {
 		t.Fatalf("unkeyable policy stored artifacts: %+v", st)
+	}
+}
+
+// TestSearchStageCachesAnnealedLayouts pins the search stage's cache
+// behavior: one miss per trial on a cold pipeline, pure hits on a warm
+// one, and the searched layouts actually change the outcome relative to
+// the same config under the plain random placer.
+func TestSearchStageCachesAnnealedLayouts(t *testing.T) {
+	pl := core.NewPipeline()
+	cfg := core.Config{
+		Spec: workload.Random(20, 80), ChainLength: 4, Runs: 6, Seed: 11,
+		Placer: schedule.Annealed{Moves: 400}, Pipeline: pl,
+	}
+	annealed, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := pl.Stats()
+	if st.Search.Misses != uint64(cfg.Runs) || st.Search.Hits != 0 {
+		t.Fatalf("cold search stats = %+v, want %d misses and no hits", st.Search, cfg.Runs)
+	}
+	if _, err := core.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// The warm pass short-circuits at Bind, so the search cache simply must
+	// not recompute; any new miss means the key failed to round-trip.
+	if st = pl.Stats(); st.Search.Misses != uint64(cfg.Runs) {
+		t.Fatalf("warm search stats = %+v, want no new misses", st.Search)
+	}
+	random := cfg
+	random.Placer = schedule.Random{}
+	random.Pipeline = core.NewPipeline()
+	baseline, err := core.Run(random)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if annealed.Parallel.Mean >= baseline.Parallel.Mean {
+		t.Fatalf("annealed mean %v did not beat random mean %v", annealed.Parallel.Mean, baseline.Parallel.Mean)
 	}
 }
 

@@ -64,6 +64,10 @@ type Options struct {
 	// Alphas to sweep; nil selects {2.0, 1.5, 1.0}.
 	Alphas []float64
 	// Placers to sweep by name; nil selects {"random", "load-balanced"}.
+	// Any schedule.ByName-resolvable name is accepted, including the
+	// search-based "annealed" — it cannot batch a sweep lane-free (the
+	// searched layout differs per synthesized circuit), so its plan
+	// groups evaluate per α lane.
 	Placers []string
 	// Backends to sweep by name ("weaklink", "shuttle"); nil selects
 	// {"weaklink"}. The backend is the innermost grid axis, so plan
@@ -276,9 +280,10 @@ func (o Options) plans(spec circuit.Spec) ([]planGroup, error) {
 					}
 					pg.stages = st
 				} else {
-					// A placer outside the built-in suite that cannot batch:
-					// fall back to per-cell stages, still under (plan, seed)
-					// job granularity.
+					// A placer that cannot batch — annealed (the searched
+					// layout depends on each lane's circuit) or one outside
+					// the built-in suite: fall back to per-lane stages,
+					// still under (plan, seed) job granularity.
 					pg.laneStages = make([]*core.Stages, nA)
 					for ai := range o.Alphas {
 						placer, err := schedule.ByName(placerName, pg.lats[ai])

@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -68,6 +69,48 @@ func TestExploreKnobDirections(t *testing.T) {
 	// Lower α: faster at fixed L (fidelity unchanged by α in the model).
 	if !(byKey[[2]interface{}{32, 1.0}].ParallelMicros < byKey[[2]interface{}{32, 2.0}].ParallelMicros) {
 		t.Errorf("α=1 should beat α=2 on time")
+	}
+}
+
+// TestExploreAnnealedMatchesPerCell: the search-based placer takes the
+// per-lane fallback inside plan groups, and its grouped results must equal
+// the independent per-cell path bit for bit at any worker count.
+func TestExploreAnnealedMatchesPerCell(t *testing.T) {
+	opt := Options{
+		ChainLengths: []int{8},
+		Alphas:       []float64{2.0, 1.0},
+		Placers:      []string{"random", "annealed"},
+		Runs:         3,
+		Seed:         7,
+	}
+	sp := spec()
+	want, err := ExplorePerCell(context.Background(), sp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasAnnealed := false
+	for _, p := range want {
+		if p.Placer == "annealed" {
+			hasAnnealed = true
+		}
+	}
+	if !hasAnnealed {
+		t.Fatal("grid dropped the annealed axis")
+	}
+	for _, workers := range []int{1, 4} {
+		opt.Workers = workers
+		got, err := Explore(sp, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d points, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d point %d: grouped %+v, per-cell %+v", workers, i, got[i], want[i])
+			}
+		}
 	}
 }
 

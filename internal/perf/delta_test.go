@@ -1,0 +1,223 @@
+package perf_test
+
+// Delta-evaluation bit-exactness: after arbitrary swap sequences, the
+// incremental objective must equal a from-scratch evaluation — for the
+// weak-link backend that oracle is Evaluator.LongestPath on the
+// materialized layout (the paper's model), and for both backends FullCost
+// re-derives latencies and edge weights with no incremental state. Runs
+// cover multiple seeds and a tiny cone budget that forces the dag-level
+// full-recompute fallback.
+
+import (
+	"math/rand"
+	"testing"
+
+	"velociti/internal/circuit"
+	"velociti/internal/perf"
+	"velociti/internal/placement"
+	"velociti/internal/shuttle"
+	"velociti/internal/stats"
+	"velociti/internal/ti"
+)
+
+// randomCircuit synthesizes a random gate sequence over n qubits.
+func randomCircuit(r *rand.Rand, n, oneQ, twoQ int) *circuit.Circuit {
+	c := circuit.NewScratch("delta-test", n)
+	for oneQ > 0 || twoQ > 0 {
+		if twoQ > 0 && (oneQ == 0 || r.Intn(2) == 0) {
+			a := r.Intn(n)
+			b := r.Intn(n - 1)
+			if b >= a {
+				b++
+			}
+			c.CX(a, b)
+			twoQ--
+			continue
+		}
+		c.X(r.Intn(n))
+		oneQ--
+	}
+	return c
+}
+
+func deltaBackends(t *testing.T) map[string]perf.TimingBackend {
+	t.Helper()
+	return map[string]perf.TimingBackend{
+		"weaklink": perf.WeakLink{},
+		"shuttle":  shuttle.Backend{Params: shuttle.Default()},
+	}
+}
+
+// TestDeltaEvalMatchesFullAfterRandomSwaps is the tentpole property: delta
+// ≡ full on randomized swap sequences, both backends, several seeds, and a
+// cone budget small enough to exercise the fallback path.
+func TestDeltaEvalMatchesFullAfterRandomSwaps(t *testing.T) {
+	const qubits, chainLen = 24, 6
+	lat := perf.DefaultLatencies()
+	for name, backend := range deltaBackends(t) {
+		for _, seed := range []int64{1, 5, 99} {
+			for _, cone := range []int{0, 2} {
+				r := stats.NewRand(seed)
+				c := randomCircuit(r, qubits, 40, 120)
+				device, err := ti.DeviceFor(qubits, chainLen, ti.Ring)
+				if err != nil {
+					t.Fatal(err)
+				}
+				l, err := placement.Random{}.Place(device, qubits, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ev := perf.NewEvaluator(c)
+				de, err := perf.NewDeltaEval(ev, l, backend, lat)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cone > 0 {
+					de.SetConeLimit(cone)
+				}
+				for step := 0; step < 80; step++ {
+					a := r.Intn(qubits)
+					b := r.Intn(qubits - 1)
+					if b >= a {
+						b++
+					}
+					if _, err := de.Swap(a, b); err != nil {
+						t.Fatal(err)
+					}
+					got := de.Cost()
+					want, err := de.FullCost()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != want {
+						t.Fatalf("%s seed %d cone %d step %d: delta cost %v, full %v", name, seed, cone, step, got, want)
+					}
+					if name == "weaklink" {
+						ml, err := de.Layout()
+						if err != nil {
+							t.Fatal(err)
+						}
+						if oracle := ev.LongestPath(ml, lat); got != oracle {
+							t.Fatalf("%s seed %d step %d: delta cost %v, LongestPath oracle %v", name, seed, step, got, oracle)
+						}
+					}
+				}
+				if cone == 2 && de.FullRecomputes() == 0 {
+					t.Fatalf("%s seed %d: cone limit 2 never fell back to a full recompute", name, seed)
+				}
+			}
+		}
+	}
+}
+
+// TestDeltaEvalSwapIsInvolution: Swap(a,b) twice restores the assignment
+// and the objective bit for bit — the revert path the annealer leans on
+// for rejected moves, including deferred (batched) refreshes.
+func TestDeltaEvalSwapIsInvolution(t *testing.T) {
+	const qubits = 16
+	lat := perf.DefaultLatencies()
+	r := stats.NewRand(7)
+	c := randomCircuit(r, qubits, 20, 60)
+	device, err := ti.DeviceFor(qubits, 4, ti.Ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := placement.Random{}.Place(device, qubits, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	de, err := perf.NewDeltaEval(perf.NewEvaluator(c), l, perf.WeakLink{}, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := de.Cost()
+	var asg []int32
+	asg = de.ChainAssignments(asg)
+	for step := 0; step < 40; step++ {
+		a, b := r.Intn(qubits), r.Intn(qubits-1)
+		if b >= a {
+			b++
+		}
+		if _, err := de.Swap(a, b); err != nil {
+			t.Fatal(err)
+		}
+		// Deliberately do NOT refresh between the swap and its revert:
+		// the dirty sets must merge and cancel.
+		if _, err := de.Swap(a, b); err != nil {
+			t.Fatal(err)
+		}
+		if got := de.Cost(); got != initial {
+			t.Fatalf("step %d: cost %v after revert, want %v", step, got, initial)
+		}
+		for q, ch := range de.ChainAssignments(nil) {
+			if ch != asg[q] {
+				t.Fatalf("step %d: qubit %d on chain %d after revert, want %d", step, q, ch, asg[q])
+			}
+		}
+	}
+}
+
+// TestDeltaEvalSwapValidation: out-of-range and identical qubits are typed
+// input errors and leave the evaluator untouched.
+func TestDeltaEvalSwapValidation(t *testing.T) {
+	const qubits = 8
+	r := stats.NewRand(3)
+	c := randomCircuit(r, qubits, 4, 12)
+	device, err := ti.DeviceFor(qubits, 4, ti.Ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := placement.Random{}.Place(device, qubits, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	de, err := perf.NewDeltaEval(perf.NewEvaluator(c), l, perf.WeakLink{}, perf.DefaultLatencies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := de.Cost()
+	for _, pair := range [][2]int{{-1, 0}, {0, qubits}, {3, 3}} {
+		if _, err := de.Swap(pair[0], pair[1]); err == nil {
+			t.Fatalf("Swap(%d, %d) accepted", pair[0], pair[1])
+		}
+	}
+	if after := de.Cost(); after != before {
+		t.Fatalf("rejected swaps changed the cost: %v != %v", after, before)
+	}
+}
+
+// TestDeltaWeightsWeakLinkMatchesClassLatencies: the weak-link delta
+// weights must reproduce the paper's per-class latencies with no hop
+// surcharge, so the delta objective is the paper's model exactly.
+func TestDeltaWeightsWeakLinkMatchesClassLatencies(t *testing.T) {
+	lat := perf.Latencies{OneQubit: 2, TwoQubit: 150, WeakPenalty: 3}
+	base, perHop, err := perf.WeakLink{}.DeltaWeights(lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perHop != 0 {
+		t.Fatalf("weak-link perHop = %v, want 0", perHop)
+	}
+	if base[perf.ClassOneQ] != lat.OneQubit || base[perf.ClassTwoQIntra] != lat.TwoQubit ||
+		base[perf.ClassTwoQWeak] != lat.WeakPenalty*lat.TwoQubit {
+		t.Fatalf("weak-link delta weights %v", base)
+	}
+}
+
+// TestDeltaWeightsShuttleIsContentionFreeTransport: the shuttle surrogate
+// prices a weak gate as split+merge+recool+γ plus move per hop, α-free.
+func TestDeltaWeightsShuttleIsContentionFreeTransport(t *testing.T) {
+	p := shuttle.Default()
+	lat := perf.DefaultLatencies()
+	base, perHop, err := shuttle.Backend{Params: p}.DeltaWeights(lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perHop != p.MovePerHopMicros {
+		t.Fatalf("shuttle perHop = %v, want %v", perHop, p.MovePerHopMicros)
+	}
+	want := lat.TwoQubit + p.SplitMicros + p.MergeMicros + p.RecoolMicros
+	if base[perf.ClassTwoQWeak] != want {
+		t.Fatalf("shuttle weak base = %v, want %v", base[perf.ClassTwoQWeak], want)
+	}
+}

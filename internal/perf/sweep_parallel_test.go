@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"velociti/internal/circuit"
-	"velociti/internal/placement"
 	"velociti/internal/stats"
 	"velociti/internal/ti"
 )
@@ -38,7 +37,20 @@ func testLayout(t *testing.T, qubits, chainLength int) *ti.Layout {
 	if err != nil {
 		t.Fatal(err)
 	}
-	l, err := placement.Sequential{}.Place(d, qubits, nil)
+	return seqLayout(t, d, qubits)
+}
+
+// seqLayout fills chains in ascending qubit order — placement.Sequential
+// without the import: placement now depends on perf (anneal.go), so perf's
+// internal tests cannot import it back.
+func seqLayout(t *testing.T, d *ti.Device, qubits int) *ti.Layout {
+	t.Helper()
+	chains := make([][]int, d.NumChains())
+	for q := 0; q < qubits; q++ {
+		c := q / d.ChainLength()
+		chains[c] = append(chains[c], q)
+	}
+	l, err := ti.NewLayout(d, chains)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,7 +11,6 @@ import (
 	"testing"
 
 	"velociti/internal/circuit"
-	"velociti/internal/placement"
 	"velociti/internal/ti"
 	"velociti/internal/verr"
 )
@@ -103,10 +102,7 @@ func TestTransportContentionHandCase(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	l, err := placement.Sequential{}.Place(d, 8, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
+	l := seqLayout(t, d, 8)
 	c := circuit.New("contend", 8)
 	c.CX(0, 4) // chain 0 ↔ chain 1
 	c.CX(1, 5) // disjoint qubits, same segment
@@ -186,10 +182,7 @@ func TestAttachTransportDisconnected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	l, err := placement.Sequential{}.Place(d, 12, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
+	l := seqLayout(t, d, 12)
 	c := circuit.New("disc", 12)
 	c.CX(0, 8) // chain 0 ↔ chain 2: no path
 	if err := c.Err(); err != nil {

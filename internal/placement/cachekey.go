@@ -6,11 +6,16 @@ package placement
 // produced by policies that provide one; Refined deliberately does not — its
 // behavior depends on an arbitrary Base policy, so a universally correct
 // fingerprint cannot be written for it and stage caching is bypassed.
+// Annealed has the same problem one level down (its Base seeds the search)
+// and resolves it with the empty-key convention: a CacheKey of "" means
+// "no fingerprint exists" and the pipeline treats the policy as uncacheable.
 
 import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+
+	"velociti/internal/perf"
 )
 
 // CacheKey implements cache.Keyer. Random's behavior is fixed given the
@@ -23,6 +28,44 @@ func (RoundRobin) CacheKey() string { return "round-robin" }
 
 // CacheKey implements cache.Keyer.
 func (Sequential) CacheKey() string { return "sequential" }
+
+// CacheKey implements cache.Keyer: the annealed layout depends on the
+// starting layout's policy, the circuit it is scored against, the
+// backend's delta weights, the objective's timing model, and the move
+// budget, so all five are folded in (normalized exactly as Place resolves
+// them). A nil circuit can never produce an artifact — Place rejects it —
+// so its key slot is a fixed sentinel. A Base policy without a fingerprint
+// of its own makes the whole search unfingerprintable: the key is then ""
+// and the pipeline bypasses stage caching (no key ⇒ no caching).
+func (p Annealed) CacheKey() string {
+	baseKey := "random"
+	if p.Base != nil {
+		k, ok := p.Base.(interface{ CacheKey() string })
+		if !ok {
+			return ""
+		}
+		if baseKey = k.CacheKey(); baseKey == "" {
+			return ""
+		}
+	}
+	circ := "nil"
+	if p.Circuit != nil {
+		circ = fmt.Sprintf("%016x", p.Circuit.Fingerprint())
+	}
+	be := "weaklink"
+	if p.Backend != nil {
+		be = p.Backend.CacheKey()
+	}
+	lat := p.Latencies
+	if lat == (perf.Latencies{}) {
+		lat = perf.DefaultLatencies()
+	}
+	moves := p.Moves
+	if moves < 0 {
+		moves = 0 // Place treats any non-positive budget as the default
+	}
+	return fmt.Sprintf("annealed/base={%s}/circ=%s/obj={%s}/be={%s}/m=%d", baseKey, circ, lat.CacheKey(), be, moves)
+}
 
 // CacheKey implements cache.Keyer: the interaction graph is part of the
 // policy's behavior, so its content is hashed into the key in canonical

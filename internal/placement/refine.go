@@ -12,15 +12,19 @@ import (
 // while doing so reduces the weighted cross-chain gate count, up to
 // maxPasses sweeps (each sweep applies at most NumQubits swaps). Chain
 // occupancies are preserved, so the refined layout is always valid for the
-// same device. It returns the refined layout and its cross-chain gate
-// weight. The input layout is not modified.
+// same device. It returns the refined layout, its cross-chain gate weight,
+// and whether the search converged: converged is true when a full pass
+// found no improving swap, and false when the pass budget ran out while
+// swaps were still improving — the result may then be short of the local
+// optimum, and callers wanting it should retry with a larger maxPasses.
+// The input layout is not modified.
 //
 // This is the iterative counterpart to the greedy InteractionAware policy:
 // greedy construction gets within reach of a good cut, and refinement
 // walks downhill from any starting point — including a random one.
-func Refine(l *ti.Layout, interactions map[[2]int]int, maxPasses int) (*ti.Layout, int, error) {
+func Refine(l *ti.Layout, interactions map[[2]int]int, maxPasses int) (_ *ti.Layout, cost int, converged bool, _ error) {
 	if l == nil {
-		return nil, 0, fmt.Errorf("placement: refine requires a layout")
+		return nil, 0, false, fmt.Errorf("placement: refine requires a layout")
 	}
 	if maxPasses <= 0 {
 		maxPasses = 8
@@ -36,7 +40,7 @@ func Refine(l *ti.Layout, interactions map[[2]int]int, maxPasses int) (*ti.Layou
 	for pair, w := range interactions {
 		a, b := pair[0], pair[1]
 		if a < 0 || b < 0 || a >= n || b >= n {
-			return nil, 0, fmt.Errorf("placement: interaction pair %v out of range [0,%d)", pair, n)
+			return nil, 0, false, fmt.Errorf("placement: interaction pair %v out of range [0,%d)", pair, n)
 		}
 		if a == b || w == 0 {
 			continue
@@ -57,7 +61,7 @@ func Refine(l *ti.Layout, interactions map[[2]int]int, maxPasses int) (*ti.Layou
 			weightTo[q][chainOf[x]] += w
 		}
 	}
-	cost := 0
+	cost = 0
 	for pair, w := range interactions {
 		if pair[0] != pair[1] && chainOf[pair[0]] != chainOf[pair[1]] {
 			cost += w
@@ -79,6 +83,7 @@ func Refine(l *ti.Layout, interactions map[[2]int]int, maxPasses int) (*ti.Layou
 
 	for pass := 0; pass < maxPasses; pass++ {
 		improvedThisPass := false
+		noImprovingSwap := false
 		for step := 0; step < n; step++ {
 			bestU, bestV, bestGain := -1, -1, 0
 			for u := 0; u < n; u++ {
@@ -97,13 +102,18 @@ func Refine(l *ti.Layout, interactions map[[2]int]int, maxPasses int) (*ti.Layou
 				}
 			}
 			if bestU < 0 {
+				noImprovingSwap = true
 				break
 			}
 			applySwap(bestU, bestV)
 			cost -= bestGain
 			improvedThisPass = true
 		}
-		if !improvedThisPass {
+		// A pass that ran out of improving swaps proves local optimality;
+		// exhausting every pass while swaps were still improving does not,
+		// and the caller can now tell the two apart.
+		if noImprovingSwap || !improvedThisPass {
+			converged = true
 			break
 		}
 	}
@@ -117,9 +127,9 @@ func Refine(l *ti.Layout, interactions map[[2]int]int, maxPasses int) (*ti.Layou
 	}
 	refined, err := ti.NewLayout(l.Device(), chains)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
 	}
-	return refined, cost, nil
+	return refined, cost, converged, nil
 }
 
 // Refined is a placement policy that runs a base policy and then applies
@@ -147,6 +157,6 @@ func (p Refined) Place(d *ti.Device, numQubits int, r *rand.Rand) (*ti.Layout, e
 	if err != nil {
 		return nil, err
 	}
-	refined, _, err := Refine(l, p.Interactions, p.Passes)
+	refined, _, _, err := Refine(l, p.Interactions, p.Passes)
 	return refined, err
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"velociti/internal/stats"
+	"velociti/internal/ti"
 )
 
 // clusteredGraph builds k blocks of `size` qubits with dense intra-block
@@ -33,12 +34,15 @@ func TestRefineReachesZeroCutOnSeparableWorkload(t *testing.T) {
 		t.Fatal(err)
 	}
 	startCross := CrossChainGates(start, ig)
-	refined, cost, err := Refine(start, ig, 0)
+	refined, cost, converged, err := Refine(start, ig, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cost != 0 {
 		t.Fatalf("separable workload should refine to cut 0, got %d (from %d)", cost, startCross)
+	}
+	if !converged {
+		t.Fatalf("refinement reached cut 0 but reported exhaustion")
 	}
 	if got := CrossChainGates(refined, ig); got != cost {
 		t.Fatalf("reported cost %d != recomputed %d", cost, got)
@@ -70,7 +74,7 @@ func TestRefineNeverIncreasesCost(t *testing.T) {
 			t.Fatal(err)
 		}
 		before := CrossChainGates(start, ig)
-		refined, cost, err := Refine(start, ig, 4)
+		refined, cost, _, err := Refine(start, ig, 4)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -100,7 +104,7 @@ func TestRefineBeatsGreedyOnAwkwardStart(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := CrossChainGates(scattered, ig)
-	_, cost, err := Refine(scattered, ig, 0)
+	_, cost, _, err := Refine(scattered, ig, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,18 +115,21 @@ func TestRefineBeatsGreedyOnAwkwardStart(t *testing.T) {
 }
 
 func TestRefineValidation(t *testing.T) {
-	if _, _, err := Refine(nil, nil, 1); err == nil {
+	if _, _, _, err := Refine(nil, nil, 1); err == nil {
 		t.Fatalf("nil layout should fail")
 	}
 	d := device(t, 4, 2)
 	l, _ := Sequential{}.Place(d, 8, nil)
-	if _, _, err := Refine(l, map[[2]int]int{{0, 99}: 1}, 1); err == nil {
+	if _, _, _, err := Refine(l, map[[2]int]int{{0, 99}: 1}, 1); err == nil {
 		t.Fatalf("out-of-range pair should fail")
 	}
 	// Empty interactions: refine is a no-op with zero cost.
-	refined, cost, err := Refine(l, nil, 1)
+	refined, cost, converged, err := Refine(l, nil, 1)
 	if err != nil || cost != 0 {
 		t.Fatalf("empty refine: %v %d", err, cost)
+	}
+	if !converged {
+		t.Fatalf("no-op refine must report convergence")
 	}
 	checkComplete(t, refined, 8)
 }
@@ -146,5 +153,51 @@ func TestRefinedPolicy(t *testing.T) {
 	bad := Refined{Base: RoundRobin{}, Interactions: ig}
 	if _, err := bad.Place(device(t, 2, 2), 5, nil); err == nil {
 		t.Fatalf("base overflow should propagate")
+	}
+}
+
+// TestRefineReportsExhaustion: with a single pass on a workload whose
+// steepest-descent walk is at least NumQubits swaps long, Refine must
+// return converged = false — previously exhaustion was indistinguishable
+// from convergence — while a larger budget on the same input converges to
+// a cost no worse. The instance below is pinned: its best-improvement walk
+// from the alternating start is exactly 12 swaps (the one-pass budget for
+// 12 qubits), found by searching weight matrices for long walks — random
+// workloads almost never exceed n/2 swaps, since each swap settles two
+// qubits at once.
+func TestRefineReportsExhaustion(t *testing.T) {
+	d := device(t, 6, 2)
+	l, err := ti.NewLayout(d, [][]int{{0, 2, 4, 6, 8, 10}, {1, 3, 5, 7, 9, 11}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ig := map[[2]int]int{
+		{0, 1}: 254, {0, 2}: 63, {0, 3}: 240, {0, 7}: 35, {0, 8}: 10, {0, 9}: 45, {0, 10}: 17,
+		{1, 3}: 129, {1, 4}: 88, {1, 7}: 15, {1, 8}: 223, {1, 9}: 164, {1, 10}: 255, {1, 11}: 158,
+		{2, 3}: 118, {2, 4}: 174, {2, 5}: 114, {2, 6}: 88, {2, 8}: 186, {2, 9}: 158, {2, 10}: 52, {2, 11}: 164,
+		{3, 4}: 142, {3, 5}: 226, {3, 6}: 193, {3, 7}: 190, {3, 9}: 110, {3, 11}: 74,
+		{4, 5}: 80, {4, 6}: 73, {4, 7}: 55, {4, 8}: 75, {4, 9}: 141, {4, 10}: 124, {4, 11}: 108,
+		{5, 6}: 196, {5, 7}: 157, {5, 8}: 160, {5, 11}: 191,
+		{6, 7}: 124, {6, 8}: 81, {6, 9}: 86, {6, 10}: 149,
+		{7, 8}: 254, {7, 9}: 224, {7, 10}: 245, {7, 11}: 103,
+		{8, 9}: 162, {8, 11}: 181,
+		{9, 10}: 118, {10, 11}: 154,
+	}
+	_, costShort, convergedShort, err := Refine(l, ig, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if convergedShort {
+		t.Fatalf("single pass claimed convergence on a 12-swap walk (cost %d)", costShort)
+	}
+	_, costLong, convergedLong, err := Refine(l, ig, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !convergedLong {
+		t.Fatalf("8 passes did not converge (cost %d)", costLong)
+	}
+	if costLong > costShort {
+		t.Fatalf("longer refinement worsened cost %d → %d", costShort, costLong)
 	}
 }

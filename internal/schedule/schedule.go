@@ -285,5 +285,11 @@ func ByName(name string, lat perf.Latencies) (Placer, error) {
 			return p, nil
 		}
 	}
-	return nil, verr.Inputf("schedule: unknown placer %q (want random, weak-avoiding, load-balanced, or edge-constrained)", name)
+	// Annealed is resolvable by name but deliberately absent from All: the
+	// ablation suites iterate All, and the search-based placer is compared
+	// in its own experiment rather than silently added to every ablation.
+	if a := (Annealed{Latencies: lat}); a.Name() == name {
+		return a, nil
+	}
+	return nil, verr.Inputf("schedule: unknown placer %q (want random, weak-avoiding, load-balanced, edge-constrained, or annealed)", name)
 }

@@ -243,6 +243,59 @@ func TestBackendCoalescingKeys(t *testing.T) {
 	}
 }
 
+// TestPlacerCoalescingKeys: requests that differ only in their placer
+// selection — including the search-based "annealed" — must never share a
+// flight, on every endpoint whose schema carries a placer axis.
+func TestPlacerCoalescingKeys(t *testing.T) {
+	placers := []string{"random", "weak-avoiding", "load-balanced", "edge-constrained", "annealed"}
+
+	evalKeys := map[string]string{}
+	sweepKeys := map[string]string{}
+	exploreKeys := map[string]string{}
+	for _, name := range placers {
+		var e EvaluateRequest
+		body := `{"workload": {"qubits": 8, "two_qubit_gates": 4}, "placer": "` + name + `"}`
+		if err := json.Unmarshal([]byte(body), &e); err != nil {
+			t.Fatal(err)
+		}
+		evalKeys[name] = e.normalize().key()
+
+		var s SweepRequest
+		body = `{"qubits": 16, "two_qubit_gates": 8, "placers": ["` + name + `"]}`
+		if err := json.Unmarshal([]byte(body), &s); err != nil {
+			t.Fatal(err)
+		}
+		sweepKeys[name] = s.normalize().key()
+
+		var x ExploreRequest
+		body = `{"spec": {"qubits": 8, "two_qubit_gates": 4}, "placers": ["` + name + `"]}`
+		if err := json.Unmarshal([]byte(body), &x); err != nil {
+			t.Fatal(err)
+		}
+		exploreKeys[name] = x.normalize().key()
+	}
+	for endpoint, keys := range map[string]map[string]string{
+		"evaluate": evalKeys, "sweep": sweepKeys, "explore": exploreKeys,
+	} {
+		seen := map[string]string{}
+		for name, k := range keys {
+			if prev, dup := seen[k]; dup {
+				t.Errorf("%s: placers %q and %q share a flight (key %q)", endpoint, prev, name, k)
+			}
+			seen[k] = name
+		}
+	}
+	// The default placer and an explicit "random" are the same request and
+	// must coalesce.
+	var implicit EvaluateRequest
+	if err := json.Unmarshal([]byte(`{"workload": {"qubits": 8, "two_qubit_gates": 4}}`), &implicit); err != nil {
+		t.Fatal(err)
+	}
+	if implicit.normalize().key() != evalKeys["random"] {
+		t.Errorf("evaluate: implicit default and explicit random placer should share a flight")
+	}
+}
+
 // TestWorkerKnobNeverChangesBytes pins the execution-knob contract: the
 // same plan at different worker counts returns identical bodies (and
 // coalesces under the same key).

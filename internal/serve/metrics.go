@@ -109,6 +109,7 @@ type EndpointsSnapshot struct {
 type StageCacheSnapshot struct {
 	Place      cache.Stats `json:"place"`
 	Synthesize cache.Stats `json:"synthesize"`
+	Search     cache.Stats `json:"search"`
 	Bind       cache.Stats `json:"bind"`
 }
 
@@ -152,6 +153,7 @@ func (r *metrics) snapshot(pl *core.Pipeline, adm *admission) Snapshot {
 		Cache: StageCacheSnapshot{
 			Place:      st.Place,
 			Synthesize: st.Synthesize,
+			Search:     st.Search,
 			Bind:       st.Bind,
 		},
 		Pool: pool.Stats(),

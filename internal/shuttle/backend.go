@@ -60,6 +60,28 @@ func (b Backend) TimeAll(bd *perf.Binding, lats []perf.Latencies) ([]perf.Result
 	return bd.TimeTransportAll(b.costs(), lats)
 }
 
+// DeltaWeights implements perf.DeltaWeigher, enabling incremental
+// (delta) evaluation for search-based placement. The delta objective is
+// the CONTENTION-FREE transport cost: a cross-chain gate prices as
+// split + hops·move + merge + recool + the local γ (α never applies —
+// transport replaces it), which is Time's cost when no two transports
+// queue on a shared segment. Junction contention is sequence-dependent
+// and cannot be carried by a static edge weight, so the annealer searches
+// on this surrogate; reported results are always re-priced by Time.
+func (b Backend) DeltaWeights(lat perf.Latencies) ([perf.NumGateClasses]float64, float64, error) {
+	if err := lat.Validate(); err != nil {
+		return [perf.NumGateClasses]float64{}, 0, err
+	}
+	if err := b.Params.Validate(); err != nil {
+		return [perf.NumGateClasses]float64{}, 0, err
+	}
+	var base [perf.NumGateClasses]float64
+	base[perf.ClassOneQ] = lat.OneQubit
+	base[perf.ClassTwoQIntra] = lat.TwoQubit
+	base[perf.ClassTwoQWeak] = lat.TwoQubit + b.Params.SplitMicros + b.Params.MergeMicros + b.Params.RecoolMicros
+	return base, b.Params.MovePerHopMicros, nil
+}
+
 func (b Backend) costs() perf.TransportCosts {
 	return perf.TransportCosts{
 		SplitMicros:      b.Params.SplitMicros,

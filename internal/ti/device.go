@@ -289,6 +289,40 @@ func (d *Device) ChainDistance(a, b int) int {
 	return dist[b]
 }
 
+// ChainDistances returns the all-pairs chain-hop matrix in row-major order:
+// entry a*NumChains()+b is ChainDistance(a, b). One adjacency build plus one
+// BFS per source chain — callers that need the whole matrix (the delta
+// evaluator prices every cross-chain gate against it) would otherwise pay
+// an adjacency rebuild per pair.
+func (d *Device) ChainDistances() []int32 {
+	adj := make([][]int, d.numChains)
+	for _, l := range d.links {
+		adj[l.A.Chain] = append(adj[l.A.Chain], l.B.Chain)
+		adj[l.B.Chain] = append(adj[l.B.Chain], l.A.Chain)
+	}
+	out := make([]int32, d.numChains*d.numChains)
+	queue := make([]int, 0, d.numChains)
+	for a := 0; a < d.numChains; a++ {
+		row := out[a*d.numChains : (a+1)*d.numChains]
+		for i := range row {
+			row[i] = -1
+		}
+		row[a] = 0
+		queue = append(queue[:0], a)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range adj[u] {
+				if row[v] == -1 {
+					row[v] = row[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return out
+}
+
 // PathLinks returns the weak links along a deterministic shortest path
 // between chains a and b (empty when a == b). Ties between equally short
 // paths are broken toward the lower-numbered neighbouring chain. A

@@ -159,6 +159,34 @@ func TestChainDistance(t *testing.T) {
 	}
 }
 
+// TestChainDistancesMatchesPairwise pins the all-pairs matrix against the
+// per-pair BFS, disconnected chains included.
+func TestChainDistancesMatchesPairwise(t *testing.T) {
+	ring, _ := NewDevice(8, 6, Ring)
+	line, _ := NewDevice(8, 6, Line)
+	split, err := NewDeviceLinks(8, 4, []WeakLink{
+		{A: Port{Chain: 0, Side: Right}, B: Port{Chain: 1, Side: Left}},
+		{A: Port{Chain: 2, Side: Right}, B: Port{Chain: 3, Side: Left}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []*Device{ring, line, split} {
+		nc := d.NumChains()
+		m := d.ChainDistances()
+		if len(m) != nc*nc {
+			t.Fatalf("matrix size %d, want %d", len(m), nc*nc)
+		}
+		for a := 0; a < nc; a++ {
+			for b := 0; b < nc; b++ {
+				if got, want := m[a*nc+b], int32(d.ChainDistance(a, b)); got != want {
+					t.Errorf("%s: matrix(%d,%d) = %d, want %d", d, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
 func TestDeviceForCapacity(t *testing.T) {
 	d, err := DeviceFor(78, 16, Ring)
 	if err != nil {

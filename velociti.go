@@ -197,9 +197,11 @@ func RefinedPlacement(base PlacementPolicy, interactions map[[2]int]int, passes 
 }
 
 // RefineLayout locally optimizes an existing layout for the given
-// interaction graph, returning the refined layout and its cross-chain gate
-// weight.
-func RefineLayout(l *Layout, interactions map[[2]int]int, passes int) (*Layout, int, error) {
+// interaction graph, returning the refined layout, its cross-chain gate
+// weight, and whether the search converged (false means the pass budget
+// ran out while swaps were still improving — retry with more passes for
+// a local optimum).
+func RefineLayout(l *Layout, interactions map[[2]int]int, passes int) (*Layout, int, bool, error) {
 	return placement.Refine(l, interactions, passes)
 }
 
