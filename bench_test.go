@@ -446,6 +446,60 @@ func BenchmarkLegacyScalingAlphaSweep(b *testing.B) {
 	}
 }
 
+// streamEvalSource builds the fixed-width streaming workload shared by the
+// small/large benchmark pair: the SAME 64 qubits, layout, and gate mix —
+// only the gate count differs. Holding the width fixed makes the pair's
+// B/op ratio a pure working-set measurement: the frontier kernel's memory
+// scales with qubits and the chunk window, never with total gates, so the
+// committed baseline gates B/op and allocs/op of Large at <= 1.1x Small
+// while the gate count grows 100x (the streaming-memory-flat ratio in
+// BENCH_BASELINE.json).
+func streamEvalSource(b *testing.B, gates int) (circuit.Source, *ti.Layout, []perf.Latencies) {
+	b.Helper()
+	prog, err := workload.RandomCircuitProgram(64, gates, 0.3, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := ti.DeviceFor(64, 16, ti.Ring)
+	if err != nil {
+		b.Fatal(err)
+	}
+	layout, err := RandomPlacement.Place(d, 64, stats.NewRand(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prog.Source(), layout, []perf.Latencies{perf.DefaultLatencies()}
+}
+
+// benchStreamingEval re-generates and prices the workload once per op —
+// the full streaming pipeline (generator, placement classification,
+// frontier longest-path), with nothing materialized.
+func benchStreamingEval(b *testing.B, gates int) {
+	b.Helper()
+	src, layout, lats := streamEvalSource(b, gates)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, st, err := perf.StreamTimeAll(src, layout, lats)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rs[0].ParallelMicros <= 0 || st.Gates != gates {
+			b.Fatalf("bad stream result: %+v over %d gates", rs[0], st.Gates)
+		}
+	}
+}
+
+// BenchmarkStreamingEvalSmall prices a 10^4-gate random circuit through
+// the streaming kernel — the denominator of the memory-flat ratio gate.
+func BenchmarkStreamingEvalSmall(b *testing.B) { benchStreamingEval(b, 10_000) }
+
+// BenchmarkStreamingEvalLarge prices a 10^6-gate random circuit of the
+// same width — the numerator. Its B/op and allocs/op must stay within
+// 1.1x of Small's even though it consumes 100x the gates; ns/op scales
+// linearly and is deliberately not part of the ratio gate.
+func BenchmarkStreamingEvalLarge(b *testing.B) { benchStreamingEval(b, 1_000_000) }
+
 // BenchmarkRouterHotPairs measures the localizing router on a workload
 // with migration opportunities.
 func BenchmarkRouterHotPairs(b *testing.B) {

@@ -23,6 +23,24 @@
 // A benchmark is gated exactly on the metrics its entry tracks; -update
 // preserves each entry's tracked-metric shape and errors if the input
 // lacks a tracked metric (allocs require ReportAllocs or -benchmem).
+//
+// A baseline can additionally gate RATIOS between two benchmarks from the
+// same run — the scaling contract "metric X of A stays within factor R of
+// B" that absolute thresholds cannot express (both sides drift together
+// with hardware, the ratio does not):
+//
+//	"ratios": {
+//	  "streaming-memory-flat": {
+//	    "numerator": "BenchmarkStreamingEvalLarge",
+//	    "denominator": "BenchmarkStreamingEvalSmall",
+//	    "max_b_op": 1.1, "max_allocs_op": 1.1
+//	  }
+//	}
+//
+// Each ratio entry gates exactly the metrics it sets a max_* bound for;
+// missing inputs WARN rather than fail, mirroring the benchmark gates.
+// -update leaves the ratios section untouched (bounds are contracts, not
+// measurements).
 package main
 
 import (
@@ -40,8 +58,20 @@ import (
 
 // baseline is the committed reference file format.
 type baseline struct {
-	Note       string            `json:"note,omitempty"`
-	Benchmarks map[string]metric `json:"benchmarks"`
+	Note       string               `json:"note,omitempty"`
+	Benchmarks map[string]metric    `json:"benchmarks"`
+	Ratios     map[string]ratioGate `json:"ratios,omitempty"`
+}
+
+// ratioGate bounds the ratio numerator/denominator of two benchmarks in
+// the same run, per metric. A nil bound means that metric's ratio is not
+// gated; each entry must set at least one.
+type ratioGate struct {
+	Numerator   string   `json:"numerator"`
+	Denominator string   `json:"denominator"`
+	MaxNsOp     *float64 `json:"max_ns_op,omitempty"`
+	MaxAllocsOp *float64 `json:"max_allocs_op,omitempty"`
+	MaxBOp      *float64 `json:"max_b_op,omitempty"`
 }
 
 // metric is one benchmark's tracked values. NsOp is always tracked;
@@ -225,6 +255,14 @@ func readBaseline(path string) (*baseline, error) {
 	if len(b.Benchmarks) == 0 {
 		return nil, fmt.Errorf("%s: no benchmarks recorded", path)
 	}
+	for name, r := range b.Ratios {
+		if r.Numerator == "" || r.Denominator == "" {
+			return nil, fmt.Errorf("%s: ratio %s needs both numerator and denominator", path, name)
+		}
+		if r.MaxNsOp == nil && r.MaxAllocsOp == nil && r.MaxBOp == nil {
+			return nil, fmt.Errorf("%s: ratio %s gates no metric (set max_ns_op, max_allocs_op, or max_b_op)", path, name)
+		}
+	}
 	return &b, nil
 }
 
@@ -236,6 +274,8 @@ func writeBaseline(path string, got map[string]metric) error {
 	b := baseline{Benchmarks: got}
 	if old, err := readBaseline(path); err == nil {
 		b.Note = old.Note
+		// Ratio bounds are contracts, not measurements: always preserved.
+		b.Ratios = old.Ratios
 		b.Benchmarks = map[string]metric{}
 		for name, ref := range old.Benchmarks {
 			m, ok := got[name]
@@ -303,9 +343,26 @@ func report(out io.Writer, base *baseline, got map[string]metric, thr thresholds
 			}
 		}
 	}
+	rnames := make([]string, 0, len(base.Ratios))
+	for name := range base.Ratios {
+		rnames = append(rnames, name)
+	}
+	sort.Strings(rnames)
+	for _, name := range rnames {
+		r := base.Ratios[name]
+		num, okN := got[r.Numerator]
+		den, okD := got[r.Denominator]
+		if !okN || !okD {
+			fmt.Fprintf(out, "WARN ratio %s: needs %s and %s in the input\n", name, r.Numerator, r.Denominator)
+			continue
+		}
+		regressions += compareRatio(out, name, "ns/op", &num.NsOp, &den.NsOp, r.MaxNsOp)
+		regressions += compareRatio(out, name, "allocs/op", num.AllocsOp, den.AllocsOp, r.MaxAllocsOp)
+		regressions += compareRatio(out, name, "B/op", num.BOp, den.BOp, r.MaxBOp)
+	}
 	var extras []string
 	for name := range got {
-		if _, ok := base.Benchmarks[name]; !ok {
+		if !tracked(base, name) {
 			extras = append(extras, name)
 		}
 	}
@@ -314,6 +371,46 @@ func report(out io.Writer, base *baseline, got map[string]metric, thr thresholds
 		fmt.Fprintf(out, "note %s: %.0f ns/op (not tracked in baseline)\n", name, got[name].NsOp)
 	}
 	return regressions
+}
+
+// tracked reports whether a benchmark participates in any gate — its own
+// entry or either side of a ratio.
+func tracked(base *baseline, name string) bool {
+	if _, ok := base.Benchmarks[name]; ok {
+		return true
+	}
+	for _, r := range base.Ratios {
+		if r.Numerator == name || r.Denominator == name {
+			return true
+		}
+	}
+	return false
+}
+
+// compareRatio prints one ratio-gate line and returns 1 on regression. A
+// nil max means the metric's ratio is not gated; a missing metric or a
+// non-positive denominator WARNs (the gate cannot be evaluated) rather
+// than fails, mirroring the benchmark gates.
+func compareRatio(out io.Writer, name, unit string, num, den, max *float64) int {
+	if max == nil {
+		return 0
+	}
+	if num == nil || den == nil {
+		fmt.Fprintf(out, "WARN ratio %s: input lacks %s (run with ReportAllocs or -benchmem)\n", name, unit)
+		return 0
+	}
+	if *den <= 0 {
+		fmt.Fprintf(out, "WARN ratio %s: non-positive denominator %g %s\n", name, *den, unit)
+		return 0
+	}
+	ratio := *num / *den
+	if ratio > *max {
+		fmt.Fprintf(out, "REGRESSION ratio %s: %s %.3fx vs max %.2fx (%.0f / %.0f)\n",
+			name, unit, ratio, *max, *num, *den)
+		return 1
+	}
+	fmt.Fprintf(out, "ok ratio %s: %s %.3fx within max %.2fx\n", name, unit, ratio, *max)
+	return 0
 }
 
 // compareMetric prints one comparison line and returns 1 on regression.

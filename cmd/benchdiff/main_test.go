@@ -319,6 +319,154 @@ func TestUpdateCreatesFreshBaseline(t *testing.T) {
 	}
 }
 
+const sampleBenchRatio = `goos: linux
+BenchmarkStreamingEvalSmall-8 	     100	   1000000 ns/op	  100000 B/op	    500 allocs/op
+BenchmarkStreamingEvalLarge-8 	      10	 100000000 ns/op	  105000 B/op	    520 allocs/op
+PASS
+`
+
+// fptr builds a ratio bound.
+func fptr(v float64) *float64 { return &v }
+
+func TestRatioGateWithinBound(t *testing.T) {
+	// Large/Small is 1.05x on B/op and 1.04x on allocs/op — both inside a
+	// 1.1x bound. The 100x ns/op growth is NOT gated and must not trip.
+	path := writeTempBaseline(t, baseline{
+		Benchmarks: map[string]metric{"BenchmarkStreamingEvalSmall": nsOnly(1000000)},
+		Ratios: map[string]ratioGate{
+			"memory-flat": {
+				Numerator:   "BenchmarkStreamingEvalLarge",
+				Denominator: "BenchmarkStreamingEvalSmall",
+				MaxBOp:      fptr(1.1),
+				MaxAllocsOp: fptr(1.1),
+			},
+		},
+	})
+	var out strings.Builder
+	if err := run([]string{"-baseline", path, "-fail"}, strings.NewReader(sampleBenchRatio), &out); err != nil {
+		t.Fatalf("within-bound ratio failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ok ratio memory-flat: B/op 1.050x within max 1.10x") {
+		t.Fatalf("missing B/op ratio line:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "ok ratio memory-flat: allocs/op 1.040x within max 1.10x") {
+		t.Fatalf("missing allocs/op ratio line:\n%s", out.String())
+	}
+	// A benchmark referenced only by a ratio is tracked, not an extra.
+	if strings.Contains(out.String(), "note BenchmarkStreamingEvalLarge") {
+		t.Fatalf("ratio-only benchmark reported as untracked:\n%s", out.String())
+	}
+}
+
+func TestRatioGateFlagsRegression(t *testing.T) {
+	path := writeTempBaseline(t, baseline{
+		Benchmarks: map[string]metric{"BenchmarkStreamingEvalSmall": nsOnly(1000000)},
+		Ratios: map[string]ratioGate{
+			"memory-flat": {
+				Numerator:   "BenchmarkStreamingEvalLarge",
+				Denominator: "BenchmarkStreamingEvalSmall",
+				MaxBOp:      fptr(1.02), // measured 1.05x
+			},
+		},
+	})
+	var out strings.Builder
+	err := run([]string{"-baseline", path, "-fail"}, strings.NewReader(sampleBenchRatio), &out)
+	if err == nil || !strings.Contains(err.Error(), "1 benchmark regression") {
+		t.Fatalf("-fail err = %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION ratio memory-flat: B/op 1.050x vs max 1.02x (105000 / 100000)") {
+		t.Fatalf("no ratio regression line:\n%s", out.String())
+	}
+}
+
+func TestRatioWarnsOnMissingInputs(t *testing.T) {
+	// Neither side of the ratio is in the sample: warn, never fail.
+	path := writeTempBaseline(t, baseline{
+		Benchmarks: map[string]metric{"BenchmarkParallelModelQFT": nsOnly(178580)},
+		Ratios: map[string]ratioGate{
+			"memory-flat": {
+				Numerator:   "BenchmarkStreamingEvalLarge",
+				Denominator: "BenchmarkStreamingEvalSmall",
+				MaxBOp:      fptr(1.1),
+			},
+		},
+	})
+	var out strings.Builder
+	if err := run([]string{"-baseline", path, "-fail"}, strings.NewReader(sampleBench), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "WARN ratio memory-flat: needs BenchmarkStreamingEvalLarge and BenchmarkStreamingEvalSmall") {
+		t.Fatalf("missing ratio warn:\n%s", out.String())
+	}
+}
+
+func TestRatioWarnsOnMissingMetric(t *testing.T) {
+	// Both benchmarks present but the run carried no memory columns: the
+	// B/op ratio cannot be evaluated.
+	path := writeTempBaseline(t, baseline{
+		Benchmarks: map[string]metric{"BenchmarkParallelModelQFT": nsOnly(178580)},
+		Ratios: map[string]ratioGate{
+			"graph-vs-model": {
+				Numerator:   "BenchmarkGateGraphConstruction",
+				Denominator: "BenchmarkParallelModelQFT",
+				MaxBOp:      fptr(1.1),
+				MaxNsOp:     fptr(100),
+			},
+		},
+	})
+	var out strings.Builder
+	if err := run([]string{"-baseline", path, "-fail"}, strings.NewReader(sampleBench), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "WARN ratio graph-vs-model: input lacks B/op") {
+		t.Fatalf("missing metric warn:\n%s", out.String())
+	}
+	// The ns/op ratio (200000/55000 ≈ 3.6x, max 100x) still evaluates.
+	if !strings.Contains(out.String(), "ok ratio graph-vs-model: ns/op 3.636x within max 100.00x") {
+		t.Fatalf("ns/op ratio not evaluated:\n%s", out.String())
+	}
+}
+
+func TestUpdatePreservesRatios(t *testing.T) {
+	path := writeTempBaseline(t, baseline{
+		Benchmarks: map[string]metric{"BenchmarkParallelModelQFT": nsOnly(178580)},
+		Ratios: map[string]ratioGate{
+			"memory-flat": {
+				Numerator:   "BenchmarkStreamingEvalLarge",
+				Denominator: "BenchmarkStreamingEvalSmall",
+				MaxBOp:      fptr(1.1),
+			},
+		},
+	})
+	var out strings.Builder
+	if err := run([]string{"-update", path}, strings.NewReader(sampleBench), &out); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := got.Ratios["memory-flat"]
+	if !ok || r.MaxBOp == nil || *r.MaxBOp != 1.1 {
+		t.Fatalf("-update dropped the ratio section: %+v", got.Ratios)
+	}
+}
+
+func TestReadBaselineRejectsMalformedRatio(t *testing.T) {
+	for name, r := range map[string]ratioGate{
+		"no-denominator": {Numerator: "BenchmarkA", MaxBOp: fptr(1.1)},
+		"no-bound":       {Numerator: "BenchmarkA", Denominator: "BenchmarkB"},
+	} {
+		path := writeTempBaseline(t, baseline{
+			Benchmarks: map[string]metric{"BenchmarkParallelModelQFT": nsOnly(1)},
+			Ratios:     map[string]ratioGate{name: r},
+		})
+		if _, err := readBaseline(path); err == nil {
+			t.Errorf("ratio %s accepted, want error", name)
+		}
+	}
+}
+
 func TestRunEmptyInput(t *testing.T) {
 	var out strings.Builder
 	if err := run(nil, strings.NewReader("no benchmarks here\n"), &out); err == nil {

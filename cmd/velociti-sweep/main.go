@@ -69,6 +69,7 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		seed       = fs.Int64("seed", 1, "master random seed")
 		workers    = fs.Int("workers", 1, "trials to run concurrently per configuration")
 		cacheStats = fs.Bool("cache-stats", false, "report stage-cache counters and per-phase wall clock on stderr")
+		streamF    = fs.Bool("stream", false, "memory-bounded streaming evaluation: identical CSV bytes with peak memory independent of the gate counts")
 	)
 	profile.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -131,6 +132,7 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		Workers:      *workers,
 		Pipeline:     pipeline,
 		Backend:      backend,
+		Stream:       *streamF,
 	}
 	res, err := core.RunGrid(ctx, grid)
 	if err != nil {
@@ -155,7 +157,7 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		for _, stage := range []struct {
 			name string
 			s    cache.Stats
-		}{{"place", st.Place}, {"synth", st.Synthesize}, {"search", st.Search}, {"bind", st.Bind}} {
+		}{{"place", st.Place}, {"synth", st.Synthesize}, {"search", st.Search}, {"bind", st.Bind}, {"stream", st.Stream}} {
 			fmt.Fprintf(os.Stderr, "velociti-sweep: cache %-5s %d hit / %d miss / %d evict / %d resident\n",
 				stage.name, stage.s.Hits, stage.s.Misses, stage.s.Evictions, stage.s.Entries)
 		}

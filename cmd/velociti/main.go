@@ -75,6 +75,7 @@ func run(args []string, out io.Writer) error {
 		shuttleF   = fs.Bool("shuttle", false, "compare weak-link vs ion-shuttling communication on one trial")
 		backendF   = fs.String("backend", "", "timing backend: weaklink (default) or shuttle (explicit ion transport)")
 		workers    = fs.Int("workers", 1, "trials to run concurrently")
+		streamF    = fs.Bool("stream", false, "memory-bounded streaming evaluation: generate, place, and price gates in one pass without materializing the circuit (report omits critical paths)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -124,15 +125,31 @@ func run(args []string, out io.Writer) error {
 	if *qubits <= 0 && (*oneQ != 0 || *twoQ != 0) {
 		return verr.Inputf("-one-qubit-gates/-two-qubit-gates need -qubits to define the abstract workload")
 	}
+	if *streamF && (*verbose || *dotPath != "" || *gantt || *timelineJS != "" || *fidelityF || *shuttleF) {
+		// The per-trial inspection extras all reconstruct materialized
+		// artifacts (critical paths, gate graphs, timelines) — exactly what
+		// streaming avoids holding.
+		return verr.Inputf("-stream cannot produce per-trial inspection output; drop -verbose/-dot/-gantt/-timeline-json/-fidelity/-shuttle or drop -stream")
+	}
+	params.Stream = *streamF
 
 	var explicit *circuit.Circuit
+	var prog *circuit.Program
 	switch {
 	case *app != "":
 		a, err := apps.ByName(*app)
 		if err != nil {
 			return err
 		}
-		if *appGates {
+		if *appGates && *streamF {
+			// Streaming keeps the generator as a Program: gates are
+			// re-emitted per trial, never stored.
+			p, err := a.Program()
+			if err != nil {
+				return err
+			}
+			prog = &p
+		} else if *appGates {
 			explicit, err = a.Build()
 			if err != nil {
 				return err
@@ -171,7 +188,13 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	cfg, err := params.ToCoreConfigWithCircuit(explicit)
+	var cfg core.Config
+	var err error
+	if prog != nil {
+		cfg, err = params.ToCoreConfigWithProgram(prog)
+	} else {
+		cfg, err = params.ToCoreConfigWithCircuit(explicit)
+	}
 	if err != nil {
 		return err
 	}

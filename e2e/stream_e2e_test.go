@@ -1,0 +1,84 @@
+//go:build e2e
+
+// Million-gate streaming smoke: the memory contract that motivates the
+// streaming path, enforced at full scale. A 1M-gate QFT is generated,
+// placed, and priced through core's streaming evaluator under a hard
+// 256 MiB Go heap limit — a budget the materialized pipeline (gate
+// slice, CSR evaluator, critical-path reconstruction) cannot fit at this
+// size, so the test fails loudly if anything on the path starts
+// materializing again. Unit-scale bit-identity between the streaming and
+// materialized paths is pinned by the property tests in internal/core
+// and internal/perf; this test pins the scale.
+package e2e
+
+import (
+	"runtime"
+	"runtime/debug"
+	"testing"
+
+	"velociti/internal/apps"
+	"velociti/internal/core"
+	"velociti/internal/shuttle"
+)
+
+// streamHeapLimit is the soft heap ceiling for the million-gate run. The
+// streaming path's working set is a few hundred KiB per trial (the
+// frontier window scales with qubits, not gates), so 256 MiB leaves two
+// orders of magnitude of headroom while staying far below what a
+// materialized 1M-gate pipeline needs.
+const streamHeapLimit = 256 << 20
+
+func TestMillionGateStreamingUnderHeapLimit(t *testing.T) {
+	// 633 qubits puts the QFT generator just past 10^6 gates.
+	prog, err := apps.QFTProgram(633)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := debug.SetMemoryLimit(streamHeapLimit)
+	defer debug.SetMemoryLimit(prev)
+
+	for name, backend := range map[string]core.Config{
+		"weaklink": {},
+		"shuttle":  {Backend: shuttle.Backend{Params: shuttle.Default()}},
+	} {
+		t.Run(name, func(t *testing.T) {
+			cfg := backend
+			cfg.Program = &prog
+			cfg.Stream = true
+			cfg.ChainLength = 16
+			cfg.Runs = 2
+			cfg.Seed = 1
+			cfg.Workers = 2
+			report, err := core.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := len(report.Trials); got != cfg.Runs {
+				t.Fatalf("trials = %d, want %d", got, cfg.Runs)
+			}
+			gates := report.Spec.OneQubitGates + report.Spec.TwoQubitGates
+			if gates < 1_000_000 {
+				t.Fatalf("streamed only %d gates, want >= 1e6", gates)
+			}
+			if report.Parallel.Mean <= 0 || report.Serial.Mean <= 0 {
+				t.Fatalf("degenerate report: serial %v parallel %v", report.Serial.Mean, report.Parallel.Mean)
+			}
+			for _, trial := range report.Trials {
+				if len(trial.Perf.CriticalPath) != 0 {
+					t.Fatal("streaming trial carries a critical path — something materialized")
+				}
+			}
+		})
+	}
+
+	// The ceiling is a soft limit (the runtime GCs harder rather than
+	// aborting), so the assertion is on the runtime's own high-water
+	// mark: total memory obtained from the OS must stay well under what
+	// a materialized million-gate pipeline occupies.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.Sys > 2*streamHeapLimit {
+		t.Fatalf("runtime high-water %d MiB exceeds twice the %d MiB streaming budget",
+			ms.Sys>>20, int64(streamHeapLimit)>>20)
+	}
+}

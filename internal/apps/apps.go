@@ -42,6 +42,22 @@ type App struct {
 	// would be invalid (they never are; the error path exists so callers
 	// share one contract with the parameterized generators).
 	Build func() (*circuit.Circuit, error)
+	// Program returns the same generator as a streaming-capable
+	// circuit.Program: the one body behind Build, so Program().Circuit()
+	// and Build() produce bit-identical circuits and Program().Source()
+	// emits the same gates without materializing them.
+	Program func() (circuit.Program, error)
+}
+
+// materialize adapts a Program constructor into App.Build's contract.
+func materialize(prog func() (circuit.Program, error)) func() (*circuit.Circuit, error) {
+	return func() (*circuit.Circuit, error) {
+		p, err := prog()
+		if err != nil {
+			return nil, err
+		}
+		return p.Circuit()
+	}
 }
 
 // Name returns the workload name.
@@ -63,23 +79,23 @@ func PaperSpecs() []circuit.Spec {
 // Catalog returns the six Table II workloads with their generators.
 func Catalog() []App {
 	specs := PaperSpecs()
-	builders := []func() (*circuit.Circuit, error){
-		func() (*circuit.Circuit, error) { return Supremacy(8, 8, 20, 1) },
-		func() (*circuit.Circuit, error) {
+	progs := []func() (circuit.Program, error){
+		func() (circuit.Program, error) { return SupremacyProgram(8, 8, 20, 1) },
+		func() (circuit.Program, error) {
 			edges, err := RandomGraph(64, 315, 1)
 			if err != nil {
-				return nil, err
+				return circuit.Program{}, err
 			}
-			return QAOA(64, edges, 2, 1)
+			return QAOAProgram(64, edges, 2, 1)
 		},
-		func() (*circuit.Circuit, error) { return Grover(40, 1) },
-		func() (*circuit.Circuit, error) { return QFT(64) },
-		func() (*circuit.Circuit, error) { return CuccaroAdder(31) },
-		func() (*circuit.Circuit, error) { return BernsteinVazirani(64, nil) },
+		func() (circuit.Program, error) { return GroverProgram(40, 1) },
+		func() (circuit.Program, error) { return QFTProgram(64) },
+		func() (circuit.Program, error) { return CuccaroAdderProgram(31) },
+		func() (circuit.Program, error) { return BernsteinVaziraniProgram(64, nil) },
 	}
 	out := make([]App, len(specs))
 	for i := range specs {
-		out[i] = App{Spec: specs[i], Build: builders[i]}
+		out[i] = App{Spec: specs[i], Build: materialize(progs[i]), Program: progs[i]}
 	}
 	return out
 }
@@ -101,23 +117,37 @@ func ByName(name string) (App, error) {
 // n + 3·n(n−1)/2 one-qubit gates. No terminal swap network is emitted
 // (Table II's count excludes it).
 func QFT(n int) (*circuit.Circuit, error) {
+	p, err := QFTProgram(n)
+	if err != nil {
+		return nil, err
+	}
+	return p.Circuit()
+}
+
+// QFTProgram is QFT as a streaming-capable program: the identical gate
+// sequence, emitted against any circuit.Builder.
+func QFTProgram(n int) (circuit.Program, error) {
 	if n < 1 {
-		return nil, verr.Inputf("apps: QFT needs at least 1 qubit, got %d", n)
+		return circuit.Program{}, verr.Inputf("apps: QFT needs at least 1 qubit, got %d", n)
 	}
-	c := circuit.New(fmt.Sprintf("qft%d", n), n)
-	for i := 0; i < n; i++ {
-		c.H(i)
-		for j := i + 1; j < n; j++ {
-			theta := math.Pi / math.Pow(2, float64(j-i))
-			appendCP(c, theta, j, i)
-		}
-	}
-	return c, c.Err()
+	return circuit.Program{
+		Name:   fmt.Sprintf("qft%d", n),
+		Qubits: n,
+		Body: func(c circuit.Builder) {
+			for i := 0; i < n; i++ {
+				c.H(i)
+				for j := i + 1; j < n; j++ {
+					theta := math.Pi / math.Pow(2, float64(j-i))
+					appendCP(c, theta, j, i)
+				}
+			}
+		},
+	}, nil
 }
 
 // appendCP emits a controlled-phase gate decomposed into 1-qubit rotations
 // and two CX gates.
-func appendCP(c *circuit.Circuit, theta float64, ctrl, tgt int) {
+func appendCP(c circuit.Builder, theta float64, ctrl, tgt int) {
 	c.RZ(theta/2, ctrl)
 	c.CX(ctrl, tgt)
 	c.RZ(-theta/2, tgt)
@@ -133,11 +163,32 @@ func appendCP(c *circuit.Circuit, theta float64, ctrl, tgt int) {
 // 560 CZ gates — Table II's count. The random 1-qubit gate choice is
 // seeded for reproducibility.
 func Supremacy(rows, cols, cycles int, seed int64) (*circuit.Circuit, error) {
+	p, err := SupremacyProgram(rows, cols, cycles, seed)
+	if err != nil {
+		return nil, err
+	}
+	return p.Circuit()
+}
+
+// SupremacyProgram is Supremacy as a streaming-capable program. The body
+// re-seeds its generator on every emission, so repeated streams yield the
+// identical gate sequence.
+func SupremacyProgram(rows, cols, cycles int, seed int64) (circuit.Program, error) {
 	if rows < 1 || cols < 1 || cycles < 0 {
-		return nil, verr.Inputf("apps: supremacy grid must be positive with non-negative cycles, got %dx%d over %d cycles", rows, cols, cycles)
+		return circuit.Program{}, verr.Inputf("apps: supremacy grid must be positive with non-negative cycles, got %dx%d over %d cycles", rows, cols, cycles)
 	}
 	n := rows * cols
-	c := circuit.New(fmt.Sprintf("supremacy%dx%dx%d", rows, cols, cycles), n)
+	return circuit.Program{
+		Name:   fmt.Sprintf("supremacy%dx%dx%d", rows, cols, cycles),
+		Qubits: n,
+		Body: func(c circuit.Builder) {
+			supremacyBody(c, rows, cols, cycles, seed)
+		},
+	}, nil
+}
+
+func supremacyBody(c circuit.Builder, rows, cols, cycles int, seed int64) {
+	n := rows * cols
 	r := stats.NewRand(seed)
 	at := func(row, col int) int { return row*cols + col }
 	for q := 0; q < n; q++ {
@@ -181,7 +232,6 @@ func Supremacy(rows, cols, cycles int, seed int64) (*circuit.Circuit, error) {
 			}
 		}
 	}
-	return c, c.Err()
 }
 
 // RandomGraph returns m distinct undirected edges over n vertices drawn
@@ -225,32 +275,46 @@ func RandomGraph(n, m int, seed int64) ([][2]int, error) {
 // loop. With 315 edges and 2 rounds the CX count is 2·315·2 = 1260 —
 // Table II's count for the 64-qubit QAOA.
 func QAOA(n int, edges [][2]int, rounds int, seed int64) (*circuit.Circuit, error) {
+	p, err := QAOAProgram(n, edges, rounds, seed)
+	if err != nil {
+		return nil, err
+	}
+	return p.Circuit()
+}
+
+// QAOAProgram is QAOA as a streaming-capable program; the edge list is
+// validated here, once, and captured by the body.
+func QAOAProgram(n int, edges [][2]int, rounds int, seed int64) (circuit.Program, error) {
 	if n < 1 || rounds < 0 {
-		return nil, verr.Inputf("apps: QAOA needs a positive qubit count and non-negative rounds, got n=%d rounds=%d", n, rounds)
+		return circuit.Program{}, verr.Inputf("apps: QAOA needs a positive qubit count and non-negative rounds, got n=%d rounds=%d", n, rounds)
 	}
 	for _, e := range edges {
 		if e[0] < 0 || e[0] >= n || e[1] < 0 || e[1] >= n || e[0] == e[1] {
-			return nil, verr.Inputf("apps: QAOA edge (%d,%d) invalid on %d vertices", e[0], e[1], n)
+			return circuit.Program{}, verr.Inputf("apps: QAOA edge (%d,%d) invalid on %d vertices", e[0], e[1], n)
 		}
 	}
-	c := circuit.New(fmt.Sprintf("qaoa%dq%de%dr", n, len(edges), rounds), n)
-	r := stats.NewRand(seed)
-	for q := 0; q < n; q++ {
-		c.H(q)
-	}
-	for round := 0; round < rounds; round++ {
-		gamma := r.Float64() * math.Pi
-		beta := r.Float64() * math.Pi
-		for _, e := range edges {
-			c.CX(e[0], e[1])
-			c.RZ(2*gamma, e[1])
-			c.CX(e[0], e[1])
-		}
-		for q := 0; q < n; q++ {
-			c.RX(2*beta, q)
-		}
-	}
-	return c, c.Err()
+	return circuit.Program{
+		Name:   fmt.Sprintf("qaoa%dq%de%dr", n, len(edges), rounds),
+		Qubits: n,
+		Body: func(c circuit.Builder) {
+			r := stats.NewRand(seed)
+			for q := 0; q < n; q++ {
+				c.H(q)
+			}
+			for round := 0; round < rounds; round++ {
+				gamma := r.Float64() * math.Pi
+				beta := r.Float64() * math.Pi
+				for _, e := range edges {
+					c.CX(e[0], e[1])
+					c.RZ(2*gamma, e[1])
+					c.CX(e[0], e[1])
+				}
+				for q := 0; q < n; q++ {
+					c.RX(2*beta, q)
+				}
+			}
+		},
+	}, nil
 }
 
 // BernsteinVazirani builds the Bernstein–Vazirani circuit over n qubits:
@@ -259,8 +323,18 @@ func QAOA(n int, edges [][2]int, rounds int, seed int64) (*circuit.Circuit, erro
 // rounds this to 64 for the 64-qubit instance). The circuit is H on data,
 // X·H on the ancilla, one CX per set secret bit, and a final H on data.
 func BernsteinVazirani(n int, secret []bool) (*circuit.Circuit, error) {
+	p, err := BernsteinVaziraniProgram(n, secret)
+	if err != nil {
+		return nil, err
+	}
+	return p.Circuit()
+}
+
+// BernsteinVaziraniProgram is BernsteinVazirani as a streaming-capable
+// program; the secret is resolved and validated here, once.
+func BernsteinVaziraniProgram(n int, secret []bool) (circuit.Program, error) {
 	if n < 2 {
-		return nil, verr.Inputf("apps: Bernstein–Vazirani needs at least 2 qubits, got %d", n)
+		return circuit.Program{}, verr.Inputf("apps: Bernstein–Vazirani needs at least 2 qubits, got %d", n)
 	}
 	data := n - 1
 	if secret == nil {
@@ -270,29 +344,33 @@ func BernsteinVazirani(n int, secret []bool) (*circuit.Circuit, error) {
 		}
 	}
 	if len(secret) != data {
-		return nil, verr.Inputf("apps: secret length %d, want %d data bits", len(secret), data)
+		return circuit.Program{}, verr.Inputf("apps: secret length %d, want %d data bits", len(secret), data)
 	}
-	c := circuit.New(fmt.Sprintf("bv%d", n), n)
-	anc := n - 1
-	for q := 0; q < data; q++ {
-		c.H(q)
-	}
-	c.X(anc)
-	c.H(anc)
-	for q := 0; q < data; q++ {
-		if secret[q] {
-			c.CX(q, anc)
-		}
-	}
-	for q := 0; q < data; q++ {
-		c.H(q)
-	}
-	return c, c.Err()
+	return circuit.Program{
+		Name:   fmt.Sprintf("bv%d", n),
+		Qubits: n,
+		Body: func(c circuit.Builder) {
+			anc := n - 1
+			for q := 0; q < data; q++ {
+				c.H(q)
+			}
+			c.X(anc)
+			c.H(anc)
+			for q := 0; q < data; q++ {
+				if secret[q] {
+					c.CX(q, anc)
+				}
+			}
+			for q := 0; q < data; q++ {
+				c.H(q)
+			}
+		},
+	}, nil
 }
 
 // appendCCX emits a Toffoli gate in the standard 6-CX, 9-single-qubit-gate
 // decomposition.
-func appendCCX(c *circuit.Circuit, a, b, tgt int) {
+func appendCCX(c circuit.Builder, a, b, tgt int) {
 	c.H(tgt)
 	c.CX(b, tgt)
 	c.Append(circuit.Tdg, []int{tgt})
@@ -320,37 +398,50 @@ func appendCCX(c *circuit.Circuit, a, b, tgt int) {
 // Register layout: qubit 0 is carry-in; qubits 1..bits are register b;
 // qubits bits+1..2·bits are register a; qubit 2·bits+1 is carry-out.
 func CuccaroAdder(bits int) (*circuit.Circuit, error) {
+	p, err := CuccaroAdderProgram(bits)
+	if err != nil {
+		return nil, err
+	}
+	return p.Circuit()
+}
+
+// CuccaroAdderProgram is CuccaroAdder as a streaming-capable program.
+func CuccaroAdderProgram(bits int) (circuit.Program, error) {
 	if bits < 1 {
-		return nil, verr.Inputf("apps: adder width must be positive, got %d", bits)
+		return circuit.Program{}, verr.Inputf("apps: adder width must be positive, got %d", bits)
 	}
 	n := 2*bits + 2
-	c := circuit.New(fmt.Sprintf("adder%d", bits), n)
-	cin := 0
-	b := func(i int) int { return 1 + i }
-	a := func(i int) int { return 1 + bits + i }
-	cout := 2*bits + 1
+	return circuit.Program{
+		Name:   fmt.Sprintf("adder%d", bits),
+		Qubits: n,
+		Body: func(c circuit.Builder) {
+			cin := 0
+			b := func(i int) int { return 1 + i }
+			a := func(i int) int { return 1 + bits + i }
+			cout := 2*bits + 1
 
-	maj := func(x, y, z int) {
-		c.CX(z, y)
-		c.CX(z, x)
-		appendCCX(c, x, y, z)
-	}
-	uma := func(x, y, z int) {
-		appendCCX(c, x, y, z)
-		c.CX(z, x)
-		c.CX(x, y)
-	}
+			maj := func(x, y, z int) {
+				c.CX(z, y)
+				c.CX(z, x)
+				appendCCX(c, x, y, z)
+			}
+			uma := func(x, y, z int) {
+				appendCCX(c, x, y, z)
+				c.CX(z, x)
+				c.CX(x, y)
+			}
 
-	maj(cin, b(0), a(0))
-	for i := 1; i < bits; i++ {
-		maj(a(i-1), b(i), a(i))
-	}
-	c.CX(a(bits-1), cout)
-	for i := bits - 1; i >= 1; i-- {
-		uma(a(i-1), b(i), a(i))
-	}
-	uma(cin, b(0), a(0))
-	return c, c.Err()
+			maj(cin, b(0), a(0))
+			for i := 1; i < bits; i++ {
+				maj(a(i-1), b(i), a(i))
+			}
+			c.CX(a(bits-1), cout)
+			for i := bits - 1; i >= 1; i-- {
+				uma(a(i-1), b(i), a(i))
+			}
+			uma(cin, b(0), a(0))
+		},
+	}, nil
 }
 
 // Grover builds Grover's search (the paper's "SquareRoot") over dataQubits
@@ -361,49 +452,63 @@ func CuccaroAdder(bits int) (*circuit.Circuit, error) {
 // 2·dataQubits − 2 qubits total — 78 for dataQubits = 40, matching
 // Table II's SquareRoot width.
 func Grover(dataQubits, iterations int) (*circuit.Circuit, error) {
+	p, err := GroverProgram(dataQubits, iterations)
+	if err != nil {
+		return nil, err
+	}
+	return p.Circuit()
+}
+
+// GroverProgram is Grover as a streaming-capable program.
+func GroverProgram(dataQubits, iterations int) (circuit.Program, error) {
 	if dataQubits < 3 {
-		return nil, verr.Inputf("apps: Grover needs at least 3 data qubits, got %d", dataQubits)
+		return circuit.Program{}, verr.Inputf("apps: Grover needs at least 3 data qubits, got %d", dataQubits)
 	}
 	if iterations < 1 {
-		return nil, verr.Inputf("apps: Grover needs at least 1 iteration, got %d", iterations)
+		return circuit.Program{}, verr.Inputf("apps: Grover needs at least 1 iteration, got %d", iterations)
 	}
 	n := 2*dataQubits - 2
-	c := circuit.New(fmt.Sprintf("grover%dx%d", dataQubits, iterations), n)
-	anc := func(i int) int { return dataQubits + i } // dataQubits-2 ancillas
+	return circuit.Program{
+		Name:   fmt.Sprintf("grover%dx%d", dataQubits, iterations),
+		Qubits: n,
+		Body: func(c circuit.Builder) {
+			anc := func(i int) int { return dataQubits + i } // dataQubits-2 ancillas
 
-	// multiControlledZ applies Z conditioned on all data qubits being 1,
-	// via a compute/uncompute CCX ladder into the ancilla register.
-	multiControlledZ := func() {
-		appendCCX(c, 0, 1, anc(0))
-		for i := 2; i < dataQubits-1; i++ {
-			appendCCX(c, i, anc(i-2), anc(i-1))
-		}
-		// Z on the last data qubit controlled by the final ancilla.
-		c.CZ(anc(dataQubits-3), dataQubits-1)
-		for i := dataQubits - 2; i >= 2; i-- {
-			appendCCX(c, i, anc(i-2), anc(i-1))
-		}
-		appendCCX(c, 0, 1, anc(0))
-	}
+			// multiControlledZ applies Z conditioned on all data qubits
+			// being 1, via a compute/uncompute CCX ladder into the ancilla
+			// register.
+			multiControlledZ := func() {
+				appendCCX(c, 0, 1, anc(0))
+				for i := 2; i < dataQubits-1; i++ {
+					appendCCX(c, i, anc(i-2), anc(i-1))
+				}
+				// Z on the last data qubit controlled by the final ancilla.
+				c.CZ(anc(dataQubits-3), dataQubits-1)
+				for i := dataQubits - 2; i >= 2; i-- {
+					appendCCX(c, i, anc(i-2), anc(i-1))
+				}
+				appendCCX(c, 0, 1, anc(0))
+			}
 
-	for q := 0; q < dataQubits; q++ {
-		c.H(q)
-	}
-	for it := 0; it < iterations; it++ {
-		// Oracle: phase-flip the all-ones state.
-		multiControlledZ()
-		// Diffuser: H X (MCZ) X H on the data register.
-		for q := 0; q < dataQubits; q++ {
-			c.H(q)
-			c.X(q)
-		}
-		multiControlledZ()
-		for q := 0; q < dataQubits; q++ {
-			c.X(q)
-			c.H(q)
-		}
-	}
-	return c, c.Err()
+			for q := 0; q < dataQubits; q++ {
+				c.H(q)
+			}
+			for it := 0; it < iterations; it++ {
+				// Oracle: phase-flip the all-ones state.
+				multiControlledZ()
+				// Diffuser: H X (MCZ) X H on the data register.
+				for q := 0; q < dataQubits; q++ {
+					c.H(q)
+					c.X(q)
+				}
+				multiControlledZ()
+				for q := 0; q < dataQubits; q++ {
+					c.X(q)
+					c.H(q)
+				}
+			}
+		},
+	}, nil
 }
 
 // GHZ builds the n-qubit Greenberger–Horne–Zeilinger state preparation:
@@ -411,13 +516,26 @@ func Grover(dataQubits, iterations int) (*circuit.Circuit, error) {
 // the canonical smoke-test circuit used throughout the test benches and
 // examples.
 func GHZ(n int) (*circuit.Circuit, error) {
+	p, err := GHZProgram(n)
+	if err != nil {
+		return nil, err
+	}
+	return p.Circuit()
+}
+
+// GHZProgram is GHZ as a streaming-capable program.
+func GHZProgram(n int) (circuit.Program, error) {
 	if n < 1 {
-		return nil, verr.Inputf("apps: GHZ needs at least 1 qubit, got %d", n)
+		return circuit.Program{}, verr.Inputf("apps: GHZ needs at least 1 qubit, got %d", n)
 	}
-	c := circuit.New(fmt.Sprintf("ghz%d", n), n)
-	c.H(0)
-	for i := 0; i+1 < n; i++ {
-		c.CX(i, i+1)
-	}
-	return c, c.Err()
+	return circuit.Program{
+		Name:   fmt.Sprintf("ghz%d", n),
+		Qubits: n,
+		Body: func(c circuit.Builder) {
+			c.H(0)
+			for i := 0; i+1 < n; i++ {
+				c.CX(i, i+1)
+			}
+		},
+	}, nil
 }

@@ -317,26 +317,8 @@ func (c *Circuit) Append(k Kind, qubits []int, params ...float64) int {
 		// degrades into one Err() check at the end.
 		return -1
 	}
-	if k < 0 || k >= numKinds {
-		c.fail(verr.Inputf("circuit: unknown gate kind %d", int(k)))
-		return -1
-	}
-	if len(qubits) != k.Arity() {
-		c.fail(verr.Inputf("circuit: gate %s wants %d qubits, got %d", k.Name(), k.Arity(), len(qubits)))
-		return -1
-	}
-	if len(params) != k.NumParams() {
-		c.fail(verr.Inputf("circuit: gate %s wants %d params, got %d", k.Name(), k.NumParams(), len(params)))
-		return -1
-	}
-	for _, q := range qubits {
-		if q < 0 || q >= c.numQubits {
-			c.fail(verr.Inputf("circuit: qubit q%d out of range [0,%d)", q, c.numQubits))
-			return -1
-		}
-	}
-	if len(qubits) == 2 && qubits[0] == qubits[1] {
-		c.fail(verr.Inputf("circuit: 2-qubit gate %s on identical qubits q%d", k.Name(), qubits[0]))
+	if err := checkGate(c.numQubits, k, qubits, params); err != nil {
+		c.fail(err)
 		return -1
 	}
 	id := len(c.gates)
@@ -347,6 +329,31 @@ func (c *Circuit) Append(k Kind, qubits []int, params ...float64) int {
 		Params: append([]float64(nil), params...),
 	})
 	return id
+}
+
+// checkGate validates one gate against the register width: the single
+// source of Append's rules and diagnostics, shared by *Circuit and the
+// streaming *Emitter so both sinks reject exactly the same gates with
+// exactly the same errors, in the same order.
+func checkGate(numQubits int, k Kind, qubits []int, params []float64) error {
+	if k < 0 || k >= numKinds {
+		return verr.Inputf("circuit: unknown gate kind %d", int(k))
+	}
+	if len(qubits) != k.Arity() {
+		return verr.Inputf("circuit: gate %s wants %d qubits, got %d", k.Name(), k.Arity(), len(qubits))
+	}
+	if len(params) != k.NumParams() {
+		return verr.Inputf("circuit: gate %s wants %d params, got %d", k.Name(), k.NumParams(), len(params))
+	}
+	for _, q := range qubits {
+		if q < 0 || q >= numQubits {
+			return verr.Inputf("circuit: qubit q%d out of range [0,%d)", q, numQubits)
+		}
+	}
+	if len(qubits) == 2 && qubits[0] == qubits[1] {
+		return verr.Inputf("circuit: 2-qubit gate %s on identical qubits q%d", k.Name(), qubits[0])
+	}
+	return nil
 }
 
 // internQubits copies an operand list into the circuit's arena. The window

@@ -55,6 +55,10 @@ type Params struct {
 	// under the weaklink backend, so a config that carries bad costs is
 	// rejected regardless of which backend is selected.
 	Shuttle *shuttle.Params `json:"shuttle,omitempty"`
+	// Stream selects the memory-bounded streaming evaluation path
+	// (core.Config.Stream): bit-identical results at any gate count, minus
+	// per-trial critical paths.
+	Stream bool `json:"stream,omitempty"`
 }
 
 // Default returns the paper's evaluation configuration: Table III
@@ -103,6 +107,17 @@ func (p Params) ToCoreConfig() (core.Config, error) {
 // non-nil, attaches it as an explicit gate-level workload (the configured
 // abstract workload is then ignored).
 func (p Params) ToCoreConfigWithCircuit(c *circuit.Circuit) (core.Config, error) {
+	return p.toCoreConfig(c, nil)
+}
+
+// ToCoreConfigWithProgram resolves like ToCoreConfig and attaches prog as
+// a generator-driven workload (core.Config.Program) — the streaming
+// counterpart of an explicit circuit.
+func (p Params) ToCoreConfigWithProgram(prog *circuit.Program) (core.Config, error) {
+	return p.toCoreConfig(nil, prog)
+}
+
+func (p Params) toCoreConfig(c *circuit.Circuit, prog *circuit.Program) (core.Config, error) {
 	topoName := p.Topology
 	if topoName == "" {
 		topoName = ti.Ring.String()
@@ -139,6 +154,7 @@ func (p Params) ToCoreConfigWithCircuit(c *circuit.Circuit) (core.Config, error)
 	cfg := core.Config{
 		Spec:        p.Workload,
 		Circuit:     c,
+		Program:     prog,
 		ChainLength: p.ChainLength,
 		Topology:    topo,
 		Latencies:   lat,
@@ -147,6 +163,7 @@ func (p Params) ToCoreConfigWithCircuit(c *circuit.Circuit) (core.Config, error)
 		Runs:        p.Runs,
 		Seed:        p.Seed,
 		Backend:     backend,
+		Stream:      p.Stream,
 	}
 	return cfg, cfg.Validate()
 }

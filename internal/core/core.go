@@ -39,6 +39,13 @@ type Config struct {
 	// fixed and only qubit placement is randomized per trial. Cross-chain
 	// gates are charged α·γ per weak link traversed (forgiving routing).
 	Circuit *circuit.Circuit
+	// Program, when non-nil, selects program mode: the workload is a
+	// deterministic generator body (circuit.Program) instead of a stored
+	// gate list. Streaming runs (Stream=true) re-emit it gate by gate per
+	// trial without ever materializing; the materialized entry points
+	// convert it to a Circuit once up front. Mutually exclusive with
+	// Circuit.
+	Program *circuit.Program
 	// ChainLength is the maximum ions per chain (paper range: 8–32,
 	// scaled to 64 in §VI-B).
 	ChainLength int
@@ -79,6 +86,16 @@ type Config struct {
 	// and bind cache keys embed the backend fingerprint so bindings from
 	// different backends never collide in a shared Pipeline.
 	Backend perf.TimingBackend
+	// Stream selects the memory-bounded evaluation path: gates flow from
+	// the workload (explicit circuit, Program, or a streaming placer over
+	// the spec) straight through the backend's frontier kernel, with peak
+	// memory independent of the gate count. Results are bit-identical to
+	// the materialized path except that per-trial critical paths are not
+	// recovered (Result.CriticalPath stays empty — reconstructing the
+	// argmax path needs memory linear in the gate count). Requires a
+	// backend implementing perf.SourceTimer and, in spec mode, a placer
+	// implementing schedule.StreamPlacer; Validate rejects the rest.
+	Stream bool
 }
 
 // normalized returns a copy of the config with defaults filled in.
@@ -102,12 +119,33 @@ func (c Config) normalized() Config {
 }
 
 // workloadSpec returns the effective spec: the explicit circuit's when in
-// explicit mode, the configured one otherwise.
+// explicit mode, the program's identity (gate counts unknown until the
+// stream is consumed) in program mode, the configured one otherwise.
 func (c Config) workloadSpec() circuit.Spec {
 	if c.Circuit != nil {
 		return c.Circuit.Spec()
 	}
+	if c.Program != nil {
+		return circuit.Spec{Name: c.Program.Name, Qubits: c.Program.Qubits}
+	}
 	return c.Spec
+}
+
+// materializeProgram converts program mode to explicit mode for the
+// materialized entry points: a Program without Stream is built into a
+// Circuit once, so every downstream stage sees the classic explicit-mode
+// shape. Streaming configs keep the Program — that is the point.
+func (c Config) materializeProgram() (Config, error) {
+	if c.Program == nil || c.Stream {
+		return c, nil
+	}
+	circ, err := c.Program.Circuit()
+	if err != nil {
+		return c, fmt.Errorf("core: program %q: %w", c.Program.Name, err)
+	}
+	c.Circuit = circ
+	c.Program = nil
+	return c, nil
 }
 
 // Validate reports configuration errors without running anything. All
@@ -115,10 +153,16 @@ func (c Config) workloadSpec() circuit.Spec {
 // input (flags, JSON files), so rejection is a diagnostic, never a panic.
 func (c Config) Validate() error {
 	n := c.normalized()
+	if n.Circuit != nil && n.Program != nil {
+		return verr.Inputf("core: config sets both Circuit and Program; pick one workload form")
+	}
 	if n.Circuit != nil {
 		if err := n.Circuit.Err(); err != nil {
 			return fmt.Errorf("core: invalid circuit: %w", err)
 		}
+	}
+	if n.Program != nil && n.Program.Body == nil {
+		return verr.Inputf("core: program %q has no body", n.Program.Name)
 	}
 	spec := n.workloadSpec()
 	if err := spec.Validate(); err != nil {
@@ -132,6 +176,22 @@ func (c Config) Validate() error {
 	}
 	if err := n.Backend.Validate(); err != nil {
 		return err
+	}
+	if n.Stream {
+		if _, ok := n.Backend.(perf.SourceTimer); !ok {
+			return verr.Inputf("core: timing backend %q cannot stream (no StreamTimeAll); disable Stream or pick a streaming backend", n.Backend.CacheKey())
+		}
+		if n.Circuit == nil && n.Program == nil {
+			// Spec mode streams through the placer's emitter; placers
+			// that search layouts need the materialized circuit (the
+			// annealer's incidence structure), so they cannot stream.
+			if _, ok := n.Placer.(schedule.LayoutSearcher); ok {
+				return verr.Inputf("core: placer %T searches layouts over a materialized circuit and cannot stream; disable Stream or pick a non-searching placer", n.Placer)
+			}
+			if _, ok := n.Placer.(schedule.StreamPlacer); !ok {
+				return verr.Inputf("core: placer %T cannot stream (no EmitPlace); disable Stream or pick a streaming placer", n.Placer)
+			}
+		}
 	}
 	return nil
 }
@@ -196,10 +256,21 @@ func RunContext(ctx context.Context, cfg Config) (*Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	var err error
+	if cfg, err = cfg.materializeProgram(); err != nil {
+		return nil, err
+	}
 	spec := cfg.workloadSpec()
 	device, err := ti.DeviceFor(spec.Qubits, cfg.ChainLength, cfg.Topology)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Stream {
+		trials, sst, err := runStreamTrials(ctx, cfg, newStages(cfg, spec, device))
+		if err != nil {
+			return nil, err
+		}
+		return buildReport(fillStreamedSpec(cfg, spec, sst), device, trials), nil
 	}
 	trials, err := runTrials(ctx, cfg, spec, device)
 	if err != nil {
@@ -276,6 +347,13 @@ func RunOnce(cfg Config, seed int64) (*circuit.Circuit, *ti.Layout, perf.Result,
 	cfg = cfg.normalized()
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, perf.Result{}, err
+	}
+	if cfg.Stream {
+		return nil, nil, perf.Result{}, verr.Inputf("core: RunOnce inspects materialized artifacts (circuit, critical path); disable Stream")
+	}
+	var merr error
+	if cfg, merr = cfg.materializeProgram(); merr != nil {
+		return nil, nil, perf.Result{}, merr
 	}
 	spec := cfg.workloadSpec()
 	device, err := ti.DeviceFor(spec.Qubits, cfg.ChainLength, cfg.Topology)

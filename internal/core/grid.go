@@ -56,6 +56,12 @@ type Grid struct {
 	// prices one backend, and callers comparing backends run one grid per
 	// backend (the DSE explorer has a proper backend axis).
 	Backend perf.TimingBackend
+	// Stream evaluates every cell through the memory-bounded streaming
+	// path (Config.Stream): identical CSV bytes — the sweep never renders
+	// critical paths — with peak memory independent of the gate counts.
+	// Cells whose placer or backend cannot stream fail per-cell, like any
+	// other invalid configuration.
+	Stream bool
 }
 
 // GridCell is one fully resolved configuration of a Grid.
@@ -140,6 +146,7 @@ func RunGrid(ctx context.Context, g Grid) (*GridResult, error) {
 			Workers:     g.Workers,
 			Pipeline:    g.Pipeline,
 			Backend:     g.Backend,
+			Stream:      g.Stream,
 		}
 		rep, err := RunContext(ctx, cfg)
 		if err != nil {

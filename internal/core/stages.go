@@ -29,6 +29,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"velociti/internal/cache"
 	"velociti/internal/circuit"
@@ -57,6 +58,7 @@ type Pipeline struct {
 	place  *cache.Cache
 	search *cache.Cache
 	bind   *cache.Cache
+	stream *cache.Cache
 }
 
 // NewPipeline returns a Pipeline with DefaultStageCapacity per stage.
@@ -72,6 +74,7 @@ func NewPipelineCapacity(perStage int) *Pipeline {
 		place:  cache.New(perStage),
 		search: cache.New(perStage),
 		bind:   cache.New(perStage),
+		stream: cache.New(perStage),
 	}
 }
 
@@ -83,6 +86,10 @@ type StageStats struct {
 	Place      cache.Stats
 	Search     cache.Stats
 	Bind       cache.Stats
+	// Stream counts the fused streaming-evaluation stage (place + emit +
+	// price in one pass); unlike the others its artifacts are
+	// latency-bearing, so keys embed the priced lats.
+	Stream cache.Stats
 }
 
 // Stats snapshots the per-stage counters.
@@ -92,6 +99,7 @@ func (p *Pipeline) Stats() StageStats {
 		Place:      p.place.Stats(),
 		Search:     p.search.Stats(),
 		Bind:       p.bind.Stats(),
+		Stream:     p.stream.Stats(),
 	}
 }
 
@@ -116,6 +124,11 @@ type Stages struct {
 	synthKey  string
 	searchKey string
 	bindKey   string
+	// streamKey is the streaming-evaluation prefix (stream.go); in
+	// Program mode it lacks the content component until progFP learns the
+	// rolling fingerprint from the first evaluation.
+	streamKey string
+	progFP    *atomic.Uint64
 
 	// Key components retained for BindAll, which rebuilds synth/bind
 	// prefixes per sweep lane (the placer fingerprint varies with the
@@ -154,6 +167,12 @@ func newStages(cfg Config, spec circuit.Spec, device *ti.Device) *Stages {
 	if cfg.Circuit != nil {
 		s.shared = perf.NewEvaluator(cfg.Circuit)
 	}
+	if cfg.Program != nil {
+		// Program mode (always streaming — materialized runs convert the
+		// program to a Circuit up front): the body is opaque, so the
+		// content component of the stream key is learned, not derived.
+		s.progFP = new(atomic.Uint64)
+	}
 	if s.pl == nil {
 		return s
 	}
@@ -171,6 +190,13 @@ func newStages(cfg Config, spec circuit.Spec, device *ti.Device) *Stages {
 		// and Bind depends only on the layout inputs plus circuit content
 		// (and the backend, whose Prepare annotates the binding).
 		s.bindKey = fmt.Sprintf("bind|%s|circ=%016x|pol=%s", dev, cfg.Circuit.Fingerprint(), polKey) + s.keyBackend
+		s.streamKey = fmt.Sprintf("stream|%s|circ=%016x|pol=%s", dev, cfg.Circuit.Fingerprint(), polKey) + s.keyBackend
+		return s
+	}
+	if cfg.Program != nil {
+		// The learned fingerprint is appended per evaluation by
+		// streamEvalKey once progFP is populated.
+		s.streamKey = fmt.Sprintf("stream|%s|q%d|pol=%s", dev, spec.Qubits, polKey) + s.keyBackend
 		return s
 	}
 	s.keyWorkload = fmt.Sprintf("spec=%q/q%d/1q%d/2q%d", spec.Name, spec.Qubits, spec.OneQubitGates, spec.TwoQubitGates)
@@ -179,6 +205,7 @@ func newStages(cfg Config, spec circuit.Spec, device *ti.Device) *Stages {
 		return s
 	}
 	s.synthKey, s.bindKey = s.stageKeys(placerKey)
+	s.streamKey = fmt.Sprintf("stream|%s|%s|pol=%s|placer=%s", s.keyDev, s.keyWorkload, s.keyPol, placerKey) + s.keyBackend
 	if _, ok := cfg.Placer.(schedule.LayoutSearcher); ok {
 		s.searchKey = searchKey{
 			dev:      s.keyDev,
@@ -426,30 +453,45 @@ func RunSweepContext(ctx context.Context, cfg Config, lats []perf.Latencies) ([]
 			return nil, err
 		}
 	}
+	var err error
+	if cfg, err = cfg.materializeProgram(); err != nil {
+		return nil, err
+	}
 	spec := cfg.workloadSpec()
 	device, err := ti.DeviceFor(spec.Qubits, cfg.ChainLength, cfg.Topology)
 	if err != nil {
 		return nil, err
 	}
 	st := newStages(cfg, spec, device)
-	perTrial := make([][]perf.Result, cfg.Runs)
-	seeds := make([]int64, cfg.Runs)
-	err = pool.Run(ctx, cfg.Workers, cfg.Runs, func(i int) error {
-		seed := stats.SplitSeed(cfg.Seed, i)
-		b, err := st.Bind(seed)
+	var perTrial [][]perf.Result
+	var seeds []int64
+	if cfg.Stream {
+		var sst perf.StreamStats
+		perTrial, seeds, sst, err = streamSweep(ctx, cfg, st, lats)
 		if err != nil {
-			return fmt.Errorf("core: trial %d: %w", i, err)
+			return nil, err
 		}
-		rs, err := st.TimeAll(b, lats)
+		spec = fillStreamedSpec(cfg, spec, sst)
+	} else {
+		perTrial = make([][]perf.Result, cfg.Runs)
+		seeds = make([]int64, cfg.Runs)
+		err = pool.Run(ctx, cfg.Workers, cfg.Runs, func(i int) error {
+			seed := stats.SplitSeed(cfg.Seed, i)
+			b, err := st.Bind(seed)
+			if err != nil {
+				return fmt.Errorf("core: trial %d: %w", i, err)
+			}
+			rs, err := st.TimeAll(b, lats)
+			if err != nil {
+				return fmt.Errorf("core: trial %d: %w", i, err)
+			}
+			seeds[i] = seed
+			perTrial[i] = rs
+			return nil
+		})
 		if err != nil {
-			return fmt.Errorf("core: trial %d: %w", i, err)
+			return nil, err
 		}
-		seeds[i] = seed
-		perTrial[i] = rs
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
 	reports := make([]*Report, len(lats))
 	for j := range lats {

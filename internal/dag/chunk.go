@@ -1,0 +1,154 @@
+package dag
+
+// This file is the streaming counterpart of csr.go: a bounded window of
+// the gate-dependency DAG in compressed-sparse-row form, built
+// incrementally as gates arrive and discarded after one longest-path
+// relaxation. The key observation behind it: the ASAP finish-time
+// recurrence only ever reads a node's immediate predecessors, and in a
+// gate-dependency DAG those are the last writers of the node's operand
+// qubits — so the only state that must survive a window is the per-qubit
+// frontier (one finish time per qubit per lane). Everything else — node
+// ids, edges, distances — is O(window), not O(gates).
+//
+// A Chunk therefore splits each node's dependencies in two: operands whose
+// last writer lives inside the window become internal predecessor edges
+// (CSR over window-local ids, forward by construction since writers
+// precede readers in program order), and operands whose last writer has
+// already been evicted read the external frontier instead. Run relaxes the
+// window in one ascending pass — dist[i] = max(frontier of external
+// operands, dist of internal predecessors) + cost[i] — which is exactly
+// csr.go's Forward fast path restricted to the window, so finish times are
+// bit-identical to the fully materialized kernel: max distributes over +
+// exactly for finite floats, and the per-node max is order-insensitive for
+// values.
+
+// Chunk is a reusable bounded window of a gate-dependency DAG. Nodes are
+// appended in program order with Add and carry at most two operand qubits;
+// after a window is priced (Run) and its frontier harvested (Writers), Reset
+// prepares the chunk for the next window.
+type Chunk struct {
+	limit int
+	n     int
+
+	heads []int32 // internal-predecessor CSR offsets, len n+1
+	preds []int32 // window-local ids of internal predecessors
+	extq  []int32 // flat [2]int32 per node: qubits read from the external frontier, -1 = none
+
+	last    []int32 // last[q] = window-local id of q's last writer, -1 = none this window
+	touched []int32 // qubits written this window, in first-write order
+	wq      []int32 // flat [2]int32 per node: qubits the node writes, -1 = none
+}
+
+// NewChunk returns a chunk windowing at most limit nodes over a register
+// of numQubits qubits. limit and numQubits must be positive.
+func NewChunk(limit, numQubits int) *Chunk {
+	c := &Chunk{
+		limit: limit,
+		heads: make([]int32, 1, limit+1),
+		preds: make([]int32, 0, 2*limit),
+		extq:  make([]int32, 0, 2*limit),
+		wq:    make([]int32, 0, 2*limit),
+		last:  make([]int32, numQubits),
+	}
+	for i := range c.last {
+		c.last[i] = -1
+	}
+	return c
+}
+
+// Len returns the number of nodes in the current window.
+func (c *Chunk) Len() int { return c.n }
+
+// Full reports whether the window has reached its node limit.
+func (c *Chunk) Full() bool { return c.n >= c.limit }
+
+// Add appends a node reading (and then writing) qubits a and b, in that
+// operand order; b is -1 for 1-qubit nodes. It returns the node's
+// window-local id. Qubit ids must be in [0, numQubits); callers append
+// gates that were already validated at construction time.
+func (c *Chunk) Add(a, b int32) int {
+	id := int32(c.n)
+	for _, q := range [2]int32{a, b} {
+		if q < 0 {
+			c.extq = append(c.extq, -1)
+			continue
+		}
+		if p := c.last[q]; p >= 0 {
+			c.preds = append(c.preds, p)
+			c.extq = append(c.extq, -1)
+		} else {
+			c.extq = append(c.extq, q)
+		}
+	}
+	c.heads = append(c.heads, int32(len(c.preds)))
+	for _, q := range [2]int32{a, b} {
+		c.wq = append(c.wq, q)
+		if q < 0 {
+			continue
+		}
+		if c.last[q] < 0 {
+			c.touched = append(c.touched, q)
+		}
+		c.last[q] = id
+	}
+	c.n++
+	return int(id)
+}
+
+// Run relaxes the window for one lane: dist[i] becomes the finish time of
+// node i — the maximum over the node's external-frontier reads and
+// internal predecessors' finish times, plus cost[i]. front is the external
+// per-qubit frontier, laid out lane-interleaved: qubit q's value for this
+// lane is front[int(q)*stride+off]. cost and dist must have at least Len()
+// entries; dist is fully overwritten.
+func (c *Chunk) Run(cost, front []float64, stride, off int, dist []float64) {
+	for i := 0; i < c.n; i++ {
+		ready := 0.0
+		if q := c.extq[2*i]; q >= 0 {
+			if v := front[int(q)*stride+off]; v > ready {
+				ready = v
+			}
+		}
+		if q := c.extq[2*i+1]; q >= 0 {
+			if v := front[int(q)*stride+off]; v > ready {
+				ready = v
+			}
+		}
+		for e := c.heads[i]; e < c.heads[i+1]; e++ {
+			if v := dist[c.preds[e]]; v > ready {
+				ready = v
+			}
+		}
+		dist[i] = ready + cost[i]
+	}
+}
+
+// Writers returns, for every qubit written in the window (in first-write
+// order), the qubit id and the window-local id of its last writer. After
+// Run, the harvested frontier update is front[q] = dist[writer]. Both
+// slices alias the chunk and are valid until Reset.
+func (c *Chunk) Writers() (qubits, nodes []int32) {
+	// wq's storage is reused for the writer list: its contents were folded
+	// into last/touched at Add time, and touched (≤ 2·n entries) always
+	// fits in wq's exactly-2·n capacity.
+	nodes = c.wq[:0]
+	for _, q := range c.touched {
+		nodes = append(nodes, c.last[q])
+	}
+	return c.touched, nodes
+}
+
+// Reset clears the window for the next batch of nodes, retaining storage.
+// The per-qubit last-writer table is cleared sparsely (only qubits touched
+// this window), so a reset costs O(window), not O(qubits).
+func (c *Chunk) Reset() {
+	for _, q := range c.touched {
+		c.last[q] = -1
+	}
+	c.touched = c.touched[:0]
+	c.n = 0
+	c.heads = c.heads[:1]
+	c.preds = c.preds[:0]
+	c.extq = c.extq[:0]
+	c.wq = c.wq[:0]
+}

@@ -9,7 +9,10 @@ package perf
 // the default and the oracle; internal/shuttle adapts its explicit
 // ion-transport pricing into a second backend.
 
-import "velociti/internal/ti"
+import (
+	"velociti/internal/circuit"
+	"velociti/internal/ti"
+)
 
 // TimingBackend prices bound circuits under the latency models of a
 // sweep. Implementations must be immutable values: the backend
@@ -41,6 +44,17 @@ type TimingBackend interface {
 	TimeAll(b *Binding, lats []Latencies) ([]Result, error)
 }
 
+// SourceTimer is the streaming capability of a timing backend: pricing a
+// gate stream directly, without a materialized circuit or Binding, in
+// memory independent of gate count. Backends that genuinely require
+// materialization simply do not implement it, and core falls back with a
+// typed input error. Entry j of the result must equal TimeAll's entry j on
+// the materialized circuit bit for bit, except that CriticalPath is
+// omitted (see internal/perf/stream.go).
+type SourceTimer interface {
+	StreamTimeAll(src circuit.Source, l *ti.Layout, lats []Latencies) ([]Result, StreamStats, error)
+}
+
 // WeakLink is the paper's timing model as a backend: cross-chain gates
 // cost α·γ on a weak link, and the parallel model is the ASAP finish-time
 // dynamic program. It is the zero value of backend selection — a nil
@@ -67,4 +81,13 @@ func (WeakLink) Time(b *Binding, lat Latencies) (Result, error) { return b.Time(
 // TimeAll prices every timing model in one pass via Binding.TimeAll.
 func (WeakLink) TimeAll(b *Binding, lats []Latencies) ([]Result, error) { return b.TimeAll(lats) }
 
-var _ TimingBackend = WeakLink{}
+// StreamTimeAll prices a gate stream directly (the SourceTimer
+// capability) via the frontier kernel in stream.go.
+func (WeakLink) StreamTimeAll(src circuit.Source, l *ti.Layout, lats []Latencies) ([]Result, StreamStats, error) {
+	return StreamTimeAll(src, l, lats)
+}
+
+var (
+	_ TimingBackend = WeakLink{}
+	_ SourceTimer   = WeakLink{}
+)

@@ -38,7 +38,7 @@ func ParseWithIncludes(name, src string, resolve func(string) (string, error)) (
 		return nil, verr.Mark(err)
 	}
 	p := &parser{
-		toks:    toks,
+		ts:      &sliceSource{toks: toks},
 		name:    name,
 		regs:    make(map[string]qreg),
 		cregs:   make(map[string]int),
@@ -115,8 +115,7 @@ type bodyStmt struct {
 const maxExpandDepth = 64
 
 type parser struct {
-	toks []token
-	pos  int
+	ts tokenSource
 
 	name      string
 	regs      map[string]qreg
@@ -141,7 +140,7 @@ func (p *parser) loadPrelude() error {
 	if err != nil {
 		return err
 	}
-	sub := &parser{toks: toks, gates: p.gates, regs: map[string]qreg{}, cregs: map[string]int{}}
+	sub := &parser{ts: &sliceSource{toks: toks}, gates: p.gates, regs: map[string]qreg{}, cregs: map[string]int{}}
 	for sub.peek().kind != tokEOF {
 		if err := sub.parseGateDef(); err != nil {
 			return err
@@ -150,15 +149,9 @@ func (p *parser) loadPrelude() error {
 	return nil
 }
 
-func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) peek() token { return p.ts.peek() }
 
-func (p *parser) advance() token {
-	t := p.toks[p.pos]
-	if t.kind != tokEOF {
-		p.pos++
-	}
-	return t
-}
+func (p *parser) advance() token { return p.ts.advance() }
 
 func (p *parser) errorf(t token, format string, args ...any) error {
 	return fmt.Errorf("qasm: line %d: %s", t.line, fmt.Sprintf(format, args...))
@@ -279,9 +272,7 @@ func (p *parser) parseInclude() error {
 	p.included[t.text] = true
 	// Splice the included tokens (minus their EOF) ahead of the current
 	// position.
-	body := toks[:len(toks)-1]
-	rest := append([]token(nil), p.toks[p.pos:]...)
-	p.toks = append(append(p.toks[:p.pos:p.pos], body...), rest...)
+	p.ts.splice(toks[:len(toks)-1])
 	return nil
 }
 

@@ -47,6 +47,37 @@ type Placer interface {
 	Place(spec circuit.Spec, l *ti.Layout, r *rand.Rand) (*circuit.Circuit, error)
 }
 
+// StreamPlacer is the streaming capability of a Placer: synthesizing the
+// gate sequence directly into a circuit.Builder — typically a
+// circuit.Emitter feeding a frontier evaluation — without materializing
+// the circuit. EmitPlace with the same spec, layout, and generator state
+// produces exactly Place's gate sequence (the RNG draw order is shared,
+// pinned by tests), so streamed and materialized evaluations agree bit
+// for bit. Placers that genuinely need the materialized gate list do not
+// implement it — the annealer, whose objective works over an incidence
+// CSR of the synthesized circuit — and core falls back with a typed
+// input error.
+type StreamPlacer interface {
+	Placer
+	EmitPlace(spec circuit.Spec, l *ti.Layout, r *rand.Rand, b circuit.Builder) error
+}
+
+// placeViaEmit is the materialized path of every StreamPlacer: Place is
+// EmitPlace into a scratch circuit.
+func placeViaEmit(p StreamPlacer, spec circuit.Spec, l *ti.Layout, r *rand.Rand, grow bool) (*circuit.Circuit, error) {
+	if err := validate(spec, l); err != nil {
+		return nil, err
+	}
+	c := circuit.NewScratch(spec.Name, spec.Qubits)
+	if grow {
+		c.Grow(spec.TotalGates())
+	}
+	if err := p.EmitPlace(spec, l, r, c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
 // validate performs the shared sanity checks for placers.
 func validate(spec circuit.Spec, l *ti.Layout) error {
 	if err := spec.Validate(); err != nil {
@@ -58,14 +89,9 @@ func validate(spec circuit.Spec, l *ti.Layout) error {
 	return nil
 }
 
-// opOrder returns a shuffled sequence of gate arities (1 or 2) realizing
-// the spec's gate counts.
-func opOrder(spec circuit.Spec, r *rand.Rand) []int {
-	return opOrderInto(nil, spec, r)
-}
-
-// opOrderInto is opOrder over caller-provided storage, reused when its
-// capacity allows. The draw sequence is identical to opOrder's.
+// opOrderInto fills caller-provided storage (reused when its capacity
+// allows) with a shuffled sequence of gate arities (1 or 2) realizing the
+// spec's gate counts. The draw sequence is identical to newOpBits's.
 func opOrderInto(dst []int, spec circuit.Spec, r *rand.Rand) []int {
 	if cap(dst) < spec.TotalGates() {
 		dst = make([]int, 0, spec.TotalGates())
@@ -92,6 +118,51 @@ func uniformPair(r *rand.Rand, n int) (int, int) {
 	return a, b
 }
 
+// opBits is opOrder packed one bit per gate (0 = 1-qubit, 1 = 2-qubit),
+// so a streaming placer's only gate-count-proportional state is n/8
+// bytes rather than a materialized []int. The shuffle consumes the
+// generator exactly as opOrderInto's does (r.Shuffle's draw sequence is
+// independent of element storage), so both representations stay
+// interchangeable under a shared seed.
+type opBits struct {
+	bits []uint64
+	n    int
+}
+
+func newOpBits(spec circuit.Spec, r *rand.Rand) opBits {
+	n := spec.TotalGates()
+	o := opBits{bits: make([]uint64, (n+63)/64), n: n}
+	for i := spec.OneQubitGates; i < n; i++ {
+		o.bits[i>>6] |= 1 << (uint(i) & 63)
+	}
+	r.Shuffle(n, o.swap)
+	return o
+}
+
+func (o opBits) get(i int) bool { return o.bits[i>>6]>>(uint(i)&63)&1 == 1 }
+
+func (o opBits) set(i int, v bool) {
+	if v {
+		o.bits[i>>6] |= 1 << (uint(i) & 63)
+	} else {
+		o.bits[i>>6] &^= 1 << (uint(i) & 63)
+	}
+}
+
+func (o opBits) swap(i, j int) {
+	bi, bj := o.get(i), o.get(j)
+	o.set(i, bj)
+	o.set(j, bi)
+}
+
+// arity returns 1 or 2 for gate i.
+func (o opBits) arity(i int) int {
+	if o.get(i) {
+		return 2
+	}
+	return 1
+}
+
 // Random is the paper's placement policy: each 2-qubit gate acts on a
 // uniformly random qubit pair (cross-chain pairs become weak-link
 // operations), each 1-qubit gate on a uniformly random qubit, and the
@@ -102,21 +173,25 @@ type Random struct{}
 func (Random) Name() string { return "random" }
 
 // Place implements Placer.
-func (Random) Place(spec circuit.Spec, l *ti.Layout, r *rand.Rand) (*circuit.Circuit, error) {
+func (p Random) Place(spec circuit.Spec, l *ti.Layout, r *rand.Rand) (*circuit.Circuit, error) {
+	return placeViaEmit(p, spec, l, r, true)
+}
+
+// EmitPlace implements StreamPlacer.
+func (Random) EmitPlace(spec circuit.Spec, l *ti.Layout, r *rand.Rand, b circuit.Builder) error {
 	if err := validate(spec, l); err != nil {
-		return nil, err
+		return err
 	}
-	c := circuit.NewScratch(spec.Name, spec.Qubits)
-	c.Grow(spec.TotalGates())
-	for _, arity := range opOrder(spec, r) {
-		if arity == 1 {
-			c.X(r.Intn(spec.Qubits))
+	ops := newOpBits(spec, r)
+	for i := 0; i < ops.n; i++ {
+		if ops.arity(i) == 1 {
+			b.X(r.Intn(spec.Qubits))
 			continue
 		}
-		a, b := uniformPair(r, spec.Qubits)
-		c.CX(a, b)
+		qa, qb := uniformPair(r, spec.Qubits)
+		b.CX(qa, qb)
 	}
-	return c, nil
+	return b.Err()
 }
 
 // WeakAvoiding places 2-qubit gates only on intra-chain pairs, eliminating
@@ -129,9 +204,14 @@ type WeakAvoiding struct{}
 func (WeakAvoiding) Name() string { return "weak-avoiding" }
 
 // Place implements Placer.
-func (WeakAvoiding) Place(spec circuit.Spec, l *ti.Layout, r *rand.Rand) (*circuit.Circuit, error) {
+func (p WeakAvoiding) Place(spec circuit.Spec, l *ti.Layout, r *rand.Rand) (*circuit.Circuit, error) {
+	return placeViaEmit(p, spec, l, r, true)
+}
+
+// EmitPlace implements StreamPlacer.
+func (WeakAvoiding) EmitPlace(spec circuit.Spec, l *ti.Layout, r *rand.Rand, b circuit.Builder) error {
 	if err := validate(spec, l); err != nil {
-		return nil, err
+		return err
 	}
 	var local [][2]int
 	if spec.TwoQubitGates > 0 {
@@ -141,20 +221,19 @@ func (WeakAvoiding) Place(spec circuit.Spec, l *ti.Layout, r *rand.Rand) (*circu
 			}
 		}
 		if len(local) == 0 {
-			return nil, fmt.Errorf("schedule: weak-avoiding placer has no intra-chain pairs among %d qubits", spec.Qubits)
+			return fmt.Errorf("schedule: weak-avoiding placer has no intra-chain pairs among %d qubits", spec.Qubits)
 		}
 	}
-	c := circuit.NewScratch(spec.Name, spec.Qubits)
-	c.Grow(spec.TotalGates())
-	for _, arity := range opOrder(spec, r) {
-		if arity == 1 {
-			c.X(r.Intn(spec.Qubits))
+	ops := newOpBits(spec, r)
+	for i := 0; i < ops.n; i++ {
+		if ops.arity(i) == 1 {
+			b.X(r.Intn(spec.Qubits))
 			continue
 		}
 		p := local[r.Intn(len(local))]
-		c.CX(p[0], p[1])
+		b.CX(p[0], p[1])
 	}
-	return c, nil
+	return b.Err()
 }
 
 // EdgeConstrained restricts cross-chain gates to the edge qubits of weak
@@ -170,9 +249,14 @@ type EdgeConstrained struct{}
 func (EdgeConstrained) Name() string { return "edge-constrained" }
 
 // Place implements Placer.
-func (EdgeConstrained) Place(spec circuit.Spec, l *ti.Layout, r *rand.Rand) (*circuit.Circuit, error) {
+func (p EdgeConstrained) Place(spec circuit.Spec, l *ti.Layout, r *rand.Rand) (*circuit.Circuit, error) {
+	return placeViaEmit(p, spec, l, r, true)
+}
+
+// EmitPlace implements StreamPlacer.
+func (EdgeConstrained) EmitPlace(spec circuit.Spec, l *ti.Layout, r *rand.Rand, b circuit.Builder) error {
 	if err := validate(spec, l); err != nil {
-		return nil, err
+		return err
 	}
 	var pairs [][2]int
 	if spec.TwoQubitGates > 0 {
@@ -182,20 +266,19 @@ func (EdgeConstrained) Place(spec circuit.Spec, l *ti.Layout, r *rand.Rand) (*ci
 			}
 		}
 		if len(pairs) == 0 {
-			return nil, fmt.Errorf("schedule: no legal 2-qubit pairs among the first %d qubits", spec.Qubits)
+			return fmt.Errorf("schedule: no legal 2-qubit pairs among the first %d qubits", spec.Qubits)
 		}
 	}
-	c := circuit.NewScratch(spec.Name, spec.Qubits)
-	c.Grow(spec.TotalGates())
-	for _, arity := range opOrder(spec, r) {
-		if arity == 1 {
-			c.X(r.Intn(spec.Qubits))
+	ops := newOpBits(spec, r)
+	for i := 0; i < ops.n; i++ {
+		if ops.arity(i) == 1 {
+			b.X(r.Intn(spec.Qubits))
 			continue
 		}
 		p := pairs[r.Intn(len(pairs))]
-		c.CX(p[0], p[1])
+		b.CX(p[0], p[1])
 	}
-	return c, nil
+	return b.Err()
 }
 
 // LoadBalanced is a greedy list-scheduling placer (extension): it tracks
@@ -218,26 +301,33 @@ func (LoadBalanced) Name() string { return "load-balanced" }
 
 // Place implements Placer.
 func (pl LoadBalanced) Place(spec circuit.Spec, l *ti.Layout, r *rand.Rand) (*circuit.Circuit, error) {
+	return placeViaEmit(pl, spec, l, r, false)
+}
+
+// EmitPlace implements StreamPlacer. The greedy busy-until state is
+// O(qubits), so the placer streams without gate-count-proportional
+// memory.
+func (pl LoadBalanced) EmitPlace(spec circuit.Spec, l *ti.Layout, r *rand.Rand, b circuit.Builder) error {
 	if err := validate(spec, l); err != nil {
-		return nil, err
+		return err
 	}
 	if err := pl.Latencies.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	k := pl.Candidates
 	if k <= 0 {
 		k = 8
 	}
 	busy := make([]float64, spec.Qubits)
-	c := circuit.NewScratch(spec.Name, spec.Qubits)
 	latencyOf := func(a, b int) float64 {
 		if l.SameChain(a, b) {
 			return pl.Latencies.TwoQubit
 		}
 		return pl.Latencies.WeakPenalty * pl.Latencies.TwoQubit
 	}
-	for _, arity := range opOrder(spec, r) {
-		if arity == 1 {
+	ops := newOpBits(spec, r)
+	for i := 0; i < ops.n; i++ {
+		if ops.arity(i) == 1 {
 			// Choose the least-busy of a few sampled qubits.
 			best := r.Intn(spec.Qubits)
 			for i := 1; i < k; i++ {
@@ -247,7 +337,7 @@ func (pl LoadBalanced) Place(spec circuit.Spec, l *ti.Layout, r *rand.Rand) (*ci
 				}
 			}
 			busy[best] += pl.Latencies.OneQubit
-			c.X(best)
+			b.X(best)
 			continue
 		}
 		var bestA, bestB int
@@ -266,10 +356,20 @@ func (pl LoadBalanced) Place(spec circuit.Spec, l *ti.Layout, r *rand.Rand) (*ci
 		}
 		busy[bestA] = bestFinish
 		busy[bestB] = bestFinish
-		c.CX(bestA, bestB)
+		b.CX(bestA, bestB)
 	}
-	return c, nil
+	return b.Err()
 }
+
+// Every non-search placer streams; the annealer (annealed.go) is the
+// deliberate exception — its objective needs the incidence CSR of the
+// materialized circuit.
+var (
+	_ StreamPlacer = Random{}
+	_ StreamPlacer = WeakAvoiding{}
+	_ StreamPlacer = EdgeConstrained{}
+	_ StreamPlacer = LoadBalanced{}
+)
 
 // All returns the full placer suite: the paper baseline first, then the
 // extensions, using the given latency model where needed.

@@ -253,7 +253,7 @@ func TestUniformPairDistribution(t *testing.T) {
 
 func TestOpOrderCountsAndShuffle(t *testing.T) {
 	r := stats.NewRand(5)
-	ops := opOrder(spec(4, 30, 70), r)
+	ops := opOrderInto(nil, spec(4, 30, 70), r)
 	if len(ops) != 100 {
 		t.Fatalf("ops length = %d", len(ops))
 	}
@@ -280,6 +280,17 @@ func TestOpOrderCountsAndShuffle(t *testing.T) {
 	}
 	if all1 {
 		t.Fatalf("op order does not appear shuffled")
+	}
+	// The packed representation must consume the generator identically:
+	// same seed, same arity sequence.
+	bits := newOpBits(spec(4, 30, 70), stats.NewRand(5))
+	if bits.n != len(ops) {
+		t.Fatalf("opBits length = %d, want %d", bits.n, len(ops))
+	}
+	for i, a := range ops {
+		if bits.arity(i) != a {
+			t.Fatalf("opBits arity[%d] = %d, want %d", i, bits.arity(i), a)
+		}
 	}
 }
 

@@ -146,6 +146,11 @@ type SweepRequest struct {
 	// Runs per cell (default 35) and the master seed (default 1).
 	Runs int   `json:"runs,omitempty"`
 	Seed int64 `json:"seed,omitempty"`
+	// Stream evaluates every cell through the memory-bounded streaming
+	// path (core.Grid.Stream); the CSV bytes are identical, so it keys
+	// with the rest of the canonical form rather than as an exec knob —
+	// a cell that cannot stream fails only under Stream.
+	Stream bool `json:"stream,omitempty"`
 	execKnobs
 }
 
@@ -213,6 +218,7 @@ func (r SweepRequest) grid(workers int, pipeline *core.Pipeline) (core.Grid, err
 		Workers:      workers,
 		Pipeline:     pipeline,
 		Backend:      backend,
+		Stream:       r.Stream,
 	}, nil
 }
 

@@ -11,6 +11,7 @@ package shuttle
 import (
 	"strconv"
 
+	"velociti/internal/circuit"
 	"velociti/internal/perf"
 	"velociti/internal/ti"
 	"velociti/internal/verr"
@@ -91,7 +92,17 @@ func (b Backend) costs() perf.TransportCosts {
 	}
 }
 
-var _ perf.TimingBackend = Backend{}
+// StreamTimeAll prices a gate stream directly (perf.SourceTimer): the
+// transport busy-until recurrence over the per-qubit frontier, in memory
+// independent of gate count.
+func (b Backend) StreamTimeAll(src circuit.Source, l *ti.Layout, lats []perf.Latencies) ([]perf.Result, perf.StreamStats, error) {
+	return perf.StreamTransportAll(src, l, b.costs(), lats)
+}
+
+var (
+	_ perf.TimingBackend = Backend{}
+	_ perf.SourceTimer   = Backend{}
+)
 
 // ByName resolves a timing backend from its selector name, the single
 // lowering point for the -backend flags, config.Params.Backend, and the

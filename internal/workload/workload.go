@@ -117,29 +117,51 @@ func Fig5Grid() []circuit.Spec {
 // functional-simulation paths; the performance experiments use abstract
 // specs.
 func RandomCircuit(n, gates int, oneQubitFraction float64, seed int64) (*circuit.Circuit, error) {
+	p, err := RandomCircuitProgram(n, gates, oneQubitFraction, seed)
+	if err != nil {
+		return nil, err
+	}
+	return p.Circuit()
+}
+
+// RandomCircuitProgram is RandomCircuit as a streaming-capable program:
+// the identical seeded gate sequence, emitted against any circuit.Builder
+// without materializing it. The body re-seeds its generator on every
+// emission, so repeated streams are bit-identical — this is the fixed-width
+// scale workload behind the streaming memory benchmarks.
+func RandomCircuitProgram(n, gates int, oneQubitFraction float64, seed int64) (circuit.Program, error) {
 	if n < 2 {
-		return nil, verr.Inputf("workload: random circuit needs at least 2 qubits, got %d", n)
+		return circuit.Program{}, verr.Inputf("workload: random circuit needs at least 2 qubits, got %d", n)
 	}
 	if gates < 0 {
-		return nil, verr.Inputf("workload: random circuit gate count must be non-negative, got %d", gates)
+		return circuit.Program{}, verr.Inputf("workload: random circuit gate count must be non-negative, got %d", gates)
 	}
 	if oneQubitFraction < 0 || oneQubitFraction > 1 {
-		return nil, verr.Inputf("workload: 1-qubit fraction %g out of [0,1]", oneQubitFraction)
+		return circuit.Program{}, verr.Inputf("workload: 1-qubit fraction %g out of [0,1]", oneQubitFraction)
 	}
-	r := stats.NewRand(seed)
-	c := circuit.New(fmt.Sprintf("random%dq%dg", n, gates), n)
-	oneQ := []circuit.Kind{circuit.H, circuit.X, circuit.T}
-	for i := 0; i < gates; i++ {
-		if r.Float64() < oneQubitFraction {
-			c.Append(oneQ[r.Intn(len(oneQ))], []int{r.Intn(n)})
-			continue
-		}
-		a := r.Intn(n)
-		b := r.Intn(n)
-		for b == a {
-			b = r.Intn(n)
-		}
-		c.CX(a, b)
-	}
-	return c, c.Err()
+	return circuit.Program{
+		Name:   fmt.Sprintf("random%dq%dg", n, gates),
+		Qubits: n,
+		Body: func(c circuit.Builder) {
+			r := stats.NewRand(seed)
+			oneQ := [...]circuit.Kind{circuit.H, circuit.X, circuit.T}
+			q1 := [1]int{}
+			for i := 0; i < gates; i++ {
+				if r.Float64() < oneQubitFraction {
+					// Draw order matches the original inline call: kind
+					// first, then operand.
+					k := oneQ[r.Intn(len(oneQ))]
+					q1[0] = r.Intn(n)
+					c.Append(k, q1[:])
+					continue
+				}
+				a := r.Intn(n)
+				b := r.Intn(n)
+				for b == a {
+					b = r.Intn(n)
+				}
+				c.CX(a, b)
+			}
+		},
+	}, nil
 }
